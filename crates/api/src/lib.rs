@@ -1,0 +1,56 @@
+//! # munin-api
+//!
+//! The portable DSM programming interface — the role Presto plays in the
+//! paper ("programmers write their programs using a shared memory model,
+//! inserting declarations to provide object-specific information to the
+//! Munin runtime system").
+//!
+//! Applications are written once against the [`Par`] trait and run
+//! unmodified on three backends:
+//!
+//! * **Munin** — the type-specific coherence runtime (`munin-core`) on the
+//!   deterministic simulator;
+//! * **Ivy** — the page-based strictly-coherent baseline (`munin-ivy`) on
+//!   the same simulator;
+//! * **Native** — real OS threads against true shared memory (the "Sequent
+//!   Symmetry" reference), used to validate results and compare behaviour.
+//!
+//! The [`harness`] builds the world, places objects and threads, runs the
+//! program, and returns the traffic/timing report experiments consume.
+//!
+//! ```
+//! use munin_api::{Backend, Par, ParExt, ProgramBuilder};
+//! use munin_types::{MuninConfig, SharingType};
+//!
+//! let mut p = ProgramBuilder::new(2);
+//! let table = p.object("table", 64, SharingType::WriteOnce, 0);
+//! let sums = p.object("sums", 16, SharingType::Result, 0);
+//! let bar = p.barrier(0, 2);
+//! for t in 0..2 {
+//!     p.thread(t, move |par: &mut dyn Par| {
+//!         if par.self_id() == 0 {
+//!             par.write_f64s(table, 0, &[2.0; 8]);
+//!             par.phase(1); // publish the write-once table
+//!         }
+//!         par.barrier(bar);
+//!         let v = par.read_f64(table, par.self_id() as u32); // replicated read
+//!         par.write_f64(sums, par.self_id() as u32, v * 10.0); // delayed update
+//!         par.barrier(bar);
+//!         if par.self_id() == 0 {
+//!             assert_eq!(par.read_f64s(sums, 0, 2), vec![20.0, 20.0]);
+//!         }
+//!     });
+//! }
+//! let outcome = p.run(Backend::Munin(MuninConfig::default()));
+//! outcome.assert_clean();
+//! assert!(outcome.report().stats.messages > 0); // real coherence traffic
+//! ```
+
+pub mod harness;
+pub mod monitor;
+pub mod native;
+pub mod par;
+
+pub use harness::{Backend, Outcome, ProgramBuilder};
+pub use monitor::Monitor;
+pub use par::{Par, ParExt};

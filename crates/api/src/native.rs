@@ -1,0 +1,224 @@
+//! The native shared-memory backend: real OS threads, real locks — the
+//! "Sequent Symmetry" the paper's study programs originally ran on.
+//!
+//! Used as the semantic reference (the same application code must produce
+//! the same results here as on either DSM backend) and for wall-clock
+//! comparison. There is no network and no coherence: objects are plain
+//! byte vectors behind reader-writer locks.
+
+use crate::par::Par;
+use munin_types::{BarrierId, ByteRange, CondId, LockId, ObjectId};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
+
+/// A manually lockable mutex (guards can't span `Par::lock`/`Par::unlock`
+/// calls, so we implement holding explicitly).
+#[derive(Default)]
+struct HeldLock {
+    held: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl HeldLock {
+    fn acquire(&self) {
+        let mut g = self.held.lock();
+        while *g {
+            self.cv.wait(&mut g);
+        }
+        *g = true;
+    }
+
+    fn release(&self) {
+        let mut g = self.held.lock();
+        *g = false;
+        self.cv.notify_one();
+    }
+}
+
+/// A native condition variable: a generation counter + condvar. Every
+/// signal bumps the generation and wakes everyone (Mesa semantics permit
+/// spurious wakeups; predicates are re-tested).
+#[derive(Default)]
+struct NativeCond {
+    generation: Mutex<u64>,
+    cv: Condvar,
+}
+
+/// Shared state of a native run.
+pub struct NativeWorld {
+    objects: HashMap<ObjectId, RwLock<Vec<u8>>>,
+    locks: Vec<HeldLock>,
+    barriers: Vec<Barrier>,
+    conds: Vec<NativeCond>,
+    n_threads: usize,
+}
+
+impl NativeWorld {
+    pub fn new(
+        objects: impl IntoIterator<Item = (ObjectId, usize)>,
+        n_locks: usize,
+        barrier_counts: &[usize],
+        n_conds: usize,
+        n_threads: usize,
+    ) -> Arc<Self> {
+        Arc::new(NativeWorld {
+            objects: objects
+                .into_iter()
+                .map(|(id, size)| (id, RwLock::new(vec![0u8; size])))
+                .collect(),
+            locks: (0..n_locks).map(|_| HeldLock::default()).collect(),
+            barriers: barrier_counts.iter().map(|c| Barrier::new(*c)).collect(),
+            conds: (0..n_conds).map(|_| NativeCond::default()).collect(),
+            n_threads,
+        })
+    }
+
+    /// Read an object's final bytes after the run (result collection).
+    pub fn snapshot(&self, obj: ObjectId) -> Vec<u8> {
+        self.objects[&obj].read().clone()
+    }
+}
+
+/// Per-thread handle implementing [`Par`] over the native world.
+pub struct NativeCtx {
+    world: Arc<NativeWorld>,
+    id: usize,
+}
+
+impl NativeCtx {
+    pub fn new(world: Arc<NativeWorld>, id: usize) -> Self {
+        NativeCtx { world, id }
+    }
+}
+
+impl Par for NativeCtx {
+    fn self_id(&self) -> usize {
+        self.id
+    }
+
+    fn n_threads(&self) -> usize {
+        self.world.n_threads
+    }
+
+    fn read(&mut self, obj: ObjectId, range: ByteRange) -> Vec<u8> {
+        let g = self.world.objects[&obj].read();
+        g[range.start as usize..range.end() as usize].to_vec()
+    }
+
+    fn write(&mut self, obj: ObjectId, start: u32, data: Vec<u8>) {
+        let mut g = self.world.objects[&obj].write();
+        g[start as usize..start as usize + data.len()].copy_from_slice(&data);
+    }
+
+    fn fetch_add(&mut self, obj: ObjectId, offset: u32, delta: i64) -> i64 {
+        let mut g = self.world.objects[&obj].write();
+        let s = offset as usize;
+        let old = i64::from_le_bytes(g[s..s + 8].try_into().expect("8 bytes"));
+        g[s..s + 8].copy_from_slice(&old.wrapping_add(delta).to_le_bytes());
+        old
+    }
+
+    fn lock(&mut self, lock: LockId) {
+        self.world.locks[lock.index()].acquire();
+    }
+
+    fn unlock(&mut self, lock: LockId) {
+        self.world.locks[lock.index()].release();
+    }
+
+    fn barrier(&mut self, barrier: BarrierId) {
+        self.world.barriers[barrier.index()].wait();
+    }
+
+    fn cond_wait(&mut self, cond: CondId, lock: LockId) {
+        let nc = &self.world.conds[cond.index()];
+        // Read the generation while still inside the monitor: a signal can
+        // only happen while the monitor lock is held, so no wakeup between
+        // this read and the wait below can be missed.
+        let gen = *nc.generation.lock();
+        self.world.locks[lock.index()].release();
+        {
+            let mut g = nc.generation.lock();
+            while *g == gen {
+                nc.cv.wait(&mut g);
+            }
+        }
+        self.world.locks[lock.index()].acquire();
+    }
+
+    fn cond_signal(&mut self, cond: CondId, _broadcast: bool) {
+        let nc = &self.world.conds[cond.index()];
+        *nc.generation.lock() += 1;
+        nc.cv.notify_all();
+    }
+
+    fn phase(&mut self, _phase: u32) {}
+
+    fn compute(&mut self, _us: u64) {
+        // Native runs do real work; modelled compute time is a no-op.
+    }
+
+    fn flush(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::ParExt;
+
+    #[test]
+    fn native_world_basics() {
+        let w = NativeWorld::new([(ObjectId(0), 64)], 1, &[2], 0, 2);
+        let mut a = NativeCtx::new(w.clone(), 0);
+        a.write_f64(ObjectId(0), 2, 9.0);
+        assert_eq!(a.read_f64(ObjectId(0), 2), 9.0);
+        assert_eq!(a.self_id(), 0);
+        assert_eq!(a.n_threads(), 2);
+        assert_eq!(w.snapshot(ObjectId(0)).len(), 64);
+    }
+
+    #[test]
+    fn native_locks_exclude_and_barriers_meet() {
+        let w = NativeWorld::new([(ObjectId(0), 8)], 1, &[4], 0, 4);
+        let mut joins = Vec::new();
+        for i in 0..4 {
+            let w = w.clone();
+            joins.push(std::thread::spawn(move || {
+                let mut ctx = NativeCtx::new(w, i);
+                for _ in 0..100 {
+                    ctx.lock(LockId(0));
+                    let v = ctx.read_i64(ObjectId(0), 0);
+                    ctx.write_i64(ObjectId(0), 0, v + 1);
+                    ctx.unlock(LockId(0));
+                }
+                ctx.barrier(BarrierId(0));
+                // After the barrier everyone must see the final count.
+                assert_eq!(ctx.read_i64(ObjectId(0), 0), 400);
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn native_fetch_add_is_atomic() {
+        let w = NativeWorld::new([(ObjectId(0), 8)], 0, &[], 0, 8);
+        let mut joins = Vec::new();
+        for i in 0..8 {
+            let w = w.clone();
+            joins.push(std::thread::spawn(move || {
+                let mut ctx = NativeCtx::new(w, i);
+                let mut seen = Vec::new();
+                for _ in 0..50 {
+                    seen.push(ctx.fetch_add(ObjectId(0), 0, 1));
+                }
+                seen
+            }));
+        }
+        let mut all: Vec<i64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<i64>>());
+    }
+}

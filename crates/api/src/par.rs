@@ -1,0 +1,206 @@
+//! The application-facing shared-memory interface.
+
+use munin_sim::ThreadCtx;
+use munin_types::{BarrierId, ByteRange, CondId, LockId, ObjectId};
+
+/// What a parallel program may do: shared-object access plus explicit
+/// synchronization. One implementation runs on the simulator (Munin or Ivy
+/// servers underneath), another on native threads.
+pub trait Par {
+    /// This thread's index (0-based, dense).
+    fn self_id(&self) -> usize;
+    /// Total threads in the program.
+    fn n_threads(&self) -> usize;
+    /// Read a byte range of a shared object.
+    fn read(&mut self, obj: ObjectId, range: ByteRange) -> Vec<u8>;
+    /// Write bytes at an offset of a shared object.
+    fn write(&mut self, obj: ObjectId, start: u32, data: Vec<u8>);
+    /// Atomic fetch-and-add on the little-endian i64 at `offset`.
+    fn fetch_add(&mut self, obj: ObjectId, offset: u32, delta: i64) -> i64;
+    fn lock(&mut self, lock: LockId);
+    fn unlock(&mut self, lock: LockId);
+    fn barrier(&mut self, barrier: BarrierId);
+    /// Monitor wait: release `lock`, sleep until signalled, re-acquire.
+    /// (Unsupported by the Ivy backend, true to the original system.)
+    fn cond_wait(&mut self, cond: CondId, lock: LockId);
+    /// Wake one (`broadcast=false`) or all waiters. Caller holds the lock.
+    fn cond_signal(&mut self, cond: CondId, broadcast: bool);
+    /// Mark a program phase boundary (phase 0 = initialization).
+    fn phase(&mut self, phase: u32);
+    /// Model `us` microseconds of local computation.
+    fn compute(&mut self, us: u64);
+    /// Flush this thread's delayed updates (no-op on strict backends).
+    fn flush(&mut self);
+}
+
+impl Par for ThreadCtx {
+    fn self_id(&self) -> usize {
+        self.thread_id().index()
+    }
+    fn n_threads(&self) -> usize {
+        ThreadCtx::n_threads(self)
+    }
+    fn read(&mut self, obj: ObjectId, range: ByteRange) -> Vec<u8> {
+        ThreadCtx::read(self, obj, range)
+    }
+    fn write(&mut self, obj: ObjectId, start: u32, data: Vec<u8>) {
+        ThreadCtx::write(self, obj, start, data)
+    }
+    fn fetch_add(&mut self, obj: ObjectId, offset: u32, delta: i64) -> i64 {
+        ThreadCtx::fetch_add(self, obj, offset, delta)
+    }
+    fn lock(&mut self, lock: LockId) {
+        ThreadCtx::lock(self, lock)
+    }
+    fn unlock(&mut self, lock: LockId) {
+        ThreadCtx::unlock(self, lock)
+    }
+    fn barrier(&mut self, barrier: BarrierId) {
+        ThreadCtx::barrier(self, barrier)
+    }
+    fn cond_wait(&mut self, cond: CondId, lock: LockId) {
+        ThreadCtx::cond_wait(self, cond, lock)
+    }
+    fn cond_signal(&mut self, cond: CondId, broadcast: bool) {
+        self.op(munin_sim::DsmOp::CondSignal { cond, broadcast }).expect_unit()
+    }
+    fn phase(&mut self, phase: u32) {
+        ThreadCtx::phase(self, phase)
+    }
+    fn compute(&mut self, us: u64) {
+        ThreadCtx::compute(self, us)
+    }
+    fn flush(&mut self) {
+        ThreadCtx::flush(self)
+    }
+}
+
+/// Typed views over shared objects: the numeric element accessors the six
+/// applications use. Blanket-implemented for every [`Par`].
+pub trait ParExt: Par {
+    fn read_f64(&mut self, obj: ObjectId, idx: u32) -> f64 {
+        let bytes = self.read(obj, ByteRange::new(idx * 8, 8));
+        f64::from_le_bytes(bytes.try_into().expect("8 bytes"))
+    }
+
+    fn write_f64(&mut self, obj: ObjectId, idx: u32, v: f64) {
+        self.write(obj, idx * 8, v.to_le_bytes().to_vec());
+    }
+
+    /// Read `n` consecutive f64 elements starting at element `start`.
+    fn read_f64s(&mut self, obj: ObjectId, start: u32, n: u32) -> Vec<f64> {
+        let bytes = self.read(obj, ByteRange::new(start * 8, n * 8));
+        bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("8"))).collect()
+    }
+
+    /// Write consecutive f64 elements starting at element `start`.
+    fn write_f64s(&mut self, obj: ObjectId, start: u32, vals: &[f64]) {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write(obj, start * 8, bytes);
+    }
+
+    fn read_i64(&mut self, obj: ObjectId, idx: u32) -> i64 {
+        let bytes = self.read(obj, ByteRange::new(idx * 8, 8));
+        i64::from_le_bytes(bytes.try_into().expect("8 bytes"))
+    }
+
+    fn write_i64(&mut self, obj: ObjectId, idx: u32, v: i64) {
+        self.write(obj, idx * 8, v.to_le_bytes().to_vec());
+    }
+
+    fn read_i64s(&mut self, obj: ObjectId, start: u32, n: u32) -> Vec<i64> {
+        let bytes = self.read(obj, ByteRange::new(start * 8, n * 8));
+        bytes.chunks_exact(8).map(|c| i64::from_le_bytes(c.try_into().expect("8"))).collect()
+    }
+
+    fn write_i64s(&mut self, obj: ObjectId, start: u32, vals: &[i64]) {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write(obj, start * 8, bytes);
+    }
+
+    fn read_u8(&mut self, obj: ObjectId, idx: u32) -> u8 {
+        self.read(obj, ByteRange::new(idx, 1))[0]
+    }
+
+    fn write_u8(&mut self, obj: ObjectId, idx: u32, v: u8) {
+        self.write(obj, idx, vec![v]);
+    }
+}
+
+impl<T: Par + ?Sized> ParExt for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// A toy in-memory Par for testing the typed extension methods.
+    struct MemPar {
+        objs: HashMap<ObjectId, Vec<u8>>,
+    }
+
+    impl Par for MemPar {
+        fn self_id(&self) -> usize {
+            0
+        }
+        fn n_threads(&self) -> usize {
+            1
+        }
+        fn read(&mut self, obj: ObjectId, range: ByteRange) -> Vec<u8> {
+            self.objs[&obj][range.start as usize..range.end() as usize].to_vec()
+        }
+        fn write(&mut self, obj: ObjectId, start: u32, data: Vec<u8>) {
+            let o = self.objs.get_mut(&obj).unwrap();
+            o[start as usize..start as usize + data.len()].copy_from_slice(&data);
+        }
+        fn fetch_add(&mut self, obj: ObjectId, offset: u32, delta: i64) -> i64 {
+            let old = self.read_i64(obj, offset / 8);
+            self.write_i64(obj, offset / 8, old + delta);
+            old
+        }
+        fn lock(&mut self, _: LockId) {}
+        fn unlock(&mut self, _: LockId) {}
+        fn barrier(&mut self, _: BarrierId) {}
+        fn cond_wait(&mut self, _: CondId, _: LockId) {}
+        fn cond_signal(&mut self, _: CondId, _: bool) {}
+        fn phase(&mut self, _: u32) {}
+        fn compute(&mut self, _: u64) {}
+        fn flush(&mut self) {}
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let obj = ObjectId(0);
+        let mut p = MemPar { objs: HashMap::from([(obj, vec![0u8; 64])]) };
+        p.write_f64(obj, 3, -2.5);
+        assert_eq!(p.read_f64(obj, 3), -2.5);
+        p.write_f64s(obj, 0, &[1.0, 2.0, 3.0]);
+        assert_eq!(p.read_f64s(obj, 0, 4), vec![1.0, 2.0, 3.0, -2.5]);
+    }
+
+    #[test]
+    fn i64_and_u8_roundtrip() {
+        let obj = ObjectId(0);
+        let mut p = MemPar { objs: HashMap::from([(obj, vec![0u8; 64])]) };
+        p.write_i64s(obj, 1, &[7, -9]);
+        assert_eq!(p.read_i64s(obj, 1, 2), vec![7, -9]);
+        assert_eq!(p.read_i64(obj, 2), -9);
+        p.write_u8(obj, 0, 200);
+        assert_eq!(p.read_u8(obj, 0), 200);
+    }
+
+    #[test]
+    fn fetch_add_on_mempar() {
+        let obj = ObjectId(0);
+        let mut p = MemPar { objs: HashMap::from([(obj, vec![0u8; 8])]) };
+        assert_eq!(p.fetch_add(obj, 0, 5), 0);
+        assert_eq!(p.fetch_add(obj, 0, 2), 5);
+        assert_eq!(p.read_i64(obj, 0), 7);
+    }
+}

@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks for the substrate data structures: the
+//! run-length diff machinery (the DUQ's hot path), the twin store, the
+//! receiver-side reorder buffer, vector clocks, and the address-space
+//! translation Ivy performs on every access.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use munin_check::VectorClock;
+use munin_mem::{AddressSpace, Diff, TwinStore};
+use munin_types::{AllocPolicy, ByteRange, ObjectId, ThreadId};
+
+fn bench_diff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff");
+    for size in [1024usize, 16 * 1024] {
+        let old = vec![0u8; size];
+        // 10% of bytes changed in 16-byte runs.
+        let mut new = old.clone();
+        let mut i = 0;
+        while i < size {
+            for b in new[i..(i + 16).min(size)].iter_mut() {
+                *b = 1;
+            }
+            i += 160;
+        }
+        g.bench_with_input(BenchmarkId::new("between", size), &size, |b, _| {
+            b.iter(|| Diff::between(black_box(&old), black_box(&new)))
+        });
+        let d = Diff::between(&old, &new);
+        g.bench_with_input(BenchmarkId::new("apply", size), &size, |b, _| {
+            let mut target = old.clone();
+            b.iter(|| d.apply(black_box(&mut target)))
+        });
+        g.bench_with_input(BenchmarkId::new("wire_bytes", size), &size, |b, _| {
+            b.iter(|| black_box(&d).wire_bytes())
+        });
+    }
+    g.finish();
+}
+
+fn bench_twins(c: &mut Criterion) {
+    c.bench_function("twin ensure+diff 4KiB", |b| {
+        let data = vec![7u8; 4096];
+        let mut dirty = data.clone();
+        dirty[100] = 1;
+        dirty[2000] = 2;
+        b.iter(|| {
+            let mut t = TwinStore::new();
+            t.ensure(ObjectId(1), black_box(&data));
+            t.take_diff(ObjectId(1), black_box(&dirty))
+        })
+    });
+}
+
+fn bench_reorder(c: &mut Criterion) {
+    c.bench_function("reorder in-order x256", |b| {
+        b.iter(|| {
+            let mut rb = munin_net::ReorderBuffer::new();
+            for i in 0..256u64 {
+                black_box(rb.offer(i, i));
+            }
+        })
+    });
+    c.bench_function("reorder reversed x64", |b| {
+        b.iter(|| {
+            let mut rb = munin_net::ReorderBuffer::new();
+            for i in (0..64u64).rev() {
+                black_box(rb.offer(i, i));
+            }
+        })
+    });
+}
+
+fn bench_vclock(c: &mut Criterion) {
+    c.bench_function("vclock join+leq 16 threads", |b| {
+        let mut a = VectorClock::new(16);
+        let mut d = VectorClock::new(16);
+        for i in 0..16 {
+            a.tick(ThreadId(i));
+            d.tick(ThreadId(15 - i));
+        }
+        b.iter(|| {
+            let mut j = a.clone();
+            j.join(black_box(&d));
+            black_box(j.leq(&a))
+        })
+    });
+}
+
+fn bench_addr(c: &mut Criterion) {
+    let mut space = AddressSpace::new(1024, AllocPolicy::Packed);
+    for i in 0..64 {
+        space.place(ObjectId(i), 300);
+    }
+    c.bench_function("addr pieces (straddling)", |b| {
+        b.iter(|| space.pieces(black_box(ObjectId(10)), black_box(ByteRange::new(100, 180))))
+    });
+}
+
+criterion_group!(benches, bench_diff, bench_twins, bench_reorder, bench_vclock, bench_addr);
+criterion_main!(benches);

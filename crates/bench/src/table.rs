@@ -1,0 +1,104 @@
+//! Minimal table rendering for experiment output.
+
+use std::fmt;
+
+/// A printable experiment result.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub id: &'static str,
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (paper-vs-measured remarks).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    pub fn new(id: &'static str, title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            id,
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Cell accessor for shape assertions in tests (row, col).
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+
+    /// Parse a numeric cell.
+    pub fn num(&self, row: usize, col: usize) -> f64 {
+        self.rows[row][col].parse().unwrap_or_else(|_| {
+            panic!("cell ({row},{col}) = {:?} is not numeric", self.rows[row][col])
+        })
+    }
+
+    /// Find the first row whose first cell equals `key`.
+    pub fn find_row(&self, key: &str) -> Option<usize> {
+        self.rows.iter().position(|r| r[0] == key)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "\n=== {} — {} ===", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let hdr: Vec<String> =
+            self.headers.iter().enumerate().map(|(i, h)| format!("{h:>w$}", w = widths[i])).collect();
+        writeln!(f, "{}", hdr.join("  "))?;
+        writeln!(f, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "))?;
+        for row in &self.rows {
+            let cells: Vec<String> =
+                row.iter().enumerate().map(|(i, c)| format!("{c:>w$}", w = widths[i])).collect();
+            writeln!(f, "{}", cells.join("  "))?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("E0", "demo", &["app", "msgs"]);
+        t.row(vec!["matmul".into(), "123".into()]);
+        t.row(vec!["fft".into(), "7".into()]);
+        t.note("shape only");
+        let s = t.to_string();
+        assert!(s.contains("E0"));
+        assert!(s.contains("matmul"));
+        assert!(s.contains("note: shape only"));
+        assert_eq!(t.num(0, 1), 123.0);
+        assert_eq!(t.find_row("fft"), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not numeric")]
+    fn num_panics_on_text() {
+        let mut t = Table::new("E0", "demo", &["a"]);
+        t.row(vec!["xyz".into()]);
+        t.num(0, 0);
+    }
+}

@@ -1,0 +1,414 @@
+//! Recorded histories and the two coherence checkers.
+//!
+//! A [`History`] lists events in the order they *actually executed* (the
+//! simulator's virtual-time order). Reads record which write's value they
+//! observed (by write label; label 0 is the initial value). The checkers
+//! rebuild the synchronization partial order with vector clocks and decide:
+//!
+//! * **strict**: every read observed the most recent preceding write in the
+//!   executed order;
+//! * **loose**: every read observed a write that could have immediately
+//!   preceded it in *some* legal schedule — i.e. the write does not
+//!   happen-after the read, is not overwritten by another write ordered
+//!   between it and the read, and successive reads by one thread never go
+//!   backwards ("so that remote threads do not decide erroneously that an
+//!   object has changed, and use the old value believing it to be the new
+//!   value").
+
+use crate::vclock::VectorClock;
+use munin_types::{LockId, ObjectId, ThreadId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A history event, in executed order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A write with a unique nonzero label.
+    Write { thread: ThreadId, obj: ObjectId, label: u32 },
+    /// A read that observed the value of write `observed` (0 = initial).
+    Read { thread: ThreadId, obj: ObjectId, observed: u32 },
+    Acquire { thread: ThreadId, lock: LockId },
+    Release { thread: ThreadId, lock: LockId },
+    /// A barrier episode joining all listed threads.
+    Barrier { threads: Vec<ThreadId> },
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    pub n_threads: usize,
+    pub events: Vec<Event>,
+}
+
+/// A coherence violation, with a human-readable explanation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    pub event_index: usize,
+    pub reason: String,
+}
+
+/// Per-event vector clocks plus bookkeeping computed in one pass.
+struct Annotated {
+    /// Clock of each event (same indexing as `events`).
+    clocks: Vec<VectorClock>,
+    /// For each write label: (event index, thread, obj).
+    writes: BTreeMap<u32, (usize, ThreadId, ObjectId)>,
+}
+
+fn annotate(h: &History) -> Annotated {
+    let mut thread_vc: Vec<VectorClock> =
+        (0..h.n_threads).map(|_| VectorClock::new(h.n_threads)).collect();
+    let mut lock_vc: BTreeMap<LockId, VectorClock> = BTreeMap::new();
+    let mut clocks = Vec::with_capacity(h.events.len());
+    let mut writes = BTreeMap::new();
+
+    for (i, ev) in h.events.iter().enumerate() {
+        match ev {
+            Event::Write { thread, obj, label } => {
+                thread_vc[thread.index()].tick(*thread);
+                clocks.push(thread_vc[thread.index()].clone());
+                assert!(
+                    writes.insert(*label, (i, *thread, *obj)).is_none(),
+                    "write labels must be unique"
+                );
+            }
+            Event::Read { thread, .. } => {
+                thread_vc[thread.index()].tick(*thread);
+                clocks.push(thread_vc[thread.index()].clone());
+            }
+            Event::Acquire { thread, lock } => {
+                thread_vc[thread.index()].tick(*thread);
+                if let Some(lv) = lock_vc.get(lock) {
+                    thread_vc[thread.index()].join(&lv.clone());
+                }
+                clocks.push(thread_vc[thread.index()].clone());
+            }
+            Event::Release { thread, lock } => {
+                thread_vc[thread.index()].tick(*thread);
+                let entry =
+                    lock_vc.entry(*lock).or_insert_with(|| VectorClock::new(h.n_threads));
+                entry.join(&thread_vc[thread.index()]);
+                clocks.push(thread_vc[thread.index()].clone());
+            }
+            Event::Barrier { threads } => {
+                let mut joint = VectorClock::new(h.n_threads);
+                for t in threads {
+                    thread_vc[t.index()].tick(*t);
+                    joint.join(&thread_vc[t.index()]);
+                }
+                for t in threads {
+                    thread_vc[t.index()] = joint.clone();
+                }
+                clocks.push(joint);
+            }
+        }
+    }
+    Annotated { clocks, writes }
+}
+
+/// Check strict coherence: every read sees the most recent write in the
+/// executed order.
+pub fn check_strict(h: &History) -> Vec<Violation> {
+    let mut last_write: BTreeMap<ObjectId, u32> = BTreeMap::new();
+    let mut violations = Vec::new();
+    for (i, ev) in h.events.iter().enumerate() {
+        match ev {
+            Event::Write { obj, label, .. } => {
+                last_write.insert(*obj, *label);
+            }
+            Event::Read { obj, observed, .. } => {
+                let want = last_write.get(obj).copied().unwrap_or(0);
+                if *observed != want {
+                    violations.push(Violation {
+                        event_index: i,
+                        reason: format!(
+                            "strict: read of {obj} observed w{observed}, most recent is w{want}"
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    violations
+}
+
+/// The set of write labels a read at `read_index` may legally observe under
+/// loose coherence (0 = initial value, included when legal).
+pub fn legal_loose_writes(h: &History, read_index: usize) -> BTreeSet<u32> {
+    let ann = annotate(h);
+    let Event::Read { thread: _, obj, .. } = &h.events[read_index] else {
+        panic!("event {read_index} is not a read");
+    };
+    let r_vc = &ann.clocks[read_index];
+    let mut legal = BTreeSet::new();
+
+    // The initial value is legal unless some write to the object
+    // happens-before the read.
+    let overwritten_init = ann
+        .writes
+        .values()
+        .any(|(wi, _, wobj)| wobj == obj && ann.clocks[*wi].lt(r_vc));
+    if !overwritten_init {
+        legal.insert(0);
+    }
+
+    'cand: for (label, (wi, _, wobj)) in &ann.writes {
+        if wobj != obj {
+            continue;
+        }
+        let w_vc = &ann.clocks[*wi];
+        // The write must not happen-after the read.
+        if r_vc.lt(w_vc) {
+            continue;
+        }
+        // No other write to the object ordered between w and r.
+        for (wi2, _, wobj2) in ann.writes.values() {
+            if wobj2 == obj && *wi2 != *wi {
+                let w2 = &ann.clocks[*wi2];
+                if w_vc.lt(w2) && w2.lt(r_vc) {
+                    continue 'cand;
+                }
+            }
+        }
+        legal.insert(*label);
+    }
+    legal
+}
+
+/// Check loose coherence for the whole history: each read's observation is
+/// in its legal set, and successive reads of an object by one thread never
+/// observe values that go backwards in the happens-before order.
+pub fn check_loose(h: &History) -> Vec<Violation> {
+    let ann = annotate(h);
+    let mut violations = Vec::new();
+    // (thread, obj) -> last observed label (for monotonicity).
+    let mut last_obs: BTreeMap<(ThreadId, ObjectId), u32> = BTreeMap::new();
+
+    for (i, ev) in h.events.iter().enumerate() {
+        let Event::Read { thread, obj, observed } = ev else { continue };
+        let legal = legal_loose_writes(h, i);
+        if !legal.contains(observed) {
+            violations.push(Violation {
+                event_index: i,
+                reason: format!(
+                    "loose: read of {obj} observed w{observed}, legal set {legal:?}"
+                ),
+            });
+        }
+        if let Some(prev) = last_obs.get(&(*thread, *obj)) {
+            // The newly observed write must not happen-before the
+            // previously observed one.
+            if *prev != 0 && *observed != *prev {
+                if let (Some((wi_new, ..)), Some((wi_prev, ..))) =
+                    (ann.writes.get(observed), ann.writes.get(prev))
+                {
+                    if ann.clocks[*wi_new].lt(&ann.clocks[*wi_prev]) {
+                        violations.push(Violation {
+                            event_index: i,
+                            reason: format!(
+                                "loose: read of {obj} went backwards (w{observed} precedes w{prev})"
+                            ),
+                        });
+                    }
+                }
+            }
+            if *observed == 0 && *prev != 0 {
+                violations.push(Violation {
+                    event_index: i,
+                    reason: format!("loose: read of {obj} regressed to the initial value"),
+                });
+            }
+        }
+        last_obs.insert((*thread, *obj), *observed);
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+    const X: ObjectId = ObjectId(0);
+    const L: LockId = LockId(0);
+
+    #[test]
+    fn strict_accepts_latest_and_rejects_stale() {
+        let h = History {
+            n_threads: 2,
+            events: vec![
+                Event::Write { thread: T0, obj: X, label: 1 },
+                Event::Read { thread: T1, obj: X, observed: 1 },
+                Event::Write { thread: T0, obj: X, label: 2 },
+                Event::Read { thread: T1, obj: X, observed: 1 }, // stale!
+            ],
+        };
+        let v = check_strict(&h);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].event_index, 3);
+    }
+
+    #[test]
+    fn loose_allows_stale_unsynchronized_reads() {
+        // The same history is fine under loose coherence: no sync orders
+        // w2 before the read.
+        let h = History {
+            n_threads: 2,
+            events: vec![
+                Event::Write { thread: T0, obj: X, label: 1 },
+                Event::Read { thread: T1, obj: X, observed: 1 },
+                Event::Write { thread: T0, obj: X, label: 2 },
+                Event::Read { thread: T1, obj: X, observed: 1 },
+            ],
+        };
+        assert!(check_loose(&h).is_empty(), "{:?}", check_loose(&h));
+    }
+
+    #[test]
+    fn loose_rejects_stale_reads_after_synchronization() {
+        // Writer releases a lock after w2; reader acquires it; the reader
+        // must then see w2.
+        let h = History {
+            n_threads: 2,
+            events: vec![
+                Event::Write { thread: T0, obj: X, label: 1 },
+                Event::Write { thread: T0, obj: X, label: 2 },
+                Event::Release { thread: T0, lock: L },
+                Event::Acquire { thread: T1, lock: L },
+                Event::Read { thread: T1, obj: X, observed: 1 }, // stale across sync!
+            ],
+        };
+        let v = check_loose(&h);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].reason.contains("legal set"));
+    }
+
+    #[test]
+    fn loose_rejects_backward_reads() {
+        let h = History {
+            n_threads: 2,
+            events: vec![
+                Event::Write { thread: T0, obj: X, label: 1 },
+                Event::Write { thread: T0, obj: X, label: 2 },
+                Event::Read { thread: T1, obj: X, observed: 2 },
+                Event::Read { thread: T1, obj: X, observed: 1 }, // backwards!
+            ],
+        };
+        let v = check_loose(&h);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].reason.contains("backwards"));
+    }
+
+    #[test]
+    fn barrier_orders_like_locks() {
+        let h = History {
+            n_threads: 2,
+            events: vec![
+                Event::Write { thread: T0, obj: X, label: 1 },
+                Event::Barrier { threads: vec![T0, T1] },
+                Event::Read { thread: T1, obj: X, observed: 0 }, // must see w1
+            ],
+        };
+        let v = check_loose(&h);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn initial_value_legal_before_any_ordered_write() {
+        let h = History {
+            n_threads: 2,
+            events: vec![
+                Event::Write { thread: T0, obj: X, label: 1 },
+                Event::Read { thread: T1, obj: X, observed: 0 },
+            ],
+        };
+        assert!(check_loose(&h).is_empty());
+    }
+
+    #[test]
+    fn future_unordered_write_is_legal_loose() {
+        // Read observes a write that happens later in real time but is
+        // unordered — "could have immediately preceded the read in some
+        // legal schedule".
+        let h = History {
+            n_threads: 2,
+            events: vec![
+                Event::Read { thread: T1, obj: X, observed: 1 },
+                Event::Write { thread: T0, obj: X, label: 1 },
+            ],
+        };
+        assert!(check_loose(&h).is_empty());
+        assert!(!check_strict(&h).is_empty(), "strict forbids reading the future");
+    }
+
+    proptest! {
+        /// Strict coherence implies loose coherence: any history whose
+        /// reads all observe the true most-recent write passes both
+        /// checkers.
+        #[test]
+        fn strict_histories_are_loose(
+            ops in proptest::collection::vec((0usize..3, 0u8..4), 1..60)
+        ) {
+            // Build a 3-thread history with random writes/reads/locks where
+            // reads observe the strictly-latest value.
+            let mut events = Vec::new();
+            let mut label = 0u32;
+            let mut latest = 0u32;
+            let mut held: Option<ThreadId> = None;
+            for (t, kind) in ops {
+                let thread = ThreadId(t as u32);
+                match kind {
+                    0 => {
+                        label += 1;
+                        latest = label;
+                        events.push(Event::Write { thread, obj: X, label });
+                    }
+                    1 => events.push(Event::Read { thread, obj: X, observed: latest }),
+                    2 => {
+                        if held.is_none() {
+                            events.push(Event::Acquire { thread, lock: L });
+                            held = Some(thread);
+                        }
+                    }
+                    _ => {
+                        if held == Some(thread) {
+                            events.push(Event::Release { thread, lock: L });
+                            held = None;
+                        }
+                    }
+                }
+            }
+            let h = History { n_threads: 3, events };
+            prop_assert!(check_strict(&h).is_empty());
+            prop_assert!(check_loose(&h).is_empty(), "{:?}", check_loose(&h));
+        }
+
+        /// The loose-legal set always contains the strict answer.
+        #[test]
+        fn strict_answer_is_always_loose_legal(
+            ops in proptest::collection::vec((0usize..2, 0u8..2), 1..40)
+        ) {
+            let mut events = Vec::new();
+            let mut label = 0u32;
+            let mut latest = 0u32;
+            for (t, kind) in ops {
+                let thread = ThreadId(t as u32);
+                if kind == 0 {
+                    label += 1;
+                    latest = label;
+                    events.push(Event::Write { thread, obj: X, label });
+                } else {
+                    events.push(Event::Read { thread, obj: X, observed: latest });
+                }
+            }
+            let h = History { n_threads: 2, events };
+            for (i, ev) in h.events.iter().enumerate() {
+                if let Event::Read { observed, .. } = ev {
+                    let legal = legal_loose_writes(&h, i);
+                    prop_assert!(legal.contains(observed), "read {i}: {legal:?} missing {observed}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # munin-check
+//!
+//! Memory-coherence checkers for the Munin reproduction.
+//!
+//! The paper defines two coherence contracts:
+//!
+//! > "Memory is **strictly coherent** if the value returned by a read
+//! > operation is the value written by the most recent write operation to
+//! > the same object."
+//!
+//! > "Memory is **loosely coherent** if the value returned by a read
+//! > operation is the value written by an update operation to the same
+//! > object that *could* have immediately preceded the read operation in
+//! > some legal schedule of the threads in execution."
+//!
+//! This crate turns both into executable checkers over recorded histories
+//! (program-ordered reads/writes plus lock and barrier events), using
+//! vector clocks to build the synchronization partial order. The
+//! [`figure1`] module reconstructs the paper's Figure 1 schedule and
+//! enumerates the legal read results under each contract.
+
+pub mod figure1;
+pub mod history;
+pub mod vclock;
+
+pub use history::{check_loose, check_strict, legal_loose_writes, Event, History, Violation};
+pub use vclock::VectorClock;

@@ -1,0 +1,107 @@
+//! Vector clocks over thread ids.
+
+use munin_types::ThreadId;
+
+/// A vector clock with one component per thread.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VectorClock {
+    counts: Vec<u64>,
+}
+
+impl VectorClock {
+    pub fn new(n_threads: usize) -> Self {
+        VectorClock { counts: vec![0; n_threads] }
+    }
+
+    pub fn tick(&mut self, thread: ThreadId) {
+        self.counts[thread.index()] += 1;
+    }
+
+    pub fn get(&self, thread: ThreadId) -> u64 {
+        self.counts[thread.index()]
+    }
+
+    /// Component-wise maximum.
+    pub fn join(&mut self, other: &VectorClock) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Does `self` happen-before-or-equal `other` (component-wise ≤)?
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.counts.iter().zip(&other.counts).all(|(a, b)| a <= b)
+    }
+
+    /// Strict happens-before: ≤ and ≠.
+    pub fn lt(&self, other: &VectorClock) -> bool {
+        self.leq(other) && self != other
+    }
+
+    /// Neither ≤ in either direction: concurrent.
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ordering_basics() {
+        let mut a = VectorClock::new(2);
+        let mut b = VectorClock::new(2);
+        a.tick(ThreadId(0));
+        b.tick(ThreadId(1));
+        assert!(a.concurrent(&b));
+        b.join(&a);
+        assert!(a.lt(&b));
+        assert!(!b.lt(&a));
+        assert!(a.leq(&a));
+        assert!(!a.lt(&a), "irreflexive");
+    }
+
+    #[test]
+    fn join_is_lub() {
+        let mut a = VectorClock::new(3);
+        a.tick(ThreadId(0));
+        a.tick(ThreadId(0));
+        let mut b = VectorClock::new(3);
+        b.tick(ThreadId(2));
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.leq(&j));
+        assert!(b.leq(&j));
+        assert_eq!(j.get(ThreadId(0)), 2);
+        assert_eq!(j.get(ThreadId(2)), 1);
+    }
+
+    proptest! {
+        /// hb (lt) is a strict partial order: irreflexive, antisymmetric,
+        /// transitive — verified over random clocks.
+        #[test]
+        fn lt_is_strict_partial_order(
+            raw in proptest::collection::vec(proptest::collection::vec(0u64..5, 3), 3)
+        ) {
+            let clocks: Vec<VectorClock> =
+                raw.into_iter().map(|counts| VectorClock { counts }).collect();
+            for a in &clocks {
+                prop_assert!(!a.lt(a));
+            }
+            for a in &clocks {
+                for b in &clocks {
+                    if a.lt(b) {
+                        prop_assert!(!b.lt(a));
+                    }
+                    for c in &clocks {
+                        if a.lt(b) && b.lt(c) {
+                            prop_assert!(a.lt(c));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

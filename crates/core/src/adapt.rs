@@ -1,0 +1,171 @@
+//! Dynamic system decisions (paper §3.4 and §4).
+//!
+//! Two mechanisms live here:
+//!
+//! * the **runtime type detector** — "Profiling information may enable Munin
+//!   to learn about objects in the system. For example, the system might be
+//!   able to detect that an object is being continuously updated by one
+//!   thread and read by another. Upon noticing this, Munin could define the
+//!   object as a producer-consumer shared object and treat it accordingly."
+//!   The detector watches the access stream each home observes for its
+//!   general read-write objects and promotes them to `ProducerConsumer` or
+//!   `Migratory` when the pattern is unambiguous.
+//!
+//! * the per-copy **invalidate-vs-refresh** choice used by the flush
+//!   distribution when a policy is `Adaptive` (see `flush.rs` /
+//!   `UsageStat::reuse_rate`): copies that re-read between updates get
+//!   refreshed, cold copies get invalidated — following Eggers & Katz's
+//!   observation that invalidation wins under per-processor locality and
+//!   refresh wins under fine-grained sharing.
+
+use crate::msg::MuninMsg;
+use crate::server::MuninServer;
+use munin_sim::Kernel;
+use munin_types::{NodeId, ObjectId, SharingType};
+use std::collections::BTreeMap;
+
+/// Access pattern observed at the home for one object.
+#[derive(Debug, Default)]
+pub struct DetectStat {
+    pub reads_by: BTreeMap<NodeId, u64>,
+    pub writes_by: BTreeMap<NodeId, u64>,
+    pub total: u64,
+    /// Already promoted once — never flip twice (avoid oscillation).
+    pub retyped: bool,
+}
+
+impl DetectStat {
+    pub fn note(&mut self, from: NodeId, is_write: bool) {
+        self.total += 1;
+        let map = if is_write { &mut self.writes_by } else { &mut self.reads_by };
+        *map.entry(from).or_insert(0) += 1;
+    }
+
+    /// Single node does every write?
+    pub fn sole_writer(&self) -> Option<NodeId> {
+        if self.writes_by.len() == 1 {
+            self.writes_by.keys().next().copied()
+        } else {
+            None
+        }
+    }
+
+    /// Single node does every access?
+    pub fn sole_accessor(&self) -> Option<NodeId> {
+        let mut nodes: Vec<NodeId> = self.reads_by.keys().chain(self.writes_by.keys()).copied().collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        if nodes.len() == 1 {
+            Some(nodes[0])
+        } else {
+            None
+        }
+    }
+
+    pub fn reads(&self) -> u64 {
+        self.reads_by.values().sum()
+    }
+
+    pub fn writes(&self) -> u64 {
+        self.writes_by.values().sum()
+    }
+}
+
+impl MuninServer {
+    /// Consider promoting `obj` to a more specific type based on the access
+    /// pattern seen so far. Called from the home's directory paths when
+    /// `adaptive_typing` is on.
+    ///
+    /// The promotion is not applied in place: the home first runs a *recall
+    /// transaction* through the ordinary write-transaction machinery
+    /// (`OwnerYield` from the current owner, `Inval` to every reader), so
+    /// that when the retype lands the home holds the authoritative bytes
+    /// and no stale copy survives. Requests arriving meanwhile queue behind
+    /// the transaction and are re-dispatched under the new protocol.
+    pub(crate) fn maybe_retype(&mut self, k: &mut Kernel<MuninMsg>, obj: ObjectId) {
+        let Some(decl) = self.decl(k, obj) else { return };
+        // Only promote the *default* type; annotated objects are trusted.
+        if decl.sharing != SharingType::GeneralReadWrite {
+            return;
+        }
+        {
+            let Some(d) = self.detect.get(&obj) else { return };
+            if d.retyped || d.total < self.cfg.adapt_min_samples {
+                return;
+            }
+            let Some(w) = d.sole_writer() else { return };
+            let has_readers = d.reads_by.keys().any(|r| *r != w);
+            if !has_readers || d.reads() < d.writes() {
+                return;
+            }
+        }
+        {
+            let entry = self.dir.get_mut(&obj).expect("home has dir entry");
+            if entry.active_write.is_some() {
+                return; // Busy; the detector will fire on a later access.
+            }
+        }
+        self.detect.get_mut(&obj).expect("checked").retyped = true;
+        self.start_recall_txn(k, obj, SharingType::ProducerConsumer);
+    }
+
+    /// Recall every copy and ownership to the home, then apply the retype
+    /// (completed by `check_write_txn` via `pending_retype`).
+    fn start_recall_txn(&mut self, k: &mut Kernel<MuninMsg>, obj: ObjectId, to: SharingType) {
+        let home = self.node;
+        let (owner, to_inval) = {
+            let entry = self.dir.get_mut(&obj).expect("home has dir entry");
+            let owner = entry.owner;
+            let to_inval: Vec<NodeId> =
+                entry.copyset.iter().copied().filter(|n| *n != owner).collect();
+            entry.copyset.clear();
+            entry.consumers.clear();
+            entry.pending_retype = Some(to);
+            entry.active_write = Some(crate::state::ActiveWrite {
+                requester: home,
+                pending_invals: to_inval.len(),
+                awaiting_owner_data: owner != home,
+                requester_had_copy: true,
+            });
+            (owner, to_inval)
+        };
+        if owner != home {
+            self.route(k, owner, MuninMsg::OwnerYield { obj });
+        }
+        for n in to_inval {
+            debug_assert_ne!(n, home);
+            k.send(home, n, MuninMsg::Inval { obj, session: Some(0) });
+        }
+        self.check_write_txn(k, obj);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sole_writer_detection() {
+        let mut d = DetectStat::default();
+        d.note(NodeId(1), true);
+        d.note(NodeId(2), false);
+        d.note(NodeId(3), false);
+        d.note(NodeId(1), true);
+        assert_eq!(d.sole_writer(), Some(NodeId(1)));
+        assert_eq!(d.sole_accessor(), None);
+        assert_eq!(d.reads(), 2);
+        assert_eq!(d.writes(), 2);
+        d.note(NodeId(2), true);
+        assert_eq!(d.sole_writer(), None);
+    }
+
+    #[test]
+    fn sole_accessor_detection() {
+        let mut d = DetectStat::default();
+        d.note(NodeId(5), true);
+        d.note(NodeId(5), false);
+        assert_eq!(d.sole_accessor(), Some(NodeId(5)));
+        d.note(NodeId(6), false);
+        assert_eq!(d.sole_accessor(), None);
+    }
+}

@@ -1,0 +1,80 @@
+//! Barriers: centralized coordinator with multicast release.
+//!
+//! Each arrival from a remote node is one `BarrierArrive`; the coordinator
+//! releases every participating node with one `BarrierRelease` (a single
+//! wire transmission under hardware multicast). Local arrivals and releases
+//! cost no messages. Episodes chain safely because a thread cannot arrive at
+//! episode *k+1* before its node received the release of episode *k*, and
+//! node-pair channels are FIFO.
+
+use crate::msg::MuninMsg;
+use crate::server::MuninServer;
+use munin_sim::{Kernel, OpResult};
+use munin_types::{BarrierId, NodeId, ThreadId};
+
+impl MuninServer {
+    /// Thread-side arrival (after the sync flush completed).
+    pub(crate) fn barrier_arrive(&mut self, k: &mut Kernel<MuninMsg>, thread: ThreadId, b: BarrierId) {
+        let Some(decl) = self.sync.barrier(b).copied() else {
+            k.error(format!("barrier {b} not declared"));
+            k.complete(thread, OpResult::Unit, 0);
+            return;
+        };
+        self.barrier_parked.entry(b).or_default().push(thread);
+        if decl.home == self.node {
+            self.handle_barrier_arrive(k, self.node, b, 1);
+        } else {
+            self.route(k, decl.home, MuninMsg::BarrierArrive { barrier: b, threads: 1 });
+        }
+    }
+
+    /// Coordinator side: count arrivals; release everyone when complete.
+    pub(crate) fn handle_barrier_arrive(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        from: NodeId,
+        b: BarrierId,
+        threads: u32,
+    ) {
+        let decl = self.sync.barrier(b).copied().expect("arrive routed to coordinator");
+        debug_assert_eq!(decl.home, self.node);
+        let release = {
+            let st = self.barrier_homes.entry(b).or_default();
+            st.arrived += threads;
+            if from != self.node && !st.nodes.contains(&from) {
+                st.nodes.push(from);
+            }
+            if st.arrived > decl.count {
+                k.error(format!(
+                    "barrier {b}: {} arrivals for an episode of {}",
+                    st.arrived, decl.count
+                ));
+            }
+            st.arrived >= decl.count
+        };
+        if release {
+            let mut nodes = {
+                let st = self.barrier_homes.get_mut(&b).expect("state exists");
+                st.arrived = 0;
+                std::mem::take(&mut st.nodes)
+            };
+            nodes.sort_unstable();
+            k.multicast(self.node, &nodes, MuninMsg::BarrierRelease { barrier: b });
+            // Release the coordinator's own parked threads.
+            self.handle_barrier_release(k, self.node, b);
+        }
+    }
+
+    /// A node receiving the release wakes every parked local thread.
+    pub(crate) fn handle_barrier_release(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        _from: NodeId,
+        b: BarrierId,
+    ) {
+        let parked = self.barrier_parked.remove(&b).unwrap_or_default();
+        for t in parked {
+            k.complete(t, OpResult::Unit, k.cost().local_lock_us);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! The delayed update queue (DUQ).
+//!
+//! "We use a delayed update queue ... to maintain a list of the updates that
+//! have not yet been propagated. Whenever a thread modifies a shared object,
+//! we can delay sending out the update to remote copies of the object ...
+//! the delayed update queue must be flushed whenever a thread synchronizes."
+//!
+//! The queue records, in program order, which objects have pending local
+//! modifications. Two entry kinds:
+//!
+//! * **Twinned** — the object has a local copy that was snapshotted before
+//!   the first write ([`munin_mem::TwinStore`]); the diff is computed lazily
+//!   at flush time, so any number of writes between synchronizations cost
+//!   exactly one update ("delaying updates allows the system to combine
+//!   updates to the same object").
+//! * **Logged** — write-without-fetch: the writes themselves are accumulated
+//!   as a growing [`Diff`] (result objects, and replicas invalidated while
+//!   holding unflushed writes).
+//!
+//! The queue is per *node*; entries carry the writing thread for traces.
+//! Flushing on any local thread's synchronization propagates all local
+//! pending updates, which is always legal under loose coherence (delaying is
+//! the optimization, propagating early is never wrong).
+
+use munin_mem::Diff;
+use munin_types::{ByteRange, ObjectId, ThreadId};
+
+/// How a pending entry's update is materialized at flush time.
+#[derive(Debug)]
+pub enum DuqKind {
+    /// Diff against the twin at flush time.
+    Twinned,
+    /// Accumulated write log (write-without-fetch).
+    Logged(Diff),
+}
+
+/// One pending object in the queue.
+#[derive(Debug)]
+pub struct DuqEntry {
+    pub obj: ObjectId,
+    pub kind: DuqKind,
+    /// Thread whose write created the entry (traces / diagnostics).
+    pub first_writer: ThreadId,
+}
+
+/// The per-node delayed update queue.
+#[derive(Debug, Default)]
+pub struct Duq {
+    entries: Vec<DuqEntry>,
+}
+
+impl Duq {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Note a write to a twinned object. The first write enqueues; repeats
+    /// keep the original program-order position (updates are propagated in
+    /// the order the objects were first dirtied, and the diff covers all
+    /// writes up to the flush).
+    pub fn note_twinned(&mut self, obj: ObjectId, thread: ThreadId) {
+        if !self.entries.iter().any(|e| e.obj == obj) {
+            self.entries.push(DuqEntry { obj, kind: DuqKind::Twinned, first_writer: thread });
+        }
+    }
+
+    /// Append a write to a logged (write-without-fetch) object.
+    pub fn note_logged(&mut self, obj: ObjectId, thread: ThreadId, range: ByteRange, data: Vec<u8>) {
+        let new = Diff::overwrite(range, data);
+        for e in &mut self.entries {
+            if e.obj == obj {
+                match &mut e.kind {
+                    DuqKind::Logged(log) => {
+                        log.merge(&new);
+                        return;
+                    }
+                    DuqKind::Twinned => {
+                        // A twinned entry already tracks this object; the
+                        // write went through the local copy, so the twin
+                        // diff will cover it.
+                        return;
+                    }
+                }
+            }
+        }
+        self.entries.push(DuqEntry { obj, kind: DuqKind::Logged(new), first_writer: thread });
+    }
+
+    /// Convert a twinned entry to a logged one carrying `salvaged` — used
+    /// when an invalidation takes the local copy away while writes are still
+    /// pending (the writes must survive the invalidation).
+    pub fn convert_to_logged(&mut self, obj: ObjectId, salvaged: Diff) {
+        for e in &mut self.entries {
+            if e.obj == obj {
+                debug_assert!(matches!(e.kind, DuqKind::Twinned));
+                e.kind = DuqKind::Logged(salvaged);
+                return;
+            }
+        }
+    }
+
+    /// Is this object pending?
+    pub fn contains(&self, obj: ObjectId) -> bool {
+        self.entries.iter().any(|e| e.obj == obj)
+    }
+
+    /// Number of pending objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drain all entries in program order for flushing.
+    pub fn drain(&mut self) -> Vec<DuqEntry> {
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Remove (and return) the entry for one object, if present — used when
+    /// an object migrates away with unflushed writes.
+    pub fn remove(&mut self, obj: ObjectId) -> Option<DuqEntry> {
+        let pos = self.entries.iter().position(|e| e.obj == obj)?;
+        Some(self.entries.remove(pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: ThreadId = ThreadId(0);
+
+    #[test]
+    fn first_write_position_is_kept() {
+        let mut q = Duq::new();
+        q.note_twinned(ObjectId(1), T);
+        q.note_twinned(ObjectId(2), T);
+        q.note_twinned(ObjectId(1), T); // repeat write
+        let order: Vec<u64> = q.drain().iter().map(|e| e.obj.0).collect();
+        assert_eq!(order, vec![1, 2], "X dirtied before Y flushes before Y");
+    }
+
+    #[test]
+    fn logged_writes_accumulate() {
+        let mut q = Duq::new();
+        q.note_logged(ObjectId(3), T, ByteRange::new(0, 2), vec![1, 1]);
+        q.note_logged(ObjectId(3), T, ByteRange::new(4, 2), vec![2, 2]);
+        assert_eq!(q.len(), 1);
+        let entries = q.drain();
+        match &entries[0].kind {
+            DuqKind::Logged(d) => {
+                assert_eq!(d.data_bytes(), 4);
+                assert_eq!(d.run_count(), 2);
+            }
+            _ => panic!("expected logged entry"),
+        }
+    }
+
+    #[test]
+    fn logged_after_twinned_is_subsumed() {
+        let mut q = Duq::new();
+        q.note_twinned(ObjectId(1), T);
+        q.note_logged(ObjectId(1), T, ByteRange::new(0, 1), vec![7]);
+        assert_eq!(q.len(), 1);
+        assert!(matches!(q.drain()[0].kind, DuqKind::Twinned));
+    }
+
+    #[test]
+    fn convert_to_logged_preserves_position() {
+        let mut q = Duq::new();
+        q.note_twinned(ObjectId(1), T);
+        q.note_twinned(ObjectId(2), T);
+        q.convert_to_logged(ObjectId(1), Diff::overwrite(ByteRange::new(0, 1), vec![9]));
+        let entries = q.drain();
+        assert_eq!(entries[0].obj, ObjectId(1));
+        assert!(matches!(&entries[0].kind, DuqKind::Logged(d) if d.data_bytes() == 1));
+        assert_eq!(entries[1].obj, ObjectId(2));
+    }
+
+    #[test]
+    fn drain_empties_the_queue() {
+        let mut q = Duq::new();
+        q.note_twinned(ObjectId(1), T);
+        assert!(!q.is_empty());
+        let _ = q.drain();
+        assert!(q.is_empty());
+        assert!(q.drain().is_empty());
+    }
+
+    #[test]
+    fn remove_extracts_single_entry() {
+        let mut q = Duq::new();
+        q.note_twinned(ObjectId(1), T);
+        q.note_twinned(ObjectId(2), T);
+        let e = q.remove(ObjectId(1)).unwrap();
+        assert_eq!(e.obj, ObjectId(1));
+        assert_eq!(q.len(), 1);
+        assert!(q.remove(ObjectId(9)).is_none());
+    }
+}

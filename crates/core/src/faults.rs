@@ -1,0 +1,627 @@
+//! Access fault handling: the per-type read/write paths.
+//!
+//! Every `Read`/`Write` operation consults the local copy state; hits
+//! complete locally at memory cost, misses *fault* — the thread parks and
+//! the server runs the protocol appropriate to the object's declared type
+//! ("the server checks what type of object the thread faulted on and
+//! invokes the appropriate fault handler").
+
+use crate::msg::MuninMsg;
+use crate::server::{DeclLite, MuninServer};
+use crate::state::{InflightKind, PendingFault};
+use munin_sim::{Kernel, OpOutcome, OpResult};
+use munin_types::{
+    ByteRange, DsmError, NodeId, ObjectId, ReadMostlyMode, SharingType, ThreadId,
+};
+
+impl MuninServer {
+    /// Pages (of `cfg.write_once_page` bytes) covering `range`.
+    fn pages_covering(&self, range: ByteRange) -> std::ops::RangeInclusive<u32> {
+        let ps = self.cfg.write_once_page.max(1);
+        let first = range.start / ps;
+        let last = if range.len == 0 { first } else { (range.end() - 1) / ps };
+        first..=last
+    }
+
+    /// Complete a read locally from the store.
+    fn read_hit(&mut self, k: &Kernel<MuninMsg>, obj: ObjectId, range: ByteRange) -> OpOutcome {
+        let st = self.local_mut(obj);
+        st.reads += 1;
+        st.used_since_update = true;
+        match self.store.read(obj, range) {
+            Ok(bytes) => OpOutcome::done(OpResult::Bytes(bytes), k.cost().local_access_us),
+            Err(e) => OpOutcome::fail(e),
+        }
+    }
+
+    /// Complete a write locally into the store (no coherence action).
+    fn write_hit(&mut self, k: &Kernel<MuninMsg>, obj: ObjectId, range: ByteRange, data: &[u8]) -> OpOutcome {
+        self.local_mut(obj).writes += 1;
+        match self.store.write(obj, range, data) {
+            Ok(()) => OpOutcome::unit(k.cost().local_access_us),
+            Err(e) => OpOutcome::fail(e),
+        }
+    }
+
+    // ====================================================================
+    // Read path
+    // ====================================================================
+
+    pub(crate) fn op_read(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        thread: ThreadId,
+        obj: ObjectId,
+        range: ByteRange,
+    ) -> OpOutcome {
+        let Some(decl) = self.decl(k, obj) else {
+            return OpOutcome::fail(DsmError::UnknownObject(obj));
+        };
+        if let Err(e) = self.check_bounds(decl, obj, range) {
+            return OpOutcome::fail(e);
+        }
+        if decl.home == self.node {
+            self.ensure_home(decl, obj);
+        }
+        match decl.sharing {
+            SharingType::Private => {
+                if decl.home == self.node {
+                    self.read_hit(k, obj, range)
+                } else {
+                    OpOutcome::fail(DsmError::SharingViolation {
+                        obj,
+                        sharing: decl.sharing,
+                        detail: "private object accessed from a remote node",
+                    })
+                }
+            }
+            SharingType::WriteOnce => self.read_write_once(k, thread, decl, obj, range),
+            SharingType::Migratory => {
+                if self.local.get(&obj).is_some_and(|s| s.valid) {
+                    self.read_hit(k, obj, range)
+                } else {
+                    self.pend_fault(obj, PendingFault::Read { thread, range });
+                    self.request_migration(k, decl, obj);
+                    OpOutcome::Blocked
+                }
+            }
+            SharingType::ReadMostly if self.cfg.read_mostly == ReadMostlyMode::RemoteAccess => {
+                if decl.home == self.node {
+                    self.read_hit(k, obj, range)
+                } else {
+                    // Remote load: no copy is installed; every read pays the
+                    // round trip (the paper's prototype behaviour).
+                    self.pend_fault(obj, PendingFault::Read { thread, range });
+                    if !self.inflight_contains(obj, InflightKind::ReadCopy) {
+                        self.inflight_insert(obj, InflightKind::ReadCopy);
+                        self.route(k, decl.home, MuninMsg::ReadReq { obj, page: None });
+                    }
+                    OpOutcome::Blocked
+                }
+            }
+            SharingType::Result => {
+                if decl.home == self.node {
+                    self.read_hit(k, obj, range)
+                } else if self.result_covers_locally(obj, range) {
+                    // A writer re-reading bytes it wrote itself: serve from
+                    // the local scratch copy (program order requires a
+                    // thread to see its own writes).
+                    self.local_mut(obj).reads += 1;
+                    match self.store.read(obj, range) {
+                        Ok(bytes) => OpOutcome::done(OpResult::Bytes(bytes), k.cost().local_access_us),
+                        Err(e) => OpOutcome::fail(e),
+                    }
+                } else {
+                    self.pend_fault(obj, PendingFault::Read { thread, range });
+                    if !self.inflight_contains(obj, InflightKind::ReadCopy) {
+                        self.inflight_insert(obj, InflightKind::ReadCopy);
+                        self.route(k, decl.home, MuninMsg::ReadReq { obj, page: None });
+                    }
+                    OpOutcome::Blocked
+                }
+            }
+            // Replicate-on-read types.
+            SharingType::WriteMany
+            | SharingType::ProducerConsumer
+            | SharingType::GeneralReadWrite
+            | SharingType::ReadMostly => {
+                if self.local.get(&obj).is_some_and(|s| s.valid) {
+                    self.read_hit(k, obj, range)
+                } else {
+                    self.pend_fault(obj, PendingFault::Read { thread, range });
+                    if !self.inflight_contains(obj, InflightKind::ReadCopy) {
+                        self.inflight_insert(obj, InflightKind::ReadCopy);
+                        if decl.home == self.node {
+                            // Home without a valid copy (general read-write
+                            // whose owner is elsewhere): run the directory
+                            // logic as our own requester.
+                            self.handle_read_req(k, self.node, obj, None);
+                        } else {
+                            self.route(k, decl.home, MuninMsg::ReadReq { obj, page: None });
+                        }
+                    }
+                    OpOutcome::Blocked
+                }
+            }
+            SharingType::Synchronization => OpOutcome::fail(DsmError::SharingViolation {
+                obj,
+                sharing: decl.sharing,
+                detail: "synchronization objects have no data access path",
+            }),
+        }
+    }
+
+    /// Write-once read: local pages are free; missing pages fault in one at
+    /// a time ("allowing portions of large read-only objects to page out").
+    fn read_write_once(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        thread: ThreadId,
+        decl: DeclLite,
+        obj: ObjectId,
+        range: ByteRange,
+    ) -> OpOutcome {
+        if decl.home == self.node {
+            return self.read_hit(k, obj, range);
+        }
+        let st = self.local.entry(obj).or_default();
+        if st.valid {
+            return self.read_hit(k, obj, range);
+        }
+        let pages = self.pages_covering(range);
+        let have_all = {
+            let st = self.local.entry(obj).or_default();
+            pages.clone().all(|p| st.valid_pages.contains(&p))
+        };
+        if have_all {
+            self.local_mut(obj).reads += 1;
+            return match self.store.read(obj, range) {
+                Ok(bytes) => OpOutcome::done(OpResult::Bytes(bytes), k.cost().local_access_us),
+                Err(e) => OpOutcome::fail(e),
+            };
+        }
+        self.pend_fault(obj, PendingFault::Read { thread, range });
+        if decl.size <= self.cfg.write_once_page {
+            // Small object: fetch whole.
+            if !self.inflight_contains(obj, InflightKind::ReadCopy) {
+                self.inflight_insert(obj, InflightKind::ReadCopy);
+                self.route(k, decl.home, MuninMsg::ReadReq { obj, page: None });
+            }
+        } else {
+            let missing: Vec<u32> = {
+                let st = self.local.entry(obj).or_default();
+                pages.filter(|p| !st.valid_pages.contains(p)).collect()
+            };
+            for p in missing {
+                if !self.inflight_contains(obj, InflightKind::Page(p)) {
+                    self.inflight_insert(obj, InflightKind::Page(p));
+                    self.route(k, decl.home, MuninMsg::ReadReq { obj, page: Some(p) });
+                }
+            }
+        }
+        OpOutcome::Blocked
+    }
+
+    /// Does the local result-object write log cover `range` entirely?
+    /// (The scratch copy is only readable where this node itself wrote;
+    /// `result_written` holds coalesced ranges, so containment in a single
+    /// coalesced range is the correct test.)
+    fn result_covers_locally(&self, obj: ObjectId, range: ByteRange) -> bool {
+        self.store.contains(obj)
+            && self
+                .result_written
+                .get(&obj)
+                .is_some_and(|ranges| ranges.iter().any(|r| r.contains(range)))
+    }
+
+    // ====================================================================
+    // Write path
+    // ====================================================================
+
+    pub(crate) fn op_write(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        thread: ThreadId,
+        obj: ObjectId,
+        range: ByteRange,
+        data: Vec<u8>,
+    ) -> OpOutcome {
+        let Some(decl) = self.decl(k, obj) else {
+            return OpOutcome::fail(DsmError::UnknownObject(obj));
+        };
+        if let Err(e) = self.check_bounds(decl, obj, range) {
+            return OpOutcome::fail(e);
+        }
+        if decl.home == self.node {
+            self.ensure_home(decl, obj);
+        }
+        match decl.sharing {
+            SharingType::Private => {
+                if decl.home == self.node {
+                    self.write_hit(k, obj, range, &data)
+                } else {
+                    OpOutcome::fail(DsmError::SharingViolation {
+                        obj,
+                        sharing: decl.sharing,
+                        detail: "private object written from a remote node",
+                    })
+                }
+            }
+            SharingType::WriteOnce => {
+                let published = self.dir.get(&obj).is_some_and(|d| d.published);
+                if decl.home == self.node && !published {
+                    self.write_hit(k, obj, range, &data)
+                } else {
+                    OpOutcome::fail(DsmError::SharingViolation {
+                        obj,
+                        sharing: decl.sharing,
+                        detail: "write-once object written after publication",
+                    })
+                }
+            }
+            SharingType::Migratory => {
+                if self.local.get(&obj).is_some_and(|s| s.valid) {
+                    self.write_hit(k, obj, range, &data)
+                } else {
+                    self.pend_fault(obj, PendingFault::Write { thread, range, data });
+                    self.request_migration(k, decl, obj);
+                    OpOutcome::Blocked
+                }
+            }
+            SharingType::GeneralReadWrite => {
+                let st = self.local.entry(obj).or_default();
+                if st.valid && st.writable {
+                    self.write_hit(k, obj, range, &data)
+                } else {
+                    self.pend_fault(obj, PendingFault::Write { thread, range, data });
+                    if !self.inflight_contains(obj, InflightKind::Ownership) {
+                        self.inflight_insert(obj, InflightKind::Ownership);
+                        if decl.home == self.node {
+                            self.handle_write_req(k, self.node, obj);
+                        } else {
+                            self.route(k, decl.home, MuninMsg::WriteReq { obj });
+                        }
+                    }
+                    OpOutcome::Blocked
+                }
+            }
+            SharingType::ReadMostly => self.write_read_mostly(k, thread, decl, obj, range, data),
+            SharingType::Result => {
+                if !self.cfg.delayed_updates {
+                    // Strict-propagation ablation: ship every write home
+                    // immediately.
+                    return self.write_read_mostly(k, thread, decl, obj, range, data);
+                }
+                // Write-without-fetch: log locally, flush merges at the home.
+                self.store.ensure_zeroed(obj, decl.size);
+                if let Err(e) = self.store.write(obj, range, &data) {
+                    return OpOutcome::fail(e);
+                }
+                let st = self.local_mut(obj);
+                st.writes += 1;
+                if decl.home == self.node {
+                    // Home writes are immediately authoritative.
+                    return OpOutcome::unit(k.cost().local_access_us);
+                }
+                self.result_written.entry(obj).or_default().push(range);
+                let merged = munin_types::range::coalesce(std::mem::take(
+                    self.result_written.get_mut(&obj).expect("just inserted"),
+                ));
+                *self.result_written.get_mut(&obj).expect("exists") = merged;
+                self.duq.note_logged(obj, thread, range, data);
+                self.after_duq_write(k);
+                OpOutcome::unit(k.cost().local_access_us)
+            }
+            SharingType::WriteMany | SharingType::ProducerConsumer => {
+                self.write_loose(k, thread, decl, obj, range, data)
+            }
+            SharingType::Synchronization => OpOutcome::fail(DsmError::SharingViolation {
+                obj,
+                sharing: decl.sharing,
+                detail: "synchronization objects have no data access path",
+            }),
+        }
+    }
+
+    /// Loose-coherence write (write-many / producer-consumer): twin + DUQ,
+    /// or eager push for producer-consumer objects declared `eager`.
+    fn write_loose(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        thread: ThreadId,
+        decl: DeclLite,
+        obj: ObjectId,
+        range: ByteRange,
+        data: Vec<u8>,
+    ) -> OpOutcome {
+        if !self.cfg.delayed_updates {
+            // Strict-propagation ablation: every write is a write-through
+            // coherence round.
+            return self.write_read_mostly(k, thread, decl, obj, range, data);
+        }
+        let valid = self.local.get(&obj).is_some_and(|s| s.valid);
+        if !valid {
+            // Write-allocate: fetch a copy first, replay the write after.
+            self.pend_fault(obj, PendingFault::Write { thread, range, data });
+            if !self.inflight_contains(obj, InflightKind::ReadCopy) {
+                self.inflight_insert(obj, InflightKind::ReadCopy);
+                if decl.home == self.node {
+                    self.handle_read_req(k, self.node, obj, None);
+                } else {
+                    self.route(k, decl.home, MuninMsg::ReadReq { obj, page: None });
+                }
+            }
+            return OpOutcome::Blocked;
+        }
+        let eager = decl.sharing == SharingType::ProducerConsumer && decl.eager;
+        {
+            let cur = self.store.get(obj).expect("valid copy has bytes");
+            self.twins.ensure(obj, cur);
+        }
+        if let Err(e) = self.store.write(obj, range, &data) {
+            return OpOutcome::fail(e);
+        }
+        self.local_mut(obj).writes += 1;
+        self.duq.note_twinned(obj, thread);
+        if eager {
+            // Push the new bytes right now ("propagating the boundary
+            // element updates as soon as they occur") and mirror them into
+            // the twin so the synchronization fence doesn't re-send them.
+            self.twins.apply_remote(obj, &munin_mem::Diff::overwrite(range, data.clone()));
+            self.eager_dirty.insert(obj);
+            let items = vec![crate::msg::UpdateItem {
+                obj,
+                diff: munin_mem::Diff::overwrite(range, data),
+            }];
+            if decl.home == self.node {
+                self.handle_eager(k, self.node, items);
+            } else {
+                self.route(k, decl.home, MuninMsg::Eager { items });
+            }
+        }
+        self.after_duq_write(k);
+        OpOutcome::unit(k.cost().local_access_us)
+    }
+
+    /// Read-mostly writes (and the delayed-updates-off ablation): a
+    /// write-through coherence round via the home; the thread resumes when
+    /// the home confirms full propagation.
+    fn write_read_mostly(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        thread: ThreadId,
+        decl: DeclLite,
+        obj: ObjectId,
+        range: ByteRange,
+        data: Vec<u8>,
+    ) -> OpOutcome {
+        // Keep any local replica in sync immediately (our own later reads
+        // must see the write).
+        if self.local.get(&obj).is_some_and(|s| s.valid) {
+            if let Err(e) = self.store.write(obj, range, &data) {
+                return OpOutcome::fail(e);
+            }
+        }
+        self.local_mut(obj).writes += 1;
+        let diff = munin_mem::Diff::overwrite(range, data);
+        self.write_through(k, thread, obj, decl.home, diff);
+        OpOutcome::Blocked
+    }
+
+    /// Kick a migration request (fault path for migratory objects).
+    fn request_migration(&mut self, k: &mut Kernel<MuninMsg>, decl: DeclLite, obj: ObjectId) {
+        if self.inflight_contains(obj, InflightKind::Migration) {
+            return;
+        }
+        self.inflight_insert(obj, InflightKind::Migration);
+        if decl.home == self.node {
+            self.handle_migrate_req(k, self.node, obj);
+        } else {
+            self.route(k, decl.home, MuninMsg::MigrateReq { obj });
+        }
+    }
+
+    // ====================================================================
+    // Fault service: home side (ReadReq) and requester side (ReadReply)
+    // ====================================================================
+
+    /// Serve a copy / page / one-shot read of an object homed here.
+    pub(crate) fn serve_read_copy(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        obj: ObjectId,
+        requester: NodeId,
+        page: Option<u32>,
+    ) {
+        let Some(decl) = self.decl(k, obj) else { return };
+        self.ensure_home(decl, obj);
+        let install = !matches!(
+            (decl.sharing, self.cfg.read_mostly),
+            (SharingType::Result, _) | (SharingType::ReadMostly, ReadMostlyMode::RemoteAccess)
+        );
+        let data = match page {
+            Some(p) => {
+                let ps = self.cfg.write_once_page;
+                let start = p * ps;
+                let len = ps.min(decl.size.saturating_sub(start));
+                self.store.read(obj, ByteRange::new(start, len)).unwrap_or_default()
+            }
+            None => self.store.get(obj).map(|d| d.to_vec()).unwrap_or_default(),
+        };
+        self.route(k, requester, MuninMsg::ReadReply { obj, page, data, install, confirm: false });
+    }
+
+    /// Home side of a read fault.
+    pub(crate) fn handle_read_req(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        from: NodeId,
+        obj: ObjectId,
+        page: Option<u32>,
+    ) {
+        let Some(decl) = self.decl(k, obj) else {
+            k.error(format!("ReadReq for unknown {obj}"));
+            return;
+        };
+        self.ensure_home(decl, obj);
+        self.note_dir_access(k, obj, from, false);
+        match decl.sharing {
+            SharingType::WriteOnce => {
+                let published = self.dir.get(&obj).is_some_and(|d| d.published);
+                if published {
+                    if from != self.node {
+                        self.dir.get_mut(&obj).expect("ensured").copyset.insert(from);
+                    }
+                    self.serve_read_copy(k, obj, from, page);
+                } else {
+                    self.dir
+                        .get_mut(&obj)
+                        .expect("ensured")
+                        .waiting_publication
+                        .push((from, page));
+                }
+            }
+            SharingType::GeneralReadWrite => self.general_read_req(k, from, obj),
+            SharingType::Migratory => {
+                // Tolerate mistyped requests: treat as migration.
+                self.handle_migrate_req(k, from, obj);
+            }
+            SharingType::ReadMostly if self.cfg.read_mostly == ReadMostlyMode::RemoteAccess => {
+                self.serve_read_copy(k, obj, from, None);
+            }
+            SharingType::Result => {
+                self.serve_read_copy(k, obj, from, None);
+            }
+            SharingType::WriteMany | SharingType::ProducerConsumer | SharingType::ReadMostly => {
+                if from != self.node {
+                    let e = self.dir.get_mut(&obj).expect("ensured");
+                    e.copyset.insert(from);
+                    if decl.sharing == SharingType::ProducerConsumer {
+                        e.consumers.insert(from);
+                    }
+                }
+                self.serve_read_copy(k, obj, from, None);
+            }
+            SharingType::Private | SharingType::Synchronization => {
+                k.error(format!("ReadReq for {} object {obj}", decl.sharing));
+            }
+        }
+    }
+
+    /// Requester side: a copy / page / one-shot read arrived.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn handle_read_reply(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        _from: NodeId,
+        obj: ObjectId,
+        page: Option<u32>,
+        data: Vec<u8>,
+        install: bool,
+        confirm: bool,
+    ) {
+        let Some(decl) = self.decl(k, obj) else { return };
+        if confirm {
+            if decl.home == self.node {
+                self.handle_read_confirm(k, self.node, obj);
+            } else {
+                self.route(k, decl.home, MuninMsg::ReadConfirm { obj });
+            }
+        }
+        match page {
+            Some(p) => {
+                // One page of a large write-once object.
+                self.store.ensure_zeroed(obj, decl.size);
+                let ps = self.cfg.write_once_page;
+                let start = p * ps;
+                let range = ByteRange::new(start, data.len() as u32);
+                let _ = self.store.write(obj, range, &data);
+                self.local_mut(obj).valid_pages.insert(p);
+                self.inflight_remove(obj, InflightKind::Page(p));
+                self.replay_faults(k, obj);
+            }
+            None if install => {
+                self.store.install(obj, data);
+                let writable = matches!(
+                    decl.sharing,
+                    SharingType::WriteMany | SharingType::ProducerConsumer
+                );
+                let ps = self.cfg.write_once_page.max(1);
+                let st = self.local_mut(obj);
+                st.valid = true;
+                st.writable = writable;
+                st.used_since_update = false;
+                if decl.sharing == SharingType::WriteOnce {
+                    // Whole small write-once object: mark all pages.
+                    let pages = decl.size.div_ceil(ps).max(1);
+                    for pg in 0..pages {
+                        st.valid_pages.insert(pg);
+                    }
+                }
+                self.inflight_remove(obj, InflightKind::ReadCopy);
+                self.replay_faults(k, obj);
+            }
+            None => {
+                // One-shot remote load (remote-access read-mostly, result
+                // collection): serve pending reads from the reply without
+                // installing a copy.
+                self.inflight_remove(obj, InflightKind::ReadCopy);
+                let pending = self.faults.remove(&obj).unwrap_or_default();
+                let cost = self.fault_cost(k);
+                for f in pending {
+                    match f {
+                        PendingFault::Read { thread, range } => {
+                            let s = range.start as usize;
+                            let e = (range.end() as usize).min(data.len());
+                            let bytes = if s <= e { data[s..e].to_vec() } else { Vec::new() };
+                            k.complete(thread, OpResult::Bytes(bytes), cost);
+                        }
+                        other => {
+                            // Writes never pend on one-shot reads; requeue.
+                            self.pend_fault(obj, other);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replay one parked fault through the normal access path.
+    pub(crate) fn replay_one_fault(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        obj: ObjectId,
+        fault: PendingFault,
+    ) {
+        let extra = k.cost().fault_overhead_us;
+        match fault {
+            PendingFault::Read { thread, range } => {
+                match self.op_read(k, thread, obj, range) {
+                    OpOutcome::Done { result, cost_us } => {
+                        k.complete(thread, result, cost_us + extra)
+                    }
+                    OpOutcome::Blocked => {}
+                }
+            }
+            PendingFault::Write { thread, range, data } => {
+                match self.op_write(k, thread, obj, range, data) {
+                    OpOutcome::Done { result, cost_us } => {
+                        k.complete(thread, result, cost_us + extra)
+                    }
+                    OpOutcome::Blocked => {}
+                }
+            }
+        }
+    }
+
+    /// Replay every parked fault for `obj`.
+    pub(crate) fn replay_faults(&mut self, k: &mut Kernel<MuninMsg>, obj: ObjectId) {
+        let pending = match self.faults.remove(&obj) {
+            Some(p) => p,
+            None => return,
+        };
+        for f in pending {
+            self.replay_one_fault(k, obj, f);
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Flushing the delayed update queue, and update distribution.
+//!
+//! A flush turns every pending DUQ entry into a run-length diff, groups the
+//! diffs by home node (one `FlushIn` message per home — "delaying updates
+//! allows the system to combine updates"), and waits for each home to
+//! confirm full propagation. A home applies the diffs to its authoritative
+//! copy and re-distributes to the copyset per the configured policy:
+//! refresh (`FlushOut`), invalidate (`FlushInval`), or per-copy adaptive
+//! using the usage feedback carried by `FlushOutAck`s — the paper's
+//! "invalidation vs refresh" dynamic decision.
+//!
+//! Eager producer-consumer pushes (`Eager`/`EagerOut`) use the same
+//! distribution path but fire-and-forget; the acknowledged (possibly empty)
+//! flush at the next synchronization acts as the fence that guarantees, via
+//! per-pair FIFO channels, that every earlier eager push has been applied
+//! before the synchronization is allowed to complete.
+
+use crate::msg::{MuninMsg, UpdateItem};
+use crate::server::{MuninServer, OutSession, SessionKind};
+use munin_mem::Diff;
+use munin_sim::{Kernel, OpResult};
+use munin_types::{NodeId, ObjectId, SharingType, ThreadId, UpdatePolicy};
+use std::collections::BTreeMap;
+
+impl MuninServer {
+    /// Turn the DUQ into per-home update batches, preserving program order
+    /// within each batch.
+    fn collect_flush_items(&mut self, k: &mut Kernel<MuninMsg>) -> Vec<(NodeId, Vec<UpdateItem>)> {
+        let entries = self.duq.drain();
+        let mut groups: Vec<(NodeId, Vec<UpdateItem>)> = Vec::new();
+        for e in entries {
+            let Some(decl) = self.decl(k, e.obj) else { continue };
+            let fence = self.eager_dirty.remove(&e.obj);
+            let diff = match e.kind {
+                crate::duq::DuqKind::Twinned => {
+                    let cur = self.store.get(e.obj).map(|d| d.to_vec()).unwrap_or_default();
+                    self.twins.take_diff(e.obj, &cur).unwrap_or_default()
+                }
+                crate::duq::DuqKind::Logged(d) => d,
+            };
+            if diff.is_empty() && !fence {
+                continue;
+            }
+            match groups.iter_mut().find(|(h, _)| *h == decl.home) {
+                Some((_, items)) => items.push(UpdateItem { obj: e.obj, diff }),
+                None => groups.push((decl.home, vec![UpdateItem { obj: e.obj, diff }])),
+            }
+        }
+        // Any eager-dirty objects whose DUQ entry vanished (e.g. evicted)
+        // still need their fence.
+        let leftovers: Vec<ObjectId> = std::mem::take(&mut self.eager_dirty).into_iter().collect();
+        for obj in leftovers {
+            let Some(decl) = self.decl(k, obj) else { continue };
+            match groups.iter_mut().find(|(h, _)| *h == decl.home) {
+                Some((_, items)) => items.push(UpdateItem { obj, diff: Diff::default() }),
+                None => groups.push((decl.home, vec![UpdateItem { obj, diff: Diff::default() }])),
+            }
+        }
+        groups
+    }
+
+    /// Flush triggered by a synchronization operation. Creates one session
+    /// covering every home involved; `op_sync` queues the continuation until
+    /// all sessions drain.
+    pub(crate) fn start_sync_flush(&mut self, k: &mut Kernel<MuninMsg>, _thread: ThreadId) {
+        let groups = self.collect_flush_items(k);
+        if groups.is_empty() {
+            return;
+        }
+        let session = self.fresh_session(SessionKind::SyncFlush, groups.len());
+        self.dispatch_flush_groups(k, session, groups);
+    }
+
+    /// Flush triggered by DUQ pressure ("until it is convenient to perform
+    /// them"): nothing waits on it, but sync operations that arrive before
+    /// it completes will (conservatively) wait for the session to drain.
+    pub(crate) fn after_duq_write(&mut self, k: &mut Kernel<MuninMsg>) {
+        if self.duq.len() < self.cfg.duq_max_objects {
+            return;
+        }
+        let groups = self.collect_flush_items(k);
+        if groups.is_empty() {
+            return;
+        }
+        let session = self.fresh_session(SessionKind::SyncFlush, groups.len());
+        self.dispatch_flush_groups(k, session, groups);
+    }
+
+    /// A single-object write-through round (read-mostly writes and the
+    /// delayed-updates-off ablation): the thread resumes on `FlushDone`.
+    pub(crate) fn write_through(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        thread: ThreadId,
+        obj: ObjectId,
+        home: NodeId,
+        diff: Diff,
+    ) {
+        let session = self.fresh_session(SessionKind::WriteThrough { thread }, 1);
+        let items = vec![UpdateItem { obj, diff }];
+        if home == self.node {
+            self.handle_flush_in(k, self.node, session, items);
+        } else {
+            k.send(self.node, home, MuninMsg::FlushIn { session, items });
+        }
+    }
+
+    fn dispatch_flush_groups(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        session: u64,
+        groups: Vec<(NodeId, Vec<UpdateItem>)>,
+    ) {
+        for (home, items) in groups {
+            if home == self.node {
+                self.handle_flush_in(k, self.node, session, items);
+            } else {
+                k.send(self.node, home, MuninMsg::FlushIn { session, items });
+            }
+        }
+    }
+
+    // ====================================================================
+    // Home side: apply + distribute
+    // ====================================================================
+
+    /// Distribution policy for one object type under this configuration.
+    fn policy_for(&self, sharing: SharingType) -> UpdatePolicy {
+        match sharing {
+            SharingType::WriteMany => self.cfg.write_many_policy,
+            SharingType::ProducerConsumer => self.cfg.pc_policy,
+            SharingType::ReadMostly => match self.cfg.read_mostly {
+                munin_types::ReadMostlyMode::ReplicatedInvalidate => UpdatePolicy::Invalidate,
+                munin_types::ReadMostlyMode::Adaptive => UpdatePolicy::Adaptive,
+                _ => UpdatePolicy::Refresh,
+            },
+            _ => UpdatePolicy::Refresh,
+        }
+    }
+
+    pub(crate) fn handle_flush_in(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        origin: NodeId,
+        session: u64,
+        items: Vec<UpdateItem>,
+    ) {
+        // Per destination: (refresh items, invalidate list).
+        let mut dests: BTreeMap<NodeId, (Vec<UpdateItem>, Vec<ObjectId>)> = BTreeMap::new();
+        for item in &items {
+            let Some(decl) = self.decl(k, item.obj) else { continue };
+            debug_assert_eq!(decl.home, self.node, "FlushIn routed to the wrong home");
+            self.ensure_home(decl, item.obj);
+            // Apply to the authoritative copy (and to the home's own twin,
+            // if the home also has unflushed writes to the object).
+            if let Some(data) = self.store.get_mut(item.obj) {
+                item.diff.apply(data);
+            }
+            self.twins.apply_remote(item.obj, &item.diff);
+            self.note_dir_access(k, item.obj, origin, true);
+            let policy = self.policy_for(decl.sharing);
+            let entry = self.dir.get_mut(&item.obj).expect("ensured home");
+            let mut dropped: Vec<NodeId> = Vec::new();
+            for &dst in entry.copyset.iter() {
+                if dst == origin {
+                    continue;
+                }
+                let refresh = match policy {
+                    UpdatePolicy::Refresh => true,
+                    UpdatePolicy::Invalidate => false,
+                    UpdatePolicy::Adaptive => {
+                        entry.copy_usage.entry(dst).or_default().reuse_rate() >= 0.5
+                    }
+                };
+                let slot = dests.entry(dst).or_default();
+                if refresh {
+                    entry.copy_usage.entry(dst).or_default().updates += 1;
+                    slot.0.push(item.clone());
+                } else {
+                    slot.1.push(item.obj);
+                    dropped.push(dst);
+                }
+            }
+            for d in dropped {
+                entry.copyset.remove(&d);
+                entry.consumers.remove(&d);
+            }
+        }
+
+        let mut pending = 0usize;
+        let mut sends: Vec<(NodeId, MuninMsg)> = Vec::new();
+        for (dst, (refresh, inval)) in dests {
+            if !refresh.is_empty() {
+                pending += 1;
+                sends.push((dst, MuninMsg::FlushOut { session, items: refresh }));
+            }
+            if !inval.is_empty() {
+                pending += 1;
+                sends.push((dst, MuninMsg::FlushInval { session, objs: inval }));
+            }
+        }
+        if pending == 0 {
+            self.finish_out_session(k, origin, session);
+            return;
+        }
+        self.out_sessions.insert(session, OutSession { origin, pending_acks: pending });
+        for (dst, msg) in sends {
+            debug_assert_ne!(dst, self.node, "home never distributes to itself");
+            k.send(self.node, dst, msg);
+        }
+    }
+
+    /// Copy-holder side of a refresh.
+    pub(crate) fn handle_flush_out(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        from: NodeId,
+        session: u64,
+        items: Vec<UpdateItem>,
+    ) {
+        let mut used = Vec::with_capacity(items.len());
+        for item in items {
+            let valid = self.local.get(&item.obj).is_some_and(|s| s.valid);
+            if valid {
+                if let Some(data) = self.store.get_mut(item.obj) {
+                    item.diff.apply(data);
+                }
+                self.twins.apply_remote(item.obj, &item.diff);
+                let st = self.local_mut(item.obj);
+                used.push((item.obj, st.used_since_update));
+                st.used_since_update = false;
+            } else {
+                used.push((item.obj, false));
+            }
+        }
+        self.route(k, from, MuninMsg::FlushOutAck { session, used });
+    }
+
+    /// Copy-holder side of an invalidation. Pending local writes are
+    /// salvaged into the DUQ as a write log before the copy is dropped.
+    pub(crate) fn handle_flush_inval(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        from: NodeId,
+        session: u64,
+        objs: Vec<ObjectId>,
+    ) {
+        let mut used = Vec::with_capacity(objs.len());
+        for obj in objs {
+            used.push((obj, self.local.get(&obj).is_some_and(|s| s.used_since_update)));
+            self.drop_copy_salvaging_writes(obj);
+        }
+        self.route(k, from, MuninMsg::FlushOutAck { session, used });
+    }
+
+    /// Invalidate the local copy of `obj`, preserving unflushed local writes
+    /// as a logged DUQ entry.
+    pub(crate) fn drop_copy_salvaging_writes(&mut self, obj: ObjectId) {
+        if self.twins.has(obj) && self.duq.contains(obj) {
+            let cur = self.store.get(obj).map(|d| d.to_vec()).unwrap_or_default();
+            if let Some(diff) = self.twins.take_diff(obj, &cur) {
+                self.duq.convert_to_logged(obj, diff);
+            }
+        } else {
+            self.twins.drop_twin(obj);
+        }
+        self.store.evict(obj);
+        let st = self.local_mut(obj);
+        st.valid = false;
+        st.writable = false;
+        st.valid_pages.clear();
+        st.used_since_update = false;
+    }
+
+    /// Home side: one distribution ack came back.
+    pub(crate) fn handle_flush_out_ack(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        from: NodeId,
+        session: u64,
+        used: Vec<(ObjectId, bool)>,
+    ) {
+        for (obj, was_used) in used {
+            if let Some(e) = self.dir.get_mut(&obj) {
+                if was_used {
+                    e.copy_usage.entry(from).or_default().used += 1;
+                }
+            }
+        }
+        let done = {
+            let Some(s) = self.out_sessions.get_mut(&session) else {
+                k.error(format!("FlushOutAck for unknown session {session}"));
+                return;
+            };
+            s.pending_acks -= 1;
+            s.pending_acks == 0
+        };
+        if done {
+            let origin = self.out_sessions.remove(&session).expect("checked").origin;
+            self.finish_out_session(k, origin, session);
+        }
+    }
+
+    fn finish_out_session(&mut self, k: &mut Kernel<MuninMsg>, origin: NodeId, session: u64) {
+        if origin == self.node {
+            self.handle_flush_done(k, self.node, session);
+        } else {
+            k.send(self.node, origin, MuninMsg::FlushDone { session });
+        }
+    }
+
+    /// Flusher side: one home finished propagating.
+    pub(crate) fn handle_flush_done(&mut self, k: &mut Kernel<MuninMsg>, _from: NodeId, session: u64) {
+        let finished = {
+            let Some(s) = self.sessions.get_mut(&session) else {
+                k.error(format!("FlushDone for unknown session {session}"));
+                return;
+            };
+            s.pending_homes -= 1;
+            s.pending_homes == 0
+        };
+        if !finished {
+            return;
+        }
+        let s = self.sessions.remove(&session).expect("checked");
+        if let SessionKind::WriteThrough { thread } = s.kind {
+            k.complete(thread, OpResult::Unit, self.fault_cost(k));
+        }
+        self.maybe_release_sync_waiters(k);
+    }
+
+    // ====================================================================
+    // Eager producer-consumer pushes (fire-and-forget)
+    // ====================================================================
+
+    /// Home side of an eager push: apply, then forward to consumers.
+    pub(crate) fn handle_eager(&mut self, k: &mut Kernel<MuninMsg>, origin: NodeId, items: Vec<UpdateItem>) {
+        let mut dests: BTreeMap<NodeId, Vec<UpdateItem>> = BTreeMap::new();
+        for item in &items {
+            let Some(decl) = self.decl(k, item.obj) else { continue };
+            self.ensure_home(decl, item.obj);
+            if let Some(data) = self.store.get_mut(item.obj) {
+                item.diff.apply(data);
+            }
+            self.twins.apply_remote(item.obj, &item.diff);
+            let entry = self.dir.get_mut(&item.obj).expect("ensured home");
+            for &dst in entry.copyset.iter() {
+                if dst != origin {
+                    dests.entry(dst).or_default().push(item.clone());
+                }
+            }
+        }
+        for (dst, items) in dests {
+            debug_assert_ne!(dst, self.node);
+            k.send(self.node, dst, MuninMsg::EagerOut { items });
+        }
+    }
+
+    /// Consumer side of an eager push.
+    pub(crate) fn handle_eager_out(&mut self, _k: &mut Kernel<MuninMsg>, _from: NodeId, items: Vec<UpdateItem>) {
+        for item in items {
+            if self.local.get(&item.obj).is_some_and(|s| s.valid) {
+                if let Some(data) = self.store.get_mut(item.obj) {
+                    item.diff.apply(data);
+                }
+                self.twins.apply_remote(item.obj, &item.diff);
+            }
+        }
+    }
+}

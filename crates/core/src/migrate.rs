@@ -1,0 +1,141 @@
+//! Migratory objects: a single copy follows the access pattern.
+//!
+//! "Migratory objects are accessed by a single processor at a time, as would
+//! be the case with an object accessed within a critical section. ...
+//! migrated, together with the lock itself, to the next thread in the lock
+//! queue."
+//!
+//! Two movement paths:
+//!
+//! * **lock-carried** (`locks.rs`): objects associated with a lock ride the
+//!   `LockPass` message for free — the paper's headline mechanism;
+//! * **fault-driven** (this module): an access fault sends `MigrateReq` to
+//!   the home, which serializes migrations and forwards a `MigrateYield`
+//!   along the *probable-holder chain* (each node remembers where it last
+//!   sent the object — lock passes included — so the yield always reaches
+//!   the real holder, as in Li's dynamic distributed manager).
+
+use crate::msg::MuninMsg;
+use crate::server::MuninServer;
+use crate::state::{ActiveWrite, DirOp, InflightKind};
+use munin_sim::Kernel;
+use munin_types::{NodeId, ObjectId};
+
+impl MuninServer {
+    /// Home side of a migration fault.
+    pub(crate) fn handle_migrate_req(&mut self, k: &mut Kernel<MuninMsg>, from: NodeId, obj: ObjectId) {
+        let Some(decl) = self.decl(k, obj) else { return };
+        self.ensure_home(decl, obj);
+        self.note_dir_access(k, obj, from, true);
+        {
+            let entry = self.dir.get_mut(&obj).expect("home ensured");
+            if entry.active_write.is_some() {
+                entry.queued.push_back(DirOp::Migrate { requester: from });
+                return;
+            }
+        }
+        self.start_migration(k, obj, from);
+    }
+
+    /// Begin one serialized migration transaction. The `active_write` slot
+    /// doubles as the "migration in progress" marker.
+    pub(crate) fn start_migration(&mut self, k: &mut Kernel<MuninMsg>, obj: ObjectId, requester: NodeId) {
+        self.dir.get_mut(&obj).expect("home ensured").active_write = Some(ActiveWrite {
+            requester,
+            pending_invals: 0,
+            awaiting_owner_data: true,
+            requester_had_copy: false,
+        });
+        let target = self.probable_holder.get(&obj).copied().unwrap_or(self.node);
+        if target == self.node {
+            // The home believes it holds the object.
+            self.handle_migrate_yield(k, self.node, obj, requester);
+        } else {
+            self.probable_holder.insert(obj, requester);
+            self.route(k, target, MuninMsg::MigrateYield { obj, requester });
+        }
+    }
+
+    /// A yield reached us: hand the object over if we hold it, otherwise
+    /// forward along our probable-holder pointer.
+    pub(crate) fn handle_migrate_yield(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        _from: NodeId,
+        obj: ObjectId,
+        requester: NodeId,
+    ) {
+        let holds = self.local.get(&obj).is_some_and(|s| s.valid);
+        if holds {
+            // Unflushed loose writes can't exist on migratory objects (they
+            // write in place), but a runtime retype may have left residue.
+            self.twins.drop_twin(obj);
+            self.duq.remove(obj);
+            let data = self.store.evict(obj).unwrap_or_default();
+            let st = self.local_mut(obj);
+            st.valid = false;
+            st.writable = false;
+            self.probable_holder.insert(obj, requester);
+            if requester == self.node {
+                // Degenerate self-migration (home requested while holding).
+                self.store.install(obj, data);
+                let st = self.local_mut(obj);
+                st.valid = true;
+                st.writable = true;
+                self.migration_done(k, obj, self.node);
+            } else {
+                self.route(k, requester, MuninMsg::MigrateData { obj, data });
+            }
+        } else {
+            let next = self.probable_holder.get(&obj).copied().unwrap_or(self.node);
+            if next == self.node {
+                k.error(format!("migratory chain broken at n{} for {obj}", self.node.0));
+                return;
+            }
+            self.probable_holder.insert(obj, requester);
+            self.route(k, next, MuninMsg::MigrateYield { obj, requester });
+        }
+    }
+
+    /// The object arrived: we are the holder now.
+    pub(crate) fn handle_migrate_data(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        _from: NodeId,
+        obj: ObjectId,
+        data: Vec<u8>,
+    ) {
+        self.store.install(obj, data);
+        let st = self.local_mut(obj);
+        st.valid = true;
+        st.writable = true;
+        self.probable_holder.insert(obj, self.node);
+        self.inflight_remove(obj, InflightKind::Migration);
+        let Some(decl) = self.decl(k, obj) else { return };
+        if decl.home == self.node {
+            self.migration_done(k, obj, self.node);
+        } else {
+            self.route(k, decl.home, MuninMsg::MigrateNotify { obj });
+        }
+        self.replay_faults(k, obj);
+    }
+
+    /// Home bookkeeping: migration transaction finished.
+    pub(crate) fn handle_migrate_notify(&mut self, k: &mut Kernel<MuninMsg>, from: NodeId, obj: ObjectId) {
+        self.migration_done(k, obj, from);
+    }
+
+    fn migration_done(&mut self, k: &mut Kernel<MuninMsg>, obj: ObjectId, holder: NodeId) {
+        {
+            let entry = self.dir.get_mut(&obj).expect("home has dir entry");
+            entry.owner = holder;
+            entry.active_write = None;
+        }
+        if holder != self.node {
+            self.probable_holder.insert(obj, holder);
+        }
+        self.inflight_remove(obj, InflightKind::Migration);
+        self.replay_faults(k, obj);
+        self.process_dir_queue(k, obj);
+    }
+}

@@ -1,0 +1,268 @@
+//! The Munin inter-server protocol messages.
+//!
+//! One enum covers all eight data protocols plus the distributed
+//! synchronization subsystem. Every variant carries its wire-size and
+//! classification so the substrate can account for it without protocol
+//! knowledge.
+
+use munin_mem::Diff;
+use munin_net::{MsgClass, PayloadInfo};
+use munin_types::{BarrierId, CondId, LockId, NodeId, ObjectId, ThreadId};
+
+/// One object's worth of delayed updates inside a flush batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateItem {
+    pub obj: ObjectId,
+    pub diff: Diff,
+}
+
+/// Per-item wire overhead inside batches (object id + item framing).
+pub const ITEM_HEADER_BYTES: usize = 12;
+
+/// Protocol messages exchanged between Munin servers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MuninMsg {
+    // ---- fault service -------------------------------------------------
+    /// Requester → home: fetch a copy. `page` selects one page of a large
+    /// write-once object; `None` fetches the whole object.
+    ReadReq { obj: ObjectId, page: Option<u32> },
+    /// Home/owner → requester: the bytes. For `page = Some(p)` only that
+    /// page; otherwise the whole object. `install` tells the requester
+    /// whether this is a replica grant (join the copyset) or a one-shot
+    /// remote load (read-mostly remote-access mode, result collection).
+    /// `confirm` is set when the copy was forwarded by the owner (general
+    /// read-write): the requester must send `ReadConfirm` to the home, which
+    /// holds write transactions until the copy is known installed.
+    ReadReply { obj: ObjectId, page: Option<u32>, data: Vec<u8>, install: bool, confirm: bool },
+    /// Requester → home: forwarded read copy installed.
+    ReadConfirm { obj: ObjectId },
+    /// Home → current owner (general read-write): supply `requester` with a
+    /// read copy directly.
+    FwdRead { obj: ObjectId, requester: NodeId },
+    /// Requester → home (general read-write): request write ownership.
+    WriteReq { obj: ObjectId },
+    /// Home → current owner: yield ownership; send your (possibly dirty)
+    /// bytes back to the home and invalidate.
+    OwnerYield { obj: ObjectId },
+    /// Owner → home: the yielded bytes.
+    OwnerData { obj: ObjectId, data: Vec<u8> },
+    /// Home → new owner: ownership granted; `data` present unless the new
+    /// owner already held a valid copy.
+    OwnerGrant { obj: ObjectId, data: Option<Vec<u8>> },
+    /// Home → copy holder: drop your copy. If `session` is set, ack to the
+    /// home with that session id (coherence-transaction invalidation);
+    /// `origin` is the node whose action triggered it.
+    Inval { obj: ObjectId, session: Option<u64> },
+    /// Copy holder → home: invalidation done.
+    InvalAck { obj: ObjectId, session: u64 },
+
+    // ---- migratory objects ----------------------------------------------
+    /// Requester → home: I need the (single) copy.
+    MigrateReq { obj: ObjectId },
+    /// Forwarded along the probable-holder chain until it reaches the node
+    /// actually holding the object.
+    MigrateYield { obj: ObjectId, requester: NodeId },
+    /// Holder → requester: the object migrates (holder drops it).
+    MigrateData { obj: ObjectId, data: Vec<u8> },
+    /// New holder → home: migration complete; the directory records the new
+    /// holder and dispatches any queued migration.
+    MigrateNotify { obj: ObjectId },
+
+    // ---- delayed updates -------------------------------------------------
+    /// Flusher → home(s): apply these updates and distribute to the copyset
+    /// per policy; ack with `FlushDone{session}` once fully propagated.
+    FlushIn { session: u64, items: Vec<UpdateItem> },
+    /// Home → copy holders: refresh your copies (update policy).
+    FlushOut { session: u64, items: Vec<UpdateItem> },
+    /// Home → copy holders: drop these copies (invalidate policy).
+    FlushInval { session: u64, objs: Vec<ObjectId> },
+    /// Copy holder → home: out-propagation applied/dropped. `used` reports,
+    /// per object, whether the previous version was read since the last
+    /// update — the feedback the invalidate-vs-refresh adaptation needs.
+    FlushOutAck { session: u64, used: Vec<(ObjectId, bool)> },
+    /// Home → flusher: everything for `session` is propagated.
+    FlushDone { session: u64 },
+    /// Producer → home: eager producer-consumer push (fire-and-forget).
+    Eager { items: Vec<UpdateItem> },
+    /// Home → consumers: eager push distribution (fire-and-forget).
+    EagerOut { items: Vec<UpdateItem> },
+
+    // ---- atomics ----------------------------------------------------------
+    /// Requester → home: fetch-and-add at the authoritative copy.
+    AtomicReq { obj: ObjectId, offset: u32, delta: i64, thread: ThreadId },
+    /// Home → requester: previous value.
+    AtomicReply { thread: ThreadId, old: i64 },
+
+    // ---- distributed locks (proxy protocol) -------------------------------
+    /// Proxy server → lock home: a local thread wants the lock.
+    LockReq { lock: LockId },
+    /// Lock home → token holder: pass the token to `to` when convenient
+    /// (immediately if free, on release otherwise).
+    LockFetch { lock: LockId, to: NodeId },
+    /// Token holder → next holder: the token itself. Carries the bytes of
+    /// migratory objects associated with this lock — the paper's
+    /// "the object is migrated together with the lock itself".
+    LockPass { lock: LockId, piggyback: Vec<(ObjectId, Vec<u8>)> },
+    /// New token holder → lock home: bookkeeping (so the home knows where to
+    /// send the next `LockFetch`).
+    LockNotify { lock: LockId },
+
+    // ---- barriers ----------------------------------------------------------
+    /// Node → coordinator: `threads` of my local threads reached the barrier.
+    BarrierArrive { barrier: BarrierId, threads: u32 },
+    /// Coordinator → participating nodes: everyone arrived; release.
+    BarrierRelease { barrier: BarrierId },
+
+    // ---- condition variables ------------------------------------------------
+    /// Node → cv home: `thread` is waiting (it has already released the
+    /// monitor lock).
+    CvWait { cond: CondId, thread: ThreadId },
+    /// Node → cv home: wake one/all waiters.
+    CvSignal { cond: CondId, broadcast: bool },
+    /// Cv home → waiter's node: wake `thread` (it will re-acquire the lock).
+    CvWake { cond: CondId, thread: ThreadId },
+}
+
+impl MuninMsg {
+    fn items_bytes(items: &[UpdateItem]) -> usize {
+        items.iter().map(|i| i.diff.wire_bytes() + ITEM_HEADER_BYTES).sum()
+    }
+}
+
+impl PayloadInfo for MuninMsg {
+    fn class(&self) -> MsgClass {
+        use MuninMsg::*;
+        match self {
+            ReadReply { .. } | OwnerData { .. } | OwnerGrant { .. } | MigrateData { .. } => {
+                MsgClass::Data
+            }
+            FlushIn { .. } | FlushOut { .. } | Eager { .. } | EagerOut { .. } => MsgClass::Update,
+            FlushOutAck { .. } | FlushDone { .. } | InvalAck { .. } => MsgClass::Ack,
+            AtomicReply { .. } | AtomicReq { .. } => MsgClass::Sync,
+            LockReq { .. } | LockFetch { .. } | LockPass { .. } | LockNotify { .. }
+            | BarrierArrive { .. } | BarrierRelease { .. } | CvWait { .. } | CvSignal { .. }
+            | CvWake { .. } => MsgClass::Sync,
+            ReadReq { .. } | ReadConfirm { .. } | FwdRead { .. } | WriteReq { .. }
+            | OwnerYield { .. } | Inval { .. } | MigrateReq { .. } | MigrateYield { .. }
+            | MigrateNotify { .. } | FlushInval { .. } => MsgClass::Control,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        use MuninMsg::*;
+        match self {
+            ReadReq { .. } => "ReadReq",
+            ReadConfirm { .. } => "ReadConfirm",
+            ReadReply { .. } => "ReadReply",
+            FwdRead { .. } => "FwdRead",
+            WriteReq { .. } => "WriteReq",
+            OwnerYield { .. } => "OwnerYield",
+            OwnerData { .. } => "OwnerData",
+            OwnerGrant { .. } => "OwnerGrant",
+            Inval { .. } => "Inval",
+            InvalAck { .. } => "InvalAck",
+            MigrateReq { .. } => "MigrateReq",
+            MigrateNotify { .. } => "MigrateNotify",
+            MigrateYield { .. } => "MigrateYield",
+            MigrateData { .. } => "MigrateData",
+            FlushIn { .. } => "FlushIn",
+            FlushOut { .. } => "FlushOut",
+            FlushInval { .. } => "FlushInval",
+            FlushOutAck { .. } => "FlushOutAck",
+            FlushDone { .. } => "FlushDone",
+            Eager { .. } => "Eager",
+            EagerOut { .. } => "EagerOut",
+            AtomicReq { .. } => "AtomicReq",
+            AtomicReply { .. } => "AtomicReply",
+            LockReq { .. } => "LockReq",
+            LockFetch { .. } => "LockFetch",
+            LockPass { .. } => "LockPass",
+            LockNotify { .. } => "LockNotify",
+            BarrierArrive { .. } => "BarrierArrive",
+            BarrierRelease { .. } => "BarrierRelease",
+            CvWait { .. } => "CvWait",
+            CvSignal { .. } => "CvSignal",
+            CvWake { .. } => "CvWake",
+        }
+    }
+
+    fn wire_bytes(&self) -> usize {
+        use MuninMsg::*;
+        match self {
+            ReadReply { data, .. } | OwnerData { data, .. } | MigrateData { data, .. } => {
+                data.len()
+            }
+            OwnerGrant { data, .. } => data.as_ref().map_or(0, |d| d.len()),
+            FlushIn { items, .. } | FlushOut { items, .. } | Eager { items }
+            | EagerOut { items } => Self::items_bytes(items),
+            FlushInval { objs, .. } => objs.len() * 8,
+            FlushOutAck { used, .. } => used.len(),
+            LockPass { piggyback, .. } => piggyback.iter().map(|(_, d)| d.len() + 8).sum(),
+            Inval { .. } | InvalAck { .. } | ReadReq { .. } | ReadConfirm { .. }
+            | FwdRead { .. } | WriteReq { .. } | OwnerYield { .. } | MigrateReq { .. }
+            | MigrateYield { .. } | MigrateNotify { .. } | FlushDone { .. }
+            | AtomicReq { .. } | AtomicReply { .. } | LockReq { .. } | LockFetch { .. }
+            | LockNotify { .. } | BarrierArrive { .. } | BarrierRelease { .. } | CvWait { .. }
+            | CvSignal { .. } | CvWake { .. } => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use munin_types::ByteRange;
+
+    #[test]
+    fn data_messages_charge_for_payload() {
+        let m = MuninMsg::ReadReply { obj: ObjectId(1), page: None, data: vec![0; 4096], install: true, confirm: false };
+        assert_eq!(m.wire_bytes(), 4096);
+        assert_eq!(m.class(), MsgClass::Data);
+        assert_eq!(m.kind(), "ReadReply");
+    }
+
+    #[test]
+    fn control_messages_are_header_only() {
+        assert_eq!(MuninMsg::ReadReq { obj: ObjectId(1), page: None }.wire_bytes(), 0);
+        assert_eq!(MuninMsg::LockReq { lock: LockId(0) }.wire_bytes(), 0);
+        assert_eq!(
+            MuninMsg::BarrierArrive { barrier: BarrierId(0), threads: 3 }.class(),
+            MsgClass::Sync
+        );
+    }
+
+    #[test]
+    fn update_batches_charge_diff_plus_item_headers() {
+        let diff = Diff::overwrite(ByteRange::new(0, 100), vec![1; 100]);
+        let items = vec![
+            UpdateItem { obj: ObjectId(1), diff: diff.clone() },
+            UpdateItem { obj: ObjectId(2), diff },
+        ];
+        let m = MuninMsg::FlushIn { session: 1, items };
+        // Each item: 100 data + 8 run header + 12 item header.
+        assert_eq!(m.wire_bytes(), 2 * (100 + 8 + ITEM_HEADER_BYTES));
+        assert_eq!(m.class(), MsgClass::Update);
+    }
+
+    #[test]
+    fn lock_pass_charges_for_piggyback() {
+        let empty = MuninMsg::LockPass { lock: LockId(1), piggyback: vec![] };
+        assert_eq!(empty.wire_bytes(), 0);
+        let loaded = MuninMsg::LockPass {
+            lock: LockId(1),
+            piggyback: vec![(ObjectId(3), vec![0; 256])],
+        };
+        assert_eq!(loaded.wire_bytes(), 264);
+        assert_eq!(loaded.class(), MsgClass::Sync);
+    }
+
+    #[test]
+    fn acks_are_ack_class() {
+        assert_eq!(MuninMsg::FlushDone { session: 9 }.class(), MsgClass::Ack);
+        assert_eq!(MuninMsg::InvalAck { obj: ObjectId(0), session: 1 }.class(), MsgClass::Ack);
+        assert_eq!(
+            MuninMsg::FlushOutAck { session: 1, used: vec![(ObjectId(0), true)] }.class(),
+            MsgClass::Ack
+        );
+    }
+}

@@ -1,0 +1,354 @@
+//! The general read-write protocol: a directory-based adaptation of the
+//! Berkeley Ownership cache-consistency protocol, strictly coherent.
+//!
+//! "Munin handles general read/write objects using a mechanism based on the
+//! Berkeley Ownership cache consistency protocol. By default, objects that
+//! are not recognized as some other specific type will be treated as
+//! general read/write."
+//!
+//! States per copy: invalid / shared (readable) / owned (readable +
+//! writable). Read faults are served by the owner (which downgrades to
+//! shared-owner, i.e. must re-acquire exclusivity before its next write);
+//! write faults invalidate every other copy and transfer ownership. The
+//! home serializes exclusive transactions per object.
+
+use crate::msg::MuninMsg;
+use crate::server::MuninServer;
+use crate::state::{ActiveWrite, DirOp, InflightKind};
+use munin_sim::Kernel;
+use munin_types::{NodeId, ObjectId};
+
+impl MuninServer {
+    /// Home side of a general read-write read fault.
+    pub(crate) fn general_read_req(&mut self, k: &mut Kernel<MuninMsg>, from: NodeId, obj: ObjectId) {
+        {
+            let entry = self.dir.get_mut(&obj).expect("home ensured");
+            if entry.active_write.is_some() {
+                entry.queued.push_back(DirOp::Read { requester: from });
+                return;
+            }
+        }
+        self.general_serve_read(k, from, obj);
+    }
+
+    fn general_serve_read(&mut self, k: &mut Kernel<MuninMsg>, from: NodeId, obj: ObjectId) {
+        let owner = {
+            let entry = self.dir.get_mut(&obj).expect("home ensured");
+            if from != self.node {
+                entry.copyset.insert(from);
+            }
+            entry.owner
+        };
+        let home_valid = self.local.get(&obj).is_some_and(|s| s.valid);
+        if home_valid {
+            // Berkeley downgrade: once the home shares the object it may no
+            // longer write without re-acquiring exclusivity — otherwise its
+            // subsequent writes would bypass the invalidation transaction
+            // and the new sharer would keep a stale copy forever.
+            if owner == self.node {
+                self.local_mut(obj).writable = false;
+            }
+            self.serve_read_copy(k, obj, from, None);
+        } else if owner == self.node {
+            k.error(format!("general-rw {obj}: home is owner but has no valid copy"));
+        } else if owner == from {
+            k.error(format!("general-rw {obj}: owner {from} read-faulted"));
+        } else {
+            // Forwarded: the reply travels owner→requester, off the home's
+            // FIFO channels. Hold write transactions until the requester
+            // confirms installation, or an invalidation could overtake the
+            // in-flight copy.
+            self.dir.get_mut(&obj).expect("home ensured").pending_reads.insert(from);
+            self.route(k, owner, MuninMsg::FwdRead { obj, requester: from });
+        }
+    }
+
+    /// Home: a forwarded read copy was installed at `from`.
+    pub(crate) fn handle_read_confirm(&mut self, k: &mut Kernel<MuninMsg>, from: NodeId, obj: ObjectId) {
+        let drained = {
+            let Some(entry) = self.dir.get_mut(&obj) else { return };
+            entry.pending_reads.remove(&from);
+            entry.pending_reads.is_empty() && entry.active_write.is_none()
+        };
+        if drained {
+            self.process_dir_queue(k, obj);
+        }
+    }
+
+    /// Owner side: supply a requester with a read copy; downgrade to
+    /// shared-owner (next local write must re-acquire exclusivity).
+    pub(crate) fn handle_fwd_read(&mut self, k: &mut Kernel<MuninMsg>, obj: ObjectId, requester: NodeId) {
+        let Some(data) = self.store.get(obj).map(|d| d.to_vec()) else {
+            k.error(format!("FwdRead at non-holder for {obj}"));
+            return;
+        };
+        self.local_mut(obj).writable = false;
+        self.route(
+            k,
+            requester,
+            MuninMsg::ReadReply { obj, page: None, data, install: true, confirm: true },
+        );
+    }
+
+    /// Home side of an ownership (write) request.
+    pub(crate) fn handle_write_req(&mut self, k: &mut Kernel<MuninMsg>, from: NodeId, obj: ObjectId) {
+        let Some(decl) = self.decl(k, obj) else { return };
+        self.ensure_home(decl, obj);
+        self.note_dir_access(k, obj, from, true);
+        {
+            let entry = self.dir.get_mut(&obj).expect("home ensured");
+            if entry.active_write.is_some() || !entry.pending_reads.is_empty() {
+                entry.queued.push_back(DirOp::Write { requester: from });
+                return;
+            }
+        }
+        self.start_write_txn(k, obj, from);
+    }
+
+    fn start_write_txn(&mut self, k: &mut Kernel<MuninMsg>, obj: ObjectId, requester: NodeId) {
+        let (owner, to_inval, had_copy) = {
+            let entry = self.dir.get_mut(&obj).expect("home ensured");
+            let owner = entry.owner;
+            let had_copy = if requester == self.node {
+                // The home's own copy state.
+                false // handled below via local state
+            } else {
+                entry.copyset.contains(&requester)
+            };
+            let to_inval: Vec<NodeId> = entry
+                .copyset
+                .iter()
+                .copied()
+                .filter(|n| *n != requester && *n != owner)
+                .collect();
+            (owner, to_inval, had_copy)
+        };
+        let had_copy = had_copy
+            || (requester == self.node && self.local.get(&obj).is_some_and(|s| s.valid));
+        let awaiting_owner_data = owner != requester && owner != self.node;
+        // The home's own (possibly stale shared) copy dies with the
+        // transaction unless the home is the requester.
+        if requester != self.node && owner != self.node
+            && self.local.get(&obj).is_some_and(|s| s.valid) {
+                let st = self.local_mut(obj);
+                st.valid = false;
+                st.writable = false;
+            }
+        self.dir.get_mut(&obj).expect("exists").active_write = Some(ActiveWrite {
+            requester,
+            pending_invals: to_inval.len(),
+            awaiting_owner_data,
+            requester_had_copy: had_copy,
+        });
+        if awaiting_owner_data {
+            self.route(k, owner, MuninMsg::OwnerYield { obj });
+        }
+        for n in to_inval {
+            debug_assert_ne!(n, self.node, "home is never in its own copyset");
+            k.send(self.node, n, MuninMsg::Inval { obj, session: Some(0) });
+        }
+        self.check_write_txn(k, obj);
+    }
+
+    /// Previous owner: ship the (possibly dirty) bytes home and invalidate.
+    pub(crate) fn handle_owner_yield(&mut self, k: &mut Kernel<MuninMsg>, from: NodeId, obj: ObjectId) {
+        let Some(data) = self.store.evict(obj) else {
+            k.error(format!("OwnerYield at non-holder for {obj}"));
+            return;
+        };
+        let st = self.local_mut(obj);
+        st.valid = false;
+        st.writable = false;
+        self.twins.drop_twin(obj);
+        self.route(k, from, MuninMsg::OwnerData { obj, data });
+    }
+
+    /// Home: the owner's bytes arrived.
+    pub(crate) fn handle_owner_data(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        _from: NodeId,
+        obj: ObjectId,
+        data: Vec<u8>,
+    ) {
+        self.store.install(obj, data);
+        // The bytes are a transfer buffer, not a readable copy (they are
+        // about to belong to the new owner).
+        let st = self.local_mut(obj);
+        st.valid = false;
+        st.writable = false;
+        if let Some(aw) = self.dir.get_mut(&obj).and_then(|e| e.active_write.as_mut()) {
+            aw.awaiting_owner_data = false;
+        }
+        self.check_write_txn(k, obj);
+    }
+
+    /// A copy-holder received an invalidation (write transaction, or a
+    /// protocol-reset after a runtime retype).
+    pub(crate) fn handle_inval(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        from: NodeId,
+        obj: ObjectId,
+        session: Option<u64>,
+    ) {
+        self.drop_copy_salvaging_writes(obj);
+        if let Some(s) = session {
+            self.route(k, from, MuninMsg::InvalAck { obj, session: s });
+        }
+    }
+
+    /// Home: an invalidation ack for the active write transaction.
+    pub(crate) fn handle_inval_ack(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        _from: NodeId,
+        obj: ObjectId,
+        _session: u64,
+    ) {
+        if let Some(aw) = self.dir.get_mut(&obj).and_then(|e| e.active_write.as_mut()) {
+            aw.pending_invals -= 1;
+        }
+        self.check_write_txn(k, obj);
+    }
+
+    /// Complete the active write transaction once every invalidation is
+    /// acked and the previous owner's data (if needed) has arrived.
+    pub(crate) fn check_write_txn(&mut self, k: &mut Kernel<MuninMsg>, obj: ObjectId) {
+        let ready = {
+            match self.dir.get(&obj).and_then(|e| e.active_write.as_ref()) {
+                Some(aw) => aw.pending_invals == 0 && !aw.awaiting_owner_data,
+                None => false,
+            }
+        };
+        if !ready {
+            return;
+        }
+        let aw = self
+            .dir
+            .get_mut(&obj)
+            .expect("exists")
+            .active_write
+            .take()
+            .expect("checked ready");
+        let requester = aw.requester;
+        {
+            let entry = self.dir.get_mut(&obj).expect("exists");
+            entry.owner = requester;
+            entry.copyset.clear();
+            if requester != self.node {
+                entry.copyset.insert(requester);
+            }
+        }
+        if requester == self.node {
+            // The home itself takes ownership; its store already holds the
+            // latest bytes (its own, or the yielded owner data).
+            let st = self.local_mut(obj);
+            st.valid = true;
+            st.writable = true;
+            // A pending runtime retype lands now: the home holds the only
+            // copy and the authoritative bytes, so switching protocols is
+            // safe. Queued requests re-dispatch under the new type.
+            let retype_to = self.dir.get_mut(&obj).expect("exists").pending_retype.take();
+            if let Some(nt) = retype_to {
+                k.retype(obj, nt);
+                self.uncache_decl(obj);
+                self.dir.get_mut(&obj).expect("exists").sharing = nt;
+            }
+            self.inflight_remove(obj, InflightKind::Ownership);
+            self.replay_faults(k, obj);
+        } else {
+            let data = if aw.requester_had_copy {
+                None
+            } else {
+                Some(self.store.get(obj).map(|d| d.to_vec()).unwrap_or_default())
+            };
+            let st = self.local_mut(obj);
+            st.valid = false;
+            st.writable = false;
+            self.route(k, requester, MuninMsg::OwnerGrant { obj, data });
+        }
+        self.process_dir_queue(k, obj);
+    }
+
+    /// New owner: ownership (and possibly data) arrived.
+    pub(crate) fn handle_owner_grant(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        _from: NodeId,
+        obj: ObjectId,
+        data: Option<Vec<u8>>,
+    ) {
+        if let Some(d) = data {
+            self.store.install(obj, d);
+        }
+        let st = self.local_mut(obj);
+        st.valid = true;
+        st.writable = true;
+        self.inflight_remove(obj, InflightKind::Ownership);
+        self.replay_faults(k, obj);
+    }
+
+    /// Run queued directory operations: reads drain freely; the first write
+    /// starts a new exclusive transaction and stops the drain.
+    ///
+    /// Requests queued across a runtime retype are re-dispatched under the
+    /// object's *current* protocol: reads go through the regular fault
+    /// service; writes from nodes still expecting an `OwnerGrant` receive a
+    /// writable replica grant (which the loose protocols treat as a normal
+    /// copy installation).
+    pub(crate) fn process_dir_queue(&mut self, k: &mut Kernel<MuninMsg>, obj: ObjectId) {
+        loop {
+            let op = {
+                let entry = self.dir.get_mut(&obj).expect("exists");
+                if entry.active_write.is_some() {
+                    return;
+                }
+                entry.queued.pop_front()
+            };
+            let sharing = self.decl(k, obj).map(|d| d.sharing);
+            match op {
+                None => return,
+                Some(DirOp::Read { requester }) => {
+                    if sharing == Some(munin_types::SharingType::GeneralReadWrite) {
+                        self.general_serve_read(k, requester, obj);
+                    } else {
+                        self.handle_read_req(k, requester, obj, None);
+                    }
+                }
+                Some(DirOp::Write { requester }) => {
+                    if sharing == Some(munin_types::SharingType::GeneralReadWrite) {
+                        let reads_pending = {
+                            let entry = self.dir.get_mut(&obj).expect("exists");
+                            if !entry.pending_reads.is_empty() {
+                                entry.queued.push_front(DirOp::Write { requester });
+                                true
+                            } else {
+                                false
+                            }
+                        };
+                        if reads_pending {
+                            return;
+                        }
+                        self.start_write_txn(k, obj, requester);
+                        return;
+                    }
+                    // Post-retype: grant a writable replica instead.
+                    let data = self.store.get(obj).map(|d| d.to_vec());
+                    {
+                        let entry = self.dir.get_mut(&obj).expect("exists");
+                        if requester != self.node {
+                            entry.copyset.insert(requester);
+                            entry.consumers.insert(requester);
+                        }
+                    }
+                    self.route(k, requester, MuninMsg::OwnerGrant { obj, data });
+                }
+                Some(DirOp::Migrate { requester }) => {
+                    self.start_migration(k, obj, requester);
+                    return;
+                }
+            }
+        }
+    }
+}

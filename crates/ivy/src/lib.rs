@@ -1,0 +1,30 @@
+//! # munin-ivy
+//!
+//! The Ivy baseline: a faithful model of the system the Munin paper
+//! compares against (Li's shared virtual memory, "Ivy").
+//!
+//! * one flat shared virtual address space, divided into fixed-size pages
+//!   ("global virtual memory is divided into pages"); objects are *placed*
+//!   into the space back-to-back, so unrelated objects share pages —
+//!   "all sharing is on a per-page basis, entailing the possibility of
+//!   significant amounts of false sharing";
+//! * **strict coherence** via a directory-based write-invalidate protocol:
+//!   pages have one owner and a read copyset; a write fault invalidates
+//!   every copy before the writer proceeds; a read fault fetches the page
+//!   from the owner. Page managers are distributed by page number;
+//! * **no special provisions for synchronization objects**: locks are
+//!   test-and-set words *in* shared memory and barriers are counter+sense
+//!   words, so contended synchronization causes page-ownership ping-pong —
+//!   exactly the overhead Munin's proxy locks avoid. A central-lock-server
+//!   mode (`SyncStrategy::CentralServer`) is provided as the ablation that
+//!   isolates data-protocol effects from synchronization effects.
+//!
+//! The server implements the same [`munin_sim::Server`] interface as the
+//! Munin runtime, so identical application code runs on both.
+
+pub mod msg;
+pub mod pending;
+pub mod server;
+
+pub use msg::IvyMsg;
+pub use server::IvyServer;

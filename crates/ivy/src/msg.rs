@@ -1,0 +1,115 @@
+//! Ivy's page protocol and central-synchronization messages.
+
+use munin_mem::PageId;
+use munin_net::{MsgClass, PayloadInfo};
+use munin_types::{BarrierId, LockId, NodeId, ThreadId};
+
+/// Inter-node messages of the Ivy baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IvyMsg {
+    // ---- page protocol (directory write-invalidate) -----------------------
+    /// Requester → manager: read fault.
+    RReq { page: PageId },
+    /// Manager → owner: send `requester` a read copy (you stay owner but
+    /// downgrade to read access).
+    FwdRead { page: PageId, requester: NodeId },
+    /// Owner/manager → requester: a read copy of the page. `confirm` is set
+    /// when the copy was *forwarded* by the owner: the requester must send
+    /// `RConfirm` to the manager, which blocks write transactions until the
+    /// copy is known to be installed (otherwise an invalidation could race
+    /// past the in-flight copy — Li's read-confirmation).
+    PData { page: PageId, data: Vec<u8>, confirm: bool },
+    /// Requester → manager: forwarded read copy installed.
+    RConfirm { page: PageId },
+    /// Requester → manager: write fault (ownership request).
+    WReq { page: PageId },
+    /// Manager → current owner: yield the page (send bytes to the manager,
+    /// drop your copy).
+    Yield { page: PageId },
+    /// Owner → manager: the yielded bytes.
+    YieldData { page: PageId, data: Vec<u8> },
+    /// Manager → copy holder: drop your copy and ack.
+    Inval { page: PageId },
+    /// Copy holder → manager.
+    InvalAck { page: PageId },
+    /// Manager → requester: ownership granted; `data` unless the requester
+    /// already held a valid copy (upgrade).
+    Grant { page: PageId, data: Option<Vec<u8>> },
+
+    // ---- central synchronization (the non-authentic ablation) ---------------
+    CLockReq { lock: LockId, thread: ThreadId },
+    CLockGrant { thread: ThreadId },
+    CUnlock { lock: LockId },
+    CBarrierArrive { barrier: BarrierId, threads: u32 },
+    CBarrierRelease { barrier: BarrierId },
+}
+
+impl PayloadInfo for IvyMsg {
+    fn class(&self) -> MsgClass {
+        use IvyMsg::*;
+        match self {
+            PData { .. } | YieldData { .. } | Grant { .. } => MsgClass::Data,
+            InvalAck { .. } => MsgClass::Ack,
+            CLockReq { .. } | CLockGrant { .. } | CUnlock { .. } | CBarrierArrive { .. }
+            | CBarrierRelease { .. } => MsgClass::Sync,
+            RReq { .. } | RConfirm { .. } | FwdRead { .. } | WReq { .. } | Yield { .. }
+            | Inval { .. } => MsgClass::Control,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        use IvyMsg::*;
+        match self {
+            RReq { .. } => "RReq",
+            RConfirm { .. } => "RConfirm",
+            FwdRead { .. } => "FwdRead",
+            PData { .. } => "PData",
+            WReq { .. } => "WReq",
+            Yield { .. } => "Yield",
+            YieldData { .. } => "YieldData",
+            Inval { .. } => "Inval",
+            InvalAck { .. } => "InvalAck",
+            Grant { .. } => "Grant",
+            CLockReq { .. } => "CLockReq",
+            CLockGrant { .. } => "CLockGrant",
+            CUnlock { .. } => "CUnlock",
+            CBarrierArrive { .. } => "CBarrierArrive",
+            CBarrierRelease { .. } => "CBarrierRelease",
+        }
+    }
+
+    fn wire_bytes(&self) -> usize {
+        use IvyMsg::*;
+        match self {
+            PData { data, .. } | YieldData { data, .. } => data.len(),
+            Grant { data, .. } => data.as_ref().map_or(0, |d| d.len()),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_data_charges_page_bytes() {
+        let m = IvyMsg::PData { page: PageId(3), data: vec![0; 1024], confirm: false };
+        assert_eq!(m.wire_bytes(), 1024);
+        assert_eq!(m.class(), MsgClass::Data);
+    }
+
+    #[test]
+    fn upgrade_grant_is_free_of_data() {
+        let m = IvyMsg::Grant { page: PageId(0), data: None };
+        assert_eq!(m.wire_bytes(), 0);
+        assert_eq!(m.kind(), "Grant");
+    }
+
+    #[test]
+    fn sync_messages_classified() {
+        assert_eq!(IvyMsg::CLockReq { lock: LockId(0), thread: ThreadId(0) }.class(), MsgClass::Sync);
+        assert_eq!(IvyMsg::Inval { page: PageId(0) }.class(), MsgClass::Control);
+        assert_eq!(IvyMsg::InvalAck { page: PageId(0) }.class(), MsgClass::Ack);
+    }
+}

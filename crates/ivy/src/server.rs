@@ -1,0 +1,930 @@
+//! The Ivy per-node server: page-based strict coherence plus DSM-resident
+//! (or central) synchronization.
+
+use crate::msg::IvyMsg;
+use crate::pending::{PageInflight, PageNeed, PendingIvyOp};
+use munin_mem::{AddressSpace, PageId};
+use munin_sim::{DsmOp, Kernel, OpOutcome, OpResult, Server};
+use munin_types::{
+    BarrierId, ByteRange, DsmError, IvyConfig, LockId, NodeId, ObjectDecl, ObjectId, SyncStrategy,
+    ThreadId,
+};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Local copy of one page.
+#[derive(Debug)]
+struct PageCopy {
+    data: Vec<u8>,
+    write: bool,
+}
+
+/// Manager-side directory entry for one page.
+#[derive(Debug)]
+struct PageDir {
+    owner: NodeId,
+    /// Nodes with copies — *including* the manager itself when it holds
+    /// one (the manager's copy must be invalidated like any other, or a
+    /// write transaction would leave it stale).
+    copyset: BTreeSet<NodeId>,
+    active: Option<ActivePageTxn>,
+    /// Requesters whose forwarded read copies are in flight; write
+    /// transactions wait for these confirmations.
+    pending_reads: BTreeSet<NodeId>,
+    queued: VecDeque<(NodeId, bool)>, // (requester, is_write)
+}
+
+#[derive(Debug)]
+struct ActivePageTxn {
+    requester: NodeId,
+    pending_invals: usize,
+    awaiting_yield: bool,
+    requester_had_copy: bool,
+    /// Bytes yielded by the previous owner, in transit to the requester.
+    xfer: Option<Vec<u8>>,
+}
+
+/// Home-side state for central-server locks/barriers (the ablation mode).
+#[derive(Debug, Default)]
+struct CentralLock {
+    busy: bool,
+    queue: VecDeque<(NodeId, ThreadId)>,
+}
+
+#[derive(Debug, Default)]
+struct CentralBarrier {
+    arrived: u32,
+    nodes: Vec<NodeId>,
+}
+
+/// The Ivy server for one node.
+pub struct IvyServer {
+    node: NodeId,
+    cfg: IvyConfig,
+    n_nodes: usize,
+    space: AddressSpace,
+    lock_addr: HashMap<LockId, u64>,
+    barrier_addr: HashMap<BarrierId, u64>, // counter at addr, sense at addr+8
+    barrier_count: HashMap<BarrierId, u32>,
+    lock_home: HashMap<LockId, NodeId>,
+    barrier_home: HashMap<BarrierId, NodeId>,
+
+    pages: HashMap<PageId, PageCopy>,
+    dir: HashMap<PageId, PageDir>,
+    inflight: HashMap<PageId, PageInflight>,
+    pending: Vec<PendingIvyOp>,
+    /// Ops parked on a backoff timer, keyed by thread id (one op per thread).
+    parked: HashMap<u64, PendingIvyOp>,
+    /// Consecutive failed spin attempts per thread (for backoff + livelock
+    /// detection).
+    attempts: HashMap<ThreadId, u32>,
+
+    central_locks: HashMap<LockId, CentralLock>,
+    central_barriers: HashMap<BarrierId, CentralBarrier>,
+    barrier_parked: HashMap<BarrierId, Vec<ThreadId>>,
+}
+
+impl IvyServer {
+    /// Build a server. Every node must receive the identical `decls` slice
+    /// (sorted by id) and sync declarations, so all nodes compute the same
+    /// address-space layout without communication.
+    pub fn new(
+        node: NodeId,
+        cfg: IvyConfig,
+        n_nodes: usize,
+        decls: &[ObjectDecl],
+        sync: &munin_types::SyncDecls,
+    ) -> Self {
+        let mut space = AddressSpace::new(cfg.page_size, cfg.alloc);
+        for d in decls {
+            space.place(d.id, d.size.max(1));
+        }
+        // Synchronization words live in the same shared space, after the
+        // data objects (packed ⇒ locks share pages: authentic contention).
+        let mut lock_addr = HashMap::new();
+        let mut lock_home = HashMap::new();
+        let mut next_sync_obj = u64::MAX; // placement ids that never collide
+        for l in &sync.locks {
+            let id = ObjectId(next_sync_obj);
+            next_sync_obj -= 1;
+            let base = space.place(id, 8);
+            lock_addr.insert(l.id, base);
+            lock_home.insert(l.id, l.home);
+        }
+        let mut barrier_addr = HashMap::new();
+        let mut barrier_count = HashMap::new();
+        let mut barrier_home = HashMap::new();
+        for b in &sync.barriers {
+            let id = ObjectId(next_sync_obj);
+            next_sync_obj -= 1;
+            let base = space.place(id, 16);
+            barrier_addr.insert(b.id, base);
+            barrier_count.insert(b.id, b.count);
+            barrier_home.insert(b.id, b.home);
+        }
+        IvyServer {
+            node,
+            cfg,
+            n_nodes,
+            space,
+            lock_addr,
+            barrier_addr,
+            barrier_count,
+            lock_home,
+            barrier_home,
+            pages: HashMap::new(),
+            dir: HashMap::new(),
+            inflight: HashMap::new(),
+            pending: Vec::new(),
+            parked: HashMap::new(),
+            attempts: HashMap::new(),
+            central_locks: HashMap::new(),
+            central_barriers: HashMap::new(),
+            barrier_parked: HashMap::new(),
+        }
+    }
+
+    fn manager(&self, page: PageId) -> NodeId {
+        NodeId((page.0 % self.n_nodes as u64) as u16)
+    }
+
+    fn route(&mut self, k: &mut Kernel<IvyMsg>, dst: NodeId, msg: IvyMsg) {
+        if dst == self.node {
+            self.handle_msg(k, self.node, msg);
+        } else {
+            k.send(self.node, dst, msg);
+        }
+    }
+
+    /// Manager-side lazy materialization: the first touch of a page conjures
+    /// a zero-filled copy at its manager.
+    fn ensure_dir(&mut self, page: PageId) {
+        debug_assert_eq!(self.manager(page), self.node);
+        let ps = self.cfg.page_size as usize;
+        let node = self.node;
+        self.dir.entry(page).or_insert_with(|| PageDir {
+            owner: node,
+            copyset: BTreeSet::from([node]),
+            active: None,
+            pending_reads: BTreeSet::new(),
+            queued: VecDeque::new(),
+        });
+        let owner_here = self.dir.get(&page).map(|d| d.owner) == Some(self.node);
+        if owner_here && !self.pages.contains_key(&page) {
+            self.pages.insert(page, PageCopy { data: vec![0; ps], write: true });
+        }
+    }
+
+    // ==================================================================
+    // Data access helpers
+    // ==================================================================
+
+    /// Page requirements of an access.
+    fn needs_of(&self, obj: ObjectId, range: ByteRange, write: bool) -> Option<Vec<PageNeed>> {
+        let pieces = self.space.pieces(obj, range)?;
+        Some(pieces.iter().map(|p| PageNeed { page: p.page, write }).collect())
+    }
+
+    fn have(&self, need: PageNeed) -> bool {
+        match self.pages.get(&need.page) {
+            Some(c) => !need.write || c.write,
+            None => false,
+        }
+    }
+
+    /// Gather `range` of `obj` from local page copies (caller checked
+    /// availability).
+    fn gather(&self, obj: ObjectId, range: ByteRange) -> Vec<u8> {
+        let mut out = Vec::with_capacity(range.len as usize);
+        for piece in self.space.pieces(obj, range).expect("validated") {
+            let copy = self.pages.get(&piece.page).expect("availability checked");
+            let s = piece.off_in_page as usize;
+            out.extend_from_slice(&copy.data[s..s + piece.len as usize]);
+        }
+        out
+    }
+
+    /// Scatter `data` into local page copies.
+    fn scatter(&mut self, obj: ObjectId, range: ByteRange, data: &[u8]) {
+        let mut off = 0usize;
+        for piece in self.space.pieces(obj, range).expect("validated") {
+            let copy = self.pages.get_mut(&piece.page).expect("availability checked");
+            debug_assert!(copy.write);
+            let s = piece.off_in_page as usize;
+            copy.data[s..s + piece.len as usize].copy_from_slice(&data[off..off + piece.len as usize]);
+            off += piece.len as usize;
+        }
+    }
+
+    /// Byte-level access by flat address (sync words).
+    fn addr_needs(&self, addr: u64, len: u32, write: bool) -> Vec<PageNeed> {
+        let ps = self.cfg.page_size as u64;
+        let first = addr / ps;
+        let last = (addr + len as u64 - 1) / ps;
+        (first..=last).map(|p| PageNeed { page: PageId(p), write }).collect()
+    }
+
+    fn read_u64_at(&self, addr: u64) -> u64 {
+        let mut buf = [0u8; 8];
+        self.copy_addr(addr, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    fn write_u64_at(&mut self, addr: u64, value: u64) {
+        self.put_addr(addr, &value.to_le_bytes());
+    }
+
+    fn copy_addr(&self, addr: u64, out: &mut [u8]) {
+        let ps = self.cfg.page_size as u64;
+        for (i, byte) in out.iter_mut().enumerate() {
+            let a = addr + i as u64;
+            let copy = self.pages.get(&PageId(a / ps)).expect("availability checked");
+            *byte = copy.data[(a % ps) as usize];
+        }
+    }
+
+    fn put_addr(&mut self, addr: u64, data: &[u8]) {
+        let ps = self.cfg.page_size as u64;
+        for (i, byte) in data.iter().enumerate() {
+            let a = addr + i as u64;
+            let copy = self.pages.get_mut(&PageId(a / ps)).expect("availability checked");
+            debug_assert!(copy.write);
+            copy.data[(a % ps) as usize] = *byte;
+        }
+    }
+
+    // ==================================================================
+    // Pending-op engine
+    // ==================================================================
+
+    /// Page needs of a pending op.
+    fn op_needs(&self, op: &PendingIvyOp) -> Vec<PageNeed> {
+        match op {
+            PendingIvyOp::Read { obj, range, .. } => {
+                self.needs_of(*obj, *range, false).unwrap_or_default()
+            }
+            PendingIvyOp::Write { obj, range, .. } => {
+                self.needs_of(*obj, *range, true).unwrap_or_default()
+            }
+            PendingIvyOp::AtomicAdd { obj, offset, .. } => {
+                let base = self.space.base(*obj).unwrap_or(0);
+                self.addr_needs(base + *offset as u64, 8, true)
+            }
+            PendingIvyOp::Tas { lock, .. } | PendingIvyOp::Unlock { lock, .. } => {
+                let addr = self.lock_addr[lock];
+                self.addr_needs(addr, 8, true)
+            }
+            PendingIvyOp::BarrierArrive { barrier, .. } => {
+                let addr = self.barrier_addr[barrier];
+                self.addr_needs(addr, 16, true)
+            }
+            PendingIvyOp::BarrierPoll { barrier, .. } => {
+                let addr = self.barrier_addr[barrier];
+                self.addr_needs(addr + 8, 8, false)
+            }
+        }
+    }
+
+    /// Issue page requests for unmet needs (duplicate-suppressed; a write
+    /// request waits for any in-flight read to land first).
+    fn request_needs(&mut self, k: &mut Kernel<IvyMsg>, needs: &[PageNeed]) {
+        for need in needs {
+            if self.have(*need) {
+                continue;
+            }
+            let fl = self.inflight.entry(need.page).or_default();
+            if need.write {
+                if fl.write || fl.read {
+                    continue;
+                }
+                fl.write = true;
+                let mgr = self.manager(need.page);
+                self.route(k, mgr, IvyMsg::WReq { page: need.page });
+            } else {
+                if fl.read || fl.write {
+                    continue;
+                }
+                fl.read = true;
+                let mgr = self.manager(need.page);
+                self.route(k, mgr, IvyMsg::RReq { page: need.page });
+            }
+        }
+    }
+
+    /// Try to complete every pending op; re-request what is still missing.
+    /// Runs to fixpoint: completing one op can unblock another (barrier
+    /// flips, lock releases).
+    fn rescan(&mut self, k: &mut Kernel<IvyMsg>) {
+        loop {
+            let mut progressed = false;
+            let mut still = Vec::new();
+            let ops = std::mem::take(&mut self.pending);
+            for op in ops {
+                let needs = self.op_needs(&op);
+                if needs.iter().all(|n| self.have(*n)) {
+                    self.execute(k, op);
+                    progressed = true;
+                } else {
+                    still.push(op);
+                }
+            }
+            // Collect requests for everything still blocked.
+            let mut all_needs = Vec::new();
+            for op in &still {
+                all_needs.extend(self.op_needs(op));
+            }
+            self.pending.extend(still);
+            self.request_needs(k, &all_needs);
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    /// Execute an op whose pages are all locally available.
+    fn execute(&mut self, k: &mut Kernel<IvyMsg>, op: PendingIvyOp) {
+        let cost = k.cost().fault_overhead_us + k.cost().local_access_us;
+        match op {
+            PendingIvyOp::Read { thread, obj, range } => {
+                let bytes = self.gather(obj, range);
+                k.complete(thread, OpResult::Bytes(bytes), cost);
+            }
+            PendingIvyOp::Write { thread, obj, range, data } => {
+                self.scatter(obj, range, &data);
+                k.complete(thread, OpResult::Unit, cost);
+            }
+            PendingIvyOp::AtomicAdd { thread, obj, offset, delta } => {
+                let addr = self.space.base(obj).unwrap_or(0) + offset as u64;
+                let old = self.read_u64_at(addr) as i64;
+                self.write_u64_at(addr, old.wrapping_add(delta) as u64);
+                k.complete(thread, OpResult::Value(old), cost);
+            }
+            PendingIvyOp::Tas { thread, lock } => {
+                let addr = self.lock_addr[&lock];
+                let word = self.read_u64_at(addr);
+                if word == 0 {
+                    self.write_u64_at(addr, 1);
+                    self.attempts.remove(&thread);
+                    k.complete(thread, OpResult::Unit, cost);
+                } else {
+                    self.spin_retry(k, thread, PendingIvyOp::Tas { thread, lock });
+                }
+            }
+            PendingIvyOp::Unlock { thread, lock } => {
+                let addr = self.lock_addr[&lock];
+                self.write_u64_at(addr, 0);
+                k.complete(thread, OpResult::Unit, cost);
+            }
+            PendingIvyOp::BarrierArrive { thread, barrier } => {
+                let addr = self.barrier_addr[&barrier];
+                let count = self.barrier_count[&barrier];
+                let arrived = self.read_u64_at(addr) + 1;
+                if arrived as u32 >= count {
+                    self.write_u64_at(addr, 0);
+                    let sense = self.read_u64_at(addr + 8);
+                    self.write_u64_at(addr + 8, sense ^ 1);
+                    k.complete(thread, OpResult::Unit, cost);
+                } else {
+                    self.write_u64_at(addr, arrived);
+                    let expected = (self.read_u64_at(addr + 8) ^ 1) as u8;
+                    // Start polling the sense word.
+                    self.pending.push(PendingIvyOp::BarrierPoll {
+                        thread,
+                        barrier,
+                        expected_sense: expected,
+                    });
+                }
+            }
+            PendingIvyOp::BarrierPoll { thread, barrier, expected_sense } => {
+                let addr = self.barrier_addr[&barrier];
+                let sense = self.read_u64_at(addr + 8) as u8;
+                if sense == expected_sense {
+                    self.attempts.remove(&thread);
+                    k.complete(thread, OpResult::Unit, cost);
+                } else {
+                    self.spin_retry(
+                        k,
+                        thread,
+                        PendingIvyOp::BarrierPoll { thread, barrier, expected_sense },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Back off and retry a spin (TAS / barrier poll) later.
+    fn spin_retry(&mut self, k: &mut Kernel<IvyMsg>, thread: ThreadId, op: PendingIvyOp) {
+        let n = self.attempts.entry(thread).or_insert(0);
+        *n += 1;
+        if *n > self.cfg.spin_attempt_limit {
+            k.error(format!("spin livelock: {thread} exceeded attempt limit"));
+            k.complete(thread, OpResult::Err(DsmError::Livelock("DSM spin lock")), 0);
+            return;
+        }
+        let shift = (*n).min(6);
+        // Deterministic per-thread stagger de-synchronizes spinners that
+        // would otherwise retry in lockstep and starve each other.
+        let delay = (self.cfg.spin_backoff_us << shift) + (thread.0 as u64) * 37;
+        let token = thread.0 as u64;
+        self.parked.insert(token, op);
+        k.set_timer(self.node, delay, token);
+    }
+
+    // ==================================================================
+    // Page protocol: manager side
+    // ==================================================================
+
+    fn handle_rreq(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, page: PageId) {
+        self.ensure_dir(page);
+        {
+            let d = self.dir.get_mut(&page).expect("ensured");
+            if d.active.is_some() {
+                d.queued.push_back((from, false));
+                return;
+            }
+        }
+        self.serve_page_read(k, from, page);
+    }
+
+    fn serve_page_read(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, page: PageId) {
+        let owner = {
+            let d = self.dir.get_mut(&page).expect("ensured");
+            d.copyset.insert(from);
+            d.owner
+        };
+        if owner == self.node {
+            // Manager owns: serve (and downgrade own copy — the owner may
+            // no longer write behind the readers' backs). No confirmation
+            // needed: a later invalidation to `from` travels the same FIFO
+            // channel as this copy, so it cannot overtake it.
+            let data = {
+                let copy = self.pages.get_mut(&page).expect("owner holds copy");
+                copy.write = false;
+                copy.data.clone()
+            };
+            self.route(k, from, IvyMsg::PData { page, data, confirm: false });
+            self.rescan(k);
+        } else if owner == from {
+            k.error(format!("{page}: owner {from} read-faulted"));
+        } else {
+            // Forwarded: the copy travels owner→requester, off this
+            // manager's channels — hold write transactions until confirmed.
+            self.dir.get_mut(&page).expect("ensured").pending_reads.insert(from);
+            self.route(k, owner, IvyMsg::FwdRead { page, requester: from });
+        }
+    }
+
+    fn handle_fwd_read(&mut self, k: &mut Kernel<IvyMsg>, page: PageId, requester: NodeId) {
+        let data = {
+            let Some(copy) = self.pages.get_mut(&page) else {
+                k.error(format!("FwdRead at non-holder for {page}"));
+                return;
+            };
+            copy.write = false;
+            copy.data.clone()
+        };
+        self.route(k, requester, IvyMsg::PData { page, data, confirm: true });
+        // Our own pending writes to this page lost write access.
+        self.rescan(k);
+    }
+
+    fn handle_wreq(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, page: PageId) {
+        self.ensure_dir(page);
+        {
+            let d = self.dir.get_mut(&page).expect("ensured");
+            if d.active.is_some() || !d.pending_reads.is_empty() {
+                d.queued.push_back((from, true));
+                return;
+            }
+        }
+        self.start_page_txn(k, from, page);
+    }
+
+    fn start_page_txn(&mut self, k: &mut Kernel<IvyMsg>, requester: NodeId, page: PageId) {
+        let (owner, to_inval, had_copy) = {
+            let d = self.dir.get_mut(&page).expect("ensured");
+            let owner = d.owner;
+            let had_copy = if requester == self.node {
+                self.pages.contains_key(&page)
+            } else {
+                d.copyset.contains(&requester)
+            };
+            let to_inval: Vec<NodeId> = d
+                .copyset
+                .iter()
+                .copied()
+                .filter(|n| *n != requester && *n != owner)
+                .collect();
+            (owner, to_inval, had_copy)
+        };
+        let awaiting_yield = owner != requester && owner != self.node;
+        // The manager's own stale copy dies locally (no message, no ack).
+        let (remote_inval, self_inval): (Vec<NodeId>, Vec<NodeId>) =
+            to_inval.into_iter().partition(|n| *n != self.node);
+        self.dir.get_mut(&page).expect("ensured").active = Some(ActivePageTxn {
+            requester,
+            pending_invals: remote_inval.len(),
+            awaiting_yield,
+            requester_had_copy: had_copy,
+            xfer: None,
+        });
+        if awaiting_yield {
+            self.route(k, owner, IvyMsg::Yield { page });
+        }
+        if !self_inval.is_empty() {
+            self.pages.remove(&page);
+            self.rescan(k);
+        }
+        for n in remote_inval {
+            k.send(self.node, n, IvyMsg::Inval { page });
+        }
+        self.check_page_txn(k, page);
+    }
+
+    fn handle_yield(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, page: PageId) {
+        let Some(copy) = self.pages.remove(&page) else {
+            k.error(format!("Yield at non-holder for {page}"));
+            return;
+        };
+        self.route(k, from, IvyMsg::YieldData { page, data: copy.data });
+        self.rescan(k);
+    }
+
+    fn handle_yield_data(&mut self, k: &mut Kernel<IvyMsg>, _from: NodeId, page: PageId, data: Vec<u8>) {
+        if let Some(txn) = self.dir.get_mut(&page).and_then(|d| d.active.as_mut()) {
+            txn.xfer = Some(data);
+            txn.awaiting_yield = false;
+        }
+        self.check_page_txn(k, page);
+    }
+
+    fn handle_inval(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, page: PageId) {
+        self.pages.remove(&page);
+        self.route(k, from, IvyMsg::InvalAck { page });
+        self.rescan(k);
+    }
+
+    fn handle_inval_ack(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, page: PageId) {
+        {
+            let Some(txn) = self.dir.get_mut(&page).and_then(|d| d.active.as_mut()) else {
+                k.error(format!("InvalAck without transaction for {page} from {from}"));
+                return;
+            };
+            txn.pending_invals -= 1;
+        }
+        self.check_page_txn(k, page);
+    }
+
+    fn check_page_txn(&mut self, k: &mut Kernel<IvyMsg>, page: PageId) {
+        let ready = self
+            .dir
+            .get(&page)
+            .and_then(|d| d.active.as_ref())
+            .is_some_and(|t| t.pending_invals == 0 && !t.awaiting_yield);
+        if !ready {
+            return;
+        }
+        let txn = self.dir.get_mut(&page).expect("exists").active.take().expect("ready");
+        let requester = txn.requester;
+        // Source bytes: yielded data, or the manager's own copy.
+        let source = match txn.xfer {
+            Some(d) => Some(d),
+            None => {
+                if requester != self.node {
+                    self.pages.remove(&page).map(|c| c.data)
+                } else {
+                    None
+                }
+            }
+        };
+        {
+            let d = self.dir.get_mut(&page).expect("exists");
+            d.owner = requester;
+            d.copyset.clear();
+            d.copyset.insert(requester);
+        }
+        if requester == self.node {
+            match source {
+                Some(data) => {
+                    self.pages.insert(page, PageCopy { data, write: true });
+                }
+                None => {
+                    // Upgrade (or manager-owned materialization).
+                    let ps = self.cfg.page_size as usize;
+                    let copy = self
+                        .pages
+                        .entry(page)
+                        .or_insert_with(|| PageCopy { data: vec![0; ps], write: false });
+                    copy.write = true;
+                }
+            }
+            self.inflight.remove(&page);
+            self.rescan(k);
+        } else {
+            let data = if txn.requester_had_copy { None } else { source };
+            self.route(k, requester, IvyMsg::Grant { page, data });
+        }
+        self.process_page_queue(k, page);
+    }
+
+    fn process_page_queue(&mut self, k: &mut Kernel<IvyMsg>, page: PageId) {
+        loop {
+            let op = {
+                let d = self.dir.get_mut(&page).expect("exists");
+                if d.active.is_some() {
+                    return;
+                }
+                d.queued.pop_front()
+            };
+            match op {
+                None => return,
+                Some((requester, false)) => self.serve_page_read(k, requester, page),
+                Some((requester, true)) => {
+                    let reads_pending = {
+                        let d = self.dir.get_mut(&page).expect("exists");
+                        if !d.pending_reads.is_empty() {
+                            d.queued.push_front((requester, true));
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if reads_pending {
+                        return;
+                    }
+                    self.start_page_txn(k, requester, page);
+                    return;
+                }
+            }
+        }
+    }
+
+    // ==================================================================
+    // Page protocol: requester side
+    // ==================================================================
+
+    fn handle_pdata(
+        &mut self,
+        k: &mut Kernel<IvyMsg>,
+        _from: NodeId,
+        page: PageId,
+        data: Vec<u8>,
+        confirm: bool,
+    ) {
+        self.pages.insert(page, PageCopy { data, write: false });
+        if let Some(fl) = self.inflight.get_mut(&page) {
+            fl.read = false;
+        }
+        if confirm {
+            let mgr = self.manager(page);
+            self.route(k, mgr, IvyMsg::RConfirm { page });
+        }
+        self.rescan(k);
+    }
+
+    fn handle_rconfirm(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, page: PageId) {
+        let drained = {
+            let Some(d) = self.dir.get_mut(&page) else { return };
+            d.pending_reads.remove(&from);
+            d.pending_reads.is_empty() && d.active.is_none()
+        };
+        if drained {
+            self.process_page_queue(k, page);
+        }
+    }
+
+    fn handle_grant(&mut self, k: &mut Kernel<IvyMsg>, _from: NodeId, page: PageId, data: Option<Vec<u8>>) {
+        match data {
+            Some(d) => {
+                self.pages.insert(page, PageCopy { data: d, write: true });
+            }
+            None => {
+                let ps = self.cfg.page_size as usize;
+                let copy = self
+                    .pages
+                    .entry(page)
+                    .or_insert_with(|| PageCopy { data: vec![0; ps], write: false });
+                copy.write = true;
+            }
+        }
+        self.inflight.remove(&page);
+        self.rescan(k);
+    }
+
+    // ==================================================================
+    // Central synchronization (ablation)
+    // ==================================================================
+
+    fn central_lock_req(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, lock: LockId, thread: ThreadId) {
+        let grant = {
+            let st = self.central_locks.entry(lock).or_default();
+            if st.busy {
+                st.queue.push_back((from, thread));
+                None
+            } else {
+                st.busy = true;
+                Some((from, thread))
+            }
+        };
+        if let Some((node, thread)) = grant {
+            if node == self.node {
+                k.complete(thread, OpResult::Unit, k.cost().local_lock_us);
+            } else {
+                self.route(k, node, IvyMsg::CLockGrant { thread });
+            }
+        }
+    }
+
+    fn central_unlock(&mut self, k: &mut Kernel<IvyMsg>, lock: LockId) {
+        let next = {
+            let st = self.central_locks.entry(lock).or_default();
+            match st.queue.pop_front() {
+                Some(n) => Some(n),
+                None => {
+                    st.busy = false;
+                    None
+                }
+            }
+        };
+        if let Some((node, thread)) = next {
+            if node == self.node {
+                k.complete(thread, OpResult::Unit, k.cost().local_lock_us);
+            } else {
+                self.route(k, node, IvyMsg::CLockGrant { thread });
+            }
+        }
+    }
+
+    fn central_barrier_arrive(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, b: BarrierId, threads: u32) {
+        let count = self.barrier_count[&b];
+        let release = {
+            let st = self.central_barriers.entry(b).or_default();
+            st.arrived += threads;
+            if from != self.node && !st.nodes.contains(&from) {
+                st.nodes.push(from);
+            }
+            st.arrived >= count
+        };
+        if release {
+            let mut nodes = {
+                let st = self.central_barriers.get_mut(&b).expect("exists");
+                st.arrived = 0;
+                std::mem::take(&mut st.nodes)
+            };
+            nodes.sort_unstable();
+            k.multicast(self.node, &nodes, IvyMsg::CBarrierRelease { barrier: b });
+            self.central_barrier_release(k, b);
+        }
+    }
+
+    fn central_barrier_release(&mut self, k: &mut Kernel<IvyMsg>, b: BarrierId) {
+        for t in self.barrier_parked.remove(&b).unwrap_or_default() {
+            k.complete(t, OpResult::Unit, k.cost().local_lock_us);
+        }
+    }
+
+    // ==================================================================
+    // Dispatch
+    // ==================================================================
+
+    fn handle_msg(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, msg: IvyMsg) {
+        use IvyMsg::*;
+        match msg {
+            RReq { page } => self.handle_rreq(k, from, page),
+            FwdRead { page, requester } => self.handle_fwd_read(k, page, requester),
+            PData { page, data, confirm } => self.handle_pdata(k, from, page, data, confirm),
+            RConfirm { page } => self.handle_rconfirm(k, from, page),
+            WReq { page } => self.handle_wreq(k, from, page),
+            Yield { page } => self.handle_yield(k, from, page),
+            YieldData { page, data } => self.handle_yield_data(k, from, page, data),
+            Inval { page } => self.handle_inval(k, from, page),
+            InvalAck { page } => self.handle_inval_ack(k, from, page),
+            Grant { page, data } => self.handle_grant(k, from, page, data),
+            CLockReq { lock, thread } => self.central_lock_req(k, from, lock, thread),
+            CLockGrant { thread } => {
+                k.complete(thread, OpResult::Unit, k.cost().local_lock_us);
+            }
+            CUnlock { lock } => self.central_unlock(k, lock),
+            CBarrierArrive { barrier, threads } => {
+                self.central_barrier_arrive(k, from, barrier, threads)
+            }
+            CBarrierRelease { barrier } => self.central_barrier_release(k, barrier),
+        }
+    }
+
+    /// Park a data/spin op and try to satisfy it.
+    fn submit(&mut self, k: &mut Kernel<IvyMsg>, op: PendingIvyOp) {
+        self.pending.push(op);
+        self.rescan(k);
+    }
+}
+
+impl Server for IvyServer {
+    type Payload = IvyMsg;
+
+    fn on_op(&mut self, k: &mut Kernel<IvyMsg>, thread: ThreadId, op: DsmOp) -> OpOutcome {
+        match op {
+            DsmOp::Alloc(_) => OpOutcome::fail(DsmError::Internal(
+                "Ivy requires all objects to be declared before the run".into(),
+            )),
+            DsmOp::Read { obj, range } => {
+                let Some(needs) = self.needs_of(obj, range, false) else {
+                    return OpOutcome::fail(DsmError::OutOfBounds {
+                        obj,
+                        range,
+                        size: self.space.size(obj).unwrap_or(0),
+                    });
+                };
+                if needs.iter().all(|n| self.have(*n)) {
+                    return OpOutcome::done(
+                        OpResult::Bytes(self.gather(obj, range)),
+                        k.cost().local_access_us,
+                    );
+                }
+                self.submit(k, PendingIvyOp::Read { thread, obj, range });
+                OpOutcome::Blocked
+            }
+            DsmOp::Write { obj, range, data } => {
+                let Some(needs) = self.needs_of(obj, range, true) else {
+                    return OpOutcome::fail(DsmError::OutOfBounds {
+                        obj,
+                        range,
+                        size: self.space.size(obj).unwrap_or(0),
+                    });
+                };
+                if needs.iter().all(|n| self.have(*n)) {
+                    self.scatter(obj, range, &data);
+                    return OpOutcome::unit(k.cost().local_access_us);
+                }
+                self.submit(k, PendingIvyOp::Write { thread, obj, range, data });
+                OpOutcome::Blocked
+            }
+            DsmOp::AtomicFetchAdd { obj, offset, delta } => {
+                self.submit(k, PendingIvyOp::AtomicAdd { thread, obj, offset, delta });
+                OpOutcome::Blocked
+            }
+            DsmOp::Lock(l) => match self.cfg.sync {
+                SyncStrategy::CentralServer => {
+                    let home = self.lock_home[&l];
+                    if home == self.node {
+                        self.central_lock_req(k, self.node, l, thread);
+                    } else {
+                        self.route(k, home, IvyMsg::CLockReq { lock: l, thread });
+                    }
+                    OpOutcome::Blocked
+                }
+                _ => {
+                    self.submit(k, PendingIvyOp::Tas { thread, lock: l });
+                    OpOutcome::Blocked
+                }
+            },
+            DsmOp::Unlock(l) => match self.cfg.sync {
+                SyncStrategy::CentralServer => {
+                    let home = self.lock_home[&l];
+                    if home == self.node {
+                        self.central_unlock(k, l);
+                    } else {
+                        self.route(k, home, IvyMsg::CUnlock { lock: l });
+                    }
+                    OpOutcome::unit(k.cost().local_lock_us)
+                }
+                _ => {
+                    self.submit(k, PendingIvyOp::Unlock { thread, lock: l });
+                    OpOutcome::Blocked
+                }
+            },
+            DsmOp::BarrierWait(b) => match self.cfg.sync {
+                SyncStrategy::CentralServer => {
+                    self.barrier_parked.entry(b).or_default().push(thread);
+                    let home = self.barrier_home[&b];
+                    if home == self.node {
+                        self.central_barrier_arrive(k, self.node, b, 1);
+                    } else {
+                        self.route(k, home, IvyMsg::CBarrierArrive { barrier: b, threads: 1 });
+                    }
+                    OpOutcome::Blocked
+                }
+                _ => {
+                    self.submit(k, PendingIvyOp::BarrierArrive { thread, barrier: b });
+                    OpOutcome::Blocked
+                }
+            },
+            DsmOp::CondWait { .. } | DsmOp::CondSignal { .. } => OpOutcome::fail(
+                DsmError::Internal("Ivy has no condition variables (no special sync provisions)".into()),
+            ),
+            DsmOp::Flush | DsmOp::Phase(_) => OpOutcome::unit(k.cost().local_access_us),
+            DsmOp::Exit => OpOutcome::unit(0),
+            DsmOp::Compute(us) => OpOutcome::unit(us),
+        }
+    }
+
+    fn on_message(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, payload: IvyMsg) {
+        self.handle_msg(k, from, payload);
+    }
+
+    fn on_timer(&mut self, k: &mut Kernel<IvyMsg>, token: u64) {
+        if let Some(op) = self.parked.remove(&token) {
+            self.pending.push(op);
+            self.rescan(k);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! The Ivy baseline's flat shared address space.
+//!
+//! Ivy provides "a virtual address space that is shared among all the
+//! processors", divided into fixed-size pages; "all sharing is on a per-page
+//! basis, entailing the possibility of significant amounts of false
+//! sharing". This module reproduces that: objects are *placed* at addresses
+//! (packed back-to-back, or page-aligned as an ablation), and every access
+//! is translated from (object, byte range) to the page pieces it touches.
+//!
+//! Placement is deterministic given the declaration order, so every node
+//! computes the identical layout without communication — exactly like a
+//! linker laying out a shared segment.
+
+use munin_types::{AllocPolicy, ByteRange, ObjectId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A page number in the flat space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pg{}", self.0)
+    }
+}
+
+/// One page-sized (or smaller) piece of an object access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagePiece {
+    /// Which page.
+    pub page: PageId,
+    /// Offset of the piece within the page.
+    pub off_in_page: u32,
+    /// Offset of the piece within the *object*.
+    pub obj_offset: u32,
+    /// Piece length in bytes.
+    pub len: u32,
+}
+
+/// Deterministic object placement + translation.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    page_size: u32,
+    policy: AllocPolicy,
+    next_addr: u64,
+    bases: HashMap<ObjectId, (u64, u32)>, // (base address, size)
+}
+
+impl AddressSpace {
+    pub fn new(page_size: u32, policy: AllocPolicy) -> Self {
+        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        AddressSpace { page_size, policy, next_addr: 0, bases: HashMap::new() }
+    }
+
+    pub fn page_size(&self) -> u32 {
+        self.page_size
+    }
+
+    /// Place an object; returns its base address. Word-aligns packed
+    /// placements (8 bytes) so numeric views never straddle for alignment
+    /// reasons alone.
+    pub fn place(&mut self, obj: ObjectId, size: u32) -> u64 {
+        let base = match self.policy {
+            AllocPolicy::Packed => (self.next_addr + 7) & !7,
+            AllocPolicy::PageAligned => {
+                let ps = self.page_size as u64;
+                self.next_addr.div_ceil(ps) * ps
+            }
+        };
+        self.next_addr = base + size as u64;
+        self.bases.insert(obj, (base, size));
+        base
+    }
+
+    pub fn base(&self, obj: ObjectId) -> Option<u64> {
+        self.bases.get(&obj).map(|(b, _)| *b)
+    }
+
+    pub fn size(&self, obj: ObjectId) -> Option<u32> {
+        self.bases.get(&obj).map(|(_, s)| *s)
+    }
+
+    /// Total pages the placed objects span.
+    pub fn page_count(&self) -> u64 {
+        self.next_addr.div_ceil(self.page_size as u64)
+    }
+
+    /// Page containing flat address `addr`.
+    pub fn page_of(&self, addr: u64) -> PageId {
+        PageId(addr / self.page_size as u64)
+    }
+
+    /// Translate an access to `range` of `obj` into per-page pieces, in
+    /// ascending page order.
+    pub fn pieces(&self, obj: ObjectId, range: ByteRange) -> Option<Vec<PagePiece>> {
+        let (base, size) = *self.bases.get(&obj)?;
+        if !range.fits_in(size) {
+            return None;
+        }
+        let ps = self.page_size as u64;
+        let mut out = Vec::new();
+        let mut obj_off = range.start;
+        let mut remaining = range.len;
+        while remaining > 0 {
+            let addr = base + obj_off as u64;
+            let page = PageId(addr / ps);
+            let off_in_page = (addr % ps) as u32;
+            let take = remaining.min(self.page_size - off_in_page);
+            out.push(PagePiece { page, off_in_page, obj_offset: obj_off, len: take });
+            obj_off += take;
+            remaining -= take;
+        }
+        Some(out)
+    }
+
+    /// All pages an object occupies (for sizing page tables).
+    pub fn pages_of_object(&self, obj: ObjectId) -> Option<Vec<PageId>> {
+        let (base, size) = *self.bases.get(&obj)?;
+        if size == 0 {
+            return Some(Vec::new());
+        }
+        let ps = self.page_size as u64;
+        let first = base / ps;
+        let last = (base + size as u64 - 1) / ps;
+        Some((first..=last).map(PageId).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn packed_placement_shares_pages() {
+        let mut a = AddressSpace::new(1024, AllocPolicy::Packed);
+        let o1 = ObjectId(0);
+        let o2 = ObjectId(1);
+        a.place(o1, 100);
+        a.place(o2, 100);
+        // Both objects in page 0 — false sharing territory.
+        assert_eq!(a.pages_of_object(o1).unwrap(), vec![PageId(0)]);
+        assert_eq!(a.pages_of_object(o2).unwrap(), vec![PageId(0)]);
+        assert_eq!(a.base(o2).unwrap(), 104, "word aligned after 100 bytes");
+    }
+
+    #[test]
+    fn page_aligned_placement_isolates_objects() {
+        let mut a = AddressSpace::new(1024, AllocPolicy::PageAligned);
+        let o1 = ObjectId(0);
+        let o2 = ObjectId(1);
+        a.place(o1, 100);
+        a.place(o2, 100);
+        assert_eq!(a.base(o2).unwrap(), 1024);
+        assert_eq!(a.pages_of_object(o2).unwrap(), vec![PageId(1)]);
+        assert_eq!(a.page_count(), 2);
+    }
+
+    #[test]
+    fn pieces_split_at_page_boundaries() {
+        let mut a = AddressSpace::new(256, AllocPolicy::Packed);
+        let o = ObjectId(0);
+        a.place(o, 1000);
+        // Access [200, 600) spans pages 0,1,2.
+        let pieces = a.pieces(o, ByteRange::new(200, 400)).unwrap();
+        assert_eq!(pieces.len(), 3);
+        assert_eq!(pieces[0], PagePiece { page: PageId(0), off_in_page: 200, obj_offset: 200, len: 56 });
+        assert_eq!(pieces[1], PagePiece { page: PageId(1), off_in_page: 0, obj_offset: 256, len: 256 });
+        assert_eq!(pieces[2], PagePiece { page: PageId(2), off_in_page: 0, obj_offset: 512, len: 88 });
+    }
+
+    #[test]
+    fn out_of_bounds_access_rejected() {
+        let mut a = AddressSpace::new(256, AllocPolicy::Packed);
+        let o = ObjectId(0);
+        a.place(o, 100);
+        assert!(a.pieces(o, ByteRange::new(90, 20)).is_none());
+        assert!(a.pieces(ObjectId(9), ByteRange::new(0, 1)).is_none());
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let build = || {
+            let mut a = AddressSpace::new(512, AllocPolicy::Packed);
+            for i in 0..20 {
+                a.place(ObjectId(i), (i as u32 + 1) * 13);
+            }
+            (0..20).map(|i| a.base(ObjectId(i)).unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    proptest! {
+        /// Pieces tile the requested range exactly: contiguous object
+        /// offsets, lengths sum to the range, and no piece crosses a page
+        /// boundary.
+        #[test]
+        fn pieces_tile_the_range(
+            page_pow in 6u32..12,
+            sizes in proptest::collection::vec(1u32..5000, 1..10),
+            pick in any::<prop::sample::Index>(),
+            start_frac in 0.0f64..1.0,
+            len_frac in 0.0f64..1.0,
+        ) {
+            let ps = 1u32 << page_pow;
+            let mut a = AddressSpace::new(ps, AllocPolicy::Packed);
+            for (i, s) in sizes.iter().enumerate() {
+                a.place(ObjectId(i as u64), *s);
+            }
+            let idx = pick.index(sizes.len());
+            let obj = ObjectId(idx as u64);
+            let size = sizes[idx];
+            let start = ((size - 1) as f64 * start_frac) as u32;
+            let len = 1 + (((size - start - 1) as f64) * len_frac) as u32;
+            let range = ByteRange::new(start, len);
+            let pieces = a.pieces(obj, range).unwrap();
+
+            let mut expect_off = start;
+            let mut total = 0u32;
+            for p in &pieces {
+                prop_assert_eq!(p.obj_offset, expect_off);
+                prop_assert!(p.off_in_page + p.len <= ps, "piece crosses page boundary");
+                prop_assert!(p.len > 0);
+                expect_off += p.len;
+                total += p.len;
+            }
+            prop_assert_eq!(total, len);
+            // Pages ascend.
+            for w in pieces.windows(2) {
+                prop_assert!(w[1].page.0 == w[0].page.0 + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Run-length diffs.
+//!
+//! A [`Diff`] is the wire representation of "what changed in this object":
+//! a sorted list of disjoint byte ranges with their new contents. Diffs are
+//! produced by comparing a working copy against its twin (see
+//! [`crate::twin`]), shipped by the delayed update queue, and applied at
+//! receivers. Applying diffs from different threads that wrote *independent*
+//! portions of an object commutes — which is exactly why Munin's loose
+//! coherence can let multiple writers proceed without synchronization.
+
+use munin_types::ByteRange;
+use serde::{Deserialize, Serialize};
+
+/// Per-range wire overhead: offset (4) + length (4).
+const RANGE_HEADER_BYTES: usize = 8;
+
+/// A run-length encoded update to one object.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Diff {
+    /// Sorted, disjoint, non-adjacent ranges with their new bytes.
+    runs: Vec<(ByteRange, Vec<u8>)>,
+}
+
+impl Diff {
+    /// Compare `new` against the pristine `old` (the twin) and record every
+    /// differing run. Both slices must be the same length.
+    pub fn between(old: &[u8], new: &[u8]) -> Diff {
+        assert_eq!(old.len(), new.len(), "diff requires equal-length buffers");
+        let mut runs = Vec::new();
+        let mut i = 0usize;
+        let n = new.len();
+        while i < n {
+            if old[i] != new[i] {
+                let start = i;
+                while i < n && old[i] != new[i] {
+                    i += 1;
+                }
+                runs.push((
+                    ByteRange::new(start as u32, (i - start) as u32),
+                    new[start..i].to_vec(),
+                ));
+            } else {
+                i += 1;
+            }
+        }
+        Diff { runs }
+    }
+
+    /// A diff that overwrites `range` with `data` unconditionally (used by
+    /// write-without-fetch paths where no twin exists, e.g. result objects
+    /// written before ever being read).
+    pub fn overwrite(range: ByteRange, data: Vec<u8>) -> Diff {
+        assert_eq!(range.len as usize, data.len());
+        if range.is_empty() {
+            return Diff::default();
+        }
+        Diff { runs: vec![(range, data)] }
+    }
+
+    /// No changes?
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of distinct runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total payload bytes (data only).
+    pub fn data_bytes(&self) -> usize {
+        self.runs.iter().map(|(_, d)| d.len()).sum()
+    }
+
+    /// Bytes this diff occupies on the wire (runs + per-run headers).
+    pub fn wire_bytes(&self) -> usize {
+        self.data_bytes() + self.runs.len() * RANGE_HEADER_BYTES
+    }
+
+    /// Iterate over the runs.
+    pub fn runs(&self) -> impl Iterator<Item = (&ByteRange, &[u8])> {
+        self.runs.iter().map(|(r, d)| (r, d.as_slice()))
+    }
+
+    /// Apply to `data` (last-applied-wins on overlap, which is the legal
+    /// loose-coherence outcome for unsynchronized overlapping writes).
+    ///
+    /// Panics if any run is out of bounds — receivers validated the object
+    /// size when the copy was created, so an out-of-bounds run is a protocol
+    /// bug, not an application error.
+    pub fn apply(&self, data: &mut [u8]) {
+        for (range, bytes) in &self.runs {
+            let start = range.start as usize;
+            let end = start + range.len as usize;
+            data[start..end].copy_from_slice(bytes);
+        }
+    }
+
+    /// Fold `later` into `self`, with `later` taking precedence on overlap.
+    /// Used to combine successive flushes addressed to the same destination
+    /// into one message ("delaying updates allows the system to combine
+    /// updates to the same object").
+    pub fn merge(&mut self, later: &Diff) {
+        if later.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            *self = later.clone();
+            return;
+        }
+        // Materialize over the covering hull — simple and correct; diffs are
+        // small relative to objects.
+        let hull_end = self
+            .runs
+            .iter()
+            .chain(later.runs.iter())
+            .map(|(r, _)| r.end())
+            .max()
+            .unwrap() as usize;
+        let hull_start = self
+            .runs
+            .iter()
+            .chain(later.runs.iter())
+            .map(|(r, _)| r.start)
+            .min()
+            .unwrap() as usize;
+        // Track which bytes are defined; undefined gaps must not enter runs.
+        let width = hull_end - hull_start;
+        let mut buf = vec![0u8; width];
+        let mut defined = vec![false; width];
+        for (r, d) in self.runs.iter().chain(later.runs.iter()) {
+            let s = r.start as usize - hull_start;
+            buf[s..s + d.len()].copy_from_slice(d);
+            for f in &mut defined[s..s + d.len()] {
+                *f = true;
+            }
+        }
+        let mut runs = Vec::new();
+        let mut i = 0usize;
+        while i < width {
+            if defined[i] {
+                let start = i;
+                while i < width && defined[i] {
+                    i += 1;
+                }
+                runs.push((
+                    ByteRange::new((hull_start + start) as u32, (i - start) as u32),
+                    buf[start..i].to_vec(),
+                ));
+            } else {
+                i += 1;
+            }
+        }
+        self.runs = runs;
+    }
+
+    /// The ranges this diff touches.
+    pub fn ranges(&self) -> Vec<ByteRange> {
+        self.runs.iter().map(|(r, _)| *r).collect()
+    }
+
+    /// Does this diff write any byte that `other` also writes?
+    pub fn overlaps(&self, other: &Diff) -> bool {
+        self.runs
+            .iter()
+            .any(|(r, _)| other.runs.iter().any(|(o, _)| r.overlaps(*o)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_buffers_produce_empty_diff() {
+        let a = vec![7u8; 64];
+        let d = Diff::between(&a, &a);
+        assert!(d.is_empty());
+        assert_eq!(d.wire_bytes(), 0);
+    }
+
+    #[test]
+    fn single_run_detected() {
+        let old = vec![0u8; 16];
+        let mut new = old.clone();
+        new[4..8].copy_from_slice(&[1, 2, 3, 4]);
+        let d = Diff::between(&old, &new);
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(d.data_bytes(), 4);
+        assert_eq!(d.wire_bytes(), 4 + 8);
+        let mut target = old.clone();
+        d.apply(&mut target);
+        assert_eq!(target, new);
+    }
+
+    #[test]
+    fn multiple_runs_skip_unchanged_bytes() {
+        let old = vec![0u8; 10];
+        let new = vec![1, 0, 1, 1, 0, 0, 1, 0, 0, 1];
+        let d = Diff::between(&old, &new);
+        assert_eq!(d.run_count(), 4);
+        assert_eq!(d.data_bytes(), 5);
+    }
+
+    #[test]
+    fn disjoint_diffs_commute() {
+        // Two threads write independent halves — the heart of write-many.
+        let base = vec![0u8; 8];
+        let mut a_ver = base.clone();
+        a_ver[0..4].copy_from_slice(&[1, 1, 1, 1]);
+        let mut b_ver = base.clone();
+        b_ver[4..8].copy_from_slice(&[2, 2, 2, 2]);
+        let da = Diff::between(&base, &a_ver);
+        let db = Diff::between(&base, &b_ver);
+        assert!(!da.overlaps(&db));
+
+        let mut ab = base.clone();
+        da.apply(&mut ab);
+        db.apply(&mut ab);
+        let mut ba = base.clone();
+        db.apply(&mut ba);
+        da.apply(&mut ba);
+        assert_eq!(ab, ba);
+        assert_eq!(ab, vec![1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn merge_combines_and_later_wins() {
+        let mut d1 = Diff::overwrite(ByteRange::new(0, 4), vec![1, 1, 1, 1]);
+        let d2 = Diff::overwrite(ByteRange::new(2, 4), vec![2, 2, 2, 2]);
+        d1.merge(&d2);
+        let mut buf = vec![0u8; 8];
+        d1.apply(&mut buf);
+        assert_eq!(buf, vec![1, 1, 2, 2, 2, 2, 0, 0]);
+        assert_eq!(d1.run_count(), 1, "adjacent runs coalesce: {d1:?}");
+    }
+
+    #[test]
+    fn merge_preserves_gaps() {
+        let mut d1 = Diff::overwrite(ByteRange::new(0, 2), vec![1, 1]);
+        let d2 = Diff::overwrite(ByteRange::new(6, 2), vec![2, 2]);
+        d1.merge(&d2);
+        assert_eq!(d1.run_count(), 2, "gap between runs must survive merge");
+        let mut buf = vec![9u8; 8];
+        d1.apply(&mut buf);
+        assert_eq!(buf, vec![1, 1, 9, 9, 9, 9, 2, 2]);
+    }
+
+    #[test]
+    fn merge_into_empty_clones() {
+        let mut d = Diff::default();
+        let other = Diff::overwrite(ByteRange::new(1, 2), vec![5, 6]);
+        d.merge(&other);
+        assert_eq!(d, other);
+        // And merging empty into non-empty is a no-op.
+        let snapshot = d.clone();
+        d.merge(&Diff::default());
+        assert_eq!(d, snapshot);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn length_mismatch_panics() {
+        Diff::between(&[0u8; 4], &[0u8; 5]);
+    }
+
+    proptest! {
+        /// apply(diff(old→new)) over old always reconstructs new.
+        #[test]
+        fn diff_apply_roundtrip(
+            old in proptest::collection::vec(any::<u8>(), 1..200),
+            seed_positions in proptest::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 0..32)
+        ) {
+            let mut new = old.clone();
+            for (idx, val) in seed_positions {
+                let i = idx.index(new.len());
+                new[i] = val;
+            }
+            let d = Diff::between(&old, &new);
+            let mut rebuilt = old.clone();
+            d.apply(&mut rebuilt);
+            prop_assert_eq!(rebuilt, new);
+        }
+
+        /// A diff's runs are sorted, disjoint and non-adjacent, and its
+        /// data_bytes equals the hamming-differing byte count.
+        #[test]
+        fn diff_runs_are_canonical(
+            old in proptest::collection::vec(any::<u8>(), 1..120),
+            flips in proptest::collection::vec(any::<prop::sample::Index>(), 0..40)
+        ) {
+            let mut new = old.clone();
+            for idx in flips {
+                let i = idx.index(new.len());
+                new[i] = new[i].wrapping_add(1);
+            }
+            let d = Diff::between(&old, &new);
+            let ranges = d.ranges();
+            for w in ranges.windows(2) {
+                prop_assert!(w[0].end() < w[1].start, "sorted + gap: {:?}", ranges);
+            }
+            let differing = old.iter().zip(&new).filter(|(a, b)| a != b).count();
+            prop_assert_eq!(d.data_bytes(), differing);
+        }
+
+        /// Merging two diffs then applying equals applying them in sequence.
+        #[test]
+        fn merge_equals_sequential_apply(
+            base in proptest::collection::vec(any::<u8>(), 16..64),
+            w1 in (0usize..48, proptest::collection::vec(any::<u8>(), 1..16)),
+            w2 in (0usize..48, proptest::collection::vec(any::<u8>(), 1..16)),
+        ) {
+            let clip = |start: usize, data: &Vec<u8>| {
+                let start = start.min(base.len() - 1);
+                let len = data.len().min(base.len() - start);
+                (ByteRange::new(start as u32, len as u32), data[..len].to_vec())
+            };
+            let (r1, d1) = clip(w1.0, &w1.1);
+            let (r2, d2) = clip(w2.0, &w2.1);
+            let diff1 = Diff::overwrite(r1, d1);
+            let diff2 = Diff::overwrite(r2, d2);
+
+            let mut seq = base.clone();
+            diff1.apply(&mut seq);
+            diff2.apply(&mut seq);
+
+            let mut merged = diff1.clone();
+            merged.merge(&diff2);
+            let mut via_merge = base.clone();
+            merged.apply(&mut via_merge);
+
+            prop_assert_eq!(seq, via_merge);
+        }
+    }
+}

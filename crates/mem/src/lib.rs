@@ -1,0 +1,28 @@
+//! # munin-mem
+//!
+//! Distributed memory management for the Munin reproduction.
+//!
+//! Four pieces, each used by both runtimes or by the Munin protocols:
+//!
+//! * [`store`] — per-node storage of local object copies with bounds-checked
+//!   range access and little-endian integer views (for atomic counters);
+//! * [`diff`] — run-length encoded differences between two versions of an
+//!   object's bytes. This is how the delayed update queue ships only the
+//!   bytes a thread actually wrote, and how concurrent writers to
+//!   independent portions of a write-many object merge without conflict;
+//! * [`twin`] — twin management: before a thread writes a loosely-coherent
+//!   object, the runtime snapshots ("twins") the pristine bytes so the flush
+//!   can diff against them;
+//! * [`addr`] — the Ivy baseline's flat shared address space: object
+//!   placement (packed or page-aligned) and object-range → page-range
+//!   translation, which is where false sharing comes from.
+
+pub mod addr;
+pub mod diff;
+pub mod store;
+pub mod twin;
+
+pub use addr::{AddressSpace, PageId, PagePiece};
+pub use diff::Diff;
+pub use store::ObjectStore;
+pub use twin::TwinStore;

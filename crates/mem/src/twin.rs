@@ -1,0 +1,145 @@
+//! Twin management for delayed updates.
+//!
+//! Before the first local write to a loosely-coherent object (since the last
+//! flush), the runtime snapshots the object's pristine bytes — its *twin*.
+//! At flush time the working copy is diffed against the twin, producing the
+//! minimal update to propagate; the twin is then refreshed (or dropped).
+//!
+//! The twin also lets incoming remote diffs be applied to *both* the working
+//! copy and the twin while local writes are pending, so a later local flush
+//! does not re-send (or overwrite) bytes the remote thread wrote — the
+//! merge behaviour that makes concurrent writers to independent portions of
+//! a write-many object work.
+
+use crate::diff::Diff;
+use munin_types::ObjectId;
+use std::collections::HashMap;
+
+/// Twins for the objects with pending local modifications on one node.
+#[derive(Debug, Default)]
+pub struct TwinStore {
+    twins: HashMap<ObjectId, Vec<u8>>,
+}
+
+impl TwinStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot `current` as the twin for `obj` if none exists yet.
+    /// Returns true if a new twin was created.
+    pub fn ensure(&mut self, obj: ObjectId, current: &[u8]) -> bool {
+        if self.twins.contains_key(&obj) {
+            return false;
+        }
+        self.twins.insert(obj, current.to_vec());
+        true
+    }
+
+    pub fn has(&self, obj: ObjectId) -> bool {
+        self.twins.contains_key(&obj)
+    }
+
+    /// Diff `current` against the twin and *drop* the twin (flush
+    /// completed). Returns `None` if no twin exists.
+    pub fn take_diff(&mut self, obj: ObjectId, current: &[u8]) -> Option<Diff> {
+        let twin = self.twins.remove(&obj)?;
+        Some(Diff::between(&twin, current))
+    }
+
+    /// Diff `current` against the twin and refresh the twin to `current`
+    /// (flush completed but further writes are expected).
+    pub fn diff_and_refresh(&mut self, obj: ObjectId, current: &[u8]) -> Option<Diff> {
+        let twin = self.twins.get_mut(&obj)?;
+        let d = Diff::between(twin, current);
+        twin.clear();
+        twin.extend_from_slice(current);
+        Some(d)
+    }
+
+    /// Apply an incoming remote diff to the twin as well, so the remote
+    /// thread's bytes are not treated as local modifications at the next
+    /// flush.
+    pub fn apply_remote(&mut self, obj: ObjectId, diff: &Diff) {
+        if let Some(twin) = self.twins.get_mut(&obj) {
+            diff.apply(twin);
+        }
+    }
+
+    /// Drop a twin without diffing (invalidation / migration away).
+    pub fn drop_twin(&mut self, obj: ObjectId) {
+        self.twins.remove(&obj);
+    }
+
+    pub fn len(&self) -> usize {
+        self.twins.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.twins.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use munin_types::ByteRange;
+
+    const OBJ: ObjectId = ObjectId(7);
+
+    #[test]
+    fn ensure_is_first_write_only() {
+        let mut t = TwinStore::new();
+        assert!(t.ensure(OBJ, &[1, 2, 3]));
+        assert!(!t.ensure(OBJ, &[9, 9, 9]), "second ensure must not clobber the twin");
+        let d = t.take_diff(OBJ, &[1, 2, 9]).unwrap();
+        assert_eq!(d.data_bytes(), 1, "only byte 2 changed vs the original twin");
+    }
+
+    #[test]
+    fn take_diff_drops_twin() {
+        let mut t = TwinStore::new();
+        t.ensure(OBJ, &[0; 4]);
+        let _ = t.take_diff(OBJ, &[0, 1, 0, 0]).unwrap();
+        assert!(!t.has(OBJ));
+        assert!(t.take_diff(OBJ, &[0; 4]).is_none());
+    }
+
+    #[test]
+    fn diff_and_refresh_keeps_twin_current() {
+        let mut t = TwinStore::new();
+        t.ensure(OBJ, &[0; 4]);
+        let d1 = t.diff_and_refresh(OBJ, &[1, 0, 0, 0]).unwrap();
+        assert_eq!(d1.data_bytes(), 1);
+        // Next flush only sees the *new* change.
+        let d2 = t.diff_and_refresh(OBJ, &[1, 2, 0, 0]).unwrap();
+        assert_eq!(d2.data_bytes(), 1);
+        assert_eq!(d2.ranges(), vec![ByteRange::new(1, 1)]);
+    }
+
+    #[test]
+    fn remote_diff_does_not_reflush() {
+        // Local thread wrote byte 0; remote thread wrote byte 3. The remote
+        // diff arrives before the local flush. The local flush must contain
+        // only byte 0.
+        let mut t = TwinStore::new();
+        let mut working = vec![0u8; 4];
+        working[0] = 1; // local write
+        t.ensure(OBJ, &[0; 4]);
+
+        let remote = Diff::overwrite(ByteRange::new(3, 1), vec![9]);
+        remote.apply(&mut working);
+        t.apply_remote(OBJ, &remote);
+
+        let flush = t.take_diff(OBJ, &working).unwrap();
+        assert_eq!(flush.ranges(), vec![ByteRange::new(0, 1)]);
+    }
+
+    #[test]
+    fn drop_twin_discards_pending() {
+        let mut t = TwinStore::new();
+        t.ensure(OBJ, &[0; 2]);
+        t.drop_twin(OBJ);
+        assert!(t.is_empty());
+    }
+}

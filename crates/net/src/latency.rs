@@ -1,0 +1,93 @@
+//! Virtual-time delivery latency.
+
+use munin_types::{CostModel, VirtualTime};
+
+/// Computes when a message sent now arrives at its destination.
+///
+/// The model is intentionally simple — fixed per-message cost plus a per-KiB
+/// cost — because the paper's comparisons depend on message *counts* and
+/// *sizes*, not on queueing microstructure. A `serialize` flag adds a shared
+/// half-duplex medium approximation (each concurrent sender's message is
+/// pushed back behind the previous one), which matters only for the stall-time
+/// experiments (E7) and is off by default.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    cost: CostModel,
+    /// If true, model the Ethernet as a shared medium: deliveries are spaced
+    /// so the wire carries one message at a time.
+    serialize_medium: bool,
+    /// Virtual time at which the shared medium becomes free.
+    wire_free_at: VirtualTime,
+}
+
+impl LatencyModel {
+    pub fn new(cost: CostModel) -> Self {
+        LatencyModel { cost, serialize_medium: false, wire_free_at: VirtualTime::ZERO }
+    }
+
+    pub fn with_serialized_medium(mut self, on: bool) -> Self {
+        self.serialize_medium = on;
+        self
+    }
+
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Delivery time of a message with `payload_bytes` handed to the
+    /// transport at `now`.
+    pub fn delivery_time(&mut self, now: VirtualTime, payload_bytes: usize) -> VirtualTime {
+        let latency = self.cost.msg_latency_us(payload_bytes);
+        if self.serialize_medium {
+            // Occupy the wire for the transmission part of the latency.
+            let start = now.max(self.wire_free_at);
+            let arrive = start + latency;
+            self.wire_free_at = arrive;
+            arrive
+        } else {
+            now + latency
+        }
+    }
+
+    /// Number of sender-side transmissions a multicast to `fanout`
+    /// destinations costs under this model's hardware assumptions.
+    pub fn multicast_sends(&self, fanout: usize) -> usize {
+        self.cost.multicast_sends(fanout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unserialized_medium_delivers_in_parallel() {
+        let mut m = LatencyModel::new(CostModel::ethernet_1990());
+        let t0 = VirtualTime::ZERO;
+        let a = m.delivery_time(t0, 0);
+        let b = m.delivery_time(t0, 0);
+        assert_eq!(a, b, "two control messages sent at t0 both arrive at t0+fixed");
+        assert_eq!(a.as_micros(), 1_000);
+    }
+
+    #[test]
+    fn serialized_medium_spaces_messages() {
+        let mut m = LatencyModel::new(CostModel::ethernet_1990()).with_serialized_medium(true);
+        let t0 = VirtualTime::ZERO;
+        let a = m.delivery_time(t0, 0);
+        let b = m.delivery_time(t0, 0);
+        assert_eq!(a.as_micros(), 1_000);
+        assert_eq!(b.as_micros(), 2_000, "second message queues behind the first");
+        // After the wire goes idle, latency resets to base.
+        let c = m.delivery_time(VirtualTime::micros(10_000), 0);
+        assert_eq!(c.as_micros(), 11_000);
+    }
+
+    #[test]
+    fn payload_bytes_increase_latency() {
+        let mut m = LatencyModel::new(CostModel::ethernet_1990());
+        let small = m.delivery_time(VirtualTime::ZERO, 16);
+        let large = m.delivery_time(VirtualTime::ZERO, 8192);
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,33 @@
+//! # munin-net
+//!
+//! Message-passing network substrate for the Munin reproduction — the stand-in
+//! for the paper's "Ethernet network of SUN workstations" running the
+//! V kernel.
+//!
+//! The paper's quantitative claims are about protocol behaviour: how many
+//! messages cross the wire, how many bytes they carry, and which operations
+//! must wait for round trips. This crate therefore provides exactly the
+//! mechanisms those measurements need:
+//!
+//! * [`Envelope`] / [`PayloadInfo`] — typed messages with wire-size and
+//!   classification metadata,
+//! * [`LatencyModel`] — virtual-time delivery latency derived from the
+//!   [`munin_types::CostModel`],
+//! * [`NetStats`] — per-class and per-kind message/byte accounting,
+//! * [`LossModel`] + [`ReorderBuffer`] — deterministic loss injection and the
+//!   receiver-side sequencing that the reliability layer uses to preserve
+//!   FIFO delivery per (source, destination) pair,
+//! * multicast accounting — one send with hardware multicast, `k` sends
+//!   without (the paper's "well designed network interface" discussion).
+
+pub mod envelope;
+pub mod latency;
+pub mod loss;
+pub mod reorder;
+pub mod stats;
+
+pub use envelope::{Envelope, MsgClass, PayloadInfo};
+pub use latency::LatencyModel;
+pub use loss::LossModel;
+pub use reorder::ReorderBuffer;
+pub use stats::{KindStat, NetStats};

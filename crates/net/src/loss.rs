@@ -1,0 +1,111 @@
+//! Deterministic message-loss injection.
+//!
+//! The 1990 prototype ran over raw Ethernet via the V kernel, which provided
+//! reliable request/response on top of an unreliable datagram layer. Our
+//! reliability layer (acks + retransmission, in `munin-sim`) plays that role;
+//! this module decides — deterministically, from a seed — which transmissions
+//! are dropped, so failure-injection tests are reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Bernoulli message-loss model with a deterministic stream.
+#[derive(Debug, Clone)]
+pub struct LossModel {
+    drop_prob: f64,
+    rng: SmallRng,
+    dropped: u64,
+    offered: u64,
+}
+
+impl LossModel {
+    /// `drop_prob` is clamped to `[0, 1)`; a lossless model never consults
+    /// the RNG so adding `LossModel::lossless()` to a run cannot perturb a
+    /// seeded experiment.
+    pub fn new(drop_prob: f64, seed: u64) -> Self {
+        LossModel {
+            drop_prob: drop_prob.clamp(0.0, 0.999),
+            rng: SmallRng::seed_from_u64(seed),
+            dropped: 0,
+            offered: 0,
+        }
+    }
+
+    pub fn lossless() -> Self {
+        LossModel::new(0.0, 0)
+    }
+
+    /// Returns true if this transmission should be dropped.
+    pub fn should_drop(&mut self) -> bool {
+        self.offered += 1;
+        if self.drop_prob == 0.0 {
+            return false;
+        }
+        let drop = self.rng.gen_bool(self.drop_prob);
+        if drop {
+            self.dropped += 1;
+        }
+        drop
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_never_drops() {
+        let mut m = LossModel::lossless();
+        for _ in 0..1000 {
+            assert!(!m.should_drop());
+        }
+        assert_eq!(m.dropped(), 0);
+        assert_eq!(m.offered(), 1000);
+    }
+
+    #[test]
+    fn seeded_stream_is_deterministic() {
+        let mut a = LossModel::new(0.3, 42);
+        let mut b = LossModel::new(0.3, 42);
+        let va: Vec<bool> = (0..200).map(|_| a.should_drop()).collect();
+        let vb: Vec<bool> = (0..200).map(|_| b.should_drop()).collect();
+        assert_eq!(va, vb);
+        assert!(a.dropped() > 0, "p=0.3 over 200 trials drops something");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = LossModel::new(0.5, 1);
+        let mut b = LossModel::new(0.5, 2);
+        let va: Vec<bool> = (0..64).map(|_| a.should_drop()).collect();
+        let vb: Vec<bool> = (0..64).map(|_| b.should_drop()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let mut m = LossModel::new(0.25, 7);
+        for _ in 0..10_000 {
+            m.should_drop();
+        }
+        let rate = m.dropped() as f64 / m.offered() as f64;
+        assert!((rate - 0.25).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn probability_is_clamped() {
+        let mut m = LossModel::new(5.0, 3);
+        // Must not drop with probability 1.0 (which would livelock the
+        // reliability layer): clamped to 0.999.
+        let all: Vec<bool> = (0..20_000).map(|_| m.should_drop()).collect();
+        assert!(all.iter().any(|d| !d));
+    }
+}

@@ -1,0 +1,352 @@
+//! The access-pattern classifier: derive, from the observed trace alone,
+//! which of the paper's categories each object *behaves* as.
+//!
+//! This reproduces the method of §2: the authors instrumented six programs
+//! and identified "a limited variety of shared data objects". Running the
+//! classifier over our traces and comparing with the source annotations
+//! both regenerates the study table (experiment E1) and validates that the
+//! programs exercise the patterns they claim to.
+
+use crate::log::TraceLog;
+use munin_types::{ObjectDecl, ObjectId, SharingType, ThreadId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Classification outcome for one object.
+#[derive(Debug, Clone)]
+pub struct ObjectVerdict {
+    pub obj: ObjectId,
+    pub name: String,
+    pub declared: SharingType,
+    pub classified: SharingType,
+    pub reads: u64,
+    pub writes: u64,
+    pub distinct_threads: usize,
+    pub accesses: u64,
+}
+
+/// Ratio of reads to writes above which an object with several writers is
+/// called read-mostly.
+const READ_MOSTLY_RATIO: f64 = 10.0;
+
+/// Mean single-thread run length above which interleaved access is called
+/// migratory.
+const MIGRATORY_RUN_LEN: f64 = 6.0;
+
+/// Classify every object that appears in the trace.
+pub fn classify(log: &TraceLog, decls: &[ObjectDecl]) -> Vec<ObjectVerdict> {
+    let by_name: BTreeMap<ObjectId, &ObjectDecl> = decls.iter().map(|d| (d.id, d)).collect();
+    // Epoch boundaries: count barrier events before each access so that
+    // write-disjointness is judged *between synchronization points* — the
+    // paper's write-many definition ("frequently modified by multiple
+    // threads between synchronization points... different threads update
+    // independent portions").
+    let epoch_of = epoch_index(log);
+    let mut out = Vec::new();
+    for obj in log.objects_touched() {
+        let accesses = log.accesses_of(obj);
+        let decl = by_name.get(&obj);
+        let classified = classify_one(&accesses, &epoch_of);
+        out.push(ObjectVerdict {
+            obj,
+            name: decl.map(|d| d.name.clone()).unwrap_or_else(|| format!("{obj}")),
+            declared: decl.map(|d| d.sharing).unwrap_or(SharingType::GeneralReadWrite),
+            classified,
+            reads: accesses.iter().filter(|a| !a.is_write).count() as u64,
+            writes: accesses.iter().filter(|a| a.is_write).count() as u64,
+            distinct_threads: accesses.iter().map(|a| a.thread).collect::<BTreeSet<_>>().len(),
+            accesses: accesses.len() as u64,
+        });
+    }
+    out
+}
+
+/// Map each access timestamp to a barrier-epoch number.
+fn epoch_index(log: &TraceLog) -> Vec<(u64, u32)> {
+    // Sorted (time, epoch) boundaries from barrier sync events.
+    let mut barrier_times: Vec<u64> =
+        log.syncs.iter().filter(|s| s.kind == "barrier").map(|s| s.at.as_micros()).collect();
+    barrier_times.sort_unstable();
+    barrier_times.dedup();
+    barrier_times.into_iter().enumerate().map(|(i, t)| (t, i as u32 + 1)).collect()
+}
+
+fn epoch_at(boundaries: &[(u64, u32)], at: u64) -> u32 {
+    match boundaries.binary_search_by_key(&at, |(t, _)| *t) {
+        Ok(i) => boundaries[i].1,
+        Err(0) => 0,
+        Err(i) => boundaries[i - 1].1,
+    }
+}
+
+fn classify_one(accesses: &[&crate::log::Access], epochs: &[(u64, u32)]) -> SharingType {
+    let threads: BTreeSet<ThreadId> = accesses.iter().map(|a| a.thread).collect();
+    let writers: BTreeSet<ThreadId> =
+        accesses.iter().filter(|a| a.is_write).map(|a| a.thread).collect();
+    let readers: BTreeSet<ThreadId> =
+        accesses.iter().filter(|a| !a.is_write).map(|a| a.thread).collect();
+    let reads = accesses.iter().filter(|a| !a.is_write).count() as u64;
+    let writes = accesses.iter().filter(|a| a.is_write).count() as u64;
+
+    // Touched by a single thread only: private (even though globally
+    // visible).
+    if threads.len() <= 1 {
+        return SharingType::Private;
+    }
+
+    // Written only during initialization (or never), read afterwards:
+    // write-once. (Result objects, by contrast, are written during the
+    // computation itself.)
+    let post_init_writes = accesses.iter().filter(|a| a.is_write && !a.init_phase).count();
+    if post_init_writes == 0 {
+        return SharingType::WriteOnce;
+    }
+
+    // Result: several writers, exactly one reading thread, and every read
+    // comes after the last write by another thread (collection at the end).
+    if readers.len() == 1 {
+        let reader = *readers.iter().next().expect("one reader");
+        let last_foreign_write = accesses
+            .iter()
+            .filter(|a| a.is_write && a.thread != reader)
+            .map(|a| a.at)
+            .max();
+        let first_read =
+            accesses.iter().filter(|a| !a.is_write).map(|a| a.at).min();
+        if let (Some(w), Some(r)) = (last_foreign_write, first_read) {
+            if (writers.len() > 1 || !writers.contains(&reader))
+                && r >= w {
+                    return SharingType::Result;
+                }
+        }
+    }
+
+    // Single writer, other threads read repeatedly while writing continues:
+    // producer-consumer.
+    if writers.len() == 1 {
+        let w = *writers.iter().next().expect("one writer");
+        if readers.iter().any(|r| *r != w) {
+            return SharingType::ProducerConsumer;
+        }
+    }
+
+    // Long single-thread runs over the interleaving: migratory.
+    if run_length_mean(accesses) >= MIGRATORY_RUN_LEN {
+        return SharingType::Migratory;
+    }
+
+    // Heavily read-biased with occasional writes from several threads:
+    // read-mostly.
+    if writes > 0 && (reads as f64 / writes as f64) >= READ_MOSTLY_RATIO {
+        return SharingType::ReadMostly;
+    }
+
+    // Multiple writers to (mostly) disjoint portions between
+    // synchronizations: write-many.
+    if writers.len() > 1 && disjoint_write_fraction(accesses, epochs) >= 0.75 {
+        return SharingType::WriteMany;
+    }
+
+    SharingType::GeneralReadWrite
+}
+
+/// Mean length of maximal single-thread access runs.
+fn run_length_mean(accesses: &[&crate::log::Access]) -> f64 {
+    if accesses.is_empty() {
+        return 0.0;
+    }
+    let mut runs = 0u64;
+    let mut last: Option<ThreadId> = None;
+    for a in accesses {
+        if last != Some(a.thread) {
+            runs += 1;
+            last = Some(a.thread);
+        }
+    }
+    accesses.len() as f64 / runs as f64
+}
+
+/// Fraction of (epoch, byte) write cells written by exactly one thread —
+/// byte-granular disjointness judged within each synchronization epoch.
+fn disjoint_write_fraction(accesses: &[&crate::log::Access], epochs: &[(u64, u32)]) -> f64 {
+    let mut cell_writer: BTreeMap<(u32, u32), (ThreadId, bool)> = BTreeMap::new();
+    for a in accesses.iter().filter(|a| a.is_write && !a.init_phase) {
+        let e = epoch_at(epochs, a.at.as_micros());
+        for b in a.range.start..a.range.end() {
+            cell_writer
+                .entry((e, b))
+                .and_modify(|(w, conflicted)| {
+                    if *w != a.thread {
+                        *conflicted = true;
+                    }
+                })
+                .or_insert((a.thread, false));
+        }
+    }
+    if cell_writer.is_empty() {
+        return 1.0;
+    }
+    let clean = cell_writer.values().filter(|(_, c)| !c).count();
+    clean as f64 / cell_writer.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::Access;
+    use munin_types::{ByteRange, NodeId, VirtualTime};
+
+    fn acc(t: u32, at: u64, obj: u64, range: (u32, u32), w: bool, init: bool) -> Access {
+        Access {
+            at: VirtualTime::micros(at),
+            thread: ThreadId(t),
+            node: NodeId(t as u16),
+            obj: ObjectId(obj),
+            range: ByteRange::new(range.0, range.1),
+            is_write: w,
+            init_phase: init,
+        }
+    }
+
+    fn verdict(accesses: Vec<Access>) -> SharingType {
+        let refs: Vec<&Access> = accesses.iter().collect();
+        classify_one(&refs, &[])
+    }
+
+    fn verdict_with_epochs(accesses: Vec<Access>, boundaries: &[(u64, u32)]) -> SharingType {
+        let refs: Vec<&Access> = accesses.iter().collect();
+        classify_one(&refs, boundaries)
+    }
+
+    #[test]
+    fn single_thread_is_private() {
+        let v = verdict(vec![
+            acc(0, 0, 1, (0, 8), true, true),
+            acc(0, 1, 1, (0, 8), false, false),
+        ]);
+        assert_eq!(v, SharingType::Private);
+    }
+
+    #[test]
+    fn init_writes_then_shared_reads_is_write_once() {
+        let v = verdict(vec![
+            acc(0, 0, 1, (0, 64), true, true),
+            acc(1, 10, 1, (0, 8), false, false),
+            acc(2, 11, 1, (8, 8), false, false),
+        ]);
+        assert_eq!(v, SharingType::WriteOnce);
+    }
+
+    #[test]
+    fn many_writers_single_late_reader_is_result() {
+        let v = verdict(vec![
+            acc(1, 5, 1, (0, 8), true, false),
+            acc(2, 6, 1, (8, 8), true, false),
+            acc(0, 100, 1, (0, 16), false, false),
+        ]);
+        assert_eq!(v, SharingType::Result);
+    }
+
+    #[test]
+    fn one_writer_many_readers_is_producer_consumer() {
+        let v = verdict(vec![
+            acc(0, 0, 1, (0, 8), true, false),
+            acc(1, 1, 1, (0, 8), false, false),
+            acc(0, 2, 1, (0, 8), true, false),
+            acc(2, 3, 1, (0, 8), false, false),
+        ]);
+        assert_eq!(v, SharingType::ProducerConsumer);
+    }
+
+    #[test]
+    fn long_runs_are_migratory() {
+        let mut a = Vec::new();
+        for t in 0..3u32 {
+            for i in 0..10u64 {
+                a.push(acc(t, (t as u64) * 100 + i, 1, (0, 8), i % 2 == 0, false));
+            }
+        }
+        assert_eq!(verdict(a), SharingType::Migratory);
+    }
+
+    #[test]
+    fn read_bias_is_read_mostly() {
+        let mut a = Vec::new();
+        // Writers from two threads so producer-consumer doesn't claim it;
+        // interleave reads so runs stay short.
+        a.push(acc(0, 0, 1, (0, 8), true, false));
+        a.push(acc(1, 1, 1, (0, 8), true, false));
+        for i in 0..60u64 {
+            a.push(acc((i % 3) as u32, 2 + i, 1, (0, 8), false, false));
+        }
+        assert_eq!(verdict(a), SharingType::ReadMostly);
+    }
+
+    #[test]
+    fn disjoint_multi_writer_is_write_many() {
+        let mut a = Vec::new();
+        for round in 0..4u64 {
+            for t in 0..3u32 {
+                a.push(acc(t, round * 10 + t as u64, 1, (t * 16, 16), true, false));
+                a.push(acc(
+                    (t + 1) % 3,
+                    round * 10 + t as u64 + 4,
+                    1,
+                    (((t + 1) % 3) * 16, 16),
+                    false,
+                    false,
+                ));
+            }
+        }
+        assert_eq!(verdict(a), SharingType::WriteMany);
+    }
+
+    #[test]
+    fn epoch_disjoint_writes_are_write_many_even_when_bytes_alias_across_epochs() {
+        // FFT-style: within each epoch writes are disjoint; across epochs
+        // the same bytes are written by different threads.
+        let mut a = Vec::new();
+        for epoch in 0..3u64 {
+            for t in 0..3u32 {
+                // Partition rotates every epoch: thread t writes slot
+                // (t+epoch)%3 — still disjoint within the epoch.
+                let slot = ((t as u64 + epoch) % 3) as u32;
+                a.push(acc(t, epoch * 100 + t as u64, 1, (slot * 8, 8), true, false));
+                a.push(acc((t + 1) % 3, epoch * 100 + t as u64 + 50, 1, (((t + 1) % 3) * 8, 8), false, false));
+            }
+        }
+        let boundaries = [(100u64, 1u32), (200, 2)];
+        assert_eq!(
+            verdict_with_epochs(a, &boundaries),
+            SharingType::WriteMany,
+            "per-epoch disjointness must ignore cross-epoch byte aliasing"
+        );
+    }
+
+    #[test]
+    fn conflicting_writes_fall_back_to_general() {
+        let mut a = Vec::new();
+        for i in 0..12u64 {
+            let t = (i % 3) as u32;
+            // Everyone writes the same bytes, reads interleaved.
+            a.push(acc(t, i * 2, 1, (0, 8), true, false));
+            a.push(acc((t + 1) % 3, i * 2 + 1, 1, (0, 8), false, false));
+        }
+        assert_eq!(verdict(a), SharingType::GeneralReadWrite);
+    }
+
+    #[test]
+    fn classify_uses_decl_names() {
+        let log = TraceLog {
+            accesses: vec![acc(0, 0, 0, (0, 8), true, true), acc(1, 1, 0, (0, 8), false, false)],
+            syncs: vec![],
+            messages: 0,
+        };
+        let decls =
+            vec![ObjectDecl::new(ObjectId(0), "table", 8, SharingType::WriteOnce, NodeId(0))];
+        let verdicts = classify(&log, &decls);
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].name, "table");
+        assert_eq!(verdicts[0].declared, SharingType::WriteOnce);
+        assert_eq!(verdicts[0].classified, SharingType::WriteOnce);
+    }
+}

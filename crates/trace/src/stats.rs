@@ -1,0 +1,212 @@
+//! Summary statistics for the study's findings (§2, experiment E2):
+//!
+//! 3. "The overwhelming majority of all accesses are reads, except during
+//!    initialization."
+//! 4. "The latency between accesses to synchronization objects (mainly
+//!    locks) is significantly higher than the latency between accesses of
+//!    other shared data items."
+
+use crate::log::TraceLog;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StudyStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub init_reads: u64,
+    pub init_writes: u64,
+    /// Byte-weighted counts — closer to the paper's word-granular traces
+    /// than our block-granular operation counts.
+    pub read_bytes: u64,
+    pub write_bytes: u64,
+    pub init_read_bytes: u64,
+    pub init_write_bytes: u64,
+    pub sync_ops: u64,
+    /// Mean virtual-µs gap between consecutive accesses to the same data
+    /// object.
+    pub data_gap_mean_us: f64,
+    /// Mean virtual-µs gap between consecutive operations on the same lock.
+    pub lock_gap_mean_us: f64,
+}
+
+impl StudyStats {
+    pub fn read_fraction(&self) -> f64 {
+        let total = self.reads + self.writes;
+        if total == 0 {
+            return 0.0;
+        }
+        self.reads as f64 / total as f64
+    }
+
+    pub fn compute_read_fraction(&self) -> f64 {
+        let reads = self.reads - self.init_reads;
+        let writes = self.writes - self.init_writes;
+        if reads + writes == 0 {
+            return 0.0;
+        }
+        reads as f64 / (reads + writes) as f64
+    }
+
+    pub fn init_read_fraction(&self) -> f64 {
+        if self.init_reads + self.init_writes == 0 {
+            return 0.0;
+        }
+        self.init_reads as f64 / (self.init_reads + self.init_writes) as f64
+    }
+
+    /// Byte-weighted read fraction over the whole run.
+    pub fn byte_read_fraction(&self) -> f64 {
+        let total = self.read_bytes + self.write_bytes;
+        if total == 0 {
+            return 0.0;
+        }
+        self.read_bytes as f64 / total as f64
+    }
+
+    /// Byte-weighted read fraction during the computation phase.
+    pub fn compute_byte_read_fraction(&self) -> f64 {
+        let r = self.read_bytes - self.init_read_bytes;
+        let w = self.write_bytes - self.init_write_bytes;
+        if r + w == 0 {
+            return 0.0;
+        }
+        r as f64 / (r + w) as f64
+    }
+
+    /// Byte-weighted read fraction during initialization.
+    pub fn init_byte_read_fraction(&self) -> f64 {
+        let total = self.init_read_bytes + self.init_write_bytes;
+        if total == 0 {
+            return 0.0;
+        }
+        self.init_read_bytes as f64 / total as f64
+    }
+}
+
+/// Compute the study statistics over a trace.
+pub fn study_stats(log: &TraceLog) -> StudyStats {
+    let reads = log.accesses.iter().filter(|a| !a.is_write).count() as u64;
+    let writes = log.accesses.iter().filter(|a| a.is_write).count() as u64;
+    let init_reads = log.accesses.iter().filter(|a| !a.is_write && a.init_phase).count() as u64;
+    let init_writes = log.accesses.iter().filter(|a| a.is_write && a.init_phase).count() as u64;
+    let sum_bytes = |write: bool, init_only: bool| -> u64 {
+        log.accesses
+            .iter()
+            .filter(|a| a.is_write == write && (!init_only || a.init_phase))
+            .map(|a| a.range.len as u64)
+            .sum()
+    };
+    let read_bytes = sum_bytes(false, false);
+    let write_bytes = sum_bytes(true, false);
+    let init_read_bytes = sum_bytes(false, true);
+    let init_write_bytes = sum_bytes(true, true);
+
+    // Gap between consecutive accesses to the same object.
+    let mut per_obj: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for a in &log.accesses {
+        per_obj.entry(a.obj.0).or_default().push(a.at.as_micros());
+    }
+    let data_gap_mean_us = mean_gap(per_obj.values());
+
+    // Gap between consecutive lock operations on the same lock.
+    let mut per_lock: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    for s in log.syncs.iter().filter(|s| s.kind == "lock") {
+        per_lock.entry(s.id).or_default().push(s.at.as_micros());
+    }
+    let lock_gap_mean_us = mean_gap(per_lock.values());
+
+    StudyStats {
+        reads,
+        writes,
+        init_reads,
+        init_writes,
+        read_bytes,
+        write_bytes,
+        init_read_bytes,
+        init_write_bytes,
+        sync_ops: log.syncs.len() as u64,
+        data_gap_mean_us,
+        lock_gap_mean_us,
+    }
+}
+
+fn mean_gap<'a>(series: impl Iterator<Item = &'a Vec<u64>>) -> f64 {
+    let mut total = 0u64;
+    let mut count = 0u64;
+    for times in series {
+        // Times arrive in issue order (the event loop is monotone).
+        for w in times.windows(2) {
+            total += w[1].saturating_sub(w[0]);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total as f64 / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{Access, SyncEvent};
+    use munin_types::{ByteRange, NodeId, ObjectId, ThreadId, VirtualTime};
+
+    fn acc(at: u64, w: bool, init: bool) -> Access {
+        Access {
+            at: VirtualTime::micros(at),
+            thread: ThreadId(0),
+            node: NodeId(0),
+            obj: ObjectId(0),
+            range: ByteRange::new(0, 8),
+            is_write: w,
+            init_phase: init,
+        }
+    }
+
+    #[test]
+    fn fractions() {
+        let log = TraceLog {
+            accesses: vec![
+                acc(0, true, true),
+                acc(1, true, true),
+                acc(2, false, true),
+                acc(10, false, false),
+                acc(11, false, false),
+                acc(12, false, false),
+                acc(13, true, false),
+            ],
+            syncs: vec![],
+            messages: 0,
+        };
+        let s = study_stats(&log);
+        assert_eq!(s.reads, 4);
+        assert_eq!(s.writes, 3);
+        assert!((s.init_read_fraction() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.compute_read_fraction(), 0.75);
+    }
+
+    #[test]
+    fn gaps_are_per_series_means() {
+        let log = TraceLog {
+            accesses: vec![acc(0, false, false), acc(10, false, false), acc(30, false, false)],
+            syncs: vec![
+                SyncEvent { at: VirtualTime::micros(0), thread: ThreadId(0), kind: "lock", id: 0 },
+                SyncEvent { at: VirtualTime::micros(100), thread: ThreadId(1), kind: "lock", id: 0 },
+            ],
+            messages: 0,
+        };
+        let s = study_stats(&log);
+        assert!((s.data_gap_mean_us - 15.0).abs() < 1e-9); // (10 + 20) / 2
+        assert!((s.lock_gap_mean_us - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_log_is_zeroes() {
+        let s = study_stats(&TraceLog::default());
+        assert_eq!(s.read_fraction(), 0.0);
+        assert_eq!(s.data_gap_mean_us, 0.0);
+    }
+}

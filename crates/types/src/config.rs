@@ -1,0 +1,197 @@
+//! Runtime configuration for the Munin runtime and the Ivy baseline.
+//!
+//! Every design choice the paper calls out as a trade-off is a knob here, so
+//! the experiment harness can run ablations: delayed updates on/off,
+//! invalidate vs refresh, eager vs lazy producer-consumer propagation,
+//! replication vs remote load/store, page size and allocation packing for
+//! Ivy, DSM-resident spin locks vs a central lock server.
+
+use crate::cost::CostModel;
+use serde::{Deserialize, Serialize};
+
+/// How read-mostly objects are maintained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReadMostlyMode {
+    /// Single copy at the home node; every access is a remote load/store.
+    /// This is what the paper's prototype used.
+    RemoteAccess,
+    /// Replicate on read; writes go through the home which refreshes
+    /// (multicasts the new value to) all copies.
+    ReplicatedRefresh,
+    /// Replicate on read; writes go through the home which invalidates all
+    /// copies.
+    ReplicatedInvalidate,
+    /// Replicate; the home chooses refresh or invalidate per copy from
+    /// observed re-read behaviour (the paper's "dynamic system decisions").
+    Adaptive,
+}
+
+/// How remote copies of a replicated object are brought up to date when a
+/// write is propagated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdatePolicy {
+    /// Send the new bytes (refresh / update protocol).
+    Refresh,
+    /// Invalidate remote copies; they re-fault on next use.
+    Invalidate,
+    /// Choose per object/copy from observed behaviour.
+    Adaptive,
+}
+
+/// How applications' lock/barrier operations are implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncStrategy {
+    /// Munin's distributed proxy locks (per-node lock servers, migrating
+    /// ownership token, local re-grant).
+    ProxyLocks,
+    /// One central lock manager node; every acquire/release is a round trip.
+    CentralServer,
+    /// Locks live *in* shared memory as test-and-set words and barriers as
+    /// counters + sense flags; every contended operation causes DSM page
+    /// traffic. This is the only option a system with "no special provisions
+    /// for synchronization objects" (Ivy) offers.
+    DsmSpin,
+}
+
+/// Object placement for the Ivy baseline's flat address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocPolicy {
+    /// Objects packed back-to-back (word aligned). Distinct small objects
+    /// frequently share a page: false sharing, as the paper notes Ivy
+    /// suffers.
+    Packed,
+    /// Every object starts on a fresh page boundary.
+    PageAligned,
+}
+
+/// Configuration of the Munin runtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MuninConfig {
+    pub cost: CostModel,
+    /// Flush the delayed update queue when it reaches this many object
+    /// entries, even without synchronization ("until it is convenient").
+    pub duq_max_objects: usize,
+    /// If false, writes to loosely-coherent objects are propagated
+    /// immediately (write-through), the strict-coherence ablation of E5/E14.
+    pub delayed_updates: bool,
+    /// Policy for read-mostly objects.
+    pub read_mostly: ReadMostlyMode,
+    /// Update policy for write-many copysets.
+    pub write_many_policy: UpdatePolicy,
+    /// Propagation policy for producer-consumer consumer sets: `Refresh`
+    /// pushes new values to consumers (the paper's eager object movement),
+    /// `Invalidate` forces consumers to re-fault (the demand-fetch ablation
+    /// of experiment E7).
+    pub pc_policy: UpdatePolicy,
+    /// Transfer granularity (bytes) for faulting in large write-once objects
+    /// ("Munin addresses these problems by allowing portions of large
+    /// read-only objects to page out").
+    pub write_once_page: u32,
+    /// How application locks/barriers are implemented.
+    pub sync: SyncStrategy,
+    /// Enable runtime pattern detection (promote mistyped objects, e.g.
+    /// general read-write that behaves as producer-consumer). Paper §4
+    /// future work.
+    pub adaptive_typing: bool,
+    /// Accesses observed before the adaptive-typing detector may re-type an
+    /// object.
+    pub adapt_min_samples: u64,
+    /// Read-fraction threshold above which the replicate-vs-remote-access
+    /// adaptation chooses replication.
+    pub adapt_read_fraction: f64,
+}
+
+impl Default for MuninConfig {
+    fn default() -> Self {
+        MuninConfig {
+            cost: CostModel::default(),
+            duq_max_objects: 64,
+            delayed_updates: true,
+            read_mostly: ReadMostlyMode::ReplicatedRefresh,
+            write_many_policy: UpdatePolicy::Refresh,
+            pc_policy: UpdatePolicy::Refresh,
+            write_once_page: 4096,
+            sync: SyncStrategy::ProxyLocks,
+            adaptive_typing: false,
+            adapt_min_samples: 64,
+            adapt_read_fraction: 0.75,
+        }
+    }
+}
+
+impl MuninConfig {
+    /// The strict-coherence ablation: every write is propagated immediately
+    /// (write-through coherence rounds) instead of being queued.
+    pub fn strict(mut self) -> Self {
+        self.delayed_updates = false;
+        self
+    }
+}
+
+/// Configuration of the Ivy baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IvyConfig {
+    pub cost: CostModel,
+    /// Fixed coherence unit (bytes); Ivy on the Apollo used 1 KiB pages.
+    pub page_size: u32,
+    /// Object placement in the flat shared address space.
+    pub alloc: AllocPolicy,
+    /// Ivy has no special synchronization support, so the authentic setting
+    /// is `DsmSpin`; `CentralServer` is offered as the "fair data-protocol
+    /// comparison" ablation.
+    pub sync: SyncStrategy,
+    /// Exponential backoff base (virtual µs) for DSM spin locks.
+    pub spin_backoff_us: u64,
+    /// Upper bound on consecutive failed test-and-set attempts before the
+    /// simulation reports livelock (diagnostic, not a protocol feature).
+    pub spin_attempt_limit: u32,
+}
+
+impl Default for IvyConfig {
+    fn default() -> Self {
+        IvyConfig {
+            cost: CostModel::default(),
+            page_size: 1024,
+            alloc: AllocPolicy::Packed,
+            sync: SyncStrategy::DsmSpin,
+            spin_backoff_us: 500,
+            spin_attempt_limit: 200_000,
+        }
+    }
+}
+
+impl IvyConfig {
+    /// Variant with a central lock server (isolates data-protocol effects).
+    pub fn with_central_locks(mut self) -> Self {
+        self.sync = SyncStrategy::CentralServer;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn munin_defaults_enable_the_papers_mechanisms() {
+        let c = MuninConfig::default();
+        assert!(c.delayed_updates);
+        assert_eq!(c.sync, SyncStrategy::ProxyLocks);
+        assert_eq!(c.write_many_policy, UpdatePolicy::Refresh);
+    }
+
+    #[test]
+    fn strict_ablation_disables_duq() {
+        let c = MuninConfig::default().strict();
+        assert!(!c.delayed_updates);
+    }
+
+    #[test]
+    fn ivy_defaults_are_authentic() {
+        let c = IvyConfig::default();
+        assert_eq!(c.page_size, 1024);
+        assert_eq!(c.alloc, AllocPolicy::Packed);
+        assert_eq!(c.sync, SyncStrategy::DsmSpin);
+        assert_eq!(c.with_central_locks().sync, SyncStrategy::CentralServer);
+    }
+}

@@ -1,0 +1,133 @@
+//! The virtual-time cost model.
+//!
+//! The paper's environment is an Ethernet network of SUN workstations running
+//! the V kernel. The published claims are about *protocol* behaviour
+//! (message counts, bytes, who blocks on whom), so the cost model only needs
+//! to preserve the relevant ratios:
+//!
+//! * a small network message costs on the order of a millisecond end-to-end,
+//! * bandwidth is about 1 MB/s (10 Mbit Ethernet),
+//! * local memory access is microseconds — three orders of magnitude cheaper,
+//! * a software fault/trap costs a few hundred microseconds.
+//!
+//! Everything is configurable so experiments can model faster hardware (the
+//! paper's "performance on hardware with different performance
+//! characteristics ... retains our active interest").
+
+use serde::{Deserialize, Serialize};
+
+/// Virtual-time costs (all in microseconds) used by the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Fixed per-message latency: send, wire, receive, dispatch.
+    pub msg_fixed_us: u64,
+    /// Additional latency per KiB of payload.
+    pub msg_per_kib_us: u64,
+    /// Cost of a local shared-memory access that hits a valid local copy.
+    pub local_access_us: u64,
+    /// Software overhead of taking an access fault (trap + handler entry),
+    /// paid before any messages are sent.
+    pub fault_overhead_us: u64,
+    /// Cost of acquiring a lock whose token is already held by the local
+    /// proxy server (no messages).
+    pub local_lock_us: u64,
+    /// Per-object bookkeeping when flushing the delayed update queue
+    /// (diff creation etc.).
+    pub flush_per_object_us: u64,
+    /// If true, a multicast to k destinations costs one message send on the
+    /// sender (hardware multicast, as the paper's "well designed network
+    /// interface" discussion); if false it costs k unicast sends.
+    pub hardware_multicast: bool,
+}
+
+impl CostModel {
+    /// 1990-era defaults: 10 Mbit Ethernet + V kernel on SUN-3-class
+    /// workstations.
+    pub fn ethernet_1990() -> Self {
+        CostModel {
+            msg_fixed_us: 1_000,
+            msg_per_kib_us: 1_000,
+            local_access_us: 1,
+            fault_overhead_us: 200,
+            local_lock_us: 5,
+            flush_per_object_us: 50,
+            hardware_multicast: false,
+        }
+    }
+
+    /// A modern-cluster flavour (used by the "different hardware" sweeps):
+    /// ~10 µs RTT, ~10 GB/s.
+    pub fn fast_cluster() -> Self {
+        CostModel {
+            msg_fixed_us: 10,
+            msg_per_kib_us: 1,
+            local_access_us: 1,
+            fault_overhead_us: 5,
+            local_lock_us: 1,
+            flush_per_object_us: 2,
+            hardware_multicast: true,
+        }
+    }
+
+    /// End-to-end latency of one message carrying `bytes` of payload.
+    #[inline]
+    pub fn msg_latency_us(&self, bytes: usize) -> u64 {
+        // Round the payload up to whole KiB: small control messages still pay
+        // a minimum wire cost through msg_fixed_us only.
+        let kib = (bytes as u64) / 1024;
+        let rem = (bytes as u64) % 1024;
+        let kib = kib + u64::from(rem > 0);
+        self.msg_fixed_us + kib * self.msg_per_kib_us
+    }
+
+    /// Sender-side cost of a multicast to `fanout` destinations.
+    #[inline]
+    pub fn multicast_sends(&self, fanout: usize) -> usize {
+        if self.hardware_multicast && fanout > 0 {
+            1
+        } else {
+            fanout
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::ethernet_1990()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_scales_with_payload() {
+        let c = CostModel::ethernet_1990();
+        assert_eq!(c.msg_latency_us(0), 1_000, "control message pays fixed cost only");
+        assert_eq!(c.msg_latency_us(1), 2_000, "rounds up to 1 KiB");
+        assert_eq!(c.msg_latency_us(1024), 2_000);
+        assert_eq!(c.msg_latency_us(1025), 3_000);
+        assert_eq!(c.msg_latency_us(8 * 1024), 9_000);
+    }
+
+    #[test]
+    fn local_access_is_orders_cheaper_than_message() {
+        let c = CostModel::ethernet_1990();
+        assert!(c.msg_latency_us(0) / c.local_access_us >= 1_000);
+    }
+
+    #[test]
+    fn multicast_collapses_only_with_hardware_support() {
+        let mut c = CostModel::ethernet_1990();
+        assert_eq!(c.multicast_sends(5), 5);
+        c.hardware_multicast = true;
+        assert_eq!(c.multicast_sends(5), 1);
+        assert_eq!(c.multicast_sends(0), 0);
+    }
+
+    #[test]
+    fn default_is_1990() {
+        assert_eq!(CostModel::default(), CostModel::ethernet_1990());
+    }
+}

@@ -1,0 +1,154 @@
+//! Identifier newtypes for nodes, threads, objects and synchronization
+//! objects.
+//!
+//! All identifiers are small dense integers so that runtimes can index
+//! per-node / per-thread tables with plain `Vec`s, and so that deterministic
+//! tie-breaking in the simulator (which orders simultaneous events by id) is
+//! stable across runs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A processor/workstation in the distributed system.
+///
+/// In the paper's environment this is one SUN workstation on the Ethernet;
+/// here it is one simulated node hosting a Munin (or Ivy) server plus some
+/// application threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Index for `Vec`-based per-node tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An application thread. Thread ids are global (not per-node); the world
+/// keeps the thread → node placement map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// Index for `Vec`-based per-thread tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A shared data object (a Munin "segment").
+///
+/// Objects are the unit of coherence in Munin. In the Ivy baseline the same
+/// ids are used by applications, but internally Ivy maps the object's bytes
+/// onto fixed-size pages of a flat address space, so several objects may
+/// share a page (false sharing) or one object may span many pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+impl ObjectId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// A distributed lock (a Munin synchronization object).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LockId(pub u32);
+
+impl LockId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lk{}", self.0)
+    }
+}
+
+/// A barrier synchronization object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BarrierId(pub u32);
+
+impl BarrierId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BarrierId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bar{}", self.0)
+    }
+}
+
+/// A condition variable (used by monitors built on top of distributed locks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CondId(pub u32);
+
+impl CondId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CondId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cv{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms_are_compact() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(ThreadId(11).to_string(), "t11");
+        assert_eq!(ObjectId(7).to_string(), "obj7");
+        assert_eq!(LockId(0).to_string(), "lk0");
+        assert_eq!(BarrierId(2).to_string(), "bar2");
+        assert_eq!(CondId(9).to_string(), "cv9");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(ThreadId(0) < ThreadId(10));
+        assert!(ObjectId(5) < ObjectId(6));
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(NodeId(9).index(), 9);
+        assert_eq!(ThreadId(42).index(), 42);
+        assert_eq!(ObjectId(100).index(), 100);
+        assert_eq!(LockId(3).index(), 3);
+    }
+}

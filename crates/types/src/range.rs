@@ -1,0 +1,217 @@
+//! Byte ranges within an object.
+//!
+//! Accesses, twins/diffs and delayed-update-queue entries all talk about
+//! contiguous byte ranges of a single object. Ranges are half-open
+//! `[start, start+len)`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open byte range `[start, start + len)` within one object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ByteRange {
+    pub start: u32,
+    pub len: u32,
+}
+
+impl ByteRange {
+    #[inline]
+    pub fn new(start: u32, len: u32) -> Self {
+        ByteRange { start, len }
+    }
+
+    /// The whole of an object of `size` bytes.
+    #[inline]
+    pub fn whole(size: u32) -> Self {
+        ByteRange { start: 0, len: size }
+    }
+
+    #[inline]
+    pub fn end(self) -> u32 {
+        self.start + self.len
+    }
+
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// Does this range overlap `other` (share at least one byte)?
+    #[inline]
+    pub fn overlaps(self, other: ByteRange) -> bool {
+        !self.is_empty() && !other.is_empty() && self.start < other.end() && other.start < self.end()
+    }
+
+    /// Does this range fully contain `other`?
+    #[inline]
+    pub fn contains(self, other: ByteRange) -> bool {
+        other.start >= self.start && other.end() <= self.end()
+    }
+
+    /// Is this range fully inside an object of `size` bytes?
+    #[inline]
+    pub fn fits_in(self, size: u32) -> bool {
+        // `end()` uses unchecked add; guard against wrap by checking parts.
+        (self.start as u64 + self.len as u64) <= size as u64
+    }
+
+    /// Intersection with `other`, if non-empty.
+    pub fn intersect(self, other: ByteRange) -> Option<ByteRange> {
+        let start = self.start.max(other.start);
+        let end = self.end().min(other.end());
+        if start < end {
+            Some(ByteRange::new(start, end - start))
+        } else {
+            None
+        }
+    }
+
+    /// Smallest range covering both `self` and `other`.
+    ///
+    /// Used when coalescing delayed-update-queue entries: two writes to
+    /// nearby parts of an object become a single update record.
+    pub fn union_hull(self, other: ByteRange) -> ByteRange {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        let start = self.start.min(other.start);
+        let end = self.end().max(other.end());
+        ByteRange::new(start, end - start)
+    }
+
+    /// Are the two ranges adjacent or overlapping (i.e. coalescible without
+    /// covering any byte not in either range)?
+    pub fn touches(self, other: ByteRange) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        self.start <= other.end() && other.start <= self.end()
+    }
+}
+
+impl fmt::Display for ByteRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{})", self.start, self.end())
+    }
+}
+
+/// Normalize a set of ranges: sort and merge everything that touches.
+///
+/// The result is the minimal sorted list of disjoint, non-adjacent ranges
+/// covering exactly the input bytes.
+pub fn coalesce(mut ranges: Vec<ByteRange>) -> Vec<ByteRange> {
+    ranges.retain(|r| !r.is_empty());
+    ranges.sort_by_key(|r| (r.start, r.len));
+    let mut out: Vec<ByteRange> = Vec::with_capacity(ranges.len());
+    for r in ranges {
+        match out.last_mut() {
+            Some(last) if last.touches(r) => *last = last.union_hull(r),
+            _ => out.push(r),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn overlap_and_containment() {
+        let a = ByteRange::new(0, 10);
+        let b = ByteRange::new(5, 10);
+        let c = ByteRange::new(10, 5);
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(c), "half-open ranges: [0,10) and [10,15) disjoint");
+        assert!(a.contains(ByteRange::new(2, 3)));
+        assert!(!a.contains(b));
+        assert!(ByteRange::whole(20).contains(a));
+    }
+
+    #[test]
+    fn intersect_and_hull() {
+        let a = ByteRange::new(0, 10);
+        let b = ByteRange::new(5, 10);
+        assert_eq!(a.intersect(b), Some(ByteRange::new(5, 5)));
+        assert_eq!(a.intersect(ByteRange::new(20, 5)), None);
+        assert_eq!(a.union_hull(b), ByteRange::new(0, 15));
+        assert_eq!(a.union_hull(ByteRange::new(0, 0)), a);
+    }
+
+    #[test]
+    fn fits_in_guards_overflow() {
+        assert!(ByteRange::new(0, 10).fits_in(10));
+        assert!(!ByteRange::new(1, 10).fits_in(10));
+        assert!(!ByteRange::new(u32::MAX, 2).fits_in(u32::MAX));
+    }
+
+    #[test]
+    fn coalesce_merges_touching() {
+        let out = coalesce(vec![
+            ByteRange::new(10, 5),
+            ByteRange::new(0, 5),
+            ByteRange::new(5, 5),
+            ByteRange::new(30, 2),
+            ByteRange::new(0, 0),
+        ]);
+        assert_eq!(out, vec![ByteRange::new(0, 15), ByteRange::new(30, 2)]);
+    }
+
+    #[test]
+    fn empty_ranges_never_overlap() {
+        let e = ByteRange::new(5, 0);
+        assert!(!e.overlaps(ByteRange::new(0, 10)));
+        assert!(!ByteRange::new(0, 10).overlaps(e));
+        assert!(!e.touches(e));
+    }
+
+    proptest! {
+        #[test]
+        fn coalesce_preserves_byte_membership(
+            ranges in proptest::collection::vec((0u32..200, 0u32..40), 0..12)
+        ) {
+            let ranges: Vec<ByteRange> =
+                ranges.into_iter().map(|(s, l)| ByteRange::new(s, l)).collect();
+            let merged = coalesce(ranges.clone());
+            // Disjoint, sorted, non-adjacent.
+            for w in merged.windows(2) {
+                prop_assert!(w[0].end() < w[1].start);
+            }
+            // Same byte membership.
+            for byte in 0u32..260 {
+                let probe = ByteRange::new(byte, 1);
+                let in_orig = ranges.iter().any(|r| r.overlaps(probe));
+                let in_merged = merged.iter().any(|r| r.overlaps(probe));
+                prop_assert_eq!(in_orig, in_merged, "byte {}", byte);
+            }
+        }
+
+        #[test]
+        fn hull_contains_both(a in (0u32..100, 1u32..50), b in (0u32..100, 1u32..50)) {
+            let a = ByteRange::new(a.0, a.1);
+            let b = ByteRange::new(b.0, b.1);
+            let h = a.union_hull(b);
+            prop_assert!(h.contains(a));
+            prop_assert!(h.contains(b));
+        }
+
+        #[test]
+        fn intersect_symmetric_and_contained(
+            a in (0u32..100, 1u32..50), b in (0u32..100, 1u32..50)
+        ) {
+            let a = ByteRange::new(a.0, a.1);
+            let b = ByteRange::new(b.0, b.1);
+            prop_assert_eq!(a.intersect(b), b.intersect(a));
+            if let Some(i) = a.intersect(b) {
+                prop_assert!(a.contains(i) && b.contains(i));
+                prop_assert!(a.overlaps(b));
+            } else {
+                prop_assert!(!a.overlaps(b));
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! The paper's shared-object taxonomy and per-object declarations.
+//!
+//! Section 2 of the paper identifies a small set of access patterns that
+//! cover almost all shared data in real shared-memory parallel programs:
+//! write-once, write-many, result, migratory, producer-consumer, private,
+//! read-mostly, general read-write, and synchronization objects. Munin
+//! programmers annotate each shared object with its expected pattern; the
+//! runtime picks the matching coherence protocol.
+
+use crate::ids::{LockId, NodeId, ObjectId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The expected access pattern of a shared data object.
+///
+/// These are exactly the categories of Section 2 of the paper (synchronization
+/// objects are handled by the distributed lock subsystem rather than the data
+/// protocols, but the category participates in the sharing study
+/// classification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SharingType {
+    /// Read but never written after initialization. Supported by replication;
+    /// copies are never invalidated. Large objects may page out/in piecewise.
+    WriteOnce,
+    /// Frequently modified by multiple threads between synchronization
+    /// points, typically to independent portions. Supported by replication
+    /// plus the delayed update queue (loose coherence).
+    WriteMany,
+    /// Written (once, piecewise) by many threads, then read only by a single
+    /// collecting thread. Supported by a single copy at the collector plus
+    /// merged delayed updates — remote copies are never created.
+    Result,
+    /// Accessed in phases, each phase a run of accesses by one thread
+    /// (e.g. data protected by a critical section). Supported by whole-object
+    /// migration, ideally piggybacked on lock transfer.
+    Migratory,
+    /// Written by one thread, read by a fixed set of others (boundary rows in
+    /// nearest-neighbour codes, wavefronts). Supported by eager object
+    /// movement: updates are pushed to the consumer set before they are
+    /// demanded.
+    ProducerConsumer,
+    /// Accessible to all threads but in fact touched by only one. No
+    /// coherence traffic at all.
+    Private,
+    /// Read far more often than written, without a more specific structure.
+    /// Replication with update (refresh) or invalidate on the rare writes,
+    /// or kept as a single copy accessed by remote load/store (the paper's
+    /// prototype choice) — see `ReadMostlyMode`.
+    ReadMostly,
+    /// No exploitable pattern. Handled with a strictly-coherent
+    /// Berkeley-ownership-style protocol. Also the default when no
+    /// annotation is given.
+    GeneralReadWrite,
+    /// Locks, monitors, condition variables, barriers: handled by the
+    /// distributed synchronization subsystem (proxy locks).
+    Synchronization,
+}
+
+impl SharingType {
+    /// All data categories (excludes `Synchronization`, which is not a data
+    /// object protocol), in the paper's presentation order.
+    pub const DATA_TYPES: [SharingType; 8] = [
+        SharingType::WriteOnce,
+        SharingType::WriteMany,
+        SharingType::Result,
+        SharingType::Migratory,
+        SharingType::ProducerConsumer,
+        SharingType::Private,
+        SharingType::ReadMostly,
+        SharingType::GeneralReadWrite,
+    ];
+
+    /// All categories including synchronization, for study tables.
+    pub const ALL: [SharingType; 9] = [
+        SharingType::WriteOnce,
+        SharingType::WriteMany,
+        SharingType::Result,
+        SharingType::Migratory,
+        SharingType::ProducerConsumer,
+        SharingType::Private,
+        SharingType::ReadMostly,
+        SharingType::GeneralReadWrite,
+        SharingType::Synchronization,
+    ];
+
+    /// Short label used in printed tables (matches the paper's terms).
+    pub fn label(self) -> &'static str {
+        match self {
+            SharingType::WriteOnce => "write-once",
+            SharingType::WriteMany => "write-many",
+            SharingType::Result => "result",
+            SharingType::Migratory => "migratory",
+            SharingType::ProducerConsumer => "producer-consumer",
+            SharingType::Private => "private",
+            SharingType::ReadMostly => "read-mostly",
+            SharingType::GeneralReadWrite => "general-rw",
+            SharingType::Synchronization => "synchronization",
+        }
+    }
+
+    /// Does this protocol run under *loose* coherence (delayed updates are
+    /// permitted)? General read-write and write-once (immutable) do not use
+    /// the delayed update queue; everything else that writes does.
+    pub fn uses_delayed_updates(self) -> bool {
+        matches!(
+            self,
+            SharingType::WriteMany | SharingType::Result | SharingType::ProducerConsumer
+        )
+    }
+
+    /// Is a remote write ever legal for this type after initialization?
+    pub fn remotely_writable(self) -> bool {
+        !matches!(self, SharingType::WriteOnce | SharingType::Private)
+    }
+}
+
+impl fmt::Display for SharingType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Declaration of a shared object: the "semantic hint" a Munin programmer
+/// attaches at allocation time.
+///
+/// `home` is the node that allocated the object; it holds the directory entry
+/// and (for result/read-mostly-remote objects) the authoritative copy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectDecl {
+    pub id: ObjectId,
+    /// Human-readable name for traces and tables ("matrix A", "work queue").
+    pub name: String,
+    /// Size in bytes.
+    pub size: u32,
+    /// The programmer's sharing annotation.
+    pub sharing: SharingType,
+    /// Directory/home node.
+    pub home: NodeId,
+    /// For `Migratory` objects: the lock whose transfer carries the object.
+    pub associated_lock: Option<LockId>,
+    /// For `ProducerConsumer`: push updates at write time (fully eager)
+    /// instead of at the next synchronization flush.
+    pub eager: bool,
+}
+
+impl ObjectDecl {
+    pub fn new(
+        id: ObjectId,
+        name: impl Into<String>,
+        size: u32,
+        sharing: SharingType,
+        home: NodeId,
+    ) -> Self {
+        ObjectDecl {
+            id,
+            name: name.into(),
+            size,
+            sharing,
+            home,
+            associated_lock: None,
+            eager: false,
+        }
+    }
+
+    /// Builder-style: associate a migratory object with its critical-section
+    /// lock so the object rides the lock-grant message.
+    pub fn with_lock(mut self, lock: LockId) -> Self {
+        self.associated_lock = Some(lock);
+        self
+    }
+
+    /// Builder-style: enable fully-eager producer-consumer propagation.
+    pub fn with_eager(mut self, eager: bool) -> Self {
+        self.eager = eager;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_is_complete() {
+        assert_eq!(SharingType::ALL.len(), 9);
+        assert_eq!(SharingType::DATA_TYPES.len(), 8);
+        assert!(!SharingType::DATA_TYPES.contains(&SharingType::Synchronization));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = SharingType::ALL.iter().map(|t| t.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 9);
+    }
+
+    #[test]
+    fn delayed_update_users() {
+        assert!(SharingType::WriteMany.uses_delayed_updates());
+        assert!(SharingType::Result.uses_delayed_updates());
+        assert!(SharingType::ProducerConsumer.uses_delayed_updates());
+        assert!(!SharingType::GeneralReadWrite.uses_delayed_updates());
+        assert!(!SharingType::WriteOnce.uses_delayed_updates());
+        assert!(!SharingType::Migratory.uses_delayed_updates());
+    }
+
+    #[test]
+    fn writability() {
+        assert!(!SharingType::WriteOnce.remotely_writable());
+        assert!(!SharingType::Private.remotely_writable());
+        assert!(SharingType::Migratory.remotely_writable());
+    }
+
+    #[test]
+    fn decl_builders() {
+        let d = ObjectDecl::new(ObjectId(1), "work queue", 128, SharingType::Migratory, NodeId(0))
+            .with_lock(LockId(3))
+            .with_eager(true);
+        assert_eq!(d.associated_lock, Some(LockId(3)));
+        assert!(d.eager);
+        assert_eq!(d.name, "work queue");
+    }
+}

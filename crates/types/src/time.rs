@@ -1,0 +1,127 @@
+//! Virtual time.
+//!
+//! The simulation kernel advances a global virtual clock measured in
+//! microseconds. All latencies in the [`crate::cost::CostModel`] are virtual
+//! microseconds; wall-clock time never enters any measurement, which is what
+//! makes every experiment bit-for-bit reproducible.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time (microseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VirtualTime(pub u64);
+
+impl VirtualTime {
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// Largest representable time; used as an "infinitely far" sentinel.
+    pub const MAX: VirtualTime = VirtualTime(u64::MAX);
+
+    #[inline]
+    pub fn micros(us: u64) -> Self {
+        VirtualTime(us)
+    }
+
+    #[inline]
+    pub fn millis(ms: u64) -> Self {
+        VirtualTime(ms * 1_000)
+    }
+
+    #[inline]
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating duration since `earlier` (zero if `earlier` is later).
+    #[inline]
+    pub fn since(self, earlier: VirtualTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    #[inline]
+    pub fn max(self, other: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.max(other.0))
+    }
+}
+
+impl Add<u64> for VirtualTime {
+    type Output = VirtualTime;
+    #[inline]
+    fn add(self, rhs: u64) -> VirtualTime {
+        VirtualTime(self.0.saturating_add(rhs))
+    }
+}
+
+impl AddAssign<u64> for VirtualTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 = self.0.saturating_add(rhs);
+    }
+}
+
+impl Sub<VirtualTime> for VirtualTime {
+    type Output = u64;
+    /// Saturating difference in microseconds.
+    #[inline]
+    fn sub(self, rhs: VirtualTime) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = VirtualTime::millis(2);
+        assert_eq!(t.as_micros(), 2_000);
+        assert_eq!((t + 500).as_micros(), 2_500);
+        let mut u = t;
+        u += 1_000;
+        assert_eq!(u.as_micros(), 3_000);
+        assert_eq!(u - t, 1_000);
+        assert_eq!(t - u, 0, "subtraction saturates");
+        assert_eq!(u.since(t), 1_000);
+        assert_eq!(t.since(u), 0);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(VirtualTime::micros(7).to_string(), "7us");
+        assert_eq!(VirtualTime::micros(1_500).to_string(), "1.500ms");
+        assert_eq!(VirtualTime::micros(2_000_000).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn saturating_add_at_max() {
+        assert_eq!(VirtualTime::MAX + 10, VirtualTime::MAX);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(VirtualTime::ZERO < VirtualTime::micros(1));
+        assert_eq!(VirtualTime::micros(5).max(VirtualTime::micros(9)).0, 9);
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: your first Munin program.
+//!
+//! Declares a handful of shared objects with sharing annotations, spawns a
+//! thread per node, runs the program on the Munin runtime, and prints the
+//! traffic report. The same program also runs on the Ivy baseline and on
+//! native threads — change `backend` below and nothing else.
+//!
+//! ```text
+//! cargo run -p xtests --example quickstart
+//! ```
+
+use munin_api::{Backend, Par, ParExt, ProgramBuilder};
+use munin_types::{MuninConfig, SharingType};
+use std::sync::{Arc, Mutex};
+
+fn main() {
+    let nodes = 4;
+    let mut p = ProgramBuilder::new(nodes);
+
+    // A read-only table: initialized once, then replicated on demand.
+    let table = p.object("table", 8 * 64, SharingType::WriteOnce, 0);
+    // A grid written in disjoint stripes by all threads (delayed updates).
+    let grid = p.object("grid", 8 * 64, SharingType::WriteMany, 0);
+    // Each worker's partial sums land here; only thread 0 reads them.
+    let sums = p.object("sums", 8 * 4, SharingType::Result, 0);
+    let bar = p.barrier(0, nodes as u32);
+
+    let answer = Arc::new(Mutex::new(0.0f64));
+    let answer_out = answer.clone();
+
+    for t in 0..nodes {
+        let answer = answer.clone();
+        p.thread(t, move |par: &mut dyn Par| {
+            let me = par.self_id();
+            if me == 0 {
+                // Initialization phase: fill the table, publish it.
+                let init: Vec<f64> = (0..64).map(|i| (i as f64).sqrt()).collect();
+                par.write_f64s(table, 0, &init);
+                par.phase(1);
+            }
+            par.barrier(bar);
+
+            // Everyone reads the (now replicated) table and writes its own
+            // stripe of the grid.
+            let chunk = 64 / par.n_threads();
+            let lo = me * chunk;
+            let vals = par.read_f64s(table, lo as u32, chunk as u32);
+            let doubled: Vec<f64> = vals.iter().map(|v| v * 2.0).collect();
+            par.write_f64s(grid, lo as u32, &doubled);
+            // Deposit a partial sum into the result object.
+            par.write_f64(sums, me as u32, doubled.iter().sum());
+            par.barrier(bar);
+
+            if me == 0 {
+                let partials = par.read_f64s(sums, 0, par.n_threads() as u32);
+                *answer.lock().unwrap() = partials.iter().sum();
+            }
+        });
+    }
+
+    let outcome = p.run(Backend::Munin(MuninConfig::default()));
+    outcome.assert_clean();
+    let report = outcome.report();
+    println!("answer: {:.4}", *answer_out.lock().unwrap());
+    println!("virtual time: {}", report.finished_at);
+    println!("{}", report.stats);
+}

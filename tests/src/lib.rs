@@ -1,0 +1,11 @@
+//! Workspace-level integration tests for the Munin reproduction.
+//!
+//! The tests live in `tests/`:
+//! * `cross_backend` — every study application, every backend, every
+//!   ablation configuration, identical results;
+//! * `reliability` — protocols under injected message loss;
+//! * `coherence_validation` — random programs' observed reads checked
+//!   against the loose-coherence definition with vector clocks.
+//!
+//! The runnable examples under `../examples/` are also wired into this
+//! crate (see `Cargo.toml`).

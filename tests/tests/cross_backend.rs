@@ -1,0 +1,132 @@
+//! Cross-crate integration: every study application must produce the
+//! sequential-reference result on every backend — Munin (loose, type-
+//! specific), Ivy (strict, page-based, spin or central sync), and native
+//! threads — and Munin must also stay correct under its ablation
+//! configurations.
+
+use munin_api::Backend;
+use munin_apps::App;
+use munin_types::{IvyConfig, MuninConfig, ReadMostlyMode, SharingType, UpdatePolicy};
+
+fn run_app(app: App, nodes: usize, backend: Backend) {
+    let (p, verify) = app.build_default(nodes);
+    p.run(backend).assert_clean();
+    verify();
+}
+
+#[test]
+fn all_apps_correct_on_munin() {
+    for app in App::ALL {
+        run_app(app, 4, Backend::Munin(MuninConfig::default()));
+    }
+}
+
+#[test]
+fn all_apps_correct_on_ivy_spin() {
+    for app in App::ALL {
+        run_app(app, 4, Backend::Ivy(IvyConfig::default()));
+    }
+}
+
+#[test]
+fn all_apps_correct_on_ivy_central() {
+    for app in App::ALL {
+        run_app(app, 4, Backend::Ivy(IvyConfig::default().with_central_locks()));
+    }
+}
+
+#[test]
+fn all_apps_correct_on_native() {
+    for app in App::ALL {
+        run_app(app, 4, Backend::Native);
+    }
+}
+
+#[test]
+fn all_apps_correct_with_invalidate_policies() {
+    // Flip every update policy to invalidation: correctness must not depend
+    // on refresh vs invalidate.
+    let mut cfg = MuninConfig::default();
+    cfg.write_many_policy = UpdatePolicy::Invalidate;
+    cfg.pc_policy = UpdatePolicy::Invalidate;
+    cfg.read_mostly = ReadMostlyMode::ReplicatedInvalidate;
+    for app in App::ALL {
+        run_app(app, 4, Backend::Munin(cfg.clone()));
+    }
+}
+
+#[test]
+fn all_apps_correct_with_adaptive_policies() {
+    let mut cfg = MuninConfig::default();
+    cfg.write_many_policy = UpdatePolicy::Adaptive;
+    cfg.read_mostly = ReadMostlyMode::Adaptive;
+    cfg.adaptive_typing = true;
+    for app in App::ALL {
+        run_app(app, 3, Backend::Munin(cfg.clone()));
+    }
+}
+
+#[test]
+fn all_apps_correct_without_delayed_updates() {
+    // The strict write-through ablation must be slower, never wrong.
+    for app in App::ALL {
+        run_app(app, 3, Backend::Munin(MuninConfig::default().strict()));
+    }
+}
+
+#[test]
+fn all_apps_correct_when_everything_is_general_read_write() {
+    // Force the default protocol everywhere: the annotations are a
+    // performance hint, never a correctness requirement.
+    for app in App::ALL {
+        let (mut p, verify) = app.build_default(3);
+        p.retype_all(|_| SharingType::GeneralReadWrite);
+        p.run(Backend::Munin(MuninConfig::default())).assert_clean();
+        verify();
+    }
+}
+
+#[test]
+fn all_apps_correct_on_small_pages_and_aligned_alloc() {
+    let mut cfg = IvyConfig::default();
+    cfg.page_size = 256;
+    cfg.alloc = munin_types::AllocPolicy::PageAligned;
+    cfg.sync = munin_types::SyncStrategy::CentralServer;
+    for app in App::ALL {
+        run_app(app, 3, Backend::Ivy(cfg.clone()));
+    }
+}
+
+#[test]
+fn munin_runs_are_deterministic_across_repeats() {
+    for app in [App::Matmul, App::Life, App::Qsort] {
+        let run = || {
+            let (p, verify) = app.build_default(3);
+            let o = p.run(Backend::Munin(MuninConfig::default()));
+            o.assert_clean();
+            verify();
+            let r = o.report();
+            (r.stats.messages, r.stats.bytes, r.finished_at)
+        };
+        assert_eq!(run(), run(), "{} not deterministic", app.name());
+    }
+}
+
+#[test]
+fn hardware_multicast_reduces_messages_not_results() {
+    let mut cfg = MuninConfig::default();
+    cfg.cost.hardware_multicast = true;
+    let (p, verify) = App::Life.build_default(4);
+    let o = p.run(Backend::Munin(cfg));
+    o.assert_clean();
+    verify();
+    let hw = o.report().stats.messages;
+
+    let (p2, verify2) = App::Life.build_default(4);
+    let o2 = p2.run(Backend::Munin(MuninConfig::default()));
+    o2.assert_clean();
+    verify2();
+    let sw = o2.report().stats.messages;
+    assert!(hw <= sw, "hardware multicast cannot increase traffic ({hw} vs {sw})");
+    assert!(o.report().stats.multicast_saved > 0, "barrier releases use multicast");
+}
