@@ -12,8 +12,8 @@ use munin_core::MuninServer;
 use munin_ivy::IvyServer;
 use munin_sim::{RunReport, ThreadCtx, Tracer, TransportConfig, WorldBuilder};
 use munin_types::{
-    BarrierDecl, BarrierId, CondDecl, CondId, IvyConfig, LockDecl, LockId, MuninConfig, NodeId,
-    ObjectDecl, ObjectId, SharingType, SyncDecls,
+    BarrierDecl, BarrierId, CondDecl, CondId, Element, IvyConfig, LockDecl, LockId, MuninConfig,
+    NodeId, ObjectDecl, ObjectId, SharedArray, SharedScalar, SharingType, SyncDecls,
 };
 
 /// Which runtime executes the program.
@@ -36,6 +36,15 @@ impl Backend {
             Backend::Native => TransportConfig::default(),
         }
     }
+
+    /// Short display name, used in reports and error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Munin(_) => "Munin",
+            Backend::Ivy(_) => "Ivy",
+            Backend::Native => "Native",
+        }
+    }
 }
 
 /// Result of a run.
@@ -45,12 +54,34 @@ pub struct Outcome {
     /// Wall-clock duration of the run (host time; only meaningful for
     /// native runs).
     pub wall: std::time::Duration,
+    /// Which backend produced this outcome (for diagnostics).
+    backend: &'static str,
 }
 
 impl Outcome {
-    /// The simulation report; panics for native runs.
+    /// The simulation report; panics (naming the backend) if the run has
+    /// none. Use [`Outcome::try_report`] when the backend may be native.
     pub fn report(&self) -> &RunReport {
-        self.report.as_ref().expect("native runs have no simulation report")
+        match &self.report {
+            Some(r) => r,
+            None => panic!(
+                "no simulation report: this program ran on the {} backend, which executes \
+                 real threads and produces only wall-clock timing — use try_report() (or \
+                 Outcome::wall) for backend-agnostic code",
+                self.backend
+            ),
+        }
+    }
+
+    /// The simulation report, if the backend produced one (native runs do
+    /// not).
+    pub fn try_report(&self) -> Option<&RunReport> {
+        self.report.as_ref()
+    }
+
+    /// Name of the backend that produced this outcome.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend
     }
 
     /// Panic unless the run was clean (native runs are clean if they joined).
@@ -91,14 +122,74 @@ impl ProgramBuilder {
         self.n_nodes
     }
 
-    /// Declare a shared object homed on `home` (node index). Returns its id.
-    pub fn object(
+    /// Declare a typed shared array of `len` elements of `T`, homed on node
+    /// `home`. The returned handle carries the element type, length and
+    /// sharing annotation, so every access through it is bounds- and
+    /// type-checked at the API layer.
+    #[track_caller]
+    pub fn array<T: Element>(
         &mut self,
         name: &str,
-        size: u32,
+        len: u32,
         sharing: SharingType,
         home: usize,
-    ) -> ObjectId {
+    ) -> SharedArray<T> {
+        let bytes = (len as u64).checked_mul(T::SIZE as u64).filter(|b| *b <= u32::MAX as u64);
+        let bytes =
+            bytes.unwrap_or_else(|| panic!("array `{name}`: {len} x {} overflows u32", T::NAME));
+        let id = self.object(name, bytes as u32, sharing, home);
+        SharedArray::from_raw(id, len, sharing)
+    }
+
+    /// Declare a typed shared array from a declaration template (see
+    /// [`ObjectDecl::template`]) — for lock-associated migratory arrays and
+    /// eager producer-consumer arrays. The template's id, size and home are
+    /// filled in here.
+    #[track_caller]
+    pub fn array_decl<T: Element>(
+        &mut self,
+        mut decl: ObjectDecl,
+        len: u32,
+        home: usize,
+    ) -> SharedArray<T> {
+        let bytes = (len as u64).checked_mul(T::SIZE as u64).filter(|b| *b <= u32::MAX as u64);
+        decl.size = bytes
+            .unwrap_or_else(|| panic!("array `{}`: {len} x {} overflows u32", decl.name, T::NAME))
+            as u32;
+        let sharing = decl.sharing;
+        let id = self.object_decl(decl, home);
+        SharedArray::from_raw(id, len, sharing)
+    }
+
+    /// Declare a typed shared scalar of `T`, homed on node `home`.
+    pub fn scalar<T: Element>(
+        &mut self,
+        name: &str,
+        sharing: SharingType,
+        home: usize,
+    ) -> SharedScalar<T> {
+        let id = self.object(name, T::SIZE as u32, sharing, home);
+        SharedScalar::from_raw(id, sharing)
+    }
+
+    /// Declare a typed shared scalar from a declaration template (the
+    /// scalar analogue of [`ProgramBuilder::array_decl`]).
+    pub fn scalar_decl<T: Element>(
+        &mut self,
+        mut decl: ObjectDecl,
+        home: usize,
+    ) -> SharedScalar<T> {
+        decl.size = T::SIZE as u32;
+        let sharing = decl.sharing;
+        let id = self.object_decl(decl, home);
+        SharedScalar::from_raw(id, sharing)
+    }
+
+    /// Declare an untyped shared object homed on `home` (node index) and
+    /// return its raw id. Prefer the typed [`ProgramBuilder::array`] /
+    /// [`ProgramBuilder::scalar`]; the raw form remains for runtimes and
+    /// experiment plumbing that work below the typed layer.
+    pub fn object(&mut self, name: &str, size: u32, sharing: SharingType, home: usize) -> ObjectId {
         let id = ObjectId(self.objects.len() as u64);
         let decl = ObjectDecl::new(id, name, size, sharing, NodeId(home as u16));
         self.objects.push(decl);
@@ -204,16 +295,13 @@ impl ProgramBuilder {
         tracer: Option<Box<dyn Tracer>>,
     ) -> Outcome {
         let started = std::time::Instant::now();
+        let backend_name = backend.name();
         match backend {
             Backend::Native => {
                 let world = NativeWorld::new(
                     self.objects.iter().map(|d| (d.id, d.size as usize)),
                     self.locks.len(),
-                    &self
-                        .barriers
-                        .iter()
-                        .map(|b| b.count as usize)
-                        .collect::<Vec<_>>(),
+                    &self.barriers.iter().map(|b| b.count as usize).collect::<Vec<_>>(),
                     self.conds.len(),
                     self.threads.len(),
                 );
@@ -228,7 +316,7 @@ impl ProgramBuilder {
                 for j in joins {
                     j.join().expect("native program thread panicked");
                 }
-                Outcome { report: None, wall: started.elapsed() }
+                Outcome { report: None, wall: started.elapsed(), backend: backend_name }
             }
             Backend::Munin(cfg) => {
                 let sync = self.sync_decls();
@@ -248,7 +336,7 @@ impl ProgramBuilder {
                     .map(|i| MuninServer::new(NodeId(i as u16), cfg.clone(), sync.clone()))
                     .collect();
                 let report = b.build(servers).run();
-                Outcome { report: Some(report), wall: started.elapsed() }
+                Outcome { report: Some(report), wall: started.elapsed(), backend: backend_name }
             }
             Backend::Ivy(cfg) => {
                 let sync = self.sync_decls();
@@ -269,7 +357,7 @@ impl ProgramBuilder {
                     .map(|i| IvyServer::new(NodeId(i as u16), cfg.clone(), n_nodes, &decls, &sync))
                     .collect();
                 let report = b.build(servers).run();
-                Outcome { report: Some(report), wall: started.elapsed() }
+                Outcome { report: Some(report), wall: started.elapsed(), backend: backend_name }
             }
         }
     }
@@ -284,14 +372,14 @@ pub fn run_sim(builder: ProgramBuilder, backend: Backend) -> RunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::par::ParExt;
+    use crate::par::ParTyped;
     use std::sync::atomic::{AtomicI64, Ordering};
     use std::sync::Arc;
 
     /// One program, three backends, identical results.
     fn counting_program(n: usize) -> (ProgramBuilder, Arc<AtomicI64>) {
         let mut p = ProgramBuilder::new(n);
-        let ctr = p.object("ctr", 8, SharingType::GeneralReadWrite, 0);
+        let ctr = p.scalar::<i64>("ctr", SharingType::GeneralReadWrite, 0);
         let l = p.lock(0);
         let bar = p.barrier(0, n as u32);
         let total = Arc::new(AtomicI64::new(-1));
@@ -300,19 +388,45 @@ mod tests {
             p.thread(i, move |par| {
                 for _ in 0..5 {
                     par.lock(l);
-                    let v = par.read_i64(ctr, 0);
-                    par.write_i64(ctr, 0, v + 1);
+                    let v = par.load(&ctr);
+                    par.store(&ctr, v + 1);
                     par.unlock(l);
                 }
                 par.barrier(bar);
                 if par.self_id() == 0 {
                     par.lock(l);
-                    total.store(par.read_i64(ctr, 0), Ordering::SeqCst);
+                    total.store(par.load(&ctr), Ordering::SeqCst);
                     par.unlock(l);
                 }
             });
         }
         (p, total)
+    }
+
+    #[test]
+    fn try_report_present_on_sim_absent_on_native() {
+        let (p, _) = counting_program(2);
+        let o = p.run(Backend::Munin(MuninConfig::default()));
+        assert!(o.try_report().is_some());
+        assert_eq!(o.backend_name(), "Munin");
+
+        let (p, _) = counting_program(2);
+        let o = p.run(Backend::Native);
+        assert!(o.try_report().is_none());
+        assert_eq!(o.backend_name(), "Native");
+    }
+
+    #[test]
+    fn native_report_panic_names_the_backend() {
+        let (p, _) = counting_program(2);
+        let o = p.run(Backend::Native);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = o.report();
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("Native backend"), "panic message was: {msg}");
+        assert!(msg.contains("try_report"), "panic message was: {msg}");
     }
 
     #[test]

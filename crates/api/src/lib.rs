@@ -5,13 +5,21 @@
 //! inserting declarations to provide object-specific information to the
 //! Munin runtime system").
 //!
-//! Applications are written once against the [`Par`] trait and run
+//! Applications declare **typed shared objects** — [`munin_types::SharedArray`]
+//! and [`munin_types::SharedScalar`] handles that carry the element type, the
+//! length and the [`munin_types::SharingType`] annotation — and access them
+//! through the [`ParTyped`] methods (`read_into` / `write_from` / `get` /
+//! `set` / `load` / `store` / [`ParTyped::region`]). Out-of-bounds or
+//! type-confused accesses fail right at the call site with a precise message;
+//! bulk access into caller-owned buffers is zero-copy down to the backend.
+//!
+//! Programs are written once against the object-safe [`Par`] contract and run
 //! unmodified on three backends:
 //!
 //! * **Munin** — the type-specific coherence runtime (`munin-core`) on the
 //!   deterministic simulator;
-//! * **Ivy** — the page-based strictly-coherent baseline (`munin-ivy`) on
-//!   the same simulator;
+//! * **Ivy** — the page-based strictly-coherent baseline (`munin-ivy`) on the
+//!   same simulator;
 //! * **Native** — real OS threads against true shared memory (the "Sequent
 //!   Symmetry" reference), used to validate results and compare behaviour.
 //!
@@ -19,25 +27,25 @@
 //! program, and returns the traffic/timing report experiments consume.
 //!
 //! ```
-//! use munin_api::{Backend, Par, ParExt, ProgramBuilder};
+//! use munin_api::{Backend, Par, ParTyped, ProgramBuilder};
 //! use munin_types::{MuninConfig, SharingType};
 //!
 //! let mut p = ProgramBuilder::new(2);
-//! let table = p.object("table", 64, SharingType::WriteOnce, 0);
-//! let sums = p.object("sums", 16, SharingType::Result, 0);
+//! let table = p.array::<f64>("table", 8, SharingType::WriteOnce, 0);
+//! let sums = p.array::<f64>("sums", 2, SharingType::Result, 0);
 //! let bar = p.barrier(0, 2);
 //! for t in 0..2 {
 //!     p.thread(t, move |par: &mut dyn Par| {
 //!         if par.self_id() == 0 {
-//!             par.write_f64s(table, 0, &[2.0; 8]);
+//!             par.write_from(&table, 0, &[2.0; 8]);
 //!             par.phase(1); // publish the write-once table
 //!         }
 //!         par.barrier(bar);
-//!         let v = par.read_f64(table, par.self_id() as u32); // replicated read
-//!         par.write_f64(sums, par.self_id() as u32, v * 10.0); // delayed update
+//!         let v = par.get(&table, par.self_id() as u32); // replicated read
+//!         par.set(&sums, par.self_id() as u32, v * 10.0); // delayed update
 //!         par.barrier(bar);
 //!         if par.self_id() == 0 {
-//!             assert_eq!(par.read_f64s(sums, 0, 2), vec![20.0, 20.0]);
+//!             assert_eq!(par.read_all(&sums), vec![20.0, 20.0]);
 //!         }
 //!     });
 //! }
@@ -53,4 +61,7 @@ pub mod par;
 
 pub use harness::{Backend, Outcome, ProgramBuilder};
 pub use monitor::Monitor;
-pub use par::{Par, ParExt};
+pub use munin_types::{Element, SharedArray, SharedScalar};
+#[allow(deprecated)]
+pub use par::ParExt;
+pub use par::{Par, ParTyped, Region};

@@ -72,8 +72,8 @@ impl Monitor {
 mod tests {
     use super::*;
     use crate::harness::Backend;
-    use crate::par::ParExt;
-    use munin_types::{MuninConfig, SharingType};
+    use crate::par::ParTyped;
+    use munin_types::{MuninConfig, ObjectDecl, SharingType};
     use std::sync::atomic::{AtomicI64, Ordering};
     use std::sync::Arc;
 
@@ -82,15 +82,10 @@ mod tests {
         // monitor exercise, across nodes.
         let mut p = ProgramBuilder::new(2);
         let m = Monitor::declare(&mut p, 0);
-        let slot = p.object_decl(
-            munin_types::ObjectDecl::new(
-                munin_types::ObjectId(0),
-                "slot",
-                16, // [full flag, value]
-                SharingType::Migratory,
-                munin_types::NodeId(0),
-            )
-            .with_lock(m.lock),
+        // slot[0] = full flag, slot[1] = value.
+        let slot = p.array_decl::<i64>(
+            ObjectDecl::template("slot", SharingType::Migratory).with_lock(m.lock),
+            2,
             0,
         );
         let got = Arc::new(AtomicI64::new(0));
@@ -100,9 +95,9 @@ mod tests {
             let mut sum = 0;
             for _ in 0..5 {
                 m.enter(par);
-                m.wait_until(par, |par| par.read_i64(slot, 0) == 1);
-                sum += par.read_i64(slot, 1);
-                par.write_i64(slot, 0, 0);
+                m.wait_until(par, |par| par.get(&slot, 0) == 1);
+                sum += par.get(&slot, 1);
+                par.set(&slot, 0, 0);
                 m.broadcast(par);
                 m.exit(par);
             }
@@ -112,9 +107,9 @@ mod tests {
             // Producer: put 1..=5.
             for v in 1..=5i64 {
                 m.enter(par);
-                m.wait_until(par, |par| par.read_i64(slot, 0) == 0);
-                par.write_i64(slot, 1, v);
-                par.write_i64(slot, 0, 1);
+                m.wait_until(par, |par| par.get(&slot, 0) == 0);
+                par.set(&slot, 1, v);
+                par.set(&slot, 0, 1);
                 m.broadcast(par);
                 m.exit(par);
             }

@@ -101,14 +101,14 @@ impl Par for NativeCtx {
         self.world.n_threads
     }
 
-    fn read(&mut self, obj: ObjectId, range: ByteRange) -> Vec<u8> {
+    fn read_raw_into(&mut self, obj: ObjectId, range: ByteRange, out: &mut [u8]) {
         let g = self.world.objects[&obj].read();
-        g[range.start as usize..range.end() as usize].to_vec()
+        out.copy_from_slice(&g[range.start as usize..range.end() as usize]);
     }
 
-    fn write(&mut self, obj: ObjectId, start: u32, data: Vec<u8>) {
+    fn write_raw(&mut self, obj: ObjectId, start: u32, data: &[u8]) {
         let mut g = self.world.objects[&obj].write();
-        g[start as usize..start as usize + data.len()].copy_from_slice(&data);
+        g[start as usize..start as usize + data.len()].copy_from_slice(data);
     }
 
     fn fetch_add(&mut self, obj: ObjectId, offset: u32, delta: i64) -> i64 {
@@ -165,14 +165,16 @@ impl Par for NativeCtx {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::par::ParExt;
+    use crate::par::ParTyped;
+    use munin_types::{SharedArray, SharedScalar, SharingType};
 
     #[test]
     fn native_world_basics() {
         let w = NativeWorld::new([(ObjectId(0), 64)], 1, &[2], 0, 2);
+        let arr: SharedArray<f64> = SharedArray::from_raw(ObjectId(0), 8, SharingType::WriteMany);
         let mut a = NativeCtx::new(w.clone(), 0);
-        a.write_f64(ObjectId(0), 2, 9.0);
-        assert_eq!(a.read_f64(ObjectId(0), 2), 9.0);
+        a.set(&arr, 2, 9.0);
+        assert_eq!(a.get(&arr, 2), 9.0);
         assert_eq!(a.self_id(), 0);
         assert_eq!(a.n_threads(), 2);
         assert_eq!(w.snapshot(ObjectId(0)).len(), 64);
@@ -181,6 +183,8 @@ mod tests {
     #[test]
     fn native_locks_exclude_and_barriers_meet() {
         let w = NativeWorld::new([(ObjectId(0), 8)], 1, &[4], 0, 4);
+        let ctr: SharedScalar<i64> =
+            SharedScalar::from_raw(ObjectId(0), SharingType::GeneralReadWrite);
         let mut joins = Vec::new();
         for i in 0..4 {
             let w = w.clone();
@@ -188,13 +192,13 @@ mod tests {
                 let mut ctx = NativeCtx::new(w, i);
                 for _ in 0..100 {
                     ctx.lock(LockId(0));
-                    let v = ctx.read_i64(ObjectId(0), 0);
-                    ctx.write_i64(ObjectId(0), 0, v + 1);
+                    let v = ctx.load(&ctr);
+                    ctx.store(&ctr, v + 1);
                     ctx.unlock(LockId(0));
                 }
                 ctx.barrier(BarrierId(0));
                 // After the barrier everyone must see the final count.
-                assert_eq!(ctx.read_i64(ObjectId(0), 0), 400);
+                assert_eq!(ctx.load(&ctr), 400);
             }));
         }
         for j in joins {

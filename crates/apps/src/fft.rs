@@ -8,7 +8,7 @@
 //! merges. One barrier separates stages.
 
 use crate::{output_cell, OutputCell};
-use munin_api::{Par, ParExt, ProgramBuilder};
+use munin_api::{Par, ParTyped, ProgramBuilder};
 use munin_types::SharingType;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -64,8 +64,8 @@ pub fn build(cfg: &FftCfg) -> (ProgramBuilder, OutputCell<(Vec<f64>, Vec<f64>)>)
     let bits = n.trailing_zeros();
     let nodes = cfg.nodes;
     let mut p = ProgramBuilder::new(nodes);
-    let re = p.object("re", (n * 8) as u32, SharingType::WriteMany, 0);
-    let im = p.object("im", (n * 8) as u32, SharingType::WriteMany, 0);
+    let re = p.array::<f64>("re", n as u32, SharingType::WriteMany, 0);
+    let im = p.array::<f64>("im", n as u32, SharingType::WriteMany, 0);
     let bar = p.barrier(0, nodes as u32);
     let (sig_re, sig_im) = input_signal(cfg);
     let out = output_cell();
@@ -86,11 +86,16 @@ pub fn build(cfg: &FftCfg) -> (ProgramBuilder, OutputCell<(Vec<f64>, Vec<f64>)>)
                     br_re[r] = sig_re[i];
                     br_im[r] = sig_im[i];
                 }
-                par.write_f64s(re, 0, &br_re);
-                par.write_f64s(im, 0, &br_im);
+                par.write_from(&re, 0, &br_re);
+                par.write_from(&im, 0, &br_im);
             }
             par.barrier(bar);
 
+            // Butterfly scratch, reused across every block and stage: bulk
+            // typed reads fill these in place, so the stage loop allocates
+            // nothing.
+            let mut xr = vec![0.0f64; n];
+            let mut xi = vec![0.0f64; n];
             for s in 0..bits {
                 let m = 1usize << (s + 1); // butterfly block size
                 let blocks = n / m;
@@ -99,8 +104,9 @@ pub fn build(cfg: &FftCfg) -> (ProgramBuilder, OutputCell<(Vec<f64>, Vec<f64>)>)
                 let hi = (me + 1) * blocks / threads;
                 for blk in lo..hi {
                     let base = blk * m;
-                    let mut xr = par.read_f64s(re, base as u32, m as u32);
-                    let mut xi = par.read_f64s(im, base as u32, m as u32);
+                    let (xr, xi) = (&mut xr[..m], &mut xi[..m]);
+                    par.read_into(&re, base as u32, xr);
+                    par.read_into(&im, base as u32, xi);
                     let half = m / 2;
                     for t_idx in 0..half {
                         let ang = -2.0 * PI * t_idx as f64 / m as f64;
@@ -115,16 +121,16 @@ pub fn build(cfg: &FftCfg) -> (ProgramBuilder, OutputCell<(Vec<f64>, Vec<f64>)>)
                         xr[t_idx + half] = ur - vr;
                         xi[t_idx + half] = ui - vi;
                     }
-                    par.write_f64s(re, base as u32, &xr);
-                    par.write_f64s(im, base as u32, &xi);
+                    par.write_from(&re, base as u32, xr);
+                    par.write_from(&im, base as u32, xi);
                 }
                 par.compute(((hi - lo).max(1) * m / 4) as u64);
                 par.barrier(bar);
             }
 
             if me == 0 {
-                let fr = par.read_f64s(re, 0, n as u32);
-                let fi = par.read_f64s(im, 0, n as u32);
+                let fr = par.read_all(&re);
+                let fi = par.read_all(&im);
                 *out.lock().unwrap() = Some((fr, fi));
             }
         });

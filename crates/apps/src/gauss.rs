@@ -12,8 +12,8 @@
 //! original study programs also relied on for benchmark stability.)
 
 use crate::{output_cell, OutputCell};
-use munin_api::{Par, ParExt, ProgramBuilder};
-use munin_types::{ObjectId, SharingType};
+use munin_api::{Par, ParTyped, ProgramBuilder, SharedArray};
+use munin_types::SharingType;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -65,11 +65,13 @@ pub fn build(cfg: &GaussCfg) -> (ProgramBuilder, OutputCell<Vec<f64>>) {
     let nodes = cfg.nodes;
     let mut p = ProgramBuilder::new(nodes);
     // One producer-consumer object per row, homed on its owner's node.
-    let rows: Vec<ObjectId> = (0..n)
-        .map(|i| p.object(&format!("row{i}"), (n * 8) as u32, SharingType::ProducerConsumer, i % nodes))
+    let rows: Vec<SharedArray<f64>> = (0..n)
+        .map(|i| {
+            p.array::<f64>(&format!("row{i}"), n as u32, SharingType::ProducerConsumer, i % nodes)
+        })
         .collect();
     let bar = p.barrier(0, nodes as u32);
-    let result = p.object("U", (n * n * 8) as u32, SharingType::Result, 0);
+    let result = p.array::<f64>("U", (n * n) as u32, SharingType::Result, 0);
     let a0 = input_matrix(cfg);
     let out = output_cell();
 
@@ -86,7 +88,7 @@ pub fn build(cfg: &GaussCfg) -> (ProgramBuilder, OutputCell<Vec<f64>>) {
             // Initialize owned rows; keep working copies thread-local.
             let mut my_rows: Vec<(usize, Vec<f64>)> = mine.clone();
             for (i, vals) in &my_rows {
-                par.write_f64s(rows[*i], 0, vals);
+                par.write_from(&rows[*i], 0, vals);
             }
             par.barrier(bar);
 
@@ -96,7 +98,7 @@ pub fn build(cfg: &GaussCfg) -> (ProgramBuilder, OutputCell<Vec<f64>>) {
                 let pivot: Vec<f64> = if k % threads == me {
                     my_rows.iter().find(|(i, _)| *i == k).expect("own pivot").1.clone()
                 } else {
-                    par.read_f64s(rows[k], 0, n as u32)
+                    par.read_all(&rows[k])
                 };
                 // Eliminate column k from our rows below the pivot.
                 let mut dirtied = 0u32;
@@ -117,7 +119,7 @@ pub fn build(cfg: &GaussCfg) -> (ProgramBuilder, OutputCell<Vec<f64>>) {
                 // refresh from there.
                 for (i, row) in &my_rows {
                     if *i == k + 1 {
-                        par.write_f64s(rows[*i], 0, row);
+                        par.write_from(&rows[*i], 0, row);
                     }
                 }
                 par.compute((dirtied as u64) * (n as u64 - k as u64) / 4);
@@ -126,11 +128,11 @@ pub fn build(cfg: &GaussCfg) -> (ProgramBuilder, OutputCell<Vec<f64>>) {
 
             // Deposit owned rows into the result matrix.
             for (i, row) in &my_rows {
-                par.write_f64s(result, (*i * n) as u32, row);
+                par.write_from(&result, (*i * n) as u32, row);
             }
             par.barrier(bar);
             if me == 0 {
-                let u = par.read_f64s(result, 0, (n * n) as u32);
+                let u = par.read_all(&result);
                 *out.lock().unwrap() = Some(u);
             }
         });

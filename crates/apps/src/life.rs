@@ -13,8 +13,8 @@
 //! one barrier per generation suffices.
 
 use crate::{output_cell, OutputCell};
-use munin_api::{Par, ProgramBuilder};
-use munin_types::{ByteRange, ObjectDecl, ObjectId, SharingType};
+use munin_api::{Par, ParTyped, ProgramBuilder, SharedArray};
+use munin_types::{ObjectDecl, SharingType};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -36,9 +36,7 @@ impl Default for LifeCfg {
 
 fn initial_grid(cfg: &LifeCfg) -> Vec<u8> {
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    (0..cfg.width as usize * cfg.height as usize)
-        .map(|_| u8::from(rng.gen_bool(0.35)))
-        .collect()
+    (0..cfg.width as usize * cfg.height as usize).map(|_| u8::from(rng.gen_bool(0.35))).collect()
 }
 
 fn step(grid: &[u8], w: usize, h: usize) -> Vec<u8> {
@@ -90,22 +88,22 @@ pub fn build(cfg: &LifeCfg) -> (ProgramBuilder, OutputCell<Vec<u8>>) {
     // Per thread: the private interior block (full block, double buffered in
     // thread-local fashion inside one object), plus 4 boundary objects:
     // (top, bottom) × (even, odd generation parity).
-    let mut interiors: Vec<ObjectId> = Vec::new();
-    let mut top: Vec<[ObjectId; 2]> = Vec::new(); // [parity]
-    let mut bot: Vec<[ObjectId; 2]> = Vec::new();
+    let mut interiors: Vec<SharedArray<u8>> = Vec::new();
+    let mut top: Vec<[SharedArray<u8>; 2]> = Vec::new(); // [parity]
+    let mut bot: Vec<[SharedArray<u8>; 2]> = Vec::new();
     for t in 0..nodes {
         let (lo, hi) = block(t, nodes, h);
         let rows = hi - lo;
-        interiors.push(p.object(
+        interiors.push(p.array::<u8>(
             &format!("block{t}"),
             (rows * w) as u32,
             SharingType::Private,
             t,
         ));
         let mk = |p: &mut ProgramBuilder, name: String| {
-            p.object_decl(
-                ObjectDecl::new(ObjectId(0), name, w as u32, SharingType::ProducerConsumer, munin_types::NodeId(0))
-                    .with_eager(true),
+            p.array_decl::<u8>(
+                ObjectDecl::template(name, SharingType::ProducerConsumer).with_eager(true),
+                w as u32,
                 t,
             )
         };
@@ -116,7 +114,7 @@ pub fn build(cfg: &LifeCfg) -> (ProgramBuilder, OutputCell<Vec<u8>>) {
     let grid0 = initial_grid(cfg);
     let out = output_cell();
     let generations = cfg.generations;
-    let result = p.object("final", (w * h) as u32, SharingType::Result, 0);
+    let result = p.array::<u8>("final", (w * h) as u32, SharingType::Result, 0);
 
     for t in 0..nodes {
         let out = out.clone();
@@ -131,51 +129,51 @@ pub fn build(cfg: &LifeCfg) -> (ProgramBuilder, OutputCell<Vec<u8>>) {
             let rows = hi - lo;
             // The block's persistent state lives in the (private) shared
             // object, exactly as it did on the paper's shared-memory host.
-            par.write(interiors[me], 0, my_rows.clone());
+            par.write_from(&interiors[me], 0, &my_rows);
             // Publish generation-0 boundaries (parity 0).
-            par.write(top[me][0], 0, my_rows[0..w].to_vec());
-            par.write(bot[me][0], 0, my_rows[(rows - 1) * w..rows * w].to_vec());
+            par.write_from(&top[me][0], 0, &my_rows[0..w]);
+            par.write_from(&bot[me][0], 0, &my_rows[(rows - 1) * w..rows * w]);
             par.barrier(bar);
 
+            // Halo-extended grid (halo + block + halo), filled in place each
+            // generation: the typed bulk reads land directly in this buffer,
+            // so the generation loop performs no per-access allocation.
+            let mut ext = vec![0u8; (rows + 2) * w];
             for gen in 0..generations {
                 let parity = (gen % 2) as usize;
-                let cur = par.read(interiors[me], ByteRange::new(0, (rows * w) as u32));
-                // Neighbour halo rows for this generation.
-                let above: Vec<u8> = if me > 0 {
-                    par.read(bot[me - 1][parity], ByteRange::new(0, w as u32))
+                // Neighbour halo rows for this generation, then our block.
+                if me > 0 {
+                    par.read_into(&bot[me - 1][parity], 0, &mut ext[..w]);
                 } else {
-                    vec![0; w]
-                };
-                let below: Vec<u8> = if me + 1 < n {
-                    par.read(top[me + 1][parity], ByteRange::new(0, w as u32))
+                    ext[..w].fill(0);
+                }
+                if me + 1 < n {
+                    par.read_into(&top[me + 1][parity], 0, &mut ext[(rows + 1) * w..]);
                 } else {
-                    vec![0; w]
-                };
-                // Compute the next generation over (halo + block + halo).
-                let mut ext = Vec::with_capacity((rows + 2) * w);
-                ext.extend_from_slice(&above);
-                ext.extend_from_slice(&cur);
-                ext.extend_from_slice(&below);
+                    ext[(rows + 1) * w..].fill(0);
+                }
+                par.read_into(&interiors[me], 0, &mut ext[w..(rows + 1) * w]);
+                // Compute the next generation over the extended grid.
                 let stepped = step(&ext, w, rows + 2);
-                let next: Vec<u8> = stepped[w..(rows + 1) * w].to_vec();
+                let next = &stepped[w..(rows + 1) * w];
                 par.compute((rows * w / 8) as u64);
 
                 // Publish next generation's boundaries (opposite parity) —
                 // under Munin these are pushed eagerly to the neighbours.
                 let np = 1 - parity;
-                par.write(top[me][np], 0, next[0..w].to_vec());
-                par.write(bot[me][np], 0, next[(rows - 1) * w..rows * w].to_vec());
+                par.write_from(&top[me][np], 0, &next[0..w]);
+                par.write_from(&bot[me][np], 0, &next[(rows - 1) * w..rows * w]);
                 // Persist the private block.
-                par.write(interiors[me], 0, next);
+                par.write_from(&interiors[me], 0, next);
                 par.barrier(bar);
             }
 
             // Deposit the final block into the result object.
-            let final_block = par.read(interiors[me], ByteRange::new(0, (rows * w) as u32));
-            par.write(result, (lo * w) as u32, final_block);
+            let final_block = par.read_all(&interiors[me]);
+            par.write_from(&result, (lo * w) as u32, &final_block);
             par.barrier(bar);
             if me == 0 {
-                let full = par.read(result, ByteRange::new(0, (w * h) as u32));
+                let full = par.read_all(&result);
                 *out.lock().unwrap() = Some(full);
             }
         });

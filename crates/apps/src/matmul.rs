@@ -10,7 +10,7 @@
 //! only the collector reads).
 
 use crate::{output_cell, OutputCell};
-use munin_api::{Par, ParExt, ProgramBuilder};
+use munin_api::{Par, ParTyped, ProgramBuilder};
 use munin_types::SharingType;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -59,11 +59,10 @@ pub fn reference(cfg: &MatmulCfg) -> Vec<f64> {
 pub fn build(cfg: &MatmulCfg) -> (ProgramBuilder, OutputCell<Vec<f64>>) {
     let n = cfg.n;
     let nodes = cfg.nodes;
-    let bytes = n * n * 8;
     let mut p = ProgramBuilder::new(nodes);
-    let a = p.object("A", bytes, SharingType::WriteOnce, 0);
-    let b = p.object("B", bytes, SharingType::WriteOnce, 0);
-    let c = p.object("C", bytes, SharingType::Result, 0);
+    let a = p.array::<f64>("A", n * n, SharingType::WriteOnce, 0);
+    let b = p.array::<f64>("B", n * n, SharingType::WriteOnce, 0);
+    let c = p.array::<f64>("C", n * n, SharingType::Result, 0);
     let bar = p.barrier(0, nodes as u32);
 
     let out = output_cell();
@@ -71,25 +70,28 @@ pub fn build(cfg: &MatmulCfg) -> (ProgramBuilder, OutputCell<Vec<f64>>) {
 
     for t in 0..nodes {
         let out = out.clone();
-        let (a_init, b_init) = if t == 0 { (a_init.clone(), b_init.clone()) } else { (vec![], vec![]) };
+        let (a_init, b_init) =
+            if t == 0 { (a_init.clone(), b_init.clone()) } else { (vec![], vec![]) };
         p.thread(t, move |par: &mut dyn Par| {
             let n = n as usize;
             if par.self_id() == 0 {
                 // Initialization phase: fill A and B, publish, meet everyone.
-                par.write_f64s(a, 0, &a_init);
-                par.write_f64s(b, 0, &b_init);
+                par.write_from(&a, 0, &a_init);
+                par.write_from(&b, 0, &b_init);
                 par.phase(1);
             }
             par.barrier(bar);
 
             // Fault B in whole (write-once replication), then row-stripe C.
-            let bm = par.read_f64s(b, 0, (n * n) as u32);
+            let bm = par.read_all(&b);
             let threads = par.n_threads();
             let lo = par.self_id() * n / threads;
             let hi = (par.self_id() + 1) * n / threads;
+            let mut arow = vec![0.0f64; n];
+            let mut crow = vec![0.0f64; n];
             for i in lo..hi {
-                let arow = par.read_f64s(a, (i * n) as u32, n as u32);
-                let mut crow = vec![0.0f64; n];
+                par.read_into(&a, (i * n) as u32, &mut arow);
+                crow.fill(0.0);
                 for k in 0..n {
                     let aik = arow[k];
                     if aik != 0.0 {
@@ -100,13 +102,13 @@ pub fn build(cfg: &MatmulCfg) -> (ProgramBuilder, OutputCell<Vec<f64>>) {
                 }
                 // Model the row's flop cost, then write the row once.
                 par.compute((n * n / 16) as u64);
-                par.write_f64s(c, (i * n) as u32, &crow);
+                par.write_from(&c, (i * n) as u32, &crow);
             }
             par.barrier(bar);
 
             if par.self_id() == 0 {
                 // Collector: read the merged result at its home.
-                let cm = par.read_f64s(c, 0, (n * n) as u32);
+                let cm = par.read_all(&c);
                 *out.lock().unwrap() = Some(cm);
             }
         });
@@ -127,8 +129,9 @@ pub fn check(out: &OutputCell<Vec<f64>>, want: &[f64]) {
 /// broadcast A and B to every worker node, collect each worker's C rows
 /// once. (Used by experiment E5 as the paper's efficiency yardstick.)
 pub fn ideal_messages(cfg: &MatmulCfg) -> u64 {
-    let workers = cfg.nodes as u64 - 1; // node 0 already has the data
-    // A + B to each worker, one result message back from each worker.
+    // A + B to each worker, one result message back from each worker
+    // (node 0 already has the data).
+    let workers = cfg.nodes as u64 - 1;
     2 * workers + workers
 }
 
@@ -140,8 +143,10 @@ mod tests {
 
     #[test]
     fn reference_is_correct_on_identity() {
-        // A × I = A for a config we construct by hand.
-        let n = 4usize;
+        // A × I = A for a config we construct by hand. (`black_box` keeps
+        // the constant-bound loop nest from being fully const-propagated,
+        // which crashes this toolchain's LLVM at opt-level 3.)
+        let n = std::hint::black_box(4usize);
         let a: Vec<f64> = (0..16).map(|x| x as f64).collect();
         let mut b = [0.0; 16];
         for i in 0..n {

@@ -8,8 +8,8 @@
 //! "integrating [migratory object] movement with that of the lock".
 
 use crate::{output_cell, OutputCell};
-use munin_api::{Par, ParExt, ProgramBuilder};
-use munin_types::{NodeId, ObjectDecl, ObjectId, SharingType};
+use munin_api::{Par, ParTyped, ProgramBuilder, SharedArray};
+use munin_types::{ObjectDecl, SharingType};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -45,10 +45,10 @@ pub fn reference(cfg: &QsortCfg) -> Vec<i64> {
 // Task-stack layout (i64 slots): [0]=top, [1]=active, then (lo, hi) pairs.
 const STACK_HDR: u32 = 2;
 
-fn push_task(par: &mut dyn Par, stack: ObjectId, lo: i64, hi: i64) {
-    let top = par.read_i64(stack, 0);
-    par.write_i64s(stack, STACK_HDR + (top as u32) * 2, &[lo, hi]);
-    par.write_i64(stack, 0, top + 1);
+fn push_task(par: &mut dyn Par, stack: &SharedArray<i64>, lo: i64, hi: i64) {
+    let top = par.get(stack, 0);
+    par.write_from(stack, STACK_HDR + (top as u32) * 2, &[lo, hi]);
+    par.set(stack, 0, top + 1);
 }
 
 /// Build the parallel program. The output cell receives the sorted array.
@@ -57,14 +57,14 @@ pub fn build(cfg: &QsortCfg) -> (ProgramBuilder, OutputCell<Vec<i64>>) {
     let nodes = cfg.nodes;
     let cutoff = cfg.cutoff.max(2);
     let mut p = ProgramBuilder::new(nodes);
-    let arr = p.object("array", n * 8, SharingType::WriteMany, 0);
+    let arr = p.array::<i64>("array", n, SharingType::WriteMany, 0);
     let qlock = p.lock(0);
     // Stack capacity: every partition produces ≤ 2 tasks and segments halve,
     // so n tasks is a generous bound.
     let stack_slots = STACK_HDR + 2 * n;
-    let stack = p.object_decl(
-        ObjectDecl::new(ObjectId(0), "task stack", stack_slots * 8, SharingType::Migratory, NodeId(0))
-            .with_lock(qlock),
+    let stack = p.array_decl::<i64>(
+        ObjectDecl::template("task stack", SharingType::Migratory).with_lock(qlock),
+        stack_slots,
         0,
     );
     let bar = p.barrier(0, nodes as u32);
@@ -77,10 +77,10 @@ pub fn build(cfg: &QsortCfg) -> (ProgramBuilder, OutputCell<Vec<i64>>) {
         p.thread(t, move |par: &mut dyn Par| {
             let me = par.self_id();
             if me == 0 {
-                par.write_i64s(arr, 0, &input);
+                par.write_from(&arr, 0, &input);
                 // Seed the stack: one task covering the whole array.
                 par.lock(qlock);
-                push_task(par, stack, 0, n as i64);
+                push_task(par, &stack, 0, n as i64);
                 par.unlock(qlock);
             }
             par.barrier(bar);
@@ -88,8 +88,8 @@ pub fn build(cfg: &QsortCfg) -> (ProgramBuilder, OutputCell<Vec<i64>>) {
             loop {
                 // Try to pop a task.
                 par.lock(qlock);
-                let top = par.read_i64(stack, 0);
-                let active = par.read_i64(stack, 1);
+                let top = par.get(&stack, 0);
+                let active = par.get(&stack, 1);
                 if top == 0 {
                     par.unlock(qlock);
                     if active == 0 {
@@ -98,31 +98,32 @@ pub fn build(cfg: &QsortCfg) -> (ProgramBuilder, OutputCell<Vec<i64>>) {
                     par.compute(500); // Someone is still partitioning; retry.
                     continue;
                 }
-                let task = par.read_i64s(stack, STACK_HDR + (top as u32 - 1) * 2, 2);
-                par.write_i64(stack, 0, top - 1);
-                par.write_i64(stack, 1, active + 1);
+                let mut task = [0i64; 2];
+                par.read_into(&stack, STACK_HDR + (top as u32 - 1) * 2, &mut task);
+                par.set(&stack, 0, top - 1);
+                par.set(&stack, 1, active + 1);
                 par.unlock(qlock);
                 let (lo, hi) = (task[0] as u32, task[1] as u32);
                 let len = hi - lo;
 
-                // Sort or partition the segment in place.
-                let mut seg = par.read_i64s(arr, lo, len);
+                // Sort or partition the thread's segment through a scoped
+                // region view: one fetch, local edits, one write-back.
+                let mut seg = par.region(&arr, lo..hi);
                 let children = if len <= cutoff {
-                    seg.sort_unstable();
-                    par.write_i64s(arr, lo, &seg);
+                    seg.as_mut_slice().sort_unstable();
+                    drop(seg);
                     None
                 } else {
                     // Median-of-three pivot, Hoare-style split via sort-free
                     // partition.
                     let pivot = {
-                        let mut probe =
-                            [seg[0], seg[len as usize / 2], seg[len as usize - 1]];
+                        let mut probe = [seg[0], seg[len as usize / 2], seg[len as usize - 1]];
                         probe.sort_unstable();
                         probe[1]
                     };
                     let (mut left, mut right): (Vec<i64>, Vec<i64>) = (vec![], vec![]);
                     let mut mid = Vec::new();
-                    for v in &seg {
+                    for v in seg.as_slice() {
                         match v.cmp(&pivot) {
                             std::cmp::Ordering::Less => left.push(*v),
                             std::cmp::Ordering::Equal => mid.push(*v),
@@ -131,10 +132,11 @@ pub fn build(cfg: &QsortCfg) -> (ProgramBuilder, OutputCell<Vec<i64>>) {
                     }
                     let l_len = left.len() as u32;
                     let m_len = mid.len() as u32;
-                    let mut rebuilt = left;
-                    rebuilt.extend(mid);
-                    rebuilt.extend(right);
-                    par.write_i64s(arr, lo, &rebuilt);
+                    let rebuilt = seg.as_mut_slice();
+                    rebuilt[..left.len()].copy_from_slice(&left);
+                    rebuilt[left.len()..left.len() + mid.len()].copy_from_slice(&mid);
+                    rebuilt[left.len() + mid.len()..].copy_from_slice(&right);
+                    drop(seg);
                     Some(((lo, lo + l_len), (lo + l_len + m_len, hi)))
                 };
                 par.compute((len as u64).max(8));
@@ -143,20 +145,20 @@ pub fn build(cfg: &QsortCfg) -> (ProgramBuilder, OutputCell<Vec<i64>>) {
                 par.lock(qlock);
                 if let Some(((l1, h1), (l2, h2))) = children {
                     if h1 > l1 + 1 {
-                        push_task(par, stack, l1 as i64, h1 as i64);
+                        push_task(par, &stack, l1 as i64, h1 as i64);
                     }
                     if h2 > l2 + 1 {
-                        push_task(par, stack, l2 as i64, h2 as i64);
+                        push_task(par, &stack, l2 as i64, h2 as i64);
                     }
                 }
-                let active = par.read_i64(stack, 1);
-                par.write_i64(stack, 1, active - 1);
+                let active = par.get(&stack, 1);
+                par.set(&stack, 1, active - 1);
                 par.unlock(qlock);
             }
 
             par.barrier(bar);
             if me == 0 {
-                let sorted = par.read_i64s(arr, 0, n);
+                let sorted = par.read_all(&arr);
                 *out.lock().unwrap() = Some(sorted);
             }
         });

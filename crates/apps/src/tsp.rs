@@ -13,8 +13,8 @@
 //!   read by the collector at the end).
 
 use crate::{output_cell, OutputCell};
-use munin_api::{Par, ParExt, ProgramBuilder};
-use munin_types::{NodeId, ObjectDecl, ObjectId, SharingType};
+use munin_api::{Par, ParTyped, ProgramBuilder};
+use munin_types::{ObjectDecl, SharingType};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -89,24 +89,18 @@ pub fn build(cfg: &TspCfg) -> (ProgramBuilder, OutputCell<(i64, Vec<i64>)>) {
     let c = cfg.cities;
     let nodes = cfg.nodes;
     let mut p = ProgramBuilder::new(nodes);
-    let dist = p.object("distances", c * c * 8, SharingType::WriteOnce, 0);
+    let dist = p.array::<i64>("distances", c * c, SharingType::WriteOnce, 0);
     let qlock = p.lock(0);
     // Generous stack bound: c levels × c branching, times a safety factor.
     let cap = (c * c * 4).max(256);
-    let stack = p.object_decl(
-        ObjectDecl::new(
-            ObjectId(0),
-            "tour stack",
-            (STACK_HDR + cap * rec_slots(c)) * 8,
-            SharingType::Migratory,
-            NodeId(0),
-        )
-        .with_lock(qlock),
+    let stack = p.array_decl::<i64>(
+        ObjectDecl::template("tour stack", SharingType::Migratory).with_lock(qlock),
+        STACK_HDR + cap * rec_slots(c),
         0,
     );
     let block = p.lock(1 % nodes); // bound-update lock
-    let bound = p.object("best bound", 8, SharingType::ReadMostly, 1 % nodes);
-    let best_tour = p.object("best tour", c * 8, SharingType::Result, 0);
+    let bound = p.scalar::<i64>("best bound", SharingType::ReadMostly, 1 % nodes);
+    let best_tour = p.array::<i64>("best tour", c, SharingType::Result, 0);
     let bar = p.barrier(0, nodes as u32);
     let d0 = distances(cfg);
     let out = output_cell();
@@ -119,27 +113,29 @@ pub fn build(cfg: &TspCfg) -> (ProgramBuilder, OutputCell<(i64, Vec<i64>)>) {
             let cs = c as usize;
             let slots = rec_slots(c);
             if me == 0 {
-                par.write_i64s(dist, 0, &d_init);
+                par.write_from(&dist, 0, &d_init);
                 par.phase(1);
-                par.write_i64(bound, 0, i64::MAX);
+                par.store(&bound, i64::MAX);
                 // Seed: the tour [0] at depth 1, cost 0.
                 par.lock(qlock);
                 let mut rec = vec![1i64, 0, 1]; // depth, cost, mask(city 0)
                 rec.resize(slots as usize, 0);
                 rec[3] = 0; // path[0] = city 0
-                par.write_i64s(stack, STACK_HDR, &rec);
-                par.write_i64(stack, 0, 1);
+                par.write_from(&stack, STACK_HDR, &rec);
+                par.set(&stack, 0, 1);
                 par.unlock(qlock);
             }
             par.barrier(bar);
 
             // Every worker replicates the distance matrix once.
-            let d = par.read_i64s(dist, 0, c * c);
+            let d = par.read_all(&dist);
 
+            // Record buffer, reused across every pop.
+            let mut rec = vec![0i64; slots as usize];
             loop {
                 par.lock(qlock);
-                let top = par.read_i64(stack, 0);
-                let active = par.read_i64(stack, 1);
+                let top = par.get(&stack, 0);
+                let active = par.get(&stack, 1);
                 if top == 0 {
                     par.unlock(qlock);
                     if active == 0 {
@@ -149,9 +145,9 @@ pub fn build(cfg: &TspCfg) -> (ProgramBuilder, OutputCell<(i64, Vec<i64>)>) {
                     continue;
                 }
                 let base = STACK_HDR + (top as u32 - 1) * slots;
-                let rec = par.read_i64s(stack, base, slots);
-                par.write_i64(stack, 0, top - 1);
-                par.write_i64(stack, 1, active + 1);
+                par.read_into(&stack, base, &mut rec);
+                par.set(&stack, 0, top - 1);
+                par.set(&stack, 1, active + 1);
                 par.unlock(qlock);
 
                 let depth = rec[0] as usize;
@@ -161,7 +157,7 @@ pub fn build(cfg: &TspCfg) -> (ProgramBuilder, OutputCell<(i64, Vec<i64>)>) {
                 let last = path[depth - 1] as usize;
 
                 // Read the bound from the (replicated) read-mostly object.
-                let cur_bound = par.read_i64(bound, 0);
+                let cur_bound = par.load(&bound);
                 let mut children: Vec<Vec<i64>> = Vec::new();
                 if cost < cur_bound {
                     if depth == cs {
@@ -171,10 +167,10 @@ pub fn build(cfg: &TspCfg) -> (ProgramBuilder, OutputCell<(i64, Vec<i64>)>) {
                             // Improve under the bound lock (re-check after
                             // acquiring: another worker may have improved).
                             par.lock(block);
-                            let latest = par.read_i64(bound, 0);
+                            let latest = par.load(&bound);
                             if total < latest {
-                                par.write_i64(bound, 0, total);
-                                par.write_i64s(best_tour, 0, path);
+                                par.store(&bound, total);
+                                par.write_from(&best_tour, 0, path);
                             }
                             par.unlock(block);
                         }
@@ -187,11 +183,7 @@ pub fn build(cfg: &TspCfg) -> (ProgramBuilder, OutputCell<(i64, Vec<i64>)>) {
                             if ncost >= cur_bound {
                                 continue; // prune
                             }
-                            let mut nrec = vec![
-                                (depth + 1) as i64,
-                                ncost,
-                                mask | (1 << next),
-                            ];
+                            let mut nrec = vec![(depth + 1) as i64, ncost, mask | (1 << next)];
                             nrec.extend_from_slice(path);
                             nrec.push(next as i64);
                             nrec.resize(slots as usize, 0);
@@ -202,21 +194,21 @@ pub fn build(cfg: &TspCfg) -> (ProgramBuilder, OutputCell<(i64, Vec<i64>)>) {
                 par.compute(50 * (cs as u64));
 
                 par.lock(qlock);
-                let mut top = par.read_i64(stack, 0);
+                let mut top = par.get(&stack, 0);
                 for ch in &children {
-                    par.write_i64s(stack, STACK_HDR + (top as u32) * slots, ch);
+                    par.write_from(&stack, STACK_HDR + (top as u32) * slots, ch);
                     top += 1;
                 }
-                par.write_i64(stack, 0, top);
-                let active = par.read_i64(stack, 1);
-                par.write_i64(stack, 1, active - 1);
+                par.set(&stack, 0, top);
+                let active = par.get(&stack, 1);
+                par.set(&stack, 1, active - 1);
                 par.unlock(qlock);
             }
 
             par.barrier(bar);
             if me == 0 {
-                let best = par.read_i64(bound, 0);
-                let tour = par.read_i64s(best_tour, 0, c);
+                let best = par.load(&bound);
+                let tour = par.read_all(&best_tour);
                 *out.lock().unwrap() = Some((best, tour));
             }
         });
@@ -249,8 +241,7 @@ mod tests {
         let d = distances(&cfg);
         // Any specific tour is an upper bound.
         let c = 5usize;
-        let naive: i64 =
-            d[1] + d[c + 2] + d[2 * c + 3] + d[3 * c + 4] + d[4 * c];
+        let naive: i64 = d[1] + d[c + 2] + d[2 * c + 3] + d[3 * c + 4] + d[4 * c];
         assert!(best <= naive);
     }
 

@@ -1,12 +1,102 @@
 //! Criterion micro-benchmarks for the substrate data structures: the
 //! run-length diff machinery (the DUQ's hot path), the twin store, the
-//! receiver-side reorder buffer, vector clocks, and the address-space
-//! translation Ivy performs on every access.
+//! receiver-side reorder buffer, vector clocks, the address-space
+//! translation Ivy performs on every access — and the typed zero-copy
+//! access path vs the deprecated `ParExt` byte path (time *and*
+//! allocations per access, measured on the native backend).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use munin_api::native::{NativeCtx, NativeWorld};
+#[allow(deprecated)]
+use munin_api::ParExt;
+use munin_api::ParTyped;
 use munin_check::VectorClock;
 use munin_mem::{AddressSpace, Diff, TwinStore};
-use munin_types::{AllocPolicy, ByteRange, ObjectId, ThreadId};
+use munin_types::{AllocPolicy, ByteRange, ObjectId, SharedArray, SharingType, ThreadId};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts heap allocations so the typed-vs-byte comparison reports
+/// allocations per access, not just time.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counter has no side effects on
+// allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_of(mut f: impl FnMut()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+/// Typed zero-copy access vs the deprecated byte-offset helpers, on the
+/// native backend (no simulator in the way, so the comparison isolates the
+/// API layer itself).
+#[allow(deprecated)]
+fn bench_typed_vs_byte_api(c: &mut Criterion) {
+    const N: u32 = 256; // elements per bulk op
+    let world = NativeWorld::new([(ObjectId(0), N as usize * 8)], 0, &[], 0, 1);
+    let mut par = NativeCtx::new(world, 0);
+    let arr: SharedArray<f64> = SharedArray::from_raw(ObjectId(0), N, SharingType::WriteMany);
+    let obj = ObjectId(0);
+    let vals = vec![1.5f64; N as usize];
+    let mut buf = vec![0f64; N as usize];
+
+    // Allocations per bulk read+write round, old path vs typed path.
+    par.write_from(&arr, 0, &vals);
+    let byte_allocs = allocs_of(|| {
+        par.write_f64s(obj, 0, black_box(&vals));
+        black_box(par.read_f64s(obj, 0, N));
+    });
+    let typed_allocs = allocs_of(|| {
+        par.write_from(&arr, 0, black_box(&vals));
+        par.read_into(&arr, 0, black_box(&mut buf));
+    });
+    println!(
+        "alloc  parext byte path                                 ... {byte_allocs:>10} allocs / {N}-element read+write round"
+    );
+    println!(
+        "alloc  typed zero-copy path                             ... {typed_allocs:>10} allocs / {N}-element read+write round"
+    );
+    assert!(
+        typed_allocs < byte_allocs,
+        "typed path must allocate less than the byte path ({typed_allocs} vs {byte_allocs})"
+    );
+    assert_eq!(typed_allocs, 0, "typed bulk access into caller buffers is allocation-free");
+
+    let mut g = c.benchmark_group("access256xf64");
+    g.bench_function("parext_read_f64s", |b| {
+        b.iter(|| black_box(par.read_f64s(black_box(obj), 0, N)))
+    });
+    g.bench_function("typed_read_into", |b| {
+        b.iter(|| par.read_into(black_box(&arr), 0, black_box(&mut buf)))
+    });
+    g.bench_function("parext_write_f64s", |b| {
+        b.iter(|| par.write_f64s(black_box(obj), 0, black_box(&vals)))
+    });
+    g.bench_function("typed_write_from", |b| {
+        b.iter(|| par.write_from(black_box(&arr), 0, black_box(&vals)))
+    });
+    g.bench_function("parext_read_f64_single", |b| {
+        b.iter(|| black_box(par.read_f64(black_box(obj), 17)))
+    });
+    g.bench_function("typed_get_single", |b| b.iter(|| black_box(par.get(black_box(&arr), 17))));
+    g.finish();
+}
 
 fn bench_diff(c: &mut Criterion) {
     let mut g = c.benchmark_group("diff");
@@ -95,5 +185,13 @@ fn bench_addr(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_diff, bench_twins, bench_reorder, bench_vclock, bench_addr);
+criterion_group!(
+    benches,
+    bench_typed_vs_byte_api,
+    bench_diff,
+    bench_twins,
+    bench_reorder,
+    bench_vclock,
+    bench_addr
+);
 criterion_main!(benches);

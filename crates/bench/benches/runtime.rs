@@ -5,7 +5,7 @@
 //! virtual-time measurements in the `repro` experiments.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use munin_api::{Backend, Par, ParExt, ProgramBuilder};
+use munin_api::{Backend, Par, ParTyped, ProgramBuilder};
 use munin_apps::matmul;
 use munin_types::{IvyConfig, MuninConfig, SharingType};
 
@@ -42,11 +42,11 @@ fn bench_local_paths(c: &mut Criterion) {
     c.bench_function("munin local read/write x500", |b| {
         b.iter(|| {
             let mut p = ProgramBuilder::new(1);
-            let obj = p.object("x", 4096, SharingType::WriteMany, 0);
+            let obj = p.array::<i64>("x", 512, SharingType::WriteMany, 0);
             p.thread(0, move |par: &mut dyn Par| {
                 for i in 0..500u32 {
-                    par.write_i64(obj, i % 512, i as i64);
-                    let _ = par.read_i64(obj, i % 512);
+                    par.set(&obj, i % 512, i as i64);
+                    let _ = par.get(&obj, i % 512);
                 }
             });
             p.run(Backend::Munin(MuninConfig::default())).assert_clean();
@@ -58,11 +58,11 @@ fn bench_flush_round(c: &mut Criterion) {
     c.bench_function("flush round: 64 dirty writes, 2 nodes", |b| {
         b.iter(|| {
             let mut p = ProgramBuilder::new(2);
-            let obj = p.object("x", 4096, SharingType::WriteMany, 0);
+            let obj = p.array::<i64>("x", 512, SharingType::WriteMany, 0);
             let bar = p.barrier(0, 2);
             p.thread(1, move |par: &mut dyn Par| {
                 for i in 0..64u32 {
-                    par.write_i64(obj, i * 8 % 512, (i + 1) as i64);
+                    par.set(&obj, i * 8 % 512, (i + 1) as i64);
                 }
                 par.barrier(bar);
             });

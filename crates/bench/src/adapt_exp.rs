@@ -1,7 +1,7 @@
 //! E8, E9, E11: the paper's "dynamic system decisions".
 
 use crate::table::Table;
-use munin_api::{Backend, Par, ParExt, ProgramBuilder};
+use munin_api::{Backend, Par, ParTyped, ProgramBuilder};
 use munin_types::{MuninConfig, ReadMostlyMode, SharingType};
 
 /// Synthetic read-mostly sharing kernel for E8/E9: one writer node updates
@@ -10,14 +10,16 @@ use munin_types::{MuninConfig, ReadMostlyMode, SharingType};
 fn sharing_kernel(readers: usize, rounds: usize, read_permille: u32) -> ProgramBuilder {
     let nodes = readers + 1;
     let mut p = ProgramBuilder::new(nodes);
-    let obj = p.object("shared", 64, SharingType::ReadMostly, 0);
+    // 64 B object (8 i64 slots); only slot 0 is used, the size keeps the
+    // transfer costs identical to the pre-typed-API experiment.
+    let obj = p.array::<i64>("shared", 8, SharingType::ReadMostly, 0);
     let bar = p.barrier(0, nodes as u32);
     // Writer on node 0.
     p.thread(0, move |par: &mut dyn Par| {
-        par.write_i64(obj, 0, 0);
+        par.set(&obj, 0, 0);
         par.barrier(bar);
         for round in 0..rounds {
-            par.write_i64(obj, 0, round as i64 + 1);
+            par.set(&obj, 0, round as i64 + 1);
             par.barrier(bar);
             par.barrier(bar);
         }
@@ -27,12 +29,12 @@ fn sharing_kernel(readers: usize, rounds: usize, read_permille: u32) -> ProgramB
             // Deterministic per-thread "random" re-read pattern.
             let mut state = (t as u64) * 2654435761 + 12345;
             par.barrier(bar);
-            let _ = par.read_i64(obj, 0); // join the copyset
+            let _ = par.get(&obj, 0); // join the copyset
             for round in 0..rounds {
                 par.barrier(bar);
                 state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                 if (state >> 33) % 1000 < read_permille as u64 {
-                    let v = par.read_i64(obj, 0);
+                    let v = par.get(&obj, 0);
                     assert!(v >= round as i64, "read a value from the past across a barrier");
                 }
                 par.barrier(bar);
@@ -94,7 +96,7 @@ pub fn e9_replication(readers: usize, ops: usize) -> Table {
         let build = || {
             let nodes = readers + 1;
             let mut p = ProgramBuilder::new(nodes);
-            let obj = p.object("shared", 64, SharingType::ReadMostly, 0);
+            let obj = p.array::<i64>("shared", 8, SharingType::ReadMostly, 0);
             let bar = p.barrier(0, nodes as u32);
             for t in 1..nodes {
                 p.thread(t, move |par: &mut dyn Par| {
@@ -105,9 +107,9 @@ pub fn e9_replication(readers: usize, ops: usize) -> Table {
                             .wrapping_mul(6364136223846793005)
                             .wrapping_add(1442695040888963407);
                         if (state >> 33) % 1000 < read_permille as u64 {
-                            let _ = par.read_i64(obj, 0);
+                            let _ = par.get(&obj, 0);
                         } else {
-                            par.write_i64(obj, 0, i as i64);
+                            par.set(&obj, 0, i as i64);
                         }
                     }
                     par.barrier(bar);
@@ -147,17 +149,19 @@ pub fn e9_replication(readers: usize, ops: usize) -> Table {
 pub fn e11_adaptive_typing(generations: usize) -> Table {
     let mut t = Table::new(
         "E11",
-        format!("runtime re-typing of a mistyped producer-consumer object ({generations} generations)"),
+        format!(
+            "runtime re-typing of a mistyped producer-consumer object ({generations} generations)"
+        ),
         &["variant", "msgs", "read faults", "ownership txns"],
     );
     for (name, adaptive) in [("static general-rw", false), ("adaptive typing", true)] {
         let mut p = ProgramBuilder::new(3);
-        let obj = p.object("mistyped", 64, SharingType::GeneralReadWrite, 0);
+        let obj = p.array::<i64>("mistyped", 8, SharingType::GeneralReadWrite, 0);
         let bar = p.barrier(0, 2);
         let gens = generations;
         p.thread(1, move |par: &mut dyn Par| {
             for g in 0..gens {
-                par.write_i64(obj, 0, g as i64);
+                par.set(&obj, 0, g as i64);
                 par.barrier(bar);
                 par.barrier(bar);
             }
@@ -165,7 +169,7 @@ pub fn e11_adaptive_typing(generations: usize) -> Table {
         p.thread(2, move |par: &mut dyn Par| {
             for g in 0..gens {
                 par.barrier(bar);
-                let v = par.read_i64(obj, 0);
+                let v = par.get(&obj, 0);
                 assert_eq!(v, g as i64);
                 par.barrier(bar);
             }

@@ -14,8 +14,7 @@ fn main() {
     let selected: Vec<String> =
         args.iter().filter(|a| !a.starts_with("--")).map(|a| a.to_lowercase()).collect();
     let want = |id: &str| {
-        selected.is_empty()
-            || selected.iter().any(|s| s == "all" || s == &id.to_lowercase())
+        selected.is_empty() || selected.iter().any(|s| s == "all" || s == &id.to_lowercase())
     };
 
     let nodes = if quick { 3 } else { 4 };
@@ -52,15 +51,24 @@ fn main() {
     }
     if want("e8") {
         eprintln!("running E8 (invalidate vs refresh)...");
-        tables.push(adapt_exp::e8_inval_vs_refresh(if quick { 3 } else { 6 }, if quick { 12 } else { 24 }));
+        tables.push(adapt_exp::e8_inval_vs_refresh(
+            if quick { 3 } else { 6 },
+            if quick { 12 } else { 24 },
+        ));
     }
     if want("e9") {
         eprintln!("running E9 (replication vs remote access)...");
-        tables.push(adapt_exp::e9_replication(if quick { 2 } else { 4 }, if quick { 40 } else { 120 }));
+        tables.push(adapt_exp::e9_replication(
+            if quick { 2 } else { 4 },
+            if quick { 40 } else { 120 },
+        ));
     }
     if want("e10") {
         eprintln!("running E10 (false sharing)...");
-        tables.push(false_sharing::e10_false_sharing(if quick { 3 } else { 6 }, if quick { 6 } else { 16 }));
+        tables.push(false_sharing::e10_false_sharing(
+            if quick { 3 } else { 6 },
+            if quick { 6 } else { 16 },
+        ));
     }
     if want("e11") {
         eprintln!("running E11 (adaptive typing)...");

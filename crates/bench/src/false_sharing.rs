@@ -7,23 +7,24 @@
 //! even though no byte is actually shared.
 
 use crate::table::Table;
-use munin_api::{Backend, Par, ParExt, ProgramBuilder};
+use munin_api::{Backend, Par, ParTyped, ProgramBuilder};
 use munin_types::{AllocPolicy, IvyConfig, MuninConfig, SharingType, SyncStrategy};
 
 /// Each node's thread updates its own small object every round — zero true
 /// sharing.
 fn independent_writers(nodes: usize, rounds: usize, obj_bytes: u32) -> ProgramBuilder {
+    assert_eq!(obj_bytes % 8, 0);
     let mut p = ProgramBuilder::new(nodes);
     let objs: Vec<_> = (0..nodes)
-        .map(|t| p.object(&format!("private{t}"), obj_bytes, SharingType::WriteMany, t))
+        .map(|t| p.array::<i64>(&format!("private{t}"), obj_bytes / 8, SharingType::WriteMany, t))
         .collect();
     let bar = p.barrier(0, nodes as u32);
     for t in 0..nodes {
         let mine = objs[t];
         p.thread(t, move |par: &mut dyn Par| {
             for round in 0..rounds {
-                par.write_i64(mine, 0, round as i64);
-                let v = par.read_i64(mine, 0);
+                par.set(&mine, 0, round as i64);
+                let v = par.get(&mine, 0);
                 assert_eq!(v, round as i64);
                 par.barrier(bar);
             }

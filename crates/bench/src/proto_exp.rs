@@ -3,11 +3,9 @@
 //! and DUQ combining/ordering.
 
 use crate::table::Table;
-use munin_api::{Backend, Par, ParExt, ProgramBuilder};
+use munin_api::{Backend, Par, ParTyped, ProgramBuilder};
 use munin_apps::life;
-use munin_types::{
-    IvyConfig, MuninConfig, NodeId, ObjectDecl, ObjectId, SharingType, UpdatePolicy,
-};
+use munin_types::{IvyConfig, MuninConfig, ObjectDecl, SharingType, UpdatePolicy};
 
 /// The hot critical-section kernel: every node's thread repeatedly locks,
 /// reads+writes the shared counter, unlocks.
@@ -20,27 +18,24 @@ fn critical_section_program(
     let mut p = ProgramBuilder::new(nodes);
     let l = p.lock(0);
     let counter = if associate {
-        p.object_decl(
-            ObjectDecl::new(ObjectId(0), "counter", 8, sharing, NodeId(0)).with_lock(l),
-            0,
-        )
+        p.scalar_decl::<i64>(ObjectDecl::template("counter", sharing).with_lock(l), 0)
     } else {
-        p.object("counter", 8, sharing, 0)
+        p.scalar::<i64>("counter", sharing, 0)
     };
     let bar = p.barrier(0, nodes as u32);
     for t in 0..nodes {
         p.thread(t, move |par: &mut dyn Par| {
             for _ in 0..rounds {
                 par.lock(l);
-                let v = par.read_i64(counter, 0);
+                let v = par.load(&counter);
                 par.compute(100);
-                par.write_i64(counter, 0, v + 1);
+                par.store(&counter, v + 1);
                 par.unlock(l);
             }
             par.barrier(bar);
             if par.self_id() == 0 {
                 par.lock(l);
-                let total = par.read_i64(counter, 0);
+                let total = par.load(&counter);
                 assert_eq!(total as usize, par.n_threads() * rounds, "lost updates!");
                 par.unlock(l);
             }
@@ -95,13 +90,7 @@ pub fn e7_producer_consumer(node_counts: &[usize]) -> Table {
             ("demand fetch", UpdatePolicy::Invalidate, false),
         ];
         for (name, policy, eager) in variants {
-            let cfg = life::LifeCfg {
-                width: 48,
-                height: 48,
-                generations: 6,
-                nodes: n,
-                seed: 17,
-            };
+            let cfg = life::LifeCfg { width: 48, height: 48, generations: 6, nodes: n, seed: 17 };
             let want = life::reference(&cfg);
             let (mut p, out) = life::build(&cfg);
             if !eager {
@@ -200,13 +189,13 @@ pub fn e14_duq(writes_per_flush: &[usize]) -> Table {
     );
     for &w in writes_per_flush {
         let mut p = ProgramBuilder::new(2);
-        let obj = p.object("x", 4096, SharingType::WriteMany, 0);
+        let obj = p.array::<i64>("x", 512, SharingType::WriteMany, 0);
         let bar = p.barrier(0, 2);
         let rounds = 4usize;
         p.thread(1, move |par: &mut dyn Par| {
             for round in 0..rounds {
                 for i in 0..w {
-                    par.write_i64(obj, ((i * 8) % 512) as u32, (round * w + i + 1) as i64);
+                    par.set(&obj, ((i * 8) % 512) as u32, (round * w + i + 1) as i64);
                 }
                 par.barrier(bar);
             }

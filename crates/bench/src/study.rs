@@ -8,10 +8,7 @@ use munin_types::{MuninConfig, SharingType};
 use std::collections::BTreeMap;
 
 /// Run one app under the study tracer and return (verdicts, stats).
-fn trace_app(
-    app: App,
-    nodes: usize,
-) -> (Vec<munin_trace::ObjectVerdict>, munin_trace::StudyStats) {
+fn trace_app(app: App, nodes: usize) -> (Vec<munin_trace::ObjectVerdict>, munin_trace::StudyStats) {
     let (p, verify) = app.build_default(nodes);
     let decls = p.objects();
     let (tracer, log) = StudyTracer::new();
@@ -108,7 +105,9 @@ pub fn e2_study_stats(nodes: usize) -> Table {
             format!("{:.0}", s.lock_gap_mean_us),
         ]);
     }
-    t.note("readB% = byte-weighted read fraction (closest analogue of the paper's word-level traces;");
+    t.note(
+        "readB% = byte-weighted read fraction (closest analogue of the paper's word-level traces;",
+    );
     t.note("our DSM operations are block-granular, so plain op counts under-count reads)");
     t.note("paper finding 3: the overwhelming majority of accesses are reads, except during initialization");
     t.note("paper finding 4: latency between sync-object accesses exceeds data-access latency");
@@ -126,16 +125,16 @@ pub fn e3_figure1() -> Table {
     let strict = figure1::strict_outcome();
     let loose = figure1::loose_sets();
     for i in 0..3 {
-        let set: Vec<String> =
-            loose[i].iter().map(|w| if *w == 0 { "init".into() } else { format!("W{w}") }).collect();
-        t.row(vec![
-            format!("R{}", i + 1),
-            format!("W{}", strict[i]),
-            set.join(", "),
-        ]);
+        let set: Vec<String> = loose[i]
+            .iter()
+            .map(|w| if *w == 0 { "init".into() } else { format!("W{w}") })
+            .collect();
+        t.row(vec![format!("R{}", i + 1), format!("W{}", strict[i]), set.join(", ")]);
     }
     t.note("paper: R1/R2 may read any of W1..W5 (R2 must not precede R1); R3 must read W4 or W5");
-    t.note("'init' marks the formally-legal pre-synchronization value the prose does not enumerate");
+    t.note(
+        "'init' marks the formally-legal pre-synchronization value the prose does not enumerate",
+    );
     t
 }
 
@@ -163,11 +162,8 @@ mod tests {
         assert_eq!(t.rows.len(), 6);
         for row in 0..t.rows.len() {
             let cell = t.cell(row, 8); // general-rw column
-            let objs: u64 = if cell == "-" {
-                0
-            } else {
-                cell.split('/').next().unwrap().parse().unwrap()
-            };
+            let objs: u64 =
+                if cell == "-" { 0 } else { cell.split('/').next().unwrap().parse().unwrap() };
             assert!(objs <= 2, "{}: too many general-rw objects ({cell})", t.cell(row, 0));
         }
     }

@@ -60,8 +60,12 @@ impl fmt::Display for Table {
                 widths[i] = widths[i].max(c.len());
             }
         }
-        let hdr: Vec<String> =
-            self.headers.iter().enumerate().map(|(i, h)| format!("{h:>w$}", w = widths[i])).collect();
+        let hdr: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
+            .collect();
         writeln!(f, "{}", hdr.join("  "))?;
         writeln!(f, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "))?;
         for row in &self.rows {

@@ -5,7 +5,6 @@ use munin_api::Backend;
 use munin_apps::{matmul, App};
 use munin_types::{IvyConfig, MuninConfig, SharingType};
 
-
 /// Run an app and return (messages, bytes, finished_ms, ops).
 fn run_app(app: App, nodes: usize, backend: Backend, all_general: bool) -> (u64, u64, f64, u64) {
     let (mut p, verify) = app.build_default(nodes);
@@ -55,7 +54,9 @@ pub fn e4_munin_vs_ivy(nodes: usize) -> Table {
         ]);
     }
     t.note("paper claim: type-specific coherence beats a single static mechanism");
-    t.note("munin-general = Munin with every object forced to the default general read-write protocol");
+    t.note(
+        "munin-general = Munin with every object forced to the default general read-write protocol",
+    );
     t
 }
 
@@ -66,7 +67,16 @@ pub fn e5_matmul_duq(nodes: usize, sizes: &[u32]) -> Table {
     let mut t = Table::new(
         "E5",
         format!("matmul result-matrix traffic, {nodes} nodes"),
-        &["n", "msgpass msgs", "munin msgs", "write-through msgs", "strict-C msgs", "ivy msgs", "munin KB", "ivy KB"],
+        &[
+            "n",
+            "msgpass msgs",
+            "munin msgs",
+            "write-through msgs",
+            "strict-C msgs",
+            "ivy msgs",
+            "munin KB",
+            "ivy KB",
+        ],
     );
     for &n in sizes {
         let cfg = matmul::MatmulCfg { n, nodes, seed: 11 };
@@ -133,7 +143,9 @@ pub fn e5_matmul_duq(nodes: usize, sizes: &[u32]) -> Table {
             format!("{:.1}", ib as f64 / 1024.0),
         ]);
     }
-    t.note("paper: 'with delayed updates, the results are propagated once to their final destination'");
+    t.note(
+        "paper: 'with delayed updates, the results are propagated once to their final destination'",
+    );
     t.note("msgpass = the hand-coded message-passing matmul, actually executed (crate::msgpass)");
     t
 }
@@ -187,8 +199,14 @@ mod tests {
         let write_through = t.num(0, 3);
         let strict_c = t.num(0, 4);
         let ivy = t.num(0, 5);
-        assert!(munin < write_through, "delayed updates beat write-through ({munin} vs {write_through})");
-        assert!(munin < strict_c, "result annotation beats strict coherence ({munin} vs {strict_c})");
+        assert!(
+            munin < write_through,
+            "delayed updates beat write-through ({munin} vs {write_through})"
+        );
+        assert!(
+            munin < strict_c,
+            "result annotation beats strict coherence ({munin} vs {strict_c})"
+        );
         assert!(munin < ivy, "Munin beats Ivy ({munin} vs {ivy})");
         assert!(
             munin <= ideal * 6.0,

@@ -23,13 +23,29 @@ use std::collections::{BTreeMap, BTreeSet};
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
     /// A write with a unique nonzero label.
-    Write { thread: ThreadId, obj: ObjectId, label: u32 },
+    Write {
+        thread: ThreadId,
+        obj: ObjectId,
+        label: u32,
+    },
     /// A read that observed the value of write `observed` (0 = initial).
-    Read { thread: ThreadId, obj: ObjectId, observed: u32 },
-    Acquire { thread: ThreadId, lock: LockId },
-    Release { thread: ThreadId, lock: LockId },
+    Read {
+        thread: ThreadId,
+        obj: ObjectId,
+        observed: u32,
+    },
+    Acquire {
+        thread: ThreadId,
+        lock: LockId,
+    },
+    Release {
+        thread: ThreadId,
+        lock: LockId,
+    },
     /// A barrier episode joining all listed threads.
-    Barrier { threads: Vec<ThreadId> },
+    Barrier {
+        threads: Vec<ThreadId>,
+    },
 }
 
 #[derive(Debug, Clone, Default)]
@@ -83,8 +99,7 @@ fn annotate(h: &History) -> Annotated {
             }
             Event::Release { thread, lock } => {
                 thread_vc[thread.index()].tick(*thread);
-                let entry =
-                    lock_vc.entry(*lock).or_insert_with(|| VectorClock::new(h.n_threads));
+                let entry = lock_vc.entry(*lock).or_insert_with(|| VectorClock::new(h.n_threads));
                 entry.join(&thread_vc[thread.index()]);
                 clocks.push(thread_vc[thread.index()].clone());
             }
@@ -143,10 +158,8 @@ pub fn legal_loose_writes(h: &History, read_index: usize) -> BTreeSet<u32> {
 
     // The initial value is legal unless some write to the object
     // happens-before the read.
-    let overwritten_init = ann
-        .writes
-        .values()
-        .any(|(wi, _, wobj)| wobj == obj && ann.clocks[*wi].lt(r_vc));
+    let overwritten_init =
+        ann.writes.values().any(|(wi, _, wobj)| wobj == obj && ann.clocks[*wi].lt(r_vc));
     if !overwritten_init {
         legal.insert(0);
     }
@@ -184,14 +197,14 @@ pub fn check_loose(h: &History) -> Vec<Violation> {
     let mut last_obs: BTreeMap<(ThreadId, ObjectId), u32> = BTreeMap::new();
 
     for (i, ev) in h.events.iter().enumerate() {
-        let Event::Read { thread, obj, observed } = ev else { continue };
+        let Event::Read { thread, obj, observed } = ev else {
+            continue;
+        };
         let legal = legal_loose_writes(h, i);
         if !legal.contains(observed) {
             violations.push(Violation {
                 event_index: i,
-                reason: format!(
-                    "loose: read of {obj} observed w{observed}, legal set {legal:?}"
-                ),
+                reason: format!("loose: read of {obj} observed w{observed}, legal set {legal:?}"),
             });
         }
         if let Some(prev) = last_obs.get(&(*thread, *obj)) {

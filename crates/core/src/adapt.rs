@@ -52,7 +52,8 @@ impl DetectStat {
 
     /// Single node does every access?
     pub fn sole_accessor(&self) -> Option<NodeId> {
-        let mut nodes: Vec<NodeId> = self.reads_by.keys().chain(self.writes_by.keys()).copied().collect();
+        let mut nodes: Vec<NodeId> =
+            self.reads_by.keys().chain(self.writes_by.keys()).copied().collect();
         nodes.sort_unstable();
         nodes.dedup();
         if nodes.len() == 1 {
@@ -83,13 +84,17 @@ impl MuninServer {
     /// and no stale copy survives. Requests arriving meanwhile queue behind
     /// the transaction and are re-dispatched under the new protocol.
     pub(crate) fn maybe_retype(&mut self, k: &mut Kernel<MuninMsg>, obj: ObjectId) {
-        let Some(decl) = self.decl(k, obj) else { return };
+        let Some(decl) = self.decl(k, obj) else {
+            return;
+        };
         // Only promote the *default* type; annotated objects are trusted.
         if decl.sharing != SharingType::GeneralReadWrite {
             return;
         }
         {
-            let Some(d) = self.detect.get(&obj) else { return };
+            let Some(d) = self.detect.get(&obj) else {
+                return;
+            };
             if d.retyped || d.total < self.cfg.adapt_min_samples {
                 return;
             }

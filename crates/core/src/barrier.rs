@@ -14,7 +14,12 @@ use munin_types::{BarrierId, NodeId, ThreadId};
 
 impl MuninServer {
     /// Thread-side arrival (after the sync flush completed).
-    pub(crate) fn barrier_arrive(&mut self, k: &mut Kernel<MuninMsg>, thread: ThreadId, b: BarrierId) {
+    pub(crate) fn barrier_arrive(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        thread: ThreadId,
+        b: BarrierId,
+    ) {
         let Some(decl) = self.sync.barrier(b).copied() else {
             k.error(format!("barrier {b} not declared"));
             k.complete(thread, OpResult::Unit, 0);

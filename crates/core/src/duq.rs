@@ -65,7 +65,13 @@ impl Duq {
     }
 
     /// Append a write to a logged (write-without-fetch) object.
-    pub fn note_logged(&mut self, obj: ObjectId, thread: ThreadId, range: ByteRange, data: Vec<u8>) {
+    pub fn note_logged(
+        &mut self,
+        obj: ObjectId,
+        thread: ThreadId,
+        range: ByteRange,
+        data: Vec<u8>,
+    ) {
         let new = Diff::overwrite(range, data);
         for e in &mut self.entries {
             if e.obj == obj {

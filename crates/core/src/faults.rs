@@ -10,9 +10,7 @@ use crate::msg::MuninMsg;
 use crate::server::{DeclLite, MuninServer};
 use crate::state::{InflightKind, PendingFault};
 use munin_sim::{Kernel, OpOutcome, OpResult};
-use munin_types::{
-    ByteRange, DsmError, NodeId, ObjectId, ReadMostlyMode, SharingType, ThreadId,
-};
+use munin_types::{ByteRange, DsmError, NodeId, ObjectId, ReadMostlyMode, SharingType, ThreadId};
 
 impl MuninServer {
     /// Pages (of `cfg.write_once_page` bytes) covering `range`.
@@ -35,7 +33,13 @@ impl MuninServer {
     }
 
     /// Complete a write locally into the store (no coherence action).
-    fn write_hit(&mut self, k: &Kernel<MuninMsg>, obj: ObjectId, range: ByteRange, data: &[u8]) -> OpOutcome {
+    fn write_hit(
+        &mut self,
+        k: &Kernel<MuninMsg>,
+        obj: ObjectId,
+        range: ByteRange,
+        data: &[u8],
+    ) -> OpOutcome {
         self.local_mut(obj).writes += 1;
         match self.store.write(obj, range, data) {
             Ok(()) => OpOutcome::unit(k.cost().local_access_us),
@@ -108,7 +112,9 @@ impl MuninServer {
                     // thread to see its own writes).
                     self.local_mut(obj).reads += 1;
                     match self.store.read(obj, range) {
-                        Ok(bytes) => OpOutcome::done(OpResult::Bytes(bytes), k.cost().local_access_us),
+                        Ok(bytes) => {
+                            OpOutcome::done(OpResult::Bytes(bytes), k.cost().local_access_us)
+                        }
                         Err(e) => OpOutcome::fail(e),
                     }
                 } else {
@@ -369,10 +375,8 @@ impl MuninServer {
             // the twin so the synchronization fence doesn't re-send them.
             self.twins.apply_remote(obj, &munin_mem::Diff::overwrite(range, data.clone()));
             self.eager_dirty.insert(obj);
-            let items = vec![crate::msg::UpdateItem {
-                obj,
-                diff: munin_mem::Diff::overwrite(range, data),
-            }];
+            let items =
+                vec![crate::msg::UpdateItem { obj, diff: munin_mem::Diff::overwrite(range, data) }];
             if decl.home == self.node {
                 self.handle_eager(k, self.node, items);
             } else {
@@ -433,7 +437,9 @@ impl MuninServer {
         requester: NodeId,
         page: Option<u32>,
     ) {
-        let Some(decl) = self.decl(k, obj) else { return };
+        let Some(decl) = self.decl(k, obj) else {
+            return;
+        };
         self.ensure_home(decl, obj);
         let install = !matches!(
             (decl.sharing, self.cfg.read_mostly),
@@ -474,11 +480,7 @@ impl MuninServer {
                     }
                     self.serve_read_copy(k, obj, from, page);
                 } else {
-                    self.dir
-                        .get_mut(&obj)
-                        .expect("ensured")
-                        .waiting_publication
-                        .push((from, page));
+                    self.dir.get_mut(&obj).expect("ensured").waiting_publication.push((from, page));
                 }
             }
             SharingType::GeneralReadWrite => self.general_read_req(k, from, obj),
@@ -520,7 +522,9 @@ impl MuninServer {
         install: bool,
         confirm: bool,
     ) {
-        let Some(decl) = self.decl(k, obj) else { return };
+        let Some(decl) = self.decl(k, obj) else {
+            return;
+        };
         if confirm {
             if decl.home == self.node {
                 self.handle_read_confirm(k, self.node, obj);
@@ -542,10 +546,8 @@ impl MuninServer {
             }
             None if install => {
                 self.store.install(obj, data);
-                let writable = matches!(
-                    decl.sharing,
-                    SharingType::WriteMany | SharingType::ProducerConsumer
-                );
+                let writable =
+                    matches!(decl.sharing, SharingType::WriteMany | SharingType::ProducerConsumer);
                 let ps = self.cfg.write_once_page.max(1);
                 let st = self.local_mut(obj);
                 st.valid = true;
@@ -595,22 +597,16 @@ impl MuninServer {
     ) {
         let extra = k.cost().fault_overhead_us;
         match fault {
-            PendingFault::Read { thread, range } => {
-                match self.op_read(k, thread, obj, range) {
-                    OpOutcome::Done { result, cost_us } => {
-                        k.complete(thread, result, cost_us + extra)
-                    }
-                    OpOutcome::Blocked => {}
-                }
-            }
-            PendingFault::Write { thread, range, data } => {
-                match self.op_write(k, thread, obj, range, data) {
-                    OpOutcome::Done { result, cost_us } => {
-                        k.complete(thread, result, cost_us + extra)
-                    }
-                    OpOutcome::Blocked => {}
-                }
-            }
+            PendingFault::Read { thread, range } => match self.op_read(k, thread, obj, range) {
+                OpOutcome::Done { result, cost_us } => k.complete(thread, result, cost_us + extra),
+                OpOutcome::Blocked => {}
+            },
+            PendingFault::Write { thread, range, data } => match self
+                .op_write(k, thread, obj, range, data)
+            {
+                OpOutcome::Done { result, cost_us } => k.complete(thread, result, cost_us + extra),
+                OpOutcome::Blocked => {}
+            },
         }
     }
 

@@ -29,7 +29,9 @@ impl MuninServer {
         let entries = self.duq.drain();
         let mut groups: Vec<(NodeId, Vec<UpdateItem>)> = Vec::new();
         for e in entries {
-            let Some(decl) = self.decl(k, e.obj) else { continue };
+            let Some(decl) = self.decl(k, e.obj) else {
+                continue;
+            };
             let fence = self.eager_dirty.remove(&e.obj);
             let diff = match e.kind {
                 crate::duq::DuqKind::Twinned => {
@@ -50,7 +52,9 @@ impl MuninServer {
         // still need their fence.
         let leftovers: Vec<ObjectId> = std::mem::take(&mut self.eager_dirty).into_iter().collect();
         for obj in leftovers {
-            let Some(decl) = self.decl(k, obj) else { continue };
+            let Some(decl) = self.decl(k, obj) else {
+                continue;
+            };
             match groups.iter_mut().find(|(h, _)| *h == decl.home) {
                 Some((_, items)) => items.push(UpdateItem { obj, diff: Diff::default() }),
                 None => groups.push((decl.home, vec![UpdateItem { obj, diff: Diff::default() }])),
@@ -148,7 +152,9 @@ impl MuninServer {
         // Per destination: (refresh items, invalidate list).
         let mut dests: BTreeMap<NodeId, (Vec<UpdateItem>, Vec<ObjectId>)> = BTreeMap::new();
         for item in &items {
-            let Some(decl) = self.decl(k, item.obj) else { continue };
+            let Some(decl) = self.decl(k, item.obj) else {
+                continue;
+            };
             debug_assert_eq!(decl.home, self.node, "FlushIn routed to the wrong home");
             self.ensure_home(decl, item.obj);
             // Apply to the authoritative copy (and to the home's own twin,
@@ -310,7 +316,12 @@ impl MuninServer {
     }
 
     /// Flusher side: one home finished propagating.
-    pub(crate) fn handle_flush_done(&mut self, k: &mut Kernel<MuninMsg>, _from: NodeId, session: u64) {
+    pub(crate) fn handle_flush_done(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        _from: NodeId,
+        session: u64,
+    ) {
         let finished = {
             let Some(s) = self.sessions.get_mut(&session) else {
                 k.error(format!("FlushDone for unknown session {session}"));
@@ -334,10 +345,17 @@ impl MuninServer {
     // ====================================================================
 
     /// Home side of an eager push: apply, then forward to consumers.
-    pub(crate) fn handle_eager(&mut self, k: &mut Kernel<MuninMsg>, origin: NodeId, items: Vec<UpdateItem>) {
+    pub(crate) fn handle_eager(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        origin: NodeId,
+        items: Vec<UpdateItem>,
+    ) {
         let mut dests: BTreeMap<NodeId, Vec<UpdateItem>> = BTreeMap::new();
         for item in &items {
-            let Some(decl) = self.decl(k, item.obj) else { continue };
+            let Some(decl) = self.decl(k, item.obj) else {
+                continue;
+            };
             self.ensure_home(decl, item.obj);
             if let Some(data) = self.store.get_mut(item.obj) {
                 item.diff.apply(data);
@@ -357,7 +375,12 @@ impl MuninServer {
     }
 
     /// Consumer side of an eager push.
-    pub(crate) fn handle_eager_out(&mut self, _k: &mut Kernel<MuninMsg>, _from: NodeId, items: Vec<UpdateItem>) {
+    pub(crate) fn handle_eager_out(
+        &mut self,
+        _k: &mut Kernel<MuninMsg>,
+        _from: NodeId,
+        items: Vec<UpdateItem>,
+    ) {
         for item in items {
             if self.local.get(&item.obj).is_some_and(|s| s.valid) {
                 if let Some(data) = self.store.get_mut(item.obj) {

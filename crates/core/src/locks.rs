@@ -200,7 +200,11 @@ impl MuninServer {
         // Grant to the first local waiter.
         let grant = {
             let p = self.proxies.get_mut(&l).expect("proxy exists");
-            if p.locked_by.is_none() { p.local_queue.pop_front() } else { None }
+            if p.locked_by.is_none() {
+                p.local_queue.pop_front()
+            } else {
+                None
+            }
         };
         if let Some(t) = grant {
             self.proxies.get_mut(&l).expect("proxy exists").locked_by = Some(t);

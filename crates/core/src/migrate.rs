@@ -23,8 +23,15 @@ use munin_types::{NodeId, ObjectId};
 
 impl MuninServer {
     /// Home side of a migration fault.
-    pub(crate) fn handle_migrate_req(&mut self, k: &mut Kernel<MuninMsg>, from: NodeId, obj: ObjectId) {
-        let Some(decl) = self.decl(k, obj) else { return };
+    pub(crate) fn handle_migrate_req(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        from: NodeId,
+        obj: ObjectId,
+    ) {
+        let Some(decl) = self.decl(k, obj) else {
+            return;
+        };
         self.ensure_home(decl, obj);
         self.note_dir_access(k, obj, from, true);
         {
@@ -39,7 +46,12 @@ impl MuninServer {
 
     /// Begin one serialized migration transaction. The `active_write` slot
     /// doubles as the "migration in progress" marker.
-    pub(crate) fn start_migration(&mut self, k: &mut Kernel<MuninMsg>, obj: ObjectId, requester: NodeId) {
+    pub(crate) fn start_migration(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        obj: ObjectId,
+        requester: NodeId,
+    ) {
         self.dir.get_mut(&obj).expect("home ensured").active_write = Some(ActiveWrite {
             requester,
             pending_invals: 0,
@@ -111,7 +123,9 @@ impl MuninServer {
         st.writable = true;
         self.probable_holder.insert(obj, self.node);
         self.inflight_remove(obj, InflightKind::Migration);
-        let Some(decl) = self.decl(k, obj) else { return };
+        let Some(decl) = self.decl(k, obj) else {
+            return;
+        };
         if decl.home == self.node {
             self.migration_done(k, obj, self.node);
         } else {
@@ -121,7 +135,12 @@ impl MuninServer {
     }
 
     /// Home bookkeeping: migration transaction finished.
-    pub(crate) fn handle_migrate_notify(&mut self, k: &mut Kernel<MuninMsg>, from: NodeId, obj: ObjectId) {
+    pub(crate) fn handle_migrate_notify(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        from: NodeId,
+        obj: ObjectId,
+    ) {
         self.migration_done(k, obj, from);
     }
 

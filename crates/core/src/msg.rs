@@ -139,12 +139,25 @@ impl PayloadInfo for MuninMsg {
             FlushIn { .. } | FlushOut { .. } | Eager { .. } | EagerOut { .. } => MsgClass::Update,
             FlushOutAck { .. } | FlushDone { .. } | InvalAck { .. } => MsgClass::Ack,
             AtomicReply { .. } | AtomicReq { .. } => MsgClass::Sync,
-            LockReq { .. } | LockFetch { .. } | LockPass { .. } | LockNotify { .. }
-            | BarrierArrive { .. } | BarrierRelease { .. } | CvWait { .. } | CvSignal { .. }
+            LockReq { .. }
+            | LockFetch { .. }
+            | LockPass { .. }
+            | LockNotify { .. }
+            | BarrierArrive { .. }
+            | BarrierRelease { .. }
+            | CvWait { .. }
+            | CvSignal { .. }
             | CvWake { .. } => MsgClass::Sync,
-            ReadReq { .. } | ReadConfirm { .. } | FwdRead { .. } | WriteReq { .. }
-            | OwnerYield { .. } | Inval { .. } | MigrateReq { .. } | MigrateYield { .. }
-            | MigrateNotify { .. } | FlushInval { .. } => MsgClass::Control,
+            ReadReq { .. }
+            | ReadConfirm { .. }
+            | FwdRead { .. }
+            | WriteReq { .. }
+            | OwnerYield { .. }
+            | Inval { .. }
+            | MigrateReq { .. }
+            | MigrateYield { .. }
+            | MigrateNotify { .. }
+            | FlushInval { .. } => MsgClass::Control,
         }
     }
 
@@ -193,17 +206,34 @@ impl PayloadInfo for MuninMsg {
                 data.len()
             }
             OwnerGrant { data, .. } => data.as_ref().map_or(0, |d| d.len()),
-            FlushIn { items, .. } | FlushOut { items, .. } | Eager { items }
+            FlushIn { items, .. }
+            | FlushOut { items, .. }
+            | Eager { items }
             | EagerOut { items } => Self::items_bytes(items),
             FlushInval { objs, .. } => objs.len() * 8,
             FlushOutAck { used, .. } => used.len(),
             LockPass { piggyback, .. } => piggyback.iter().map(|(_, d)| d.len() + 8).sum(),
-            Inval { .. } | InvalAck { .. } | ReadReq { .. } | ReadConfirm { .. }
-            | FwdRead { .. } | WriteReq { .. } | OwnerYield { .. } | MigrateReq { .. }
-            | MigrateYield { .. } | MigrateNotify { .. } | FlushDone { .. }
-            | AtomicReq { .. } | AtomicReply { .. } | LockReq { .. } | LockFetch { .. }
-            | LockNotify { .. } | BarrierArrive { .. } | BarrierRelease { .. } | CvWait { .. }
-            | CvSignal { .. } | CvWake { .. } => 0,
+            Inval { .. }
+            | InvalAck { .. }
+            | ReadReq { .. }
+            | ReadConfirm { .. }
+            | FwdRead { .. }
+            | WriteReq { .. }
+            | OwnerYield { .. }
+            | MigrateReq { .. }
+            | MigrateYield { .. }
+            | MigrateNotify { .. }
+            | FlushDone { .. }
+            | AtomicReq { .. }
+            | AtomicReply { .. }
+            | LockReq { .. }
+            | LockFetch { .. }
+            | LockNotify { .. }
+            | BarrierArrive { .. }
+            | BarrierRelease { .. }
+            | CvWait { .. }
+            | CvSignal { .. }
+            | CvWake { .. } => 0,
         }
     }
 }
@@ -215,7 +245,13 @@ mod tests {
 
     #[test]
     fn data_messages_charge_for_payload() {
-        let m = MuninMsg::ReadReply { obj: ObjectId(1), page: None, data: vec![0; 4096], install: true, confirm: false };
+        let m = MuninMsg::ReadReply {
+            obj: ObjectId(1),
+            page: None,
+            data: vec![0; 4096],
+            install: true,
+            confirm: false,
+        };
         assert_eq!(m.wire_bytes(), 4096);
         assert_eq!(m.class(), MsgClass::Data);
         assert_eq!(m.kind(), "ReadReply");
@@ -248,10 +284,8 @@ mod tests {
     fn lock_pass_charges_for_piggyback() {
         let empty = MuninMsg::LockPass { lock: LockId(1), piggyback: vec![] };
         assert_eq!(empty.wire_bytes(), 0);
-        let loaded = MuninMsg::LockPass {
-            lock: LockId(1),
-            piggyback: vec![(ObjectId(3), vec![0; 256])],
-        };
+        let loaded =
+            MuninMsg::LockPass { lock: LockId(1), piggyback: vec![(ObjectId(3), vec![0; 256])] };
         assert_eq!(loaded.wire_bytes(), 264);
         assert_eq!(loaded.class(), MsgClass::Sync);
     }

@@ -20,7 +20,12 @@ use munin_types::{NodeId, ObjectId};
 
 impl MuninServer {
     /// Home side of a general read-write read fault.
-    pub(crate) fn general_read_req(&mut self, k: &mut Kernel<MuninMsg>, from: NodeId, obj: ObjectId) {
+    pub(crate) fn general_read_req(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        from: NodeId,
+        obj: ObjectId,
+    ) {
         {
             let entry = self.dir.get_mut(&obj).expect("home ensured");
             if entry.active_write.is_some() {
@@ -64,9 +69,16 @@ impl MuninServer {
     }
 
     /// Home: a forwarded read copy was installed at `from`.
-    pub(crate) fn handle_read_confirm(&mut self, k: &mut Kernel<MuninMsg>, from: NodeId, obj: ObjectId) {
+    pub(crate) fn handle_read_confirm(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        from: NodeId,
+        obj: ObjectId,
+    ) {
         let drained = {
-            let Some(entry) = self.dir.get_mut(&obj) else { return };
+            let Some(entry) = self.dir.get_mut(&obj) else {
+                return;
+            };
             entry.pending_reads.remove(&from);
             entry.pending_reads.is_empty() && entry.active_write.is_none()
         };
@@ -77,7 +89,12 @@ impl MuninServer {
 
     /// Owner side: supply a requester with a read copy; downgrade to
     /// shared-owner (next local write must re-acquire exclusivity).
-    pub(crate) fn handle_fwd_read(&mut self, k: &mut Kernel<MuninMsg>, obj: ObjectId, requester: NodeId) {
+    pub(crate) fn handle_fwd_read(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        obj: ObjectId,
+        requester: NodeId,
+    ) {
         let Some(data) = self.store.get(obj).map(|d| d.to_vec()) else {
             k.error(format!("FwdRead at non-holder for {obj}"));
             return;
@@ -91,8 +108,15 @@ impl MuninServer {
     }
 
     /// Home side of an ownership (write) request.
-    pub(crate) fn handle_write_req(&mut self, k: &mut Kernel<MuninMsg>, from: NodeId, obj: ObjectId) {
-        let Some(decl) = self.decl(k, obj) else { return };
+    pub(crate) fn handle_write_req(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        from: NodeId,
+        obj: ObjectId,
+    ) {
+        let Some(decl) = self.decl(k, obj) else {
+            return;
+        };
         self.ensure_home(decl, obj);
         self.note_dir_access(k, obj, from, true);
         {
@@ -115,25 +139,23 @@ impl MuninServer {
             } else {
                 entry.copyset.contains(&requester)
             };
-            let to_inval: Vec<NodeId> = entry
-                .copyset
-                .iter()
-                .copied()
-                .filter(|n| *n != requester && *n != owner)
-                .collect();
+            let to_inval: Vec<NodeId> =
+                entry.copyset.iter().copied().filter(|n| *n != requester && *n != owner).collect();
             (owner, to_inval, had_copy)
         };
-        let had_copy = had_copy
-            || (requester == self.node && self.local.get(&obj).is_some_and(|s| s.valid));
+        let had_copy =
+            had_copy || (requester == self.node && self.local.get(&obj).is_some_and(|s| s.valid));
         let awaiting_owner_data = owner != requester && owner != self.node;
         // The home's own (possibly stale shared) copy dies with the
         // transaction unless the home is the requester.
-        if requester != self.node && owner != self.node
-            && self.local.get(&obj).is_some_and(|s| s.valid) {
-                let st = self.local_mut(obj);
-                st.valid = false;
-                st.writable = false;
-            }
+        if requester != self.node
+            && owner != self.node
+            && self.local.get(&obj).is_some_and(|s| s.valid)
+        {
+            let st = self.local_mut(obj);
+            st.valid = false;
+            st.writable = false;
+        }
         self.dir.get_mut(&obj).expect("exists").active_write = Some(ActiveWrite {
             requester,
             pending_invals: to_inval.len(),
@@ -151,7 +173,12 @@ impl MuninServer {
     }
 
     /// Previous owner: ship the (possibly dirty) bytes home and invalidate.
-    pub(crate) fn handle_owner_yield(&mut self, k: &mut Kernel<MuninMsg>, from: NodeId, obj: ObjectId) {
+    pub(crate) fn handle_owner_yield(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        from: NodeId,
+        obj: ObjectId,
+    ) {
         let Some(data) = self.store.evict(obj) else {
             k.error(format!("OwnerYield at non-holder for {obj}"));
             return;
@@ -224,13 +251,8 @@ impl MuninServer {
         if !ready {
             return;
         }
-        let aw = self
-            .dir
-            .get_mut(&obj)
-            .expect("exists")
-            .active_write
-            .take()
-            .expect("checked ready");
+        let aw =
+            self.dir.get_mut(&obj).expect("exists").active_write.take().expect("checked ready");
         let requester = aw.requester;
         {
             let entry = self.dir.get_mut(&obj).expect("exists");

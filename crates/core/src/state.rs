@@ -189,7 +189,8 @@ mod tests {
     fn pending_fault_thread_accessor() {
         let f = PendingFault::Read { thread: ThreadId(4), range: ByteRange::new(0, 4) };
         assert_eq!(f.thread(), ThreadId(4));
-        let f = PendingFault::Write { thread: ThreadId(5), range: ByteRange::new(0, 1), data: vec![0] };
+        let f =
+            PendingFault::Write { thread: ThreadId(5), range: ByteRange::new(0, 1), data: vec![0] };
         assert_eq!(f.thread(), ThreadId(5));
     }
 }

@@ -165,7 +165,8 @@ fn cond_broadcast_wakes_all_waiters() {
     };
     let woken = Arc::new(AtomicI64::new(0));
     let report = run_world(3, MuninConfig::default(), sync, |b| {
-        let flag = b.declare(decl("flag", 8, SharingType::Migratory).with_lock(LockId(0)), NodeId(0));
+        let flag =
+            b.declare(decl("flag", 8, SharingType::Migratory).with_lock(LockId(0)), NodeId(0));
         for i in 0..2 {
             let woken = woken.clone();
             b.spawn(NodeId(i as u16), move |ctx: &mut ThreadCtx| {
@@ -222,10 +223,8 @@ fn eager_fence_orders_pushes_before_barrier_release() {
     // acknowledged fence flush guarantees it.
     let sync = SyncDecls::round_robin(0, 1, 2, 2);
     let report = run_world(2, MuninConfig::default(), sync, |b| {
-        let obj = b.declare(
-            decl("bnd", 8192, SharingType::ProducerConsumer).with_eager(true),
-            NodeId(0),
-        );
+        let obj =
+            b.declare(decl("bnd", 8192, SharingType::ProducerConsumer).with_eager(true), NodeId(0));
         b.spawn(NodeId(0), move |ctx: &mut ThreadCtx| {
             ctx.write(obj, 0, vec![1; 8192]);
             ctx.barrier(BarrierId(0));

@@ -284,10 +284,8 @@ fn migratory_rides_the_lock() {
     let total = Arc::new(AtomicI64::new(0));
     let report = {
         let mut b = WorldBuilder::new(n);
-        let obj = b.declare(
-            decl("counter", 8, SharingType::Migratory).with_lock(LockId(0)),
-            NodeId(0),
-        );
+        let obj =
+            b.declare(decl("counter", 8, SharingType::Migratory).with_lock(LockId(0)), NodeId(0));
         for i in 0..n {
             let total = total.clone();
             b.spawn(NodeId(i as u16), move |ctx: &mut ThreadCtx| {
@@ -520,10 +518,8 @@ fn contended_lock_is_fair_and_exclusive() {
     let log = Arc::new(Mutex::new(Vec::new()));
     let report = {
         let mut b = WorldBuilder::new(n);
-        let obj = b.declare(
-            decl("shared", 8, SharingType::Migratory).with_lock(LockId(0)),
-            NodeId(0),
-        );
+        let obj =
+            b.declare(decl("shared", 8, SharingType::Migratory).with_lock(LockId(0)), NodeId(0));
         for i in 0..n {
             let log = log.clone();
             b.spawn(NodeId(i as u16), move |ctx: &mut ThreadCtx| {
@@ -594,7 +590,8 @@ fn condition_variable_handoff() {
     let got = Arc::new(AtomicI64::new(0));
     let g2 = got.clone();
     let report = run_world(2, MuninConfig::default(), sync, |b| {
-        let obj = b.declare(decl("slot", 8, SharingType::Migratory).with_lock(LockId(0)), NodeId(0));
+        let obj =
+            b.declare(decl("slot", 8, SharingType::Migratory).with_lock(LockId(0)), NodeId(0));
         b.spawn(NodeId(0), move |ctx: &mut ThreadCtx| {
             ctx.lock(LockId(0));
             // Wait until the producer fills the slot.
@@ -699,10 +696,8 @@ fn full_stack_runs_are_bit_identical() {
         let report = {
             let mut b = WorldBuilder::new(4);
             let grid = b.declare(decl("grid", 256, SharingType::WriteMany), NodeId(0));
-            let ctr = b.declare(
-                decl("ctr", 8, SharingType::Migratory).with_lock(LockId(0)),
-                NodeId(1),
-            );
+            let ctr =
+                b.declare(decl("ctr", 8, SharingType::Migratory).with_lock(LockId(0)), NodeId(1));
             for i in 0..4 {
                 b.spawn(NodeId(i as u16), move |ctx: &mut ThreadCtx| {
                     for round in 0..3u32 {

@@ -9,39 +9,76 @@ use munin_types::{BarrierId, LockId, NodeId, ThreadId};
 pub enum IvyMsg {
     // ---- page protocol (directory write-invalidate) -----------------------
     /// Requester → manager: read fault.
-    RReq { page: PageId },
+    RReq {
+        page: PageId,
+    },
     /// Manager → owner: send `requester` a read copy (you stay owner but
     /// downgrade to read access).
-    FwdRead { page: PageId, requester: NodeId },
+    FwdRead {
+        page: PageId,
+        requester: NodeId,
+    },
     /// Owner/manager → requester: a read copy of the page. `confirm` is set
     /// when the copy was *forwarded* by the owner: the requester must send
     /// `RConfirm` to the manager, which blocks write transactions until the
     /// copy is known to be installed (otherwise an invalidation could race
     /// past the in-flight copy — Li's read-confirmation).
-    PData { page: PageId, data: Vec<u8>, confirm: bool },
+    PData {
+        page: PageId,
+        data: Vec<u8>,
+        confirm: bool,
+    },
     /// Requester → manager: forwarded read copy installed.
-    RConfirm { page: PageId },
+    RConfirm {
+        page: PageId,
+    },
     /// Requester → manager: write fault (ownership request).
-    WReq { page: PageId },
+    WReq {
+        page: PageId,
+    },
     /// Manager → current owner: yield the page (send bytes to the manager,
     /// drop your copy).
-    Yield { page: PageId },
+    Yield {
+        page: PageId,
+    },
     /// Owner → manager: the yielded bytes.
-    YieldData { page: PageId, data: Vec<u8> },
+    YieldData {
+        page: PageId,
+        data: Vec<u8>,
+    },
     /// Manager → copy holder: drop your copy and ack.
-    Inval { page: PageId },
+    Inval {
+        page: PageId,
+    },
     /// Copy holder → manager.
-    InvalAck { page: PageId },
+    InvalAck {
+        page: PageId,
+    },
     /// Manager → requester: ownership granted; `data` unless the requester
     /// already held a valid copy (upgrade).
-    Grant { page: PageId, data: Option<Vec<u8>> },
+    Grant {
+        page: PageId,
+        data: Option<Vec<u8>>,
+    },
 
     // ---- central synchronization (the non-authentic ablation) ---------------
-    CLockReq { lock: LockId, thread: ThreadId },
-    CLockGrant { thread: ThreadId },
-    CUnlock { lock: LockId },
-    CBarrierArrive { barrier: BarrierId, threads: u32 },
-    CBarrierRelease { barrier: BarrierId },
+    CLockReq {
+        lock: LockId,
+        thread: ThreadId,
+    },
+    CLockGrant {
+        thread: ThreadId,
+    },
+    CUnlock {
+        lock: LockId,
+    },
+    CBarrierArrive {
+        barrier: BarrierId,
+        threads: u32,
+    },
+    CBarrierRelease {
+        barrier: BarrierId,
+    },
 }
 
 impl PayloadInfo for IvyMsg {
@@ -50,9 +87,16 @@ impl PayloadInfo for IvyMsg {
         match self {
             PData { .. } | YieldData { .. } | Grant { .. } => MsgClass::Data,
             InvalAck { .. } => MsgClass::Ack,
-            CLockReq { .. } | CLockGrant { .. } | CUnlock { .. } | CBarrierArrive { .. }
+            CLockReq { .. }
+            | CLockGrant { .. }
+            | CUnlock { .. }
+            | CBarrierArrive { .. }
             | CBarrierRelease { .. } => MsgClass::Sync,
-            RReq { .. } | RConfirm { .. } | FwdRead { .. } | WReq { .. } | Yield { .. }
+            RReq { .. }
+            | RConfirm { .. }
+            | FwdRead { .. }
+            | WReq { .. }
+            | Yield { .. }
             | Inval { .. } => MsgClass::Control,
         }
     }
@@ -108,7 +152,10 @@ mod tests {
 
     #[test]
     fn sync_messages_classified() {
-        assert_eq!(IvyMsg::CLockReq { lock: LockId(0), thread: ThreadId(0) }.class(), MsgClass::Sync);
+        assert_eq!(
+            IvyMsg::CLockReq { lock: LockId(0), thread: ThreadId(0) }.class(),
+            MsgClass::Sync
+        );
         assert_eq!(IvyMsg::Inval { page: PageId(0) }.class(), MsgClass::Control);
         assert_eq!(IvyMsg::InvalAck { page: PageId(0) }.class(), MsgClass::Ack);
     }

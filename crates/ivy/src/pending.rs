@@ -18,14 +18,21 @@ pub enum PendingIvyOp {
     Write { thread: ThreadId, obj: ObjectId, range: ByteRange, data: Vec<u8> },
     /// An atomic fetch-and-add (needs write access to the word's page).
     AtomicAdd { thread: ThreadId, obj: ObjectId, offset: u32, delta: i64 },
-    /// A test-and-set attempt on a DSM-resident lock word.
-    Tas { thread: ThreadId, lock: LockId },
+    /// Draw a ticket from a DSM-resident ticket lock (atomic increment of
+    /// the `next_ticket` word under exclusive page access). Completes
+    /// immediately when the drawn ticket is already being served; otherwise
+    /// parks as [`PendingIvyOp::TicketWait`].
+    TicketTake { thread: ThreadId, lock: LockId },
+    /// Spin (read-only, cache-coherent) on the lock's `now_serving` word
+    /// until it reaches `ticket`. Parked spinners are event-driven: they
+    /// wake when their cached copy is invalidated or the word matches.
+    TicketWait { thread: ThreadId, lock: LockId, ticket: u64 },
     /// A DSM-resident barrier arrival (fetch-increment of the counter word;
     /// flips the sense word when last).
     BarrierArrive { thread: ThreadId, barrier: BarrierId },
     /// A poll of the sense word (needs only read access).
     BarrierPoll { thread: ThreadId, barrier: BarrierId, expected_sense: u8 },
-    /// An unlock (store zero to the lock word; needs write access).
+    /// An unlock (increment of the `now_serving` word; needs write access).
     Unlock { thread: ThreadId, lock: LockId },
 }
 
@@ -35,7 +42,8 @@ impl PendingIvyOp {
             PendingIvyOp::Read { thread, .. }
             | PendingIvyOp::Write { thread, .. }
             | PendingIvyOp::AtomicAdd { thread, .. }
-            | PendingIvyOp::Tas { thread, .. }
+            | PendingIvyOp::TicketTake { thread, .. }
+            | PendingIvyOp::TicketWait { thread, .. }
             | PendingIvyOp::BarrierArrive { thread, .. }
             | PendingIvyOp::BarrierPoll { thread, .. }
             | PendingIvyOp::Unlock { thread, .. } => *thread,
@@ -74,7 +82,8 @@ mod tests {
         let t = ThreadId(7);
         let ops = vec![
             PendingIvyOp::Read { thread: t, obj: ObjectId(0), range: ByteRange::new(0, 1) },
-            PendingIvyOp::Tas { thread: t, lock: LockId(0) },
+            PendingIvyOp::TicketTake { thread: t, lock: LockId(0) },
+            PendingIvyOp::TicketWait { thread: t, lock: LockId(0), ticket: 3 },
             PendingIvyOp::BarrierPoll { thread: t, barrier: BarrierId(0), expected_sense: 1 },
             PendingIvyOp::Unlock { thread: t, lock: LockId(0) },
         ];

@@ -77,6 +77,11 @@ pub struct IvyServer {
     /// Consecutive failed spin attempts per thread (for backoff + livelock
     /// detection).
     attempts: HashMap<ThreadId, u32>,
+    /// Lock probes spinning on a locally cached copy of their lock word's
+    /// page. A cache-coherent test-and-test-and-set spinner costs nothing
+    /// while its copy stays valid; it is woken when the copy is invalidated
+    /// or the word reads free (see [`IvyServer::wake_lock_probes`]).
+    lock_waiters: HashMap<PageId, Vec<PendingIvyOp>>,
 
     central_locks: HashMap<LockId, CentralLock>,
     central_barriers: HashMap<BarrierId, CentralBarrier>,
@@ -106,7 +111,13 @@ impl IvyServer {
         for l in &sync.locks {
             let id = ObjectId(next_sync_obj);
             next_sync_obj -= 1;
-            let base = space.place(id, 8);
+            // Two words per lock: [next_ticket, now_serving] — a ticket lock
+            // built on ordinary DSM pages. Plain test-and-set starves under
+            // this simulator's determinism (the node co-located with a fast
+            // re-acquirer always wins the page race); tickets grant in FIFO
+            // order of the managers' exclusive-page queue, so acquisition is
+            // starvation-free without any special synchronization support.
+            let base = space.place(id, 16);
             lock_addr.insert(l.id, base);
             lock_home.insert(l.id, l.home);
         }
@@ -137,6 +148,7 @@ impl IvyServer {
             pending: Vec::new(),
             parked: HashMap::new(),
             attempts: HashMap::new(),
+            lock_waiters: HashMap::new(),
             central_locks: HashMap::new(),
             central_barriers: HashMap::new(),
             barrier_parked: HashMap::new(),
@@ -210,7 +222,8 @@ impl IvyServer {
             let copy = self.pages.get_mut(&piece.page).expect("availability checked");
             debug_assert!(copy.write);
             let s = piece.off_in_page as usize;
-            copy.data[s..s + piece.len as usize].copy_from_slice(&data[off..off + piece.len as usize]);
+            copy.data[s..s + piece.len as usize]
+                .copy_from_slice(&data[off..off + piece.len as usize]);
             off += piece.len as usize;
         }
     }
@@ -269,9 +282,13 @@ impl IvyServer {
                 let base = self.space.base(*obj).unwrap_or(0);
                 self.addr_needs(base + *offset as u64, 8, true)
             }
-            PendingIvyOp::Tas { lock, .. } | PendingIvyOp::Unlock { lock, .. } => {
+            PendingIvyOp::TicketTake { lock, .. } | PendingIvyOp::Unlock { lock, .. } => {
                 let addr = self.lock_addr[lock];
-                self.addr_needs(addr, 8, true)
+                self.addr_needs(addr, 16, true)
+            }
+            PendingIvyOp::TicketWait { lock, .. } => {
+                let addr = self.lock_addr[lock];
+                self.addr_needs(addr + 8, 8, false)
             }
             PendingIvyOp::BarrierArrive { barrier, .. } => {
                 let addr = self.barrier_addr[barrier];
@@ -310,11 +327,46 @@ impl IvyServer {
         }
     }
 
+    /// Wake parked ticket spinners whose parking condition no longer holds:
+    /// the cached copy of the `now_serving` word's page vanished
+    /// (invalidated, yielded) or the word reached their ticket. Woken
+    /// spinners land in `pending` for the surrounding rescan pass.
+    fn wake_lock_probes(&mut self) {
+        if self.lock_waiters.is_empty() {
+            return;
+        }
+        let pages: Vec<PageId> = self.lock_waiters.keys().copied().collect();
+        for page in pages {
+            let Some(waiters) = self.lock_waiters.remove(&page) else { continue };
+            let mut still = Vec::new();
+            for op in waiters {
+                let (lock, ticket) = match &op {
+                    PendingIvyOp::TicketWait { lock, ticket, .. } => (*lock, *ticket),
+                    _ => {
+                        still.push(op);
+                        continue;
+                    }
+                };
+                let needs = self.op_needs(&op);
+                let readable = needs.iter().all(|n| self.have(*n));
+                if readable && self.read_u64_at(self.lock_addr[&lock] + 8) != ticket {
+                    still.push(op); // copy valid, not our turn yet: keep spinning locally
+                } else {
+                    self.pending.push(op);
+                }
+            }
+            if !still.is_empty() {
+                self.lock_waiters.insert(page, still);
+            }
+        }
+    }
+
     /// Try to complete every pending op; re-request what is still missing.
     /// Runs to fixpoint: completing one op can unblock another (barrier
     /// flips, lock releases).
     fn rescan(&mut self, k: &mut Kernel<IvyMsg>) {
         loop {
+            self.wake_lock_probes();
             let mut progressed = false;
             let mut still = Vec::new();
             let ops = std::mem::take(&mut self.pending);
@@ -358,20 +410,30 @@ impl IvyServer {
                 self.write_u64_at(addr, old.wrapping_add(delta) as u64);
                 k.complete(thread, OpResult::Value(old), cost);
             }
-            PendingIvyOp::Tas { thread, lock } => {
+            PendingIvyOp::TicketTake { thread, lock } => {
                 let addr = self.lock_addr[&lock];
-                let word = self.read_u64_at(addr);
-                if word == 0 {
-                    self.write_u64_at(addr, 1);
+                let ticket = self.read_u64_at(addr);
+                self.write_u64_at(addr, ticket + 1);
+                if self.read_u64_at(addr + 8) == ticket {
                     self.attempts.remove(&thread);
                     k.complete(thread, OpResult::Unit, cost);
                 } else {
-                    self.spin_retry(k, thread, PendingIvyOp::Tas { thread, lock });
+                    self.park_ticket_wait(k, thread, lock, ticket);
+                }
+            }
+            PendingIvyOp::TicketWait { thread, lock, ticket } => {
+                let addr = self.lock_addr[&lock];
+                if self.read_u64_at(addr + 8) == ticket {
+                    self.attempts.remove(&thread);
+                    k.complete(thread, OpResult::Unit, cost);
+                } else {
+                    self.park_ticket_wait(k, thread, lock, ticket);
                 }
             }
             PendingIvyOp::Unlock { thread, lock } => {
                 let addr = self.lock_addr[&lock];
-                self.write_u64_at(addr, 0);
+                let serving = self.read_u64_at(addr + 8);
+                self.write_u64_at(addr + 8, serving + 1);
                 k.complete(thread, OpResult::Unit, cost);
             }
             PendingIvyOp::BarrierArrive { thread, barrier } => {
@@ -411,19 +473,65 @@ impl IvyServer {
         }
     }
 
-    /// Back off and retry a spin (TAS / barrier poll) later.
-    fn spin_retry(&mut self, k: &mut Kernel<IvyMsg>, thread: ThreadId, op: PendingIvyOp) {
+    /// Park a ticket spinner on its locally cached `now_serving` word: the
+    /// local spin costs nothing until the copy is invalidated or the word
+    /// is locally advanced, at which point [`IvyServer::wake_lock_probes`]
+    /// re-runs it. Timer-based backoff is wrong here — against a holder
+    /// that re-acquires on a fixed period, periodic sampling can miss the
+    /// free window indefinitely (observed as multi-hour starvation in the
+    /// tsp work-queue polling loop).
+    fn park_ticket_wait(
+        &mut self,
+        k: &mut Kernel<IvyMsg>,
+        thread: ThreadId,
+        lock: LockId,
+        ticket: u64,
+    ) {
         let n = self.attempts.entry(thread).or_insert(0);
         *n += 1;
         if *n > self.cfg.spin_attempt_limit {
+            // Diagnostic backstop. The thread dies holding an unserved
+            // ticket, so the lock's remaining users can never be served;
+            // because ticket waiters are event-driven (no timers), they
+            // then quiesce and the kernel's deadlock teardown reports them
+            // alongside this error — the run terminates with diagnosis
+            // rather than limping on a poisoned lock.
+            k.error(format!("spin livelock: {thread} exceeded attempt limit"));
+            k.complete(thread, OpResult::Err(DsmError::Livelock("DSM spin lock")), 0);
+            return;
+        }
+        let page = PageId((self.lock_addr[&lock] + 8) / self.cfg.page_size as u64);
+        self.lock_waiters.entry(page).or_default().push(PendingIvyOp::TicketWait {
+            thread,
+            lock,
+            ticket,
+        });
+    }
+
+    /// Back off and retry a spin (barrier sense poll) later.
+    fn spin_retry(&mut self, k: &mut Kernel<IvyMsg>, thread: ThreadId, op: PendingIvyOp) {
+        let n = self.attempts.entry(thread).or_insert(0);
+        *n += 1;
+        if *n > self.cfg.barrier_poll_limit {
             k.error(format!("spin livelock: {thread} exceeded attempt limit"));
             k.complete(thread, OpResult::Err(DsmError::Livelock("DSM spin lock")), 0);
             return;
         }
         let shift = (*n).min(6);
-        // Deterministic per-thread stagger de-synchronizes spinners that
-        // would otherwise retry in lockstep and starve each other.
-        let delay = (self.cfg.spin_backoff_us << shift) + (thread.0 as u64) * 37;
+        // Deterministic *per-attempt* jitter inside the backoff window. A
+        // fixed per-thread stagger de-synchronizes spinners from each other
+        // but can phase-lock a spinner with a fast re-acquiring holder (a
+        // work-queue poller re-takes the lock on a fixed period, and the
+        // spinner then samples the lock word only at instants where it is
+        // held — permanent starvation). Varying the delay by attempt number
+        // breaks any such resonance while keeping runs reproducible.
+        let window = (self.cfg.spin_backoff_us << shift).max(1);
+        let mut h =
+            (thread.0 as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(*n as u64);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        let delay = window + h % window;
         let token = thread.0 as u64;
         self.parked.insert(token, op);
         k.set_timer(self.node, delay, token);
@@ -508,12 +616,8 @@ impl IvyServer {
             } else {
                 d.copyset.contains(&requester)
             };
-            let to_inval: Vec<NodeId> = d
-                .copyset
-                .iter()
-                .copied()
-                .filter(|n| *n != requester && *n != owner)
-                .collect();
+            let to_inval: Vec<NodeId> =
+                d.copyset.iter().copied().filter(|n| *n != requester && *n != owner).collect();
             (owner, to_inval, had_copy)
         };
         let awaiting_yield = owner != requester && owner != self.node;
@@ -549,7 +653,13 @@ impl IvyServer {
         self.rescan(k);
     }
 
-    fn handle_yield_data(&mut self, k: &mut Kernel<IvyMsg>, _from: NodeId, page: PageId, data: Vec<u8>) {
+    fn handle_yield_data(
+        &mut self,
+        k: &mut Kernel<IvyMsg>,
+        _from: NodeId,
+        page: PageId,
+        data: Vec<u8>,
+    ) {
         if let Some(txn) = self.dir.get_mut(&page).and_then(|d| d.active.as_mut()) {
             txn.xfer = Some(data);
             txn.awaiting_yield = false;
@@ -622,6 +732,10 @@ impl IvyServer {
         } else {
             let data = if txn.requester_had_copy { None } else { source };
             self.route(k, requester, IvyMsg::Grant { page, data });
+            // Serving the transfer may have consumed the manager's own copy
+            // (`source` above): re-evaluate local pending ops and parked
+            // lock spinners, which must now re-fault.
+            self.rescan(k);
         }
         self.process_page_queue(k, page);
     }
@@ -683,7 +797,9 @@ impl IvyServer {
 
     fn handle_rconfirm(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, page: PageId) {
         let drained = {
-            let Some(d) = self.dir.get_mut(&page) else { return };
+            let Some(d) = self.dir.get_mut(&page) else {
+                return;
+            };
             d.pending_reads.remove(&from);
             d.pending_reads.is_empty() && d.active.is_none()
         };
@@ -692,7 +808,13 @@ impl IvyServer {
         }
     }
 
-    fn handle_grant(&mut self, k: &mut Kernel<IvyMsg>, _from: NodeId, page: PageId, data: Option<Vec<u8>>) {
+    fn handle_grant(
+        &mut self,
+        k: &mut Kernel<IvyMsg>,
+        _from: NodeId,
+        page: PageId,
+        data: Option<Vec<u8>>,
+    ) {
         match data {
             Some(d) => {
                 self.pages.insert(page, PageCopy { data: d, write: true });
@@ -714,7 +836,13 @@ impl IvyServer {
     // Central synchronization (ablation)
     // ==================================================================
 
-    fn central_lock_req(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, lock: LockId, thread: ThreadId) {
+    fn central_lock_req(
+        &mut self,
+        k: &mut Kernel<IvyMsg>,
+        from: NodeId,
+        lock: LockId,
+        thread: ThreadId,
+    ) {
         let grant = {
             let st = self.central_locks.entry(lock).or_default();
             if st.busy {
@@ -754,7 +882,13 @@ impl IvyServer {
         }
     }
 
-    fn central_barrier_arrive(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, b: BarrierId, threads: u32) {
+    fn central_barrier_arrive(
+        &mut self,
+        k: &mut Kernel<IvyMsg>,
+        from: NodeId,
+        b: BarrierId,
+        threads: u32,
+    ) {
         let count = self.barrier_count[&b];
         let release = {
             let st = self.central_barriers.entry(b).or_default();
@@ -873,7 +1007,7 @@ impl Server for IvyServer {
                     OpOutcome::Blocked
                 }
                 _ => {
-                    self.submit(k, PendingIvyOp::Tas { thread, lock: l });
+                    self.submit(k, PendingIvyOp::TicketTake { thread, lock: l });
                     OpOutcome::Blocked
                 }
             },
@@ -908,9 +1042,11 @@ impl Server for IvyServer {
                     OpOutcome::Blocked
                 }
             },
-            DsmOp::CondWait { .. } | DsmOp::CondSignal { .. } => OpOutcome::fail(
-                DsmError::Internal("Ivy has no condition variables (no special sync provisions)".into()),
-            ),
+            DsmOp::CondWait { .. } | DsmOp::CondSignal { .. } => {
+                OpOutcome::fail(DsmError::Internal(
+                    "Ivy has no condition variables (no special sync provisions)".into(),
+                ))
+            }
             DsmOp::Flush | DsmOp::Phase(_) => OpOutcome::unit(k.cost().local_access_us),
             DsmOp::Exit => OpOutcome::unit(0),
             DsmOp::Compute(us) => OpOutcome::unit(us),
@@ -919,6 +1055,49 @@ impl Server for IvyServer {
 
     fn on_message(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, payload: IvyMsg) {
         self.handle_msg(k, from, payload);
+    }
+
+    fn debug_stuck_state(&self) -> String {
+        use std::fmt::Write;
+        // A lock's 16-byte record may straddle a page boundary (packed
+        // allocation); read each word only when every page it touches is
+        // locally present, or the diagnostic itself would panic.
+        let word = |addr: u64| -> Option<u64> {
+            let ps = self.cfg.page_size as u64;
+            if (addr / ps..=(addr + 7) / ps).all(|pg| self.pages.contains_key(&PageId(pg))) {
+                Some(self.read_u64_at(addr))
+            } else {
+                None
+            }
+        };
+        let mut out = String::new();
+        for (l, addr) in &self.lock_addr {
+            let page = PageId(*addr / self.cfg.page_size as u64);
+            let copy = self.pages.get(&page).map(|c| {
+                format!(
+                    "copy(write={}, next={:?}, serving={:?})",
+                    c.write,
+                    word(*addr),
+                    word(*addr + 8)
+                )
+            });
+            let _ = write!(out, "{l}@{addr} {copy:?}; ");
+        }
+        let _ = write!(out, "pending={:?}; ", self.pending);
+        let _ = write!(out, "inflight={:?}; ", self.inflight);
+        let _ = write!(out, "waiters={:?}; ", self.lock_waiters);
+        for (page, d) in &self.dir {
+            let _ = write!(
+                out,
+                "dir {page:?}: owner={} copyset={:?} active={} queued={:?} pending_reads={:?}; ",
+                d.owner,
+                d.copyset,
+                d.active.is_some(),
+                d.queued,
+                d.pending_reads
+            );
+        }
+        out
     }
 
     fn on_timer(&mut self, k: &mut Kernel<IvyMsg>, token: u64) {

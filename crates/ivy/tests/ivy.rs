@@ -44,19 +44,13 @@ fn run_ivy(
 
 #[test]
 fn reads_and_writes_roundtrip_locally() {
-    let report = run_ivy(
-        1,
-        IvyConfig::default(),
-        SyncDecls::default(),
-        &[("x", 64)],
-        |b, ids| {
-            let x = ids[0];
-            b.spawn(NodeId(0), move |ctx: &mut ThreadCtx| {
-                ctx.write(x, 0, vec![42; 64]);
-                assert_eq!(ctx.read(x, ByteRange::new(0, 64)), vec![42; 64]);
-            });
-        },
-    );
+    let report = run_ivy(1, IvyConfig::default(), SyncDecls::default(), &[("x", 64)], |b, ids| {
+        let x = ids[0];
+        b.spawn(NodeId(0), move |ctx: &mut ThreadCtx| {
+            ctx.write(x, 0, vec![42; 64]);
+            assert_eq!(ctx.read(x, ByteRange::new(0, 64)), vec![42; 64]);
+        });
+    });
     report.assert_clean();
     assert_eq!(report.stats.messages, 0, "single node: everything is local");
 }
@@ -70,28 +64,29 @@ fn strict_coherence_write_invalidates_readers() {
     let s2 = seen.clone();
     // Central-server sync so the barrier words don't share page 0 traffic
     // with x (we want to observe the data-page invalidation cleanly).
-    let report = run_ivy(2, IvyConfig::default().with_central_locks(), sync, &[("x", 8)], |b, ids| {
-        let x = ids[0];
-        b.spawn(NodeId(1), move |ctx: &mut ThreadCtx| {
-            let _ = ctx.read(x, ByteRange::new(0, 8)); // cache a copy
-            ctx.barrier(BarrierId(0));
-            // Node 0 wrote during the barrier window... actually after;
-            // poll until the value changes, counting on invalidation.
-            loop {
-                let v = ctx.read(x, ByteRange::new(0, 8));
-                let val = i64::from_le_bytes(v.try_into().unwrap());
-                if val == 7 {
-                    s2.store(val, Ordering::SeqCst);
-                    break;
+    let report =
+        run_ivy(2, IvyConfig::default().with_central_locks(), sync, &[("x", 8)], |b, ids| {
+            let x = ids[0];
+            b.spawn(NodeId(1), move |ctx: &mut ThreadCtx| {
+                let _ = ctx.read(x, ByteRange::new(0, 8)); // cache a copy
+                ctx.barrier(BarrierId(0));
+                // Node 0 wrote during the barrier window... actually after;
+                // poll until the value changes, counting on invalidation.
+                loop {
+                    let v = ctx.read(x, ByteRange::new(0, 8));
+                    let val = i64::from_le_bytes(v.try_into().unwrap());
+                    if val == 7 {
+                        s2.store(val, Ordering::SeqCst);
+                        break;
+                    }
+                    ctx.compute(1_000);
                 }
-                ctx.compute(1_000);
-            }
+            });
+            b.spawn(NodeId(0), move |ctx: &mut ThreadCtx| {
+                ctx.barrier(BarrierId(0));
+                ctx.write(x, 0, 7i64.to_le_bytes().to_vec());
+            });
         });
-        b.spawn(NodeId(0), move |ctx: &mut ThreadCtx| {
-            ctx.barrier(BarrierId(0));
-            ctx.write(x, 0, 7i64.to_le_bytes().to_vec());
-        });
-    });
     report.assert_clean();
     assert_eq!(seen.load(Ordering::SeqCst), 7);
     assert!(report.stats.kind("Inval").count >= 1, "{:?}", report.stats.by_kind);

@@ -172,9 +172,18 @@ mod tests {
         // Access [200, 600) spans pages 0,1,2.
         let pieces = a.pieces(o, ByteRange::new(200, 400)).unwrap();
         assert_eq!(pieces.len(), 3);
-        assert_eq!(pieces[0], PagePiece { page: PageId(0), off_in_page: 200, obj_offset: 200, len: 56 });
-        assert_eq!(pieces[1], PagePiece { page: PageId(1), off_in_page: 0, obj_offset: 256, len: 256 });
-        assert_eq!(pieces[2], PagePiece { page: PageId(2), off_in_page: 0, obj_offset: 512, len: 88 });
+        assert_eq!(
+            pieces[0],
+            PagePiece { page: PageId(0), off_in_page: 200, obj_offset: 200, len: 56 }
+        );
+        assert_eq!(
+            pieces[1],
+            PagePiece { page: PageId(1), off_in_page: 0, obj_offset: 256, len: 256 }
+        );
+        assert_eq!(
+            pieces[2],
+            PagePiece { page: PageId(2), off_in_page: 0, obj_offset: 512, len: 88 }
+        );
     }
 
     #[test]

@@ -110,20 +110,10 @@ impl Diff {
         }
         // Materialize over the covering hull — simple and correct; diffs are
         // small relative to objects.
-        let hull_end = self
-            .runs
-            .iter()
-            .chain(later.runs.iter())
-            .map(|(r, _)| r.end())
-            .max()
-            .unwrap() as usize;
-        let hull_start = self
-            .runs
-            .iter()
-            .chain(later.runs.iter())
-            .map(|(r, _)| r.start)
-            .min()
-            .unwrap() as usize;
+        let hull_end =
+            self.runs.iter().chain(later.runs.iter()).map(|(r, _)| r.end()).max().unwrap() as usize;
+        let hull_start =
+            self.runs.iter().chain(later.runs.iter()).map(|(r, _)| r.start).min().unwrap() as usize;
         // Track which bytes are defined; undefined gaps must not enter runs.
         let width = hull_end - hull_start;
         let mut buf = vec![0u8; width];
@@ -161,9 +151,7 @@ impl Diff {
 
     /// Does this diff write any byte that `other` also writes?
     pub fn overlaps(&self, other: &Diff) -> bool {
-        self.runs
-            .iter()
-            .any(|(r, _)| other.runs.iter().any(|(o, _)| r.overlaps(*o)))
+        self.runs.iter().any(|(r, _)| other.runs.iter().any(|(o, _)| r.overlaps(*o)))
     }
 }
 

@@ -137,10 +137,7 @@ mod tests {
     #[test]
     fn unknown_object_errors() {
         let s = ObjectStore::new();
-        assert_eq!(
-            s.read(OBJ, ByteRange::new(0, 1)).unwrap_err(),
-            DsmError::UnknownObject(OBJ)
-        );
+        assert_eq!(s.read(OBJ, ByteRange::new(0, 1)).unwrap_err(), DsmError::UnknownObject(OBJ));
     }
 
     #[test]

@@ -26,13 +26,8 @@ pub enum MsgClass {
 }
 
 impl MsgClass {
-    pub const ALL: [MsgClass; 5] = [
-        MsgClass::Data,
-        MsgClass::Control,
-        MsgClass::Update,
-        MsgClass::Sync,
-        MsgClass::Ack,
-    ];
+    pub const ALL: [MsgClass; 5] =
+        [MsgClass::Data, MsgClass::Control, MsgClass::Update, MsgClass::Sync, MsgClass::Ack];
 
     pub fn label(self) -> &'static str {
         match self {

@@ -121,7 +121,11 @@ impl fmt::Display for NetStats {
             }
         }
         if self.multicasts > 0 {
-            writeln!(f, "  multicasts: {} (saved {} sends)", self.multicasts, self.multicast_saved)?;
+            writeln!(
+                f,
+                "  multicasts: {} (saved {} sends)",
+                self.multicasts, self.multicast_saved
+            )?;
         }
         if self.dropped > 0 || self.retransmissions > 0 {
             writeln!(f, "  dropped: {}  retransmitted: {}", self.dropped, self.retransmissions)?;

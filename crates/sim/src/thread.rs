@@ -75,10 +75,33 @@ impl ThreadCtx {
         self.op(DsmOp::Read { obj, range }).into_bytes()
     }
 
+    /// Read a byte range of an object into a caller-owned buffer
+    /// (`out.len()` must equal `range.len`). The rendezvous still transfers
+    /// one owned buffer from the server side, but the caller-facing path
+    /// allocates nothing, which is what the typed API layers on.
+    pub fn read_into(&mut self, obj: ObjectId, range: ByteRange, out: &mut [u8]) {
+        let bytes = self.op(DsmOp::Read { obj, range }).into_bytes();
+        assert_eq!(
+            out.len(),
+            bytes.len(),
+            "read_into buffer is {} bytes for a {} byte range",
+            out.len(),
+            bytes.len()
+        );
+        out.copy_from_slice(&bytes);
+    }
+
     /// Write bytes at `start` within an object.
     pub fn write(&mut self, obj: ObjectId, start: u32, data: Vec<u8>) {
         let range = ByteRange::new(start, data.len() as u32);
         self.op(DsmOp::Write { obj, range, data }).expect_unit();
+    }
+
+    /// Write borrowed bytes at `start` within an object. One copy into the
+    /// request message is inherent to the rendezvous; the caller keeps its
+    /// buffer.
+    pub fn write_raw(&mut self, obj: ObjectId, start: u32, data: &[u8]) {
+        self.write(obj, start, data.to_vec());
     }
 
     /// Atomic fetch-and-add on the i64 at `offset`; returns the old value.

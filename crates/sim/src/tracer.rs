@@ -16,9 +16,22 @@ pub enum TraceEvent<'a> {
     OpIssued { at: VirtualTime, thread: ThreadId, node: NodeId, op: &'a DsmOp },
     /// A previously issued operation completed (the thread is being resumed).
     /// `waited_us` is virtual time between issue and resume.
-    OpCompleted { at: VirtualTime, thread: ThreadId, node: NodeId, label: &'static str, waited_us: u64 },
+    OpCompleted {
+        at: VirtualTime,
+        thread: ThreadId,
+        node: NodeId,
+        label: &'static str,
+        waited_us: u64,
+    },
     /// A message was placed on the wire.
-    MessageSent { at: VirtualTime, src: NodeId, dst: NodeId, class: MsgClass, kind: &'static str, bytes: usize },
+    MessageSent {
+        at: VirtualTime,
+        src: NodeId,
+        dst: NodeId,
+        class: MsgClass,
+        kind: &'static str,
+        bytes: usize,
+    },
 }
 
 /// Observer of kernel events. Implementations must be deterministic (they

@@ -44,13 +44,7 @@ impl TransportConfig {
     }
 
     pub fn lossy(cost: CostModel, drop_prob: f64, seed: u64) -> Self {
-        TransportConfig {
-            cost,
-            drop_prob,
-            seed,
-            retx_timeout_us: 10_000,
-            serialize_medium: false,
-        }
+        TransportConfig { cost, drop_prob, seed, retx_timeout_us: 10_000, serialize_medium: false }
     }
 }
 
@@ -66,7 +60,9 @@ impl Default for TransportConfig {
 pub enum Wire<P> {
     App(P),
     /// Cumulative ack: "I have delivered every seq below `upto`".
-    Ack { upto: u64 },
+    Ack {
+        upto: u64,
+    },
 }
 
 /// A buffered unacked message awaiting possible retransmission.
@@ -115,7 +111,8 @@ pub struct Transport<P> {
 
 impl<P: PayloadInfo + Clone> Transport<P> {
     pub fn new(cfg: TransportConfig) -> Self {
-        let latency = LatencyModel::new(cfg.cost.clone()).with_serialized_medium(cfg.serialize_medium);
+        let latency =
+            LatencyModel::new(cfg.cost.clone()).with_serialized_medium(cfg.serialize_medium);
         let loss = LossModel::new(cfg.drop_prob, cfg.seed);
         let reliable = cfg.drop_prob > 0.0;
         Transport { cfg, latency, loss, pairs: HashMap::new(), reliable }
@@ -263,7 +260,12 @@ impl<P: PayloadInfo + Clone> Transport<P> {
                         let arrive = self.latency.delivery_time(now, 0);
                         events.push(
                             arrive,
-                            EventKind::Deliver { src: dst, dst: src, seq: 0, wire: Wire::Ack { upto } },
+                            EventKind::Deliver {
+                                src: dst,
+                                dst: src,
+                                seq: 0,
+                                wire: Wire::Ack { upto },
+                            },
                         );
                     } else {
                         stats.record_drop();

@@ -41,10 +41,20 @@ pub trait Server: Send {
     ) -> OpOutcome;
 
     /// Handle a protocol message from another node's server.
-    fn on_message(&mut self, kernel: &mut Kernel<Self::Payload>, from: NodeId, payload: Self::Payload);
+    fn on_message(
+        &mut self,
+        kernel: &mut Kernel<Self::Payload>,
+        from: NodeId,
+        payload: Self::Payload,
+    );
 
     /// Handle a timer previously registered with [`Kernel::set_timer`].
     fn on_timer(&mut self, _kernel: &mut Kernel<Self::Payload>, _token: u64) {}
+
+    /// Describe internal state for the deadlock report (diagnostic only).
+    fn debug_stuck_state(&self) -> String {
+        String::new()
+    }
 }
 
 struct ThreadRec {
@@ -114,7 +124,14 @@ impl<P: PayloadInfo + Clone> Kernel<P> {
                 bytes: payload.wire_bytes(),
             });
         }
-        self.transport.multicast(self.now, &mut self.events, &mut self.stats_ext, src, dsts, payload);
+        self.transport.multicast(
+            self.now,
+            &mut self.events,
+            &mut self.stats_ext,
+            src,
+            dsts,
+            payload,
+        );
     }
 
     /// Complete a blocked thread's pending operation: the thread resumes
@@ -124,8 +141,7 @@ impl<P: PayloadInfo + Clone> Kernel<P> {
             !self.threads[thread.index()].done,
             "completing an op for exited thread {thread}"
         );
-        self.events
-            .push(self.now + extra_cost_us, EventKind::ThreadResume { thread, result });
+        self.events.push(self.now + extra_cost_us, EventKind::ThreadResume { thread, result });
     }
 
     /// Register a server timer: `on_timer(token)` fires on `node`'s server
@@ -197,7 +213,11 @@ impl<P: PayloadInfo + Clone> Kernel<P> {
     /// Report a server-detected error (invariant violation, livelock). The
     /// run continues but the report will not be clean.
     pub fn error(&mut self, msg: impl Into<String>) {
-        self.errors.push(msg.into());
+        let msg = msg.into();
+        if std::env::var_os("MUNIN_DEBUG_ERRORS").is_some() {
+            eprintln!("[kernel error] {msg}");
+        }
+        self.errors.push(msg);
     }
 
     /// Network statistics so far (experiments read the final copy from the
@@ -480,6 +500,14 @@ impl<S: Server> World<S> {
                 live,
                 blocked.join(", ")
             ));
+            if std::env::var_os("MUNIN_DEBUG_ERRORS").is_some() {
+                for (i, srv) in self.servers.iter().enumerate() {
+                    let dump = srv.debug_stuck_state();
+                    if !dump.is_empty() {
+                        eprintln!("[deadlock dump n{i}] {dump}");
+                    }
+                }
+            }
             // Tear down: dropping resume senders makes blocked threads panic
             // out of their recv, which their wrappers catch.
             for rec in &mut self.kernel.threads {
@@ -606,9 +634,7 @@ mod tests {
         }
     }
 
-    fn echo_world(
-        bodies: Vec<(NodeId, Box<dyn FnOnce(&mut ThreadCtx) + Send>)>,
-    ) -> RunReport {
+    fn echo_world(bodies: Vec<(NodeId, Box<dyn FnOnce(&mut ThreadCtx) + Send>)>) -> RunReport {
         let mut b = WorldBuilder::new(2);
         for (node, body) in bodies {
             b.spawn(node, body);

@@ -68,9 +68,8 @@ fn timers_chain_with_exact_virtual_spacing() {
         let v = ctx.read(ObjectId(0), ByteRange::new(0, 1));
         assert_eq!(v, vec![7]);
     });
-    let report = b
-        .build(vec![TimerServer { node: NodeId(0), pending: None, fired: fired.clone() }])
-        .run();
+    let report =
+        b.build(vec![TimerServer { node: NodeId(0), pending: None, fired: fired.clone() }]).run();
     report.assert_clean();
     let fired = fired.lock().unwrap();
     assert_eq!(fired.len(), 3);
@@ -140,16 +139,14 @@ impl Server for PingServer {
 fn tracer_sees_every_op_and_message() {
     let ops = Arc::new(AtomicU64::new(0));
     let msgs = Arc::new(AtomicU64::new(0));
-    let mut b = WorldBuilder::new(2)
-        .tracer(Box::new(KindTracer { ops: ops.clone(), msgs: msgs.clone() }));
+    let mut b =
+        WorldBuilder::new(2).tracer(Box::new(KindTracer { ops: ops.clone(), msgs: msgs.clone() }));
     b.spawn(NodeId(0), |ctx: &mut ThreadCtx| {
         for _ in 0..3 {
             ctx.read(ObjectId(0), ByteRange::new(0, 1));
         }
     });
-    let report = b
-        .build(vec![PingServer::new(NodeId(0)), PingServer::new(NodeId(1))])
-        .run();
+    let report = b.build(vec![PingServer::new(NodeId(0)), PingServer::new(NodeId(1))]).run();
     report.assert_clean();
     assert_eq!(msgs.load(Ordering::Relaxed), 6, "2 pings per read");
     // 3 reads + 1 exit op.
@@ -170,8 +167,7 @@ fn serialized_medium_stretches_completion_time() {
                 }
             });
         }
-        b.build(vec![PingServer::new(NodeId(0)), PingServer::new(NodeId(1))])
-            .run()
+        b.build(vec![PingServer::new(NodeId(0)), PingServer::new(NodeId(1))]).run()
     };
     let free = run(false);
     let shared = run(true);

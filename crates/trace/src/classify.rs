@@ -105,18 +105,13 @@ fn classify_one(accesses: &[&crate::log::Access], epochs: &[(u64, u32)]) -> Shar
     // comes after the last write by another thread (collection at the end).
     if readers.len() == 1 {
         let reader = *readers.iter().next().expect("one reader");
-        let last_foreign_write = accesses
-            .iter()
-            .filter(|a| a.is_write && a.thread != reader)
-            .map(|a| a.at)
-            .max();
-        let first_read =
-            accesses.iter().filter(|a| !a.is_write).map(|a| a.at).min();
+        let last_foreign_write =
+            accesses.iter().filter(|a| a.is_write && a.thread != reader).map(|a| a.at).max();
+        let first_read = accesses.iter().filter(|a| !a.is_write).map(|a| a.at).min();
         if let (Some(w), Some(r)) = (last_foreign_write, first_read) {
-            if (writers.len() > 1 || !writers.contains(&reader))
-                && r >= w {
-                    return SharingType::Result;
-                }
+            if (writers.len() > 1 || !writers.contains(&reader)) && r >= w {
+                return SharingType::Result;
+            }
         }
     }
 
@@ -219,10 +214,7 @@ mod tests {
 
     #[test]
     fn single_thread_is_private() {
-        let v = verdict(vec![
-            acc(0, 0, 1, (0, 8), true, true),
-            acc(0, 1, 1, (0, 8), false, false),
-        ]);
+        let v = verdict(vec![acc(0, 0, 1, (0, 8), true, true), acc(0, 1, 1, (0, 8), false, false)]);
         assert_eq!(v, SharingType::Private);
     }
 
@@ -311,7 +303,14 @@ mod tests {
                 // (t+epoch)%3 — still disjoint within the epoch.
                 let slot = ((t as u64 + epoch) % 3) as u32;
                 a.push(acc(t, epoch * 100 + t as u64, 1, (slot * 8, 8), true, false));
-                a.push(acc((t + 1) % 3, epoch * 100 + t as u64 + 50, 1, (((t + 1) % 3) * 8, 8), false, false));
+                a.push(acc(
+                    (t + 1) % 3,
+                    epoch * 100 + t as u64 + 50,
+                    1,
+                    (((t + 1) % 3) * 8, 8),
+                    false,
+                    false,
+                ));
             }
         }
         let boundaries = [(100u64, 1u32), (200, 2)];

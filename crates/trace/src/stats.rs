@@ -194,7 +194,12 @@ mod tests {
             accesses: vec![acc(0, false, false), acc(10, false, false), acc(30, false, false)],
             syncs: vec![
                 SyncEvent { at: VirtualTime::micros(0), thread: ThreadId(0), kind: "lock", id: 0 },
-                SyncEvent { at: VirtualTime::micros(100), thread: ThreadId(1), kind: "lock", id: 0 },
+                SyncEvent {
+                    at: VirtualTime::micros(100),
+                    thread: ThreadId(1),
+                    kind: "lock",
+                    id: 0,
+                },
             ],
             messages: 0,
         };

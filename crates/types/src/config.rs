@@ -140,11 +140,24 @@ pub struct IvyConfig {
     /// is `DsmSpin`; `CentralServer` is offered as the "fair data-protocol
     /// comparison" ablation.
     pub sync: SyncStrategy,
-    /// Exponential backoff base (virtual µs) for DSM spin locks.
+    /// Exponential backoff base (virtual µs) for DSM-resident barrier sense
+    /// polling. (Ticket-lock waiters spin event-driven on their cached page
+    /// copy instead and do not use timers.)
     pub spin_backoff_us: u64,
-    /// Upper bound on consecutive failed test-and-set attempts before the
-    /// simulation reports livelock (diagnostic, not a protocol feature).
+    /// Upper bound on consecutive failed lock-word probes before the
+    /// simulation reports livelock (diagnostic backstop, not a protocol
+    /// feature). Spinners wait event-driven on their cached copy, so every
+    /// probe corresponds to an invalidation of the lock word's page; false
+    /// sharing with packed data objects makes large counts normal under
+    /// contention, and a truly dead lock quiesces into the kernel's
+    /// deadlock detector instead.
     pub spin_attempt_limit: u32,
+    /// Upper bound on timer-driven barrier sense polls before the
+    /// simulation reports livelock. Separate from `spin_attempt_limit`:
+    /// barrier polls re-arm a timer per attempt, so a stuck barrier keeps
+    /// the event queue alive and is never caught by quiescence-based
+    /// deadlock detection — this bound is what terminates it.
+    pub barrier_poll_limit: u32,
 }
 
 impl Default for IvyConfig {
@@ -155,7 +168,8 @@ impl Default for IvyConfig {
             alloc: AllocPolicy::Packed,
             sync: SyncStrategy::DsmSpin,
             spin_backoff_us: 500,
-            spin_attempt_limit: 200_000,
+            spin_attempt_limit: 20_000_000,
+            barrier_poll_limit: 200_000,
         }
     }
 }

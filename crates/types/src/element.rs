@@ -1,0 +1,135 @@
+//! Fixed-layout element types for typed shared-object access.
+//!
+//! A shared object's bytes are interpreted by every node that replicates it,
+//! so element types must have one well-defined wire layout: fixed size,
+//! little-endian, no padding, and every bit pattern valid. The sealed
+//! [`Element`] trait captures exactly that set of guarantees, which is what
+//! lets the API layer hand element slices straight to the byte-level runtime
+//! without a per-call encode/decode allocation.
+
+use std::mem::size_of;
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for u8 {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+    impl Sealed for i64 {}
+    impl Sealed for f64 {}
+}
+
+/// A plain-old-data element of a shared array: fixed size, little-endian on
+/// the wire, any byte pattern valid.
+///
+/// Sealed: the zero-copy slice views below are sound only because every
+/// implementor is a primitive with no padding and no invalid bit patterns.
+pub trait Element:
+    Copy + Default + Send + Sync + PartialEq + std::fmt::Debug + private::Sealed + 'static
+{
+    /// Element size in bytes (= `size_of::<Self>()`).
+    const SIZE: usize = size_of::<Self>();
+
+    /// Short name for error messages (`"f64"`, `"u8"`, ...).
+    const NAME: &'static str;
+
+    /// Encode into exactly [`Element::SIZE`] bytes, little-endian.
+    fn write_le(self, out: &mut [u8]);
+
+    /// Decode from exactly [`Element::SIZE`] bytes, little-endian.
+    fn read_le(src: &[u8]) -> Self;
+}
+
+macro_rules! impl_element {
+    ($($t:ty),*) => {$(
+        impl Element for $t {
+            const NAME: &'static str = stringify!($t);
+
+            #[inline]
+            fn write_le(self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+
+            #[inline]
+            fn read_le(src: &[u8]) -> Self {
+                <$t>::from_le_bytes(src.try_into().expect("element byte width"))
+            }
+        }
+    )*};
+}
+
+impl_element!(u8, u32, u64, i64, f64);
+
+/// View an element slice as its wire bytes without copying.
+///
+/// Only correct on little-endian hosts (where the in-memory representation
+/// *is* the wire format); callers must pair it with a
+/// `cfg!(target_endian = "little")` check and fall back to
+/// [`Element::write_le`] per element otherwise.
+#[inline]
+pub fn bytes_of<T: Element>(vals: &[T]) -> &[u8] {
+    // SAFETY: Element is sealed to padding-free primitives, so the slice's
+    // memory is exactly vals.len() * SIZE initialized bytes, and u8 has
+    // alignment 1.
+    unsafe { std::slice::from_raw_parts(vals.as_ptr().cast::<u8>(), std::mem::size_of_val(vals)) }
+}
+
+/// Mutable byte view of an element slice (little-endian hosts only; see
+/// [`bytes_of`]).
+#[inline]
+pub fn bytes_of_mut<T: Element>(vals: &mut [T]) -> &mut [u8] {
+    // SAFETY: as in `bytes_of`; additionally, every byte pattern is a valid
+    // T for the sealed implementors, so arbitrary writes through the byte
+    // view cannot create an invalid element.
+    unsafe {
+        std::slice::from_raw_parts_mut(vals.as_mut_ptr().cast::<u8>(), std::mem::size_of_val(vals))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_names() {
+        assert_eq!(<f64 as Element>::SIZE, 8);
+        assert_eq!(<i64 as Element>::SIZE, 8);
+        assert_eq!(<u64 as Element>::SIZE, 8);
+        assert_eq!(<u32 as Element>::SIZE, 4);
+        assert_eq!(<u8 as Element>::SIZE, 1);
+        assert_eq!(<f64 as Element>::NAME, "f64");
+    }
+
+    #[test]
+    fn le_roundtrip() {
+        let mut buf = [0u8; 8];
+        (-2.5f64).write_le(&mut buf);
+        assert_eq!(f64::read_le(&buf), -2.5);
+        (-9i64).write_le(&mut buf);
+        assert_eq!(i64::read_le(&buf), -9);
+        7u32.write_le(&mut buf[..4]);
+        assert_eq!(u32::read_le(&buf[..4]), 7);
+    }
+
+    #[test]
+    fn byte_views_match_le_encoding() {
+        let vals = [1.5f64, -3.0, 0.0];
+        let view = bytes_of(&vals);
+        assert_eq!(view.len(), 24);
+        if cfg!(target_endian = "little") {
+            let mut expect = Vec::new();
+            for v in vals {
+                expect.extend_from_slice(&v.to_le_bytes());
+            }
+            assert_eq!(view, &expect[..]);
+        }
+    }
+
+    #[test]
+    fn mutable_byte_view_writes_through() {
+        let mut vals = [0u64; 2];
+        bytes_of_mut(&mut vals)[8] = 1;
+        if cfg!(target_endian = "little") {
+            assert_eq!(vals, [0, 1]);
+        }
+    }
+}

@@ -15,19 +15,11 @@ pub enum DsmError {
     /// Access to an object that was never allocated.
     UnknownObject(ObjectId),
     /// Access outside the object's bounds.
-    OutOfBounds {
-        obj: ObjectId,
-        range: ByteRange,
-        size: u32,
-    },
+    OutOfBounds { obj: ObjectId, range: ByteRange, size: u32 },
     /// A write to an object whose declared sharing type forbids it
     /// (e.g. writing a `WriteOnce` object after it has been published, or a
     /// remote thread touching a `Private` object).
-    SharingViolation {
-        obj: ObjectId,
-        sharing: SharingType,
-        detail: &'static str,
-    },
+    SharingViolation { obj: ObjectId, sharing: SharingType, detail: &'static str },
     /// Unlock of a lock the thread does not hold.
     NotLockHolder { lock: LockId, thread: ThreadId },
     /// A barrier was entered with an inconsistent participant count.
@@ -73,11 +65,7 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = DsmError::OutOfBounds {
-            obj: ObjectId(3),
-            range: ByteRange::new(8, 16),
-            size: 16,
-        };
+        let e = DsmError::OutOfBounds { obj: ObjectId(3), range: ByteRange::new(8, 16), size: 16 };
         assert_eq!(e.to_string(), "access [8..24) out of bounds for obj3 (size 16)");
 
         let e = DsmError::SharingViolation {

@@ -1,0 +1,230 @@
+//! Typed handles to shared objects.
+//!
+//! A [`SharedArray<T>`] (or [`SharedScalar<T>`]) carries the element type,
+//! the element count and the [`SharingType`] annotation alongside the raw
+//! [`ObjectId`], so out-of-bounds and type-confused accesses fail at the API
+//! layer with a precise message instead of surfacing as a byte-range error
+//! deep inside a coherence server. Handles are small `Copy` values: programs
+//! capture them in thread closures the same way they captured raw ids.
+
+use crate::element::Element;
+use crate::ids::ObjectId;
+use crate::range::ByteRange;
+use crate::sharing::SharingType;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A typed, fixed-length shared array of `T`.
+pub struct SharedArray<T: Element> {
+    id: ObjectId,
+    len: u32,
+    sharing: SharingType,
+    _elem: PhantomData<fn() -> T>,
+}
+
+// Manual impls: derive would needlessly require `T: Clone` etc.
+impl<T: Element> Clone for SharedArray<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Element> Copy for SharedArray<T> {}
+impl<T: Element> PartialEq for SharedArray<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && self.len == other.len && self.sharing == other.sharing
+    }
+}
+impl<T: Element> Eq for SharedArray<T> {}
+
+impl<T: Element> fmt::Debug for SharedArray<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SharedArray<{}>({}, len {}, {})", T::NAME, self.id, self.len, self.sharing)
+    }
+}
+
+impl<T: Element> SharedArray<T> {
+    /// Build a handle from raw parts. Normally produced by the program
+    /// builder (`ProgramBuilder::array`); exposed for runtimes and tests.
+    pub fn from_raw(id: ObjectId, len: u32, sharing: SharingType) -> Self {
+        SharedArray { id, len, sharing, _elem: PhantomData }
+    }
+
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// Element count.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn sharing(&self) -> SharingType {
+        self.sharing
+    }
+
+    /// Total size in bytes.
+    pub fn byte_len(&self) -> u32 {
+        self.len * T::SIZE as u32
+    }
+
+    /// Reinterpret as an array of a different element type. Panics unless
+    /// the byte length divides evenly — the typed layer's guard against
+    /// type confusion.
+    #[track_caller]
+    pub fn cast<U: Element>(&self) -> SharedArray<U> {
+        let bytes = self.byte_len();
+        assert!(
+            (bytes as usize).is_multiple_of(U::SIZE),
+            "type-confused cast: {} is {} bytes, not a whole number of {} ({} bytes each)",
+            self.describe(),
+            bytes,
+            U::NAME,
+            U::SIZE,
+        );
+        SharedArray::from_raw(self.id, bytes / U::SIZE as u32, self.sharing)
+    }
+
+    /// Byte range of elements `start..start + n`, bounds-checked against the
+    /// declared length.
+    #[track_caller]
+    pub fn byte_range(&self, start: u32, n: u32) -> ByteRange {
+        let end = start as u64 + n as u64;
+        assert!(
+            end <= self.len as u64,
+            "index out of bounds: elements {start}..{end} of {}",
+            self.describe(),
+        );
+        ByteRange::new(start * T::SIZE as u32, n * T::SIZE as u32)
+    }
+
+    /// Byte offset of element `idx` (must be in bounds).
+    #[track_caller]
+    pub fn byte_offset(&self, idx: u32) -> u32 {
+        assert!(idx < self.len, "index out of bounds: element {idx} of {}", self.describe(),);
+        idx * T::SIZE as u32
+    }
+
+    /// `"obj3 (`f64`[256], write-many)"` — the error-message identity.
+    pub fn describe(&self) -> String {
+        format!("{} (`{}`[{}], {})", self.id, T::NAME, self.len, self.sharing)
+    }
+}
+
+/// A typed shared scalar: a one-element array with value semantics.
+pub struct SharedScalar<T: Element> {
+    id: ObjectId,
+    sharing: SharingType,
+    _elem: PhantomData<fn() -> T>,
+}
+
+impl<T: Element> Clone for SharedScalar<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Element> Copy for SharedScalar<T> {}
+impl<T: Element> PartialEq for SharedScalar<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && self.sharing == other.sharing
+    }
+}
+impl<T: Element> Eq for SharedScalar<T> {}
+
+impl<T: Element> fmt::Debug for SharedScalar<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SharedScalar<{}>({}, {})", T::NAME, self.id, self.sharing)
+    }
+}
+
+impl<T: Element> SharedScalar<T> {
+    pub fn from_raw(id: ObjectId, sharing: SharingType) -> Self {
+        SharedScalar { id, sharing, _elem: PhantomData }
+    }
+
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    pub fn sharing(&self) -> SharingType {
+        self.sharing
+    }
+
+    /// The scalar's bytes within its object.
+    pub fn byte_range(&self) -> ByteRange {
+        ByteRange::new(0, T::SIZE as u32)
+    }
+
+    /// View as a one-element array (the bulk accessors are defined over
+    /// arrays).
+    pub fn as_array(&self) -> SharedArray<T> {
+        SharedArray::from_raw(self.id, 1, self.sharing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr() -> SharedArray<f64> {
+        SharedArray::from_raw(ObjectId(3), 8, SharingType::WriteMany)
+    }
+
+    #[test]
+    fn handle_metadata() {
+        let a = arr();
+        assert_eq!(a.len(), 8);
+        assert_eq!(a.byte_len(), 64);
+        assert_eq!(a.sharing(), SharingType::WriteMany);
+        assert_eq!(a.byte_range(2, 3), ByteRange::new(16, 24));
+        assert_eq!(a.byte_offset(7), 56);
+        assert!(a.describe().contains("f64"));
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn handles_are_copy_and_comparable() {
+        let a = arr();
+        let b = a;
+        assert_eq!(a, b);
+        assert_ne!(a, SharedArray::from_raw(ObjectId(4), 8, SharingType::WriteMany));
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds: elements 6..9")]
+    fn range_past_end_panics() {
+        arr().byte_range(6, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds: element 8")]
+    fn index_past_end_panics() {
+        arr().byte_offset(8);
+    }
+
+    #[test]
+    fn cast_reinterprets_len() {
+        let bytes: SharedArray<u8> = arr().cast();
+        assert_eq!(bytes.len(), 64);
+        let back: SharedArray<u64> = bytes.cast();
+        assert_eq!(back.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "type-confused cast")]
+    fn misaligned_cast_panics() {
+        let odd: SharedArray<u8> = SharedArray::from_raw(ObjectId(1), 7, SharingType::Private);
+        let _ = odd.cast::<u64>();
+    }
+
+    #[test]
+    fn scalar_views() {
+        let s: SharedScalar<i64> = SharedScalar::from_raw(ObjectId(9), SharingType::ReadMostly);
+        assert_eq!(s.byte_range(), ByteRange::new(0, 8));
+        assert_eq!(s.as_array().len(), 1);
+        assert_eq!(s.as_array().id(), ObjectId(9));
+    }
+}

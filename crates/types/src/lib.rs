@@ -15,7 +15,9 @@
 
 pub mod config;
 pub mod cost;
+pub mod element;
 pub mod error;
+pub mod handle;
 pub mod ids;
 pub mod range;
 pub mod sharing;
@@ -24,7 +26,9 @@ pub mod time;
 
 pub use config::{AllocPolicy, IvyConfig, MuninConfig, ReadMostlyMode, SyncStrategy, UpdatePolicy};
 pub use cost::CostModel;
+pub use element::Element;
 pub use error::{DsmError, DsmResult};
+pub use handle::{SharedArray, SharedScalar};
 pub use ids::{BarrierId, CondId, LockId, NodeId, ObjectId, ThreadId};
 pub use range::ByteRange;
 pub use sharing::{ObjectDecl, SharingType};

@@ -39,7 +39,10 @@ impl ByteRange {
     /// Does this range overlap `other` (share at least one byte)?
     #[inline]
     pub fn overlaps(self, other: ByteRange) -> bool {
-        !self.is_empty() && !other.is_empty() && self.start < other.end() && other.start < self.end()
+        !self.is_empty()
+            && !other.is_empty()
+            && self.start < other.end()
+            && other.start < self.end()
     }
 
     /// Does this range fully contain `other`?

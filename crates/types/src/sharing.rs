@@ -102,10 +102,7 @@ impl SharingType {
     /// permitted)? General read-write and write-once (immutable) do not use
     /// the delayed update queue; everything else that writes does.
     pub fn uses_delayed_updates(self) -> bool {
-        matches!(
-            self,
-            SharingType::WriteMany | SharingType::Result | SharingType::ProducerConsumer
-        )
+        matches!(self, SharingType::WriteMany | SharingType::Result | SharingType::ProducerConsumer)
     }
 
     /// Is a remote write ever legal for this type after initialization?
@@ -160,6 +157,14 @@ impl ObjectDecl {
             associated_lock: None,
             eager: false,
         }
+    }
+
+    /// A declaration template with placeholder id, size and home — for the
+    /// typed builder methods (`ProgramBuilder::array_decl`), which fill in
+    /// all three. Only the name, sharing type and builder-style options
+    /// (`with_lock`, `with_eager`) are meaningful on a template.
+    pub fn template(name: impl Into<String>, sharing: SharingType) -> Self {
+        ObjectDecl::new(ObjectId(0), name, 0, sharing, NodeId(0))
     }
 
     /// Builder-style: associate a migratory object with its critical-section

@@ -70,4 +70,3 @@ impl SyncDecls {
         self.conds.iter().find(|c| c.id == id)
     }
 }
-

@@ -1,8 +1,13 @@
 //! Workspace-level integration tests for the Munin reproduction.
 //!
 //! The tests live in `tests/`:
+//! * `typed_api` — the typed handle layer: one `SharedArray`/`SharedScalar`
+//!   program, bit-identical on Munin, Ivy and native, plus bounds-check and
+//!   type-confusion failure modes;
 //! * `cross_backend` — every study application, every backend, every
 //!   ablation configuration, identical results;
+//! * `lock_coherence` — release→acquire edges reconstructed from lock
+//!   tickets, validated against the loose-coherence checker;
 //! * `reliability` — protocols under injected message loss;
 //! * `coherence_validation` — random programs' observed reads checked
 //!   against the loose-coherence definition with vector clocks.

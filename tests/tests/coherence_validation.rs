@@ -8,7 +8,7 @@
 //! by global barriers) is known a priori, so the happens-before history can
 //! be reconstructed faithfully after the run.
 
-use munin_api::{Backend, Par, ParExt, ProgramBuilder};
+use munin_api::{Backend, Par, ParTyped, ProgramBuilder};
 use munin_check::{check_loose, Event, History};
 use munin_types::{IvyConfig, MuninConfig, ObjectId, SharingType, ThreadId, UpdatePolicy};
 use proptest::prelude::*;
@@ -26,12 +26,7 @@ enum ScriptOp {
 }
 
 /// Generate a random barrier-structured program script.
-fn gen_script(
-    seed: u64,
-    threads: usize,
-    objects: usize,
-    rounds: usize,
-) -> Vec<Vec<Vec<ScriptOp>>> {
+fn gen_script(seed: u64, threads: usize, objects: usize, rounds: usize) -> Vec<Vec<Vec<ScriptOp>>> {
     // script[round][thread] = ops
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut next_label = 1u32;
@@ -71,14 +66,14 @@ fn run_and_check(seed: u64, threads: usize, objects: usize, rounds: usize, polic
 fn run_and_check_on(seed: u64, threads: usize, objects: usize, rounds: usize, backend: Backend) {
     let script = gen_script(seed, threads, objects, rounds);
     let mut p = ProgramBuilder::new(threads);
-    let objs: Vec<ObjectId> = (0..objects)
-        .map(|i| p.object(&format!("cell{i}"), 8, SharingType::WriteMany, i % threads))
+    let objs: Vec<munin_types::SharedScalar<i64>> = (0..objects)
+        .map(|i| p.scalar::<i64>(&format!("cell{i}"), SharingType::WriteMany, i % threads))
         .collect();
     let bar = p.barrier(0, threads as u32);
 
     // observations[thread] = per-op observed labels (for reads).
     let observations: Vec<Arc<Mutex<Vec<u32>>>> =
-        (0..threads).map(|_| Arc::new(Mutex::new(Vec::new()))) .collect();
+        (0..threads).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
 
     for t in 0..threads {
         let obs = observations[t].clone();
@@ -89,10 +84,10 @@ fn run_and_check_on(seed: u64, threads: usize, objects: usize, rounds: usize, ba
                 for op in &round[par.self_id()] {
                     match op {
                         ScriptOp::Write { obj_idx, label } => {
-                            par.write_i64(objs[*obj_idx], 0, *label as i64);
+                            par.store(&objs[*obj_idx], *label as i64);
                         }
                         ScriptOp::Read { obj_idx } => {
-                            let v = par.read_i64(objs[*obj_idx], 0);
+                            let v = par.load(&objs[*obj_idx]);
                             obs.lock().unwrap().push(v as u32);
                         }
                     }
@@ -117,8 +112,7 @@ fn run_and_check_on(seed: u64, threads: usize, objects: usize, rounds: usize, ba
                         label: *label,
                     }),
                     ScriptOp::Read { obj_idx } => {
-                        let observed =
-                            observations[t].lock().unwrap()[read_cursors[t]];
+                        let observed = observations[t].lock().unwrap()[read_cursors[t]];
                         read_cursors[t] += 1;
                         events.push(Event::Read {
                             thread: ThreadId(t as u32),
@@ -129,16 +123,11 @@ fn run_and_check_on(seed: u64, threads: usize, objects: usize, rounds: usize, ba
                 }
             }
         }
-        events.push(Event::Barrier {
-            threads: (0..threads as u32).map(ThreadId).collect(),
-        });
+        events.push(Event::Barrier { threads: (0..threads as u32).map(ThreadId).collect() });
     }
     let h = History { n_threads: threads, events };
     let violations = check_loose(&h);
-    assert!(
-        violations.is_empty(),
-        "loose-coherence violations (seed {seed}): {violations:#?}"
-    );
+    assert!(violations.is_empty(), "loose-coherence violations (seed {seed}): {violations:#?}");
 }
 
 #[test]

@@ -12,7 +12,7 @@
 //! synchronization event in a program requires that the delayed updates be
 //! propagated first").
 
-use munin_api::{Backend, Par, ParExt, ProgramBuilder};
+use munin_api::{Backend, Par, ParTyped, ProgramBuilder};
 use munin_check::{check_loose, Event, History};
 use munin_types::{MuninConfig, ObjectDecl, ObjectId, SharingType, ThreadId, UpdatePolicy};
 use std::sync::{Arc, Mutex};
@@ -31,9 +31,9 @@ fn run_lock_validation(threads: usize, rounds: usize, policy: UpdatePolicy) {
     let l = p.lock(0);
     // The protected state: [ticket counter, data cell] — migratory,
     // riding the lock.
-    let cell = p.object_decl(
-        ObjectDecl::new(ObjectId(0), "protected", 16, SharingType::Migratory, munin_types::NodeId(0))
-            .with_lock(l),
+    let cell = p.array_decl::<i64>(
+        ObjectDecl::template("protected", SharingType::Migratory).with_lock(l),
+        2,
         0,
     );
     let bar = p.barrier(0, threads as u32);
@@ -46,12 +46,12 @@ fn run_lock_validation(threads: usize, rounds: usize, policy: UpdatePolicy) {
         p.thread(t, move |par: &mut dyn Par| {
             for r in 0..rounds {
                 par.lock(l);
-                let ticket = par.read_i64(cell, 0);
-                let observed = par.read_i64(cell, 1) as u32;
+                let ticket = par.get(&cell, 0);
+                let observed = par.get(&cell, 1) as u32;
                 // Unique label: thread in high bits, round+1 in low bits.
                 let wrote = ((par.self_id() as u32) << 16) | (r as u32 + 1);
-                par.write_i64(cell, 0, ticket + 1);
-                par.write_i64(cell, 1, wrote as i64);
+                par.set(&cell, 0, ticket + 1);
+                par.set(&cell, 1, wrote as i64);
                 par.unlock(l);
                 log.lock().unwrap().push(CsRecord { ticket, wrote, observed });
             }
@@ -127,7 +127,7 @@ fn lock_protected_write_many_is_coherent() {
     let rounds = 6;
     let mut p = ProgramBuilder::new(threads);
     let l = p.lock(0);
-    let cell = p.object("protected", 16, SharingType::WriteMany, 0);
+    let cell = p.array::<i64>("protected", 2, SharingType::WriteMany, 0);
     let bar = p.barrier(0, threads as u32);
     let logs: Vec<Arc<Mutex<Vec<CsRecord>>>> =
         (0..threads).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
@@ -136,11 +136,11 @@ fn lock_protected_write_many_is_coherent() {
         p.thread(t, move |par: &mut dyn Par| {
             for r in 0..rounds {
                 par.lock(l);
-                let ticket = par.read_i64(cell, 0);
-                let observed = par.read_i64(cell, 1) as u32;
+                let ticket = par.get(&cell, 0);
+                let observed = par.get(&cell, 1) as u32;
                 let wrote = ((par.self_id() as u32) << 16) | (r as u32 + 1);
-                par.write_i64(cell, 0, ticket + 1);
-                par.write_i64(cell, 1, wrote as i64);
+                par.set(&cell, 0, ticket + 1);
+                par.set(&cell, 1, wrote as i64);
                 par.unlock(l);
                 log.lock().unwrap().push(CsRecord { ticket, wrote, observed });
             }

@@ -2,7 +2,7 @@
 //! the transport's ack/retransmission layer (the V kernel's reliable
 //! request/response role) recovers dropped transmissions transparently.
 
-use munin_api::{Backend, Par, ParExt, ProgramBuilder};
+use munin_api::{Backend, Par, ParTyped, ProgramBuilder};
 use munin_apps::{life, matmul};
 use munin_sim::TransportConfig;
 use munin_types::{MuninConfig, SharingType};
@@ -41,15 +41,8 @@ fn locks_remain_exclusive_under_loss() {
     let nodes = 3;
     let mut p = ProgramBuilder::new(nodes);
     let l = p.lock(0);
-    let ctr = p.object_decl(
-        munin_types::ObjectDecl::new(
-            munin_types::ObjectId(0),
-            "ctr",
-            8,
-            SharingType::Migratory,
-            munin_types::NodeId(0),
-        )
-        .with_lock(l),
+    let ctr = p.scalar_decl::<i64>(
+        munin_types::ObjectDecl::template("ctr", SharingType::Migratory).with_lock(l),
         0,
     );
     let bar = p.barrier(0, nodes as u32);
@@ -57,14 +50,14 @@ fn locks_remain_exclusive_under_loss() {
         p.thread(t, move |par: &mut dyn Par| {
             for _ in 0..5 {
                 par.lock(l);
-                let v = par.read_i64(ctr, 0);
-                par.write_i64(ctr, 0, v + 1);
+                let v = par.load(&ctr);
+                par.store(&ctr, v + 1);
                 par.unlock(l);
             }
             par.barrier(bar);
             if par.self_id() == 0 {
                 par.lock(l);
-                assert_eq!(par.read_i64(ctr, 0), 15);
+                assert_eq!(par.load(&ctr), 15);
                 par.unlock(l);
             }
         });

@@ -1,0 +1,245 @@
+//! Offline stub for `criterion` (see `vendor/README.md`).
+//!
+//! Implements the subset of the criterion API the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `bench_with_input`, `BenchmarkId`, `black_box` —
+//! with a simple measurement protocol: warm up for ~20 ms, then time
+//! batches for ~150 ms and report the per-iteration mean of the fastest
+//! batch (median would need batch storage; min-of-means is similarly
+//! noise-robust for a smoke benchmark).
+//!
+//! Output format (one line per benchmark):
+//! `bench <name> ... <time> ns/iter (<iters> iterations)`
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(20);
+const MEASURE: Duration = Duration::from_millis(150);
+const BATCHES: u32 = 10;
+
+/// Runs closures under a timing loop and prints results.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.to_string() }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-count hint; the stub's fixed time budget ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_one(&name, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_one(&name, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A benchmark label (`"function/parameter"`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+/// Handed to the closure; `iter` runs the measured routine.
+pub struct Bencher {
+    mode: Mode,
+    /// ns/iter of the best batch (filled in measure mode).
+    best_ns_per_iter: f64,
+    total_iters: u64,
+}
+
+enum Mode {
+    /// Estimate iteration cost to size batches.
+    Calibrate {
+        iters_done: u64,
+        spent: Duration,
+    },
+    Measure {
+        batch_iters: u64,
+    },
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match &mut self.mode {
+            Mode::Calibrate { iters_done, spent } => {
+                let start = Instant::now();
+                while start.elapsed() < WARMUP {
+                    black_box(f());
+                    *iters_done += 1;
+                }
+                *spent = start.elapsed();
+            }
+            Mode::Measure { batch_iters } => {
+                let n = *batch_iters;
+                for _ in 0..BATCHES {
+                    let start = Instant::now();
+                    for _ in 0..n {
+                        black_box(f());
+                    }
+                    let ns = start.elapsed().as_nanos() as f64 / n as f64;
+                    if ns < self.best_ns_per_iter {
+                        self.best_ns_per_iter = ns;
+                    }
+                    self.total_iters += n;
+                }
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    // Calibration pass: how many iterations fit in the warmup window?
+    let mut b = Bencher {
+        mode: Mode::Calibrate { iters_done: 0, spent: Duration::ZERO },
+        best_ns_per_iter: f64::INFINITY,
+        total_iters: 0,
+    };
+    f(&mut b);
+    let (iters_done, spent) = match b.mode {
+        Mode::Calibrate { iters_done, spent } => {
+            (iters_done.max(1), spent.max(Duration::from_nanos(1)))
+        }
+        Mode::Measure { .. } => unreachable!(),
+    };
+    let per_iter = spent / iters_done as u32;
+    let budget_iters =
+        (MEASURE.as_nanos() / per_iter.as_nanos().max(1)).clamp(BATCHES as u128, 1 << 24) as u64;
+    let batch_iters = (budget_iters / BATCHES as u64).max(1);
+
+    let mut b = Bencher {
+        mode: Mode::Measure { batch_iters },
+        best_ns_per_iter: f64::INFINITY,
+        total_iters: 0,
+    };
+    f(&mut b);
+    if b.total_iters == 0 {
+        println!("bench {name:<48} ... (no iterations)");
+        return;
+    }
+    let ns = b.best_ns_per_iter;
+    let (scaled, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "us")
+    } else {
+        (ns, "ns")
+    };
+    println!("bench {name:<48} ... {scaled:>10.2} {unit}/iter ({} iterations)", b.total_iters);
+}
+
+/// `criterion_group!(name, fn_a, fn_b, ...)` — defines `fn name()` that runs
+/// every registered benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// `criterion_main!(group_a, group_b)` — defines `fn main()`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| count = count.wrapping_add(1)));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("inp", 4), &4u32, |b, &n| b.iter(|| black_box(n) * 2));
+        g.finish();
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stub for `crossbeam-channel` (see `vendor/README.md`).
+//!
+//! The workspace only uses unbounded MPSC channels with `send`/`recv`/
+//! `try_recv`, which `std::sync::mpsc` provides directly.
+
+pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+/// Create an unbounded channel (crossbeam's constructor name).
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    std::sync::mpsc::channel()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = super::unbounded();
+        tx.send(7u8).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert!(rx.try_recv().is_err());
+    }
+}

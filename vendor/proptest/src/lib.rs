@@ -1,0 +1,303 @@
+//! Offline stub for `proptest` (see `vendor/README.md`).
+//!
+//! Implements the subset of the proptest API this workspace's tests use:
+//! the `proptest!` macro over named strategies, range / tuple / `vec` /
+//! `any` strategies, `prop::sample::Index`, and the `prop_assert*` macros.
+//!
+//! Differences from the real crate: a fixed number of cases per property
+//! (`CASES`), seeds derived deterministically from the test path (so
+//! failures reproduce), and **no shrinking** — a failing case panics with
+//! the sampled values unminimized.
+
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Deterministic per-test generator: the seed is a hash of the test's
+    /// module path + name, so every run of a property sees the same cases.
+    pub struct TestRng {
+        pub(crate) inner: SmallRng,
+    }
+
+    impl TestRng {
+        pub fn deterministic(test_path: &str) -> Self {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in test_path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { inner: SmallRng::seed_from_u64(h) }
+        }
+
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            use rand::RngCore;
+            self.inner.next_u64()
+        }
+    }
+}
+
+/// Cases per property. The real proptest default is 256; 64 keeps the
+/// whole-workspace test run fast while still exercising the space.
+pub const CASES: u32 = 64;
+
+/// Per-block configuration, set with `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: CASES }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A value generator. Unlike real proptest there is no value tree /
+    /// shrinking: `sample` produces a final value directly.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.inner.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.inner.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    /// Strategy for `any::<T>()`.
+    pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            crate::sample::Index { raw: rng.next_u64() }
+        }
+    }
+}
+
+pub mod sample {
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index {
+        pub(crate) raw: u64,
+    }
+
+    impl Index {
+        /// Map onto `0..len`. Panics if `len == 0` (as the real crate does).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.raw % len as u64) as usize
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length argument of [`vec`]: an exact size or a range of sizes.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            use rand::Rng;
+            rng.inner.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            use rand::Rng;
+            rng.inner.gen_range(self.clone())
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Box<dyn SizeRange>,
+    }
+
+    /// `proptest::collection::vec(strategy, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange + 'static) -> VecStrategy<S> {
+        VecStrategy { element, size: Box::new(size) }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    /// The real crate's prelude exposes the crate root as `prop`.
+    pub use crate as prop;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests. Each named argument is sampled from its strategy
+/// [`CASES`] times (or `config.cases` when a `#![proptest_config(...)]`
+/// header is present); assertion macros panic on the first failing case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __proptest_cfg: $crate::ProptestConfig = $cfg;
+                let mut __proptest_rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __proptest_case in 0..__proptest_cfg.cases {
+                    let _ = __proptest_case;
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __proptest_rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// The macro machinery itself: ranges, tuples, vec, any, Index.
+        #[test]
+        fn stub_samples_stay_in_bounds(
+            x in 3u32..10,
+            pair in (0usize..4, -2i64..3),
+            bytes in prop::collection::vec(any::<u8>(), 1..20),
+            flag in any::<bool>(),
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(pair.0 < 4 && (-2..3).contains(&pair.1));
+            prop_assert!(!bytes.is_empty() && bytes.len() < 20);
+            let _ = flag;
+            prop_assert!(idx.index(bytes.len()) < bytes.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::deterministic("x::y");
+        let mut b = crate::test_runner::TestRng::deterministic("x::y");
+        let s = crate::collection::vec(crate::strategy::any::<u64>(), 0..10);
+        for _ in 0..20 {
+            assert_eq!(
+                crate::strategy::Strategy::sample(&s, &mut a),
+                crate::strategy::Strategy::sample(&s, &mut b)
+            );
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stub for `serde` (see `vendor/README.md`).
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a marker on
+//! wire-format types; nothing actually serializes. These derives therefore
+//! expand to nothing, which keeps the annotation sites source-compatible with
+//! the real crate.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
