@@ -13,35 +13,15 @@ use munin_api::ParTyped;
 use munin_check::VectorClock;
 use munin_mem::{AddressSpace, Diff, TwinStore};
 use munin_types::{AllocPolicy, ByteRange, ObjectId, SharedArray, SharingType, ThreadId};
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counts heap allocations so the typed-vs-byte comparison reports
 /// allocations per access, not just time.
-struct CountingAlloc;
-
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-
-// SAFETY: delegates directly to `System`; the counter has no side effects on
-// allocation behaviour.
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
-    }
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-}
+#[path = "../../mem/testsupport/counting_alloc.rs"]
+mod counting_alloc;
+use counting_alloc::{allocs_of, CountingAlloc};
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
-
-fn allocs_of(mut f: impl FnMut()) -> u64 {
-    let before = ALLOCS.load(Ordering::Relaxed);
-    f();
-    ALLOCS.load(Ordering::Relaxed) - before
-}
 
 /// Typed zero-copy access vs the deprecated byte-offset helpers, on the
 /// native backend (no simulator in the way, so the comparison isolates the
@@ -127,14 +107,17 @@ fn bench_diff(c: &mut Criterion) {
 }
 
 fn bench_twins(c: &mut Criterion) {
-    c.bench_function("twin ensure+diff 4KiB", |b| {
+    // Two sparse writes to a 4 KiB object: snapshot the written ranges,
+    // then produce the flush diff (the per-object cost of one DUQ cycle).
+    c.bench_function("twin 2 writes+diff 4KiB", |b| {
         let data = vec![7u8; 4096];
         let mut dirty = data.clone();
         dirty[100] = 1;
         dirty[2000] = 2;
         b.iter(|| {
             let mut t = TwinStore::new();
-            t.ensure(ObjectId(1), black_box(&data));
+            t.note_write(ObjectId(1), ByteRange::new(100, 1), black_box(&data));
+            t.note_write(ObjectId(1), ByteRange::new(2000, 1), black_box(&data));
             t.take_diff(ObjectId(1), black_box(&dirty))
         })
     });

@@ -8,11 +8,13 @@
 //! The queue records, in program order, which objects have pending local
 //! modifications. Two entry kinds:
 //!
-//! * **Twinned** — the object has a local copy that was snapshotted before
-//!   the first write ([`munin_mem::TwinStore`]); the diff is computed lazily
-//!   at flush time, so any number of writes between synchronizations cost
-//!   exactly one update ("delaying updates allows the system to combine
-//!   updates to the same object").
+//! * **Twinned** — the object's writes are range-tracked by
+//!   [`munin_mem::TwinStore`], which snapshots the pristine bytes of each
+//!   written range; the diff is computed lazily at flush time by scanning
+//!   only those dirty ranges, so any number of writes between
+//!   synchronizations cost exactly one update ("delaying updates allows the
+//!   system to combine updates to the same object") and the flush costs
+//!   O(bytes written), not O(object size).
 //! * **Logged** — write-without-fetch: the writes themselves are accumulated
 //!   as a growing [`Diff`] (result objects, and replicas invalidated while
 //!   holding unflushed writes).
@@ -21,14 +23,22 @@
 //! Flushing on any local thread's synchronization propagates all local
 //! pending updates, which is always legal under loose coherence (delaying is
 //! the optimization, propagating early is never wrong).
+//!
+//! Program order lives in a slot vector; a side index maps `ObjectId` →
+//! slot, so the per-write operations (`note_twinned`, `note_logged`,
+//! `contains`) and `remove` are O(1) even with thousands of pending objects.
+//! `remove` leaves a tombstone to keep slot numbers stable; tombstones are
+//! reclaimed by the next `drain` (i.e. the next flush), which bounds them by
+//! the writes of one synchronization interval.
 
 use munin_mem::Diff;
 use munin_types::{ByteRange, ObjectId, ThreadId};
+use std::collections::HashMap;
 
 /// How a pending entry's update is materialized at flush time.
 #[derive(Debug)]
 pub enum DuqKind {
-    /// Diff against the twin at flush time.
+    /// Diff against the dirty-range twin snapshots at flush time.
     Twinned,
     /// Accumulated write log (write-without-fetch).
     Logged(Diff),
@@ -46,7 +56,10 @@ pub struct DuqEntry {
 /// The per-node delayed update queue.
 #[derive(Debug, Default)]
 pub struct Duq {
-    entries: Vec<DuqEntry>,
+    /// Program-order slots; `None` is a tombstone left by `remove`.
+    entries: Vec<Option<DuqEntry>>,
+    /// Live objects → slot in `entries`.
+    index: HashMap<ObjectId, usize>,
 }
 
 impl Duq {
@@ -59,9 +72,11 @@ impl Duq {
     /// the order the objects were first dirtied, and the diff covers all
     /// writes up to the flush).
     pub fn note_twinned(&mut self, obj: ObjectId, thread: ThreadId) {
-        if !self.entries.iter().any(|e| e.obj == obj) {
-            self.entries.push(DuqEntry { obj, kind: DuqKind::Twinned, first_writer: thread });
+        if self.index.contains_key(&obj) {
+            return;
         }
+        self.index.insert(obj, self.entries.len());
+        self.entries.push(Some(DuqEntry { obj, kind: DuqKind::Twinned, first_writer: thread }));
     }
 
     /// Append a write to a logged (write-without-fetch) object.
@@ -73,62 +88,58 @@ impl Duq {
         data: Vec<u8>,
     ) {
         let new = Diff::overwrite(range, data);
-        for e in &mut self.entries {
-            if e.obj == obj {
-                match &mut e.kind {
-                    DuqKind::Logged(log) => {
-                        log.merge(&new);
-                        return;
-                    }
-                    DuqKind::Twinned => {
-                        // A twinned entry already tracks this object; the
-                        // write went through the local copy, so the twin
-                        // diff will cover it.
-                        return;
-                    }
+        if let Some(&slot) = self.index.get(&obj) {
+            match &mut self.entries[slot].as_mut().expect("indexed slot is live").kind {
+                DuqKind::Logged(log) => log.merge(&new),
+                DuqKind::Twinned => {
+                    // A twinned entry already tracks this object; the write
+                    // went through the local copy, so the twin diff will
+                    // cover it.
                 }
             }
+            return;
         }
-        self.entries.push(DuqEntry { obj, kind: DuqKind::Logged(new), first_writer: thread });
+        self.index.insert(obj, self.entries.len());
+        self.entries.push(Some(DuqEntry { obj, kind: DuqKind::Logged(new), first_writer: thread }));
     }
 
     /// Convert a twinned entry to a logged one carrying `salvaged` — used
     /// when an invalidation takes the local copy away while writes are still
     /// pending (the writes must survive the invalidation).
     pub fn convert_to_logged(&mut self, obj: ObjectId, salvaged: Diff) {
-        for e in &mut self.entries {
-            if e.obj == obj {
-                debug_assert!(matches!(e.kind, DuqKind::Twinned));
-                e.kind = DuqKind::Logged(salvaged);
-                return;
-            }
+        if let Some(&slot) = self.index.get(&obj) {
+            let e = self.entries[slot].as_mut().expect("indexed slot is live");
+            debug_assert!(matches!(e.kind, DuqKind::Twinned));
+            e.kind = DuqKind::Logged(salvaged);
         }
     }
 
     /// Is this object pending?
     pub fn contains(&self, obj: ObjectId) -> bool {
-        self.entries.iter().any(|e| e.obj == obj)
+        self.index.contains_key(&obj)
     }
 
     /// Number of pending objects.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 
-    /// Drain all entries in program order for flushing.
+    /// Drain all entries in program order for flushing (reclaims
+    /// tombstones).
     pub fn drain(&mut self) -> Vec<DuqEntry> {
-        std::mem::take(&mut self.entries)
+        self.index.clear();
+        std::mem::take(&mut self.entries).into_iter().flatten().collect()
     }
 
     /// Remove (and return) the entry for one object, if present — used when
     /// an object migrates away with unflushed writes.
     pub fn remove(&mut self, obj: ObjectId) -> Option<DuqEntry> {
-        let pos = self.entries.iter().position(|e| e.obj == obj)?;
-        Some(self.entries.remove(pos))
+        let slot = self.index.remove(&obj)?;
+        self.entries[slot].take()
     }
 }
 
@@ -204,5 +215,36 @@ mod tests {
         assert_eq!(e.obj, ObjectId(1));
         assert_eq!(q.len(), 1);
         assert!(q.remove(ObjectId(9)).is_none());
+    }
+
+    #[test]
+    fn reenqueue_after_remove_and_drain_order() {
+        let mut q = Duq::new();
+        q.note_twinned(ObjectId(1), T);
+        q.note_twinned(ObjectId(2), T);
+        q.remove(ObjectId(1)).unwrap();
+        assert!(!q.contains(ObjectId(1)));
+        // Re-dirtying after removal takes a fresh (later) position.
+        q.note_twinned(ObjectId(1), T);
+        let order: Vec<u64> = q.drain().iter().map(|e| e.obj.0).collect();
+        assert_eq!(order, vec![2, 1]);
+        // Tombstones were reclaimed.
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ops_stay_cheap_with_many_pending_objects() {
+        // Smoke test for the O(1) index: 10k pending objects, repeat writes
+        // and membership checks do not rescan the queue.
+        let mut q = Duq::new();
+        for i in 0..10_000u64 {
+            q.note_twinned(ObjectId(i), T);
+        }
+        for i in 0..10_000u64 {
+            q.note_twinned(ObjectId(i), T); // repeats are O(1)
+            assert!(q.contains(ObjectId(i)));
+        }
+        assert_eq!(q.len(), 10_000);
+        assert_eq!(q.drain().len(), 10_000);
     }
 }

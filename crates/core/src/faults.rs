@@ -360,10 +360,10 @@ impl MuninServer {
             return OpOutcome::Blocked;
         }
         let eager = decl.sharing == SharingType::ProducerConsumer && decl.eager;
-        {
-            let cur = self.store.get(obj).expect("valid copy has bytes");
-            self.twins.ensure(obj, cur);
-        }
+        // Dirty-range twinning: snapshot only the pristine bytes this write
+        // touches (before the write lands), so flush-time diffing scans
+        // O(bytes written) instead of the whole object.
+        self.twins.note_write(obj, range, self.store.get(obj).expect("valid copy has bytes"));
         if let Err(e) = self.store.write(obj, range, &data) {
             return OpOutcome::fail(e);
         }
@@ -373,10 +373,10 @@ impl MuninServer {
             // Push the new bytes right now ("propagating the boundary
             // element updates as soon as they occur") and mirror them into
             // the twin so the synchronization fence doesn't re-send them.
-            self.twins.apply_remote(obj, &munin_mem::Diff::overwrite(range, data.clone()));
+            self.twins.patch(obj, range, &data);
             self.eager_dirty.insert(obj);
             let items =
-                vec![crate::msg::UpdateItem { obj, diff: munin_mem::Diff::overwrite(range, data) }];
+                vec![crate::msg::UpdateItem::new(obj, munin_mem::Diff::overwrite(range, data))];
             if decl.home == self.node {
                 self.handle_eager(k, self.node, items);
             } else {
@@ -445,6 +445,14 @@ impl MuninServer {
             (decl.sharing, self.cfg.read_mostly),
             (SharingType::Result, _) | (SharingType::ReadMostly, ReadMostlyMode::RemoteAccess)
         );
+        if requester == self.node && page.is_none() && install && self.store.contains(obj) {
+            // Home serving itself (write-allocate at the home, directory
+            // re-validation): the store already holds the bytes — install
+            // the copy state directly instead of cloning the whole object
+            // into a self-addressed ReadReply.
+            self.finish_install(k, decl, obj);
+            return;
+        }
         let data = match page {
             Some(p) => {
                 let ps = self.cfg.write_once_page;
@@ -455,6 +463,33 @@ impl MuninServer {
             None => self.store.get(obj).map(|d| d.to_vec()).unwrap_or_default(),
         };
         self.route(k, requester, MuninMsg::ReadReply { obj, page, data, install, confirm: false });
+    }
+
+    /// Mark a freshly-installed whole-object copy valid and replay parked
+    /// faults. Shared by the remote install path (`handle_read_reply`) and
+    /// the home's clone-free self-serve path (`serve_read_copy`).
+    pub(crate) fn finish_install(
+        &mut self,
+        k: &mut Kernel<MuninMsg>,
+        decl: DeclLite,
+        obj: ObjectId,
+    ) {
+        let writable =
+            matches!(decl.sharing, SharingType::WriteMany | SharingType::ProducerConsumer);
+        let ps = self.cfg.write_once_page.max(1);
+        let st = self.local_mut(obj);
+        st.valid = true;
+        st.writable = writable;
+        st.used_since_update = false;
+        if decl.sharing == SharingType::WriteOnce {
+            // Whole small write-once object: mark all pages.
+            let pages = decl.size.div_ceil(ps).max(1);
+            for pg in 0..pages {
+                st.valid_pages.insert(pg);
+            }
+        }
+        self.inflight_remove(obj, InflightKind::ReadCopy);
+        self.replay_faults(k, obj);
     }
 
     /// Home side of a read fault.
@@ -546,22 +581,7 @@ impl MuninServer {
             }
             None if install => {
                 self.store.install(obj, data);
-                let writable =
-                    matches!(decl.sharing, SharingType::WriteMany | SharingType::ProducerConsumer);
-                let ps = self.cfg.write_once_page.max(1);
-                let st = self.local_mut(obj);
-                st.valid = true;
-                st.writable = writable;
-                st.used_since_update = false;
-                if decl.sharing == SharingType::WriteOnce {
-                    // Whole small write-once object: mark all pages.
-                    let pages = decl.size.div_ceil(ps).max(1);
-                    for pg in 0..pages {
-                        st.valid_pages.insert(pg);
-                    }
-                }
-                self.inflight_remove(obj, InflightKind::ReadCopy);
-                self.replay_faults(k, obj);
+                self.finish_install(k, decl, obj);
             }
             None => {
                 // One-shot remote load (remote-access read-mostly, result

@@ -9,6 +9,13 @@
 //! using the usage feedback carried by `FlushOutAck`s — the paper's
 //! "invalidation vs refresh" dynamic decision.
 //!
+//! The whole pipeline is zero-clone in the object size: diffing scans only
+//! the dirty ranges recorded by [`munin_mem::TwinStore`] (the working copy
+//! is borrowed from the store, never copied), and the resulting diff travels
+//! inside an `Arc` ([`UpdateItem`]) so fanning one update out to K copyset
+//! members shares a single payload. A flush therefore costs O(bytes
+//! written + copyset size), independent of how big the flushed objects are.
+//!
 //! Eager producer-consumer pushes (`Eager`/`EagerOut`) use the same
 //! distribution path but fire-and-forget; the acknowledged (possibly empty)
 //! flush at the next synchronization acts as the fence that guarantees, via
@@ -34,18 +41,15 @@ impl MuninServer {
             };
             let fence = self.eager_dirty.remove(&e.obj);
             let diff = match e.kind {
-                crate::duq::DuqKind::Twinned => {
-                    let cur = self.store.get(e.obj).map(|d| d.to_vec()).unwrap_or_default();
-                    self.twins.take_diff(e.obj, &cur).unwrap_or_default()
-                }
+                crate::duq::DuqKind::Twinned => self.take_twin_diff(e.obj).unwrap_or_default(),
                 crate::duq::DuqKind::Logged(d) => d,
             };
             if diff.is_empty() && !fence {
                 continue;
             }
             match groups.iter_mut().find(|(h, _)| *h == decl.home) {
-                Some((_, items)) => items.push(UpdateItem { obj: e.obj, diff }),
-                None => groups.push((decl.home, vec![UpdateItem { obj: e.obj, diff }])),
+                Some((_, items)) => items.push(UpdateItem::new(e.obj, diff)),
+                None => groups.push((decl.home, vec![UpdateItem::new(e.obj, diff)])),
             }
         }
         // Any eager-dirty objects whose DUQ entry vanished (e.g. evicted)
@@ -56,8 +60,8 @@ impl MuninServer {
                 continue;
             };
             match groups.iter_mut().find(|(h, _)| *h == decl.home) {
-                Some((_, items)) => items.push(UpdateItem { obj, diff: Diff::default() }),
-                None => groups.push((decl.home, vec![UpdateItem { obj, diff: Diff::default() }])),
+                Some((_, items)) => items.push(UpdateItem::new(obj, Diff::default())),
+                None => groups.push((decl.home, vec![UpdateItem::new(obj, Diff::default())])),
             }
         }
         groups
@@ -101,7 +105,7 @@ impl MuninServer {
         diff: Diff,
     ) {
         let session = self.fresh_session(SessionKind::WriteThrough { thread }, 1);
-        let items = vec![UpdateItem { obj, diff }];
+        let items = vec![UpdateItem::new(obj, diff)];
         if home == self.node {
             self.handle_flush_in(k, self.node, session, items);
         } else {
@@ -259,12 +263,25 @@ impl MuninServer {
         self.route(k, from, MuninMsg::FlushOutAck { session, used });
     }
 
+    /// Consume `obj`'s twin, diffing the store's working copy in place (a
+    /// split borrow of `store` and `twins` — the copy is read, never
+    /// cloned). If the copy vanished with a twin pending there is nothing
+    /// to diff against: the twin is dropped and `None` returned.
+    fn take_twin_diff(&mut self, obj: ObjectId) -> Option<Diff> {
+        match self.store.get(obj) {
+            Some(cur) => self.twins.take_diff(obj, cur),
+            None => {
+                self.twins.drop_twin(obj);
+                None
+            }
+        }
+    }
+
     /// Invalidate the local copy of `obj`, preserving unflushed local writes
     /// as a logged DUQ entry.
     pub(crate) fn drop_copy_salvaging_writes(&mut self, obj: ObjectId) {
         if self.twins.has(obj) && self.duq.contains(obj) {
-            let cur = self.store.get(obj).map(|d| d.to_vec()).unwrap_or_default();
-            if let Some(diff) = self.twins.take_diff(obj, &cur) {
+            if let Some(diff) = self.take_twin_diff(obj) {
                 self.duq.convert_to_logged(obj, diff);
             }
         } else {

@@ -8,12 +8,23 @@
 use munin_mem::Diff;
 use munin_net::{MsgClass, PayloadInfo};
 use munin_types::{BarrierId, CondId, LockId, NodeId, ObjectId, ThreadId};
+use std::sync::Arc;
 
 /// One object's worth of delayed updates inside a flush batch.
+///
+/// The diff payload is reference-counted: when a home fans an update out to
+/// K copyset members, all K `FlushOut`/`EagerOut` items share one payload
+/// instead of deep-cloning it K times.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UpdateItem {
     pub obj: ObjectId,
-    pub diff: Diff,
+    pub diff: Arc<Diff>,
+}
+
+impl UpdateItem {
+    pub fn new(obj: ObjectId, diff: Diff) -> Self {
+        UpdateItem { obj, diff: Arc::new(diff) }
+    }
 }
 
 /// Per-item wire overhead inside batches (object id + item framing).
@@ -270,10 +281,8 @@ mod tests {
     #[test]
     fn update_batches_charge_diff_plus_item_headers() {
         let diff = Diff::overwrite(ByteRange::new(0, 100), vec![1; 100]);
-        let items = vec![
-            UpdateItem { obj: ObjectId(1), diff: diff.clone() },
-            UpdateItem { obj: ObjectId(2), diff },
-        ];
+        let items =
+            vec![UpdateItem::new(ObjectId(1), diff.clone()), UpdateItem::new(ObjectId(2), diff)];
         let m = MuninMsg::FlushIn { session: 1, items };
         // Each item: 100 data + 8 run header + 12 item header.
         assert_eq!(m.wire_bytes(), 2 * (100 + 8 + ITEM_HEADER_BYTES));

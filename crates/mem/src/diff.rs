@@ -7,6 +7,23 @@
 //! receivers. Applying diffs from different threads that wrote *independent*
 //! portions of an object commutes — which is exactly why Munin's loose
 //! coherence can let multiple writers proceed without synchronization.
+//!
+//! ## Layout
+//!
+//! A diff is a *run table* over a single contiguous payload buffer: each run
+//! records its object-relative [`ByteRange`] plus an offset into the shared
+//! `data` vector. An N-run diff therefore costs two allocations total (one
+//! run table, one payload buffer), not one allocation per run, and clones of
+//! a diff are two `memcpy`s. Runs are always appended in ascending object
+//! order, so run payloads are contiguous and in-order inside `data`.
+//!
+//! ## Scan cost
+//!
+//! [`Diff::between`] compares u64-sized chunks and only drops to byte
+//! granularity around a mismatch, so scanning the unchanged portions of a
+//! buffer runs at word speed. The flush path never hands it a whole object
+//! anyway: [`crate::twin::TwinStore`] bounds the scan to the byte ranges
+//! local writes actually touched, making flush cost O(bytes written).
 
 use munin_types::ByteRange;
 use serde::{Deserialize, Serialize};
@@ -14,11 +31,22 @@ use serde::{Deserialize, Serialize};
 /// Per-range wire overhead: offset (4) + length (4).
 const RANGE_HEADER_BYTES: usize = 8;
 
+/// One run of the table: `range` within the object, payload at
+/// `data[offset .. offset + range.len]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Run {
+    range: ByteRange,
+    offset: u32,
+}
+
 /// A run-length encoded update to one object.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct Diff {
-    /// Sorted, disjoint, non-adjacent ranges with their new bytes.
-    runs: Vec<(ByteRange, Vec<u8>)>,
+    /// Sorted, disjoint, non-adjacent ranges; payload offsets ascend with
+    /// the ranges (runs are packed into `data` in object order).
+    runs: Vec<Run>,
+    /// Concatenated payloads of every run.
+    data: Vec<u8>,
 }
 
 impl Diff {
@@ -26,24 +54,65 @@ impl Diff {
     /// differing run. Both slices must be the same length.
     pub fn between(old: &[u8], new: &[u8]) -> Diff {
         assert_eq!(old.len(), new.len(), "diff requires equal-length buffers");
-        let mut runs = Vec::new();
-        let mut i = 0usize;
+        let mut d = Diff::default();
+        d.append_scan(0, old, new);
+        d
+    }
+
+    /// Scan `old` vs `new` (equal-length windows of one object, starting at
+    /// object offset `base`) and append the differing runs. Callers must
+    /// append windows in ascending, non-touching order so the run table
+    /// stays canonical; [`crate::twin::TwinStore`] uses this to diff only
+    /// the dirty regions of an object.
+    pub(crate) fn append_scan(&mut self, base: u32, old: &[u8], new: &[u8]) {
+        debug_assert_eq!(old.len(), new.len());
         let n = new.len();
+        let mut i = 0usize;
         while i < n {
-            if old[i] != new[i] {
-                let start = i;
-                while i < n && old[i] != new[i] {
-                    i += 1;
+            // Skip equal bytes a word at a time; on a mismatching word, jump
+            // straight to its first differing byte (little-endian order puts
+            // the lowest-index byte in the lowest bits of the XOR).
+            while i + 8 <= n {
+                let a = u64::from_le_bytes(old[i..i + 8].try_into().expect("8-byte chunk"));
+                let b = u64::from_le_bytes(new[i..i + 8].try_into().expect("8-byte chunk"));
+                if a == b {
+                    i += 8;
+                } else {
+                    i += ((a ^ b).trailing_zeros() / 8) as usize;
+                    break;
                 }
-                runs.push((
-                    ByteRange::new(start as u32, (i - start) as u32),
-                    new[start..i].to_vec(),
-                ));
-            } else {
+            }
+            while i < n && old[i] == new[i] {
                 i += 1;
             }
+            if i >= n {
+                break;
+            }
+            let start = i;
+            while i < n && old[i] != new[i] {
+                i += 1;
+            }
+            self.push_run(base + start as u32, &new[start..i]);
         }
-        Diff { runs }
+    }
+
+    /// Append a run, coalescing with the previous run when adjacent. Runs
+    /// must be pushed in ascending order.
+    fn push_run(&mut self, start: u32, bytes: &[u8]) {
+        debug_assert!(!bytes.is_empty());
+        if let Some(last) = self.runs.last_mut() {
+            debug_assert!(last.range.end() <= start, "runs must be pushed in order");
+            if last.range.end() == start {
+                last.range.len += bytes.len() as u32;
+                self.data.extend_from_slice(bytes);
+                return;
+            }
+        }
+        self.runs.push(Run {
+            range: ByteRange::new(start, bytes.len() as u32),
+            offset: self.data.len() as u32,
+        });
+        self.data.extend_from_slice(bytes);
     }
 
     /// A diff that overwrites `range` with `data` unconditionally (used by
@@ -54,7 +123,7 @@ impl Diff {
         if range.is_empty() {
             return Diff::default();
         }
-        Diff { runs: vec![(range, data)] }
+        Diff { runs: vec![Run { range, offset: 0 }], data }
     }
 
     /// No changes?
@@ -69,7 +138,7 @@ impl Diff {
 
     /// Total payload bytes (data only).
     pub fn data_bytes(&self) -> usize {
-        self.runs.iter().map(|(_, d)| d.len()).sum()
+        self.data.len()
     }
 
     /// Bytes this diff occupies on the wire (runs + per-run headers).
@@ -77,9 +146,15 @@ impl Diff {
         self.data_bytes() + self.runs.len() * RANGE_HEADER_BYTES
     }
 
+    /// Payload slice of run `i`.
+    fn run_bytes(&self, i: usize) -> &[u8] {
+        let r = &self.runs[i];
+        &self.data[r.offset as usize..r.offset as usize + r.range.len as usize]
+    }
+
     /// Iterate over the runs.
     pub fn runs(&self) -> impl Iterator<Item = (&ByteRange, &[u8])> {
-        self.runs.iter().map(|(r, d)| (r, d.as_slice()))
+        (0..self.runs.len()).map(move |i| (&self.runs[i].range, self.run_bytes(i)))
     }
 
     /// Apply to `data` (last-applied-wins on overlap, which is the legal
@@ -89,10 +164,11 @@ impl Diff {
     /// size when the copy was created, so an out-of-bounds run is a protocol
     /// bug, not an application error.
     pub fn apply(&self, data: &mut [u8]) {
-        for (range, bytes) in &self.runs {
+        for i in 0..self.runs.len() {
+            let range = self.runs[i].range;
             let start = range.start as usize;
             let end = start + range.len as usize;
-            data[start..end].copy_from_slice(bytes);
+            data[start..end].copy_from_slice(self.run_bytes(i));
         }
     }
 
@@ -100,6 +176,12 @@ impl Diff {
     /// Used to combine successive flushes addressed to the same destination
     /// into one message ("delaying updates allows the system to combine
     /// updates to the same object").
+    ///
+    /// Cost is O(runs + payload bytes): the two sorted run lists are merged
+    /// with a two-pointer walk (`self`'s runs clipped against `later`'s
+    /// coverage, `later`'s runs taken whole), never materializing the
+    /// covering hull — two diffs at far ends of a large object cost their
+    /// own bytes, not the distance between them.
     pub fn merge(&mut self, later: &Diff) {
         if later.is_empty() {
             return;
@@ -108,50 +190,66 @@ impl Diff {
             *self = later.clone();
             return;
         }
-        // Materialize over the covering hull — simple and correct; diffs are
-        // small relative to objects.
-        let hull_end =
-            self.runs.iter().chain(later.runs.iter()).map(|(r, _)| r.end()).max().unwrap() as usize;
-        let hull_start =
-            self.runs.iter().chain(later.runs.iter()).map(|(r, _)| r.start).min().unwrap() as usize;
-        // Track which bytes are defined; undefined gaps must not enter runs.
-        let width = hull_end - hull_start;
-        let mut buf = vec![0u8; width];
-        let mut defined = vec![false; width];
-        for (r, d) in self.runs.iter().chain(later.runs.iter()) {
-            let s = r.start as usize - hull_start;
-            buf[s..s + d.len()].copy_from_slice(d);
-            for f in &mut defined[s..s + d.len()] {
-                *f = true;
+        // 1. Clip self's runs against later's coverage: the surviving
+        //    sub-pieces, in order. A later-run may span several self-runs,
+        //    so the cursor into later's runs only advances once a run is
+        //    provably behind the current position.
+        let mut pieces: Vec<(u32, &[u8])> = Vec::new();
+        let mut bi = 0usize;
+        for i in 0..self.runs.len() {
+            let range = self.runs[i].range;
+            let bytes = self.run_bytes(i);
+            while bi < later.runs.len() && later.runs[bi].range.end() <= range.start {
+                bi += 1;
             }
-        }
-        let mut runs = Vec::new();
-        let mut i = 0usize;
-        while i < width {
-            if defined[i] {
-                let start = i;
-                while i < width && defined[i] {
-                    i += 1;
+            let mut bj = bi;
+            let mut cur = range.start;
+            while cur < range.end() {
+                if bj >= later.runs.len() || later.runs[bj].range.start >= range.end() {
+                    pieces.push((cur, &bytes[(cur - range.start) as usize..]));
+                    break;
                 }
-                runs.push((
-                    ByteRange::new((hull_start + start) as u32, (i - start) as u32),
-                    buf[start..i].to_vec(),
-                ));
-            } else {
-                i += 1;
+                let b = later.runs[bj].range;
+                if b.start > cur {
+                    let s = (cur - range.start) as usize;
+                    let e = (b.start - range.start) as usize;
+                    pieces.push((cur, &bytes[s..e]));
+                }
+                cur = b.end().min(range.end()).max(cur);
+                if b.end() <= range.end() {
+                    bj += 1;
+                }
             }
         }
-        self.runs = runs;
+        // 2. Merge the (disjoint, sorted) piece list with later's runs.
+        let mut out = Diff {
+            runs: Vec::with_capacity(pieces.len() + later.runs.len()),
+            data: Vec::with_capacity(self.data.len() + later.data.len()),
+        };
+        let mut pi = 0usize;
+        let mut li = 0usize;
+        while pi < pieces.len() || li < later.runs.len() {
+            let take_piece = li >= later.runs.len()
+                || (pi < pieces.len() && pieces[pi].0 < later.runs[li].range.start);
+            if take_piece {
+                out.push_run(pieces[pi].0, pieces[pi].1);
+                pi += 1;
+            } else {
+                out.push_run(later.runs[li].range.start, later.run_bytes(li));
+                li += 1;
+            }
+        }
+        *self = out;
     }
 
     /// The ranges this diff touches.
     pub fn ranges(&self) -> Vec<ByteRange> {
-        self.runs.iter().map(|(r, _)| *r).collect()
+        self.runs.iter().map(|r| r.range).collect()
     }
 
     /// Does this diff write any byte that `other` also writes?
     pub fn overlaps(&self, other: &Diff) -> bool {
-        self.runs.iter().any(|(r, _)| other.runs.iter().any(|(o, _)| r.overlaps(*o)))
+        self.runs.iter().any(|r| other.runs.iter().any(|o| r.range.overlaps(o.range)))
     }
 }
 
@@ -189,6 +287,33 @@ mod tests {
         let d = Diff::between(&old, &new);
         assert_eq!(d.run_count(), 4);
         assert_eq!(d.data_bytes(), 5);
+    }
+
+    #[test]
+    fn word_boundaries_are_respected() {
+        // Runs starting/ending at every offset around the 8-byte chunk
+        // boundaries the scanner uses.
+        for size in [7usize, 8, 9, 15, 16, 17, 31, 64] {
+            for start in 0..size {
+                for len in 1..=(size - start) {
+                    let old = vec![0xA5u8; size];
+                    let mut new = old.clone();
+                    for b in &mut new[start..start + len] {
+                        *b = 0x5A;
+                    }
+                    let d = Diff::between(&old, &new);
+                    assert_eq!(d.run_count(), 1, "size={size} start={start} len={len}");
+                    assert_eq!(
+                        d.ranges(),
+                        vec![ByteRange::new(start as u32, len as u32)],
+                        "size={size} start={start} len={len}"
+                    );
+                    let mut target = old.clone();
+                    d.apply(&mut target);
+                    assert_eq!(target, new);
+                }
+            }
+        }
     }
 
     #[test]
@@ -233,6 +358,39 @@ mod tests {
         let mut buf = vec![9u8; 8];
         d1.apply(&mut buf);
         assert_eq!(buf, vec![1, 1, 9, 9, 9, 9, 2, 2]);
+    }
+
+    #[test]
+    fn merge_does_not_materialize_the_hull() {
+        // Two single-byte runs 16 MiB apart: the merged diff must stay two
+        // bytes of payload, not 16 MiB.
+        let mut d1 = Diff::overwrite(ByteRange::new(0, 1), vec![1]);
+        let d2 = Diff::overwrite(ByteRange::new(16 << 20, 1), vec![2]);
+        d1.merge(&d2);
+        assert_eq!(d1.run_count(), 2);
+        assert_eq!(d1.data_bytes(), 2);
+        assert_eq!(d1.wire_bytes(), 2 + 16);
+    }
+
+    #[test]
+    fn merge_later_spanning_several_earlier_runs() {
+        // Earlier: three runs; later: one run covering the middle one and
+        // parts of the outer two.
+        let mut d1 = Diff::overwrite(ByteRange::new(0, 4), vec![1; 4]);
+        d1.merge(&Diff::overwrite(ByteRange::new(8, 4), vec![2; 4]));
+        d1.merge(&Diff::overwrite(ByteRange::new(16, 4), vec![3; 4]));
+        assert_eq!(d1.run_count(), 3);
+        let later = Diff::overwrite(ByteRange::new(2, 16), vec![7; 16]);
+        d1.merge(&later);
+        let mut buf = vec![0u8; 24];
+        d1.apply(&mut buf);
+        let mut want = vec![0u8; 24];
+        want[0..4].copy_from_slice(&[1; 4]);
+        want[8..12].copy_from_slice(&[2; 4]);
+        want[16..20].copy_from_slice(&[3; 4]);
+        want[2..18].copy_from_slice(&[7; 16]);
+        assert_eq!(buf, want);
+        assert_eq!(d1.run_count(), 1, "everything touches: {d1:?}");
     }
 
     #[test]
@@ -319,6 +477,39 @@ mod tests {
             merged.apply(&mut via_merge);
 
             prop_assert_eq!(seq, via_merge);
+        }
+
+        /// Merging multi-run diffs equals sequential application, and the
+        /// merged diff stays canonical (two-pointer merge, no hull).
+        #[test]
+        fn merge_multirun_equals_sequential_apply(
+            base in proptest::collection::vec(any::<u8>(), 32..128),
+            flips1 in proptest::collection::vec(any::<prop::sample::Index>(), 0..24),
+            flips2 in proptest::collection::vec(any::<prop::sample::Index>(), 0..24),
+        ) {
+            let mut v1 = base.clone();
+            for idx in flips1 {
+                let i = idx.index(v1.len());
+                v1[i] = v1[i].wrapping_add(1);
+            }
+            let diff1 = Diff::between(&base, &v1);
+            let mut v2 = v1.clone();
+            for idx in flips2 {
+                let i = idx.index(v2.len());
+                v2[i] = v2[i].wrapping_add(1);
+            }
+            let diff2 = Diff::between(&v1, &v2);
+
+            let mut merged = diff1.clone();
+            merged.merge(&diff2);
+            let mut via_merge = base.clone();
+            merged.apply(&mut via_merge);
+            prop_assert_eq!(&via_merge, &v2);
+
+            let ranges = merged.ranges();
+            for w in ranges.windows(2) {
+                prop_assert!(w[0].end() < w[1].start, "canonical after merge: {:?}", ranges);
+            }
         }
     }
 }

@@ -1,0 +1,62 @@
+//! A counting global allocator shared by the allocation-regression tests
+//! and benches (included via `#[path]`, not a cargo dependency, because a
+//! `#[global_allocator]` must be installed by each binary itself).
+//!
+//! Counts every allocation, and separately those at or above [`BIG`] —
+//! the "full-object copy" detector for the 1 MiB flush workloads: 64 KiB
+//! is three orders of magnitude above any legitimate per-flush allocation,
+//! so the threshold separates object clones from ordinary bookkeeping with
+//! a huge margin.
+#![allow(dead_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Allocations of at least this size count as "big" (full-object copies in
+/// the 1 MiB workloads).
+pub const BIG: usize = 64 * 1024;
+
+static TOTAL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BIG_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+pub struct CountingAlloc;
+
+// SAFETY: delegates directly to `System`; the counters have no side effects
+// on allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+fn note(size: usize) {
+    TOTAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    if size >= BIG {
+        BIG_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Total allocations (of any size) so far.
+pub fn total_allocs() -> u64 {
+    TOTAL_ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Allocations of at least [`BIG`] bytes so far.
+pub fn big_allocs() -> u64 {
+    BIG_ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Allocations performed while running `f`.
+pub fn allocs_of(mut f: impl FnMut()) -> u64 {
+    let before = total_allocs();
+    f();
+    total_allocs() - before
+}

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Run the flush-pipeline benchmark and regenerate BENCH_flush.json (the
+# perf-trajectory record at the workspace root). Extra args are forwarded to
+# `cargo bench`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo bench --bench flush "$@"
+echo "--- BENCH_flush.json ---"
+cat BENCH_flush.json
