@@ -8,8 +8,9 @@
 
 use crate::native::{NativeCtx, NativeWorld};
 use crate::par::Par;
-use munin_core::MuninServer;
-use munin_ivy::IvyServer;
+use munin_core::{MuninMsg, MuninServer};
+use munin_ivy::{IvyMsg, IvyServer};
+use munin_rt::{RtCtx, RtTuning, RtWorldBuilder};
 use munin_sim::{RunReport, ThreadCtx, Tracer, TransportConfig, WorldBuilder};
 use munin_types::{
     BarrierDecl, BarrierId, CondDecl, CondId, Element, IvyConfig, LockDecl, LockId, MuninConfig,
@@ -23,17 +24,24 @@ pub enum Backend {
     Munin(MuninConfig),
     /// The Ivy baseline on the deterministic simulator.
     Ivy(IvyConfig),
+    /// The Munin runtime on the real-time kernel: one OS thread per node
+    /// server, truly parallel app threads, wall-clock measurements.
+    MuninRt(MuninConfig),
+    /// The Ivy baseline on the real-time kernel.
+    IvyRt(IvyConfig),
     /// Real threads, real shared memory (semantic reference).
     Native,
 }
 
 impl Backend {
-    /// Default lossless transport matching the backend's cost model.
+    /// Default lossless transport matching the backend's cost model. The
+    /// real-time backends use OS channels, not the simulated transport, so
+    /// (like Native) the value is unused for them.
     fn transport(&self) -> TransportConfig {
         match self {
             Backend::Munin(c) => TransportConfig::lossless(c.cost.clone()),
             Backend::Ivy(c) => TransportConfig::lossless(c.cost.clone()),
-            Backend::Native => TransportConfig::default(),
+            Backend::MuninRt(_) | Backend::IvyRt(_) | Backend::Native => TransportConfig::default(),
         }
     }
 
@@ -42,8 +50,15 @@ impl Backend {
         match self {
             Backend::Munin(_) => "Munin",
             Backend::Ivy(_) => "Ivy",
+            Backend::MuninRt(_) => "MuninRt",
+            Backend::IvyRt(_) => "IvyRt",
             Backend::Native => "Native",
         }
+    }
+
+    /// Does this backend run on the real-time kernel?
+    pub fn is_realtime(&self) -> bool {
+        matches!(self, Backend::MuninRt(_) | Backend::IvyRt(_))
     }
 }
 
@@ -103,6 +118,7 @@ pub struct ProgramBuilder {
     barriers: Vec<BarrierDecl>,
     conds: Vec<CondDecl>,
     threads: Vec<(NodeId, ThreadBody)>,
+    rt_tuning: RtTuning,
 }
 
 impl ProgramBuilder {
@@ -115,7 +131,15 @@ impl ProgramBuilder {
             barriers: Vec::new(),
             conds: Vec::new(),
             threads: Vec::new(),
+            rt_tuning: RtTuning::default(),
         }
+    }
+
+    /// Tuning for the real-time backends (compute mode, stall timeout);
+    /// ignored by the simulator and native backends.
+    pub fn rt_tuning(&mut self, tuning: RtTuning) -> &mut Self {
+        self.rt_tuning = tuning;
+        self
     }
 
     pub fn n_nodes(&self) -> usize {
@@ -359,8 +383,76 @@ impl ProgramBuilder {
                 let report = b.build(servers).run();
                 Outcome { report: Some(report), wall: started.elapsed(), backend: backend_name }
             }
+            // The real-time backends run over OS channels: simulated-wire
+            // features (loss injection, shared medium, tracing) cannot be
+            // honored, and silently dropping them would let an experiment
+            // measure something other than what it configured — reject
+            // loudly instead.
+            Backend::MuninRt(cfg) => {
+                assert_rt_supports(&transport, &tracer, backend_name);
+                let sync = self.sync_decls();
+                let n_nodes = self.n_nodes;
+                let mut b = RtWorldBuilder::<MuninMsg>::new(n_nodes)
+                    .cost(cfg.cost.clone())
+                    .tuning(self.rt_tuning.clone());
+                for d in &self.objects {
+                    let id = b.declare(d.clone(), d.home);
+                    debug_assert_eq!(id, d.id, "builder ids must stay dense");
+                }
+                for (node, body) in self.threads {
+                    b.spawn(node, move |ctx: &mut RtCtx<MuninMsg>| body(ctx));
+                }
+                let servers: Vec<MuninServer> = (0..n_nodes)
+                    .map(|i| MuninServer::new(NodeId(i as u16), cfg.clone(), sync.clone()))
+                    .collect();
+                let report = b.run(servers);
+                Outcome { report: Some(report), wall: started.elapsed(), backend: backend_name }
+            }
+            Backend::IvyRt(cfg) => {
+                assert_rt_supports(&transport, &tracer, backend_name);
+                let sync = self.sync_decls();
+                let n_nodes = self.n_nodes;
+                let decls = self.objects.clone();
+                let mut b = RtWorldBuilder::<IvyMsg>::new(n_nodes)
+                    .cost(cfg.cost.clone())
+                    .tuning(self.rt_tuning.clone());
+                for d in &self.objects {
+                    let id = b.declare(d.clone(), d.home);
+                    debug_assert_eq!(id, d.id);
+                }
+                for (node, body) in self.threads {
+                    b.spawn(node, move |ctx: &mut RtCtx<IvyMsg>| body(ctx));
+                }
+                let servers: Vec<IvyServer> = (0..n_nodes)
+                    .map(|i| IvyServer::new(NodeId(i as u16), cfg.clone(), n_nodes, &decls, &sync))
+                    .collect();
+                let report = b.run(servers);
+                Outcome { report: Some(report), wall: started.elapsed(), backend: backend_name }
+            }
         }
     }
+}
+
+/// The real-time kernel's wires are OS channels: no loss injection, no
+/// shared-medium serialization, no tracer. Reject configurations that ask
+/// for them so experiments fail loudly instead of measuring the wrong
+/// thing. (The transport's cost model is irrelevant here — rt servers take
+/// their cost model from the backend config.)
+fn assert_rt_supports(
+    transport: &TransportConfig,
+    tracer: &Option<Box<dyn Tracer>>,
+    backend: &str,
+) {
+    assert!(
+        tracer.is_none(),
+        "the {backend} backend runs on the real-time kernel, which has no tracer hook; \
+         run the program on the simulator backend to trace it"
+    );
+    assert!(
+        transport.drop_prob == 0.0 && !transport.serialize_medium,
+        "the {backend} backend runs over OS channels and cannot simulate message loss or a \
+         shared medium; use the simulator backend for transport experiments"
+    );
 }
 
 /// Convenience: run a simple report-returning simulation and unwrap it.

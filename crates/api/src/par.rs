@@ -121,6 +121,59 @@ impl Par for ThreadCtx {
     }
 }
 
+/// The real-time kernel's thread handle speaks the same op protocol as the
+/// simulator's, so the `Par` mapping is identical (generic over the
+/// protocol message type — one impl serves MuninRt and IvyRt).
+impl<P> Par for munin_rt::RtCtx<P> {
+    fn self_id(&self) -> usize {
+        self.thread_id().index()
+    }
+    fn n_threads(&self) -> usize {
+        munin_rt::RtCtx::n_threads(self)
+    }
+    fn read_raw_into(&mut self, obj: ObjectId, range: ByteRange, out: &mut [u8]) {
+        munin_rt::RtCtx::read_into(self, obj, range, out)
+    }
+    fn write_raw(&mut self, obj: ObjectId, start: u32, data: &[u8]) {
+        munin_rt::RtCtx::write_raw(self, obj, start, data)
+    }
+    fn read(&mut self, obj: ObjectId, range: ByteRange) -> Vec<u8> {
+        // The op reply hands us an owned buffer; return it rather than
+        // copying into a second one.
+        munin_rt::RtCtx::read(self, obj, range)
+    }
+    fn write(&mut self, obj: ObjectId, start: u32, data: Vec<u8>) {
+        munin_rt::RtCtx::write(self, obj, start, data)
+    }
+    fn fetch_add(&mut self, obj: ObjectId, offset: u32, delta: i64) -> i64 {
+        munin_rt::RtCtx::fetch_add(self, obj, offset, delta)
+    }
+    fn lock(&mut self, lock: LockId) {
+        munin_rt::RtCtx::lock(self, lock)
+    }
+    fn unlock(&mut self, lock: LockId) {
+        munin_rt::RtCtx::unlock(self, lock)
+    }
+    fn barrier(&mut self, barrier: BarrierId) {
+        munin_rt::RtCtx::barrier(self, barrier)
+    }
+    fn cond_wait(&mut self, cond: CondId, lock: LockId) {
+        munin_rt::RtCtx::cond_wait(self, cond, lock)
+    }
+    fn cond_signal(&mut self, cond: CondId, broadcast: bool) {
+        self.op(munin_sim::DsmOp::CondSignal { cond, broadcast }).expect_unit()
+    }
+    fn phase(&mut self, phase: u32) {
+        munin_rt::RtCtx::phase(self, phase)
+    }
+    fn compute(&mut self, us: u64) {
+        munin_rt::RtCtx::compute(self, us)
+    }
+    fn flush(&mut self) {
+        munin_rt::RtCtx::flush(self)
+    }
+}
+
 /// Decode a little-endian byte buffer in place into `out`.
 fn decode_into<T: Element>(bytes: &[u8], out: &mut [T]) {
     for (chunk, slot) in bytes.chunks_exact(T::SIZE).zip(out.iter_mut()) {
@@ -325,9 +378,14 @@ impl<P: Par + ?Sized, T: Element> Drop for Region<'_, P, T> {
 ///
 /// Deprecated: use [`ParTyped`] with [`SharedArray`] / [`SharedScalar`]
 /// handles, which carry the element type and length and bounds-check every
-/// access. These shims remain for transition code and now route through the
-/// same zero-copy raw path as the typed layer.
-#[deprecated(note = "use ParTyped with SharedArray/SharedScalar handles")]
+/// access. The only sanctioned caller left is the typed-vs-byte comparison
+/// in `benches/micro.rs` (opt-in via `MUNIN_BENCH_BYTE_PATH=1`), kept so
+/// the deprecation can cite measured numbers; everything else must go
+/// through the typed layer.
+#[deprecated(
+    note = "use ParTyped with SharedArray/SharedScalar handles; the sole sanctioned caller \
+            is the gated byte-path comparison in benches/micro.rs (MUNIN_BENCH_BYTE_PATH=1)"
+)]
 pub trait ParExt: Par {
     fn read_f64(&mut self, obj: ObjectId, idx: u32) -> f64 {
         let mut buf = [0u8; 8];

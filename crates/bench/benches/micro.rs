@@ -2,8 +2,14 @@
 //! run-length diff machinery (the DUQ's hot path), the twin store, the
 //! receiver-side reorder buffer, vector clocks, the address-space
 //! translation Ivy performs on every access — and the typed zero-copy
-//! access path vs the deprecated `ParExt` byte path (time *and*
-//! allocations per access, measured on the native backend).
+//! access path (time *and* allocations per access, measured on the native
+//! backend).
+//!
+//! The comparison against the deprecated `ParExt` byte path only runs when
+//! `MUNIN_BENCH_BYTE_PATH=1` is set: this bench is the byte path's one
+//! sanctioned caller (kept so the deprecation can cite a measured reason),
+//! and gating it keeps routine bench runs from exercising — and normal
+//! builds from appearing to bless — a deprecated API.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use munin_api::native::{NativeCtx, NativeWorld};
@@ -23,9 +29,16 @@ use counting_alloc::{allocs_of, CountingAlloc};
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-/// Typed zero-copy access vs the deprecated byte-offset helpers, on the
-/// native backend (no simulator in the way, so the comparison isolates the
-/// API layer itself).
+/// Is the deprecated-byte-path comparison enabled for this run?
+fn byte_path_enabled() -> bool {
+    std::env::var("MUNIN_BENCH_BYTE_PATH").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Typed zero-copy access on the native backend (no simulator in the way,
+/// so the measurement isolates the API layer itself). With
+/// `MUNIN_BENCH_BYTE_PATH=1`, also measures the deprecated `ParExt` byte
+/// path alongside it and asserts the typed path stays strictly cheaper —
+/// the bench is that path's only sanctioned caller.
 #[allow(deprecated)]
 fn bench_typed_vs_byte_api(c: &mut Criterion) {
     const N: u32 = 256; // elements per bulk op
@@ -36,43 +49,53 @@ fn bench_typed_vs_byte_api(c: &mut Criterion) {
     let vals = vec![1.5f64; N as usize];
     let mut buf = vec![0f64; N as usize];
 
-    // Allocations per bulk read+write round, old path vs typed path.
+    // Allocations per bulk read+write round on the typed path: always
+    // asserted, with or without the comparison.
     par.write_from(&arr, 0, &vals);
-    let byte_allocs = allocs_of(|| {
-        par.write_f64s(obj, 0, black_box(&vals));
-        black_box(par.read_f64s(obj, 0, N));
-    });
     let typed_allocs = allocs_of(|| {
         par.write_from(&arr, 0, black_box(&vals));
         par.read_into(&arr, 0, black_box(&mut buf));
     });
     println!(
-        "alloc  parext byte path                                 ... {byte_allocs:>10} allocs / {N}-element read+write round"
-    );
-    println!(
         "alloc  typed zero-copy path                             ... {typed_allocs:>10} allocs / {N}-element read+write round"
-    );
-    assert!(
-        typed_allocs < byte_allocs,
-        "typed path must allocate less than the byte path ({typed_allocs} vs {byte_allocs})"
     );
     assert_eq!(typed_allocs, 0, "typed bulk access into caller buffers is allocation-free");
 
+    if byte_path_enabled() {
+        let byte_allocs = allocs_of(|| {
+            par.write_f64s(obj, 0, black_box(&vals));
+            black_box(par.read_f64s(obj, 0, N));
+        });
+        println!(
+            "alloc  parext byte path                                 ... {byte_allocs:>10} allocs / {N}-element read+write round"
+        );
+        assert!(
+            typed_allocs < byte_allocs,
+            "typed path must allocate less than the byte path ({typed_allocs} vs {byte_allocs})"
+        );
+    } else {
+        println!(
+            "skip   deprecated ParExt byte-path comparison (set MUNIN_BENCH_BYTE_PATH=1 to run)"
+        );
+    }
+
     let mut g = c.benchmark_group("access256xf64");
-    g.bench_function("parext_read_f64s", |b| {
-        b.iter(|| black_box(par.read_f64s(black_box(obj), 0, N)))
-    });
+    if byte_path_enabled() {
+        g.bench_function("parext_read_f64s", |b| {
+            b.iter(|| black_box(par.read_f64s(black_box(obj), 0, N)))
+        });
+        g.bench_function("parext_write_f64s", |b| {
+            b.iter(|| par.write_f64s(black_box(obj), 0, black_box(&vals)))
+        });
+        g.bench_function("parext_read_f64_single", |b| {
+            b.iter(|| black_box(par.read_f64(black_box(obj), 17)))
+        });
+    }
     g.bench_function("typed_read_into", |b| {
         b.iter(|| par.read_into(black_box(&arr), 0, black_box(&mut buf)))
     });
-    g.bench_function("parext_write_f64s", |b| {
-        b.iter(|| par.write_f64s(black_box(obj), 0, black_box(&vals)))
-    });
     g.bench_function("typed_write_from", |b| {
         b.iter(|| par.write_from(black_box(&arr), 0, black_box(&vals)))
-    });
-    g.bench_function("parext_read_f64_single", |b| {
-        b.iter(|| black_box(par.read_f64(black_box(obj), 17)))
     });
     g.bench_function("typed_get_single", |b| b.iter(|| black_box(par.get(black_box(&arr), 17))));
     g.finish();

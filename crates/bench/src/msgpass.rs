@@ -11,7 +11,9 @@
 //! true end-to-end latency of the message-passing version.
 
 use munin_net::{MsgClass, PayloadInfo};
-use munin_sim::{DsmOp, Kernel, OpOutcome, OpResult, RunReport, Server, ThreadCtx, WorldBuilder};
+use munin_sim::{
+    DsmOp, KernelApi, OpOutcome, OpResult, RunReport, Server, ThreadCtx, WorldBuilder,
+};
 use munin_types::{NodeId, ThreadId};
 use std::sync::{Arc, Mutex};
 
@@ -81,7 +83,7 @@ impl MpNode {
 impl Server for MpNode {
     type Payload = MpMsg;
 
-    fn on_op(&mut self, k: &mut Kernel<MpMsg>, thread: ThreadId, op: DsmOp) -> OpOutcome {
+    fn on_op(&mut self, k: &mut dyn KernelApi<MpMsg>, thread: ThreadId, op: DsmOp) -> OpOutcome {
         match op {
             // The driver thread's single `Flush` op means "run the program".
             DsmOp::Flush => {
@@ -111,7 +113,7 @@ impl Server for MpNode {
         }
     }
 
-    fn on_message(&mut self, k: &mut Kernel<MpMsg>, from: NodeId, msg: MpMsg) {
+    fn on_message(&mut self, k: &mut dyn KernelApi<MpMsg>, from: NodeId, msg: MpMsg) {
         match msg {
             MpMsg::Work { a, b, n, lo, hi } => {
                 let rows = Self::compute_stripe(&a, &b, n, lo, hi);

@@ -20,7 +20,7 @@
 
 use crate::msg::MuninMsg;
 use crate::server::MuninServer;
-use munin_sim::Kernel;
+use munin_sim::KernelApi;
 use munin_types::{NodeId, ObjectId, SharingType};
 use std::collections::BTreeMap;
 
@@ -83,7 +83,7 @@ impl MuninServer {
     /// that when the retype lands the home holds the authoritative bytes
     /// and no stale copy survives. Requests arriving meanwhile queue behind
     /// the transaction and are re-dispatched under the new protocol.
-    pub(crate) fn maybe_retype(&mut self, k: &mut Kernel<MuninMsg>, obj: ObjectId) {
+    pub(crate) fn maybe_retype(&mut self, k: &mut dyn KernelApi<MuninMsg>, obj: ObjectId) {
         let Some(decl) = self.decl(k, obj) else {
             return;
         };
@@ -116,7 +116,12 @@ impl MuninServer {
 
     /// Recall every copy and ownership to the home, then apply the retype
     /// (completed by `check_write_txn` via `pending_retype`).
-    fn start_recall_txn(&mut self, k: &mut Kernel<MuninMsg>, obj: ObjectId, to: SharingType) {
+    fn start_recall_txn(
+        &mut self,
+        k: &mut dyn KernelApi<MuninMsg>,
+        obj: ObjectId,
+        to: SharingType,
+    ) {
         let home = self.node;
         let (owner, to_inval) = {
             let entry = self.dir.get_mut(&obj).expect("home has dir entry");

@@ -15,13 +15,13 @@
 
 use crate::msg::MuninMsg;
 use crate::server::MuninServer;
-use munin_sim::{Kernel, OpOutcome, OpResult};
+use munin_sim::{KernelApi, OpOutcome, OpResult};
 use munin_types::{DsmError, NodeId, ObjectId, ThreadId};
 
 impl MuninServer {
     pub(crate) fn op_atomic(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         thread: ThreadId,
         obj: ObjectId,
         offset: u32,
@@ -45,7 +45,7 @@ impl MuninServer {
     /// Home side: apply and reply with the previous value.
     pub(crate) fn handle_atomic_req(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         from: NodeId,
         obj: ObjectId,
         offset: u32,

@@ -9,14 +9,14 @@
 
 use crate::msg::MuninMsg;
 use crate::server::MuninServer;
-use munin_sim::{Kernel, OpResult};
+use munin_sim::{KernelApi, OpResult};
 use munin_types::{BarrierId, NodeId, ThreadId};
 
 impl MuninServer {
     /// Thread-side arrival (after the sync flush completed).
     pub(crate) fn barrier_arrive(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         thread: ThreadId,
         b: BarrierId,
     ) {
@@ -36,7 +36,7 @@ impl MuninServer {
     /// Coordinator side: count arrivals; release everyone when complete.
     pub(crate) fn handle_barrier_arrive(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         from: NodeId,
         b: BarrierId,
         threads: u32,
@@ -73,7 +73,7 @@ impl MuninServer {
     /// A node receiving the release wakes every parked local thread.
     pub(crate) fn handle_barrier_release(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         _from: NodeId,
         b: BarrierId,
     ) {

@@ -9,7 +9,7 @@
 
 use crate::msg::MuninMsg;
 use crate::server::MuninServer;
-use munin_sim::{Kernel, OpResult};
+use munin_sim::{KernelApi, OpResult};
 use munin_types::{CondId, LockId, NodeId, ThreadId};
 
 impl MuninServer {
@@ -20,7 +20,7 @@ impl MuninServer {
     /// Thread-side wait (after the sync flush). The thread must hold `lock`.
     pub(crate) fn cond_wait(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         thread: ThreadId,
         cond: CondId,
         lock: LockId,
@@ -58,7 +58,7 @@ impl MuninServer {
     /// Thread-side signal (after the sync flush).
     pub(crate) fn cond_signal(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         thread: ThreadId,
         cond: CondId,
         broadcast: bool,
@@ -76,7 +76,7 @@ impl MuninServer {
 
     pub(crate) fn handle_cv_wait(
         &mut self,
-        _k: &mut Kernel<MuninMsg>,
+        _k: &mut dyn KernelApi<MuninMsg>,
         from: NodeId,
         cond: CondId,
         thread: ThreadId,
@@ -86,7 +86,7 @@ impl MuninServer {
 
     pub(crate) fn handle_cv_signal(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         _from: NodeId,
         cond: CondId,
         broadcast: bool,
@@ -114,7 +114,7 @@ impl MuninServer {
     /// behalf; the pending CondWait op completes when the lock is granted.
     pub(crate) fn handle_cv_wake(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         _from: NodeId,
         _cond: CondId,
         thread: ThreadId,

@@ -28,8 +28,11 @@
 //! slot, so the per-write operations (`note_twinned`, `note_logged`,
 //! `contains`) and `remove` are O(1) even with thousands of pending objects.
 //! `remove` leaves a tombstone to keep slot numbers stable; tombstones are
-//! reclaimed by the next `drain` (i.e. the next flush), which bounds them by
-//! the writes of one synchronization interval.
+//! reclaimed by the next `drain` (i.e. the next flush) — and, so that a
+//! long-running node whose objects keep migrating away between flushes
+//! cannot grow the slot vector unboundedly, `remove` also compacts the
+//! vector in place (amortized O(1)) whenever tombstones outnumber live
+//! entries.
 
 use munin_mem::Diff;
 use munin_types::{ByteRange, ObjectId, ThreadId};
@@ -60,6 +63,9 @@ pub struct Duq {
     entries: Vec<Option<DuqEntry>>,
     /// Live objects → slot in `entries`.
     index: HashMap<ObjectId, usize>,
+    /// Tombstoned slots in `entries` (== `entries.len() - index.len()`,
+    /// tracked so the compaction trigger is O(1)).
+    tombstones: usize,
 }
 
 impl Duq {
@@ -132,14 +138,36 @@ impl Duq {
     /// tombstones).
     pub fn drain(&mut self) -> Vec<DuqEntry> {
         self.index.clear();
+        self.tombstones = 0;
         std::mem::take(&mut self.entries).into_iter().flatten().collect()
     }
 
     /// Remove (and return) the entry for one object, if present — used when
-    /// an object migrates away with unflushed writes.
+    /// an object migrates away with unflushed writes. Compacts the slot
+    /// vector once tombstones outnumber live entries, so removal-heavy
+    /// workloads (many migrations between flushes) stay O(live), not
+    /// O(all-time writes).
     pub fn remove(&mut self, obj: ObjectId) -> Option<DuqEntry> {
         let slot = self.index.remove(&obj)?;
-        self.entries[slot].take()
+        let entry = self.entries[slot].take();
+        debug_assert!(entry.is_some(), "index pointed at a tombstone");
+        self.tombstones += 1;
+        if self.tombstones > self.index.len() {
+            self.compact();
+        }
+        entry
+    }
+
+    /// Drop tombstones in place, preserving program order, and point the
+    /// index at the new slots.
+    fn compact(&mut self) {
+        self.entries.retain(Option::is_some);
+        self.tombstones = 0;
+        for (slot, e) in self.entries.iter().enumerate() {
+            let obj = e.as_ref().expect("retained entries are live").obj;
+            self.index.insert(obj, slot);
+        }
+        debug_assert_eq!(self.index.len(), self.entries.len());
     }
 }
 
@@ -230,6 +258,48 @@ mod tests {
         assert_eq!(order, vec![2, 1]);
         // Tombstones were reclaimed.
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn removal_heavy_workload_keeps_slot_vec_bounded() {
+        // A long-running node whose pending objects keep migrating away
+        // between flushes: without compaction the tombstoned slot vector
+        // grows forever even though almost nothing is pending.
+        let mut q = Duq::new();
+        q.note_twinned(ObjectId(u64::MAX), T); // one long-lived resident
+        for i in 0..100_000u64 {
+            q.note_twinned(ObjectId(i), T);
+            q.remove(ObjectId(i)).unwrap();
+            // Invariant: tombstones never exceed live entries (plus the
+            // one just created), so slots stay O(live).
+            assert!(q.entries.len() <= 2 * q.index.len() + 1, "slots grew: {}", q.entries.len());
+        }
+        assert_eq!(q.len(), 1);
+        assert!(q.entries.len() <= 3);
+        let order: Vec<u64> = q.drain().iter().map(|e| e.obj.0).collect();
+        assert_eq!(order, vec![u64::MAX]);
+    }
+
+    #[test]
+    fn compaction_preserves_program_order_and_index() {
+        let mut q = Duq::new();
+        for i in 0..8u64 {
+            q.note_twinned(ObjectId(i), T);
+        }
+        // Remove enough to trigger compaction (tombstones > live).
+        for i in 0..5u64 {
+            q.remove(ObjectId(i)).unwrap();
+        }
+        assert_eq!(q.len(), 3);
+        // Index still points at the right (now-moved) slots.
+        for i in 5..8u64 {
+            assert!(q.contains(ObjectId(i)));
+        }
+        // Repeat-write after compaction keeps the original position.
+        q.note_twinned(ObjectId(6), T);
+        q.note_logged(ObjectId(7), T, ByteRange::new(0, 1), vec![1]);
+        let order: Vec<u64> = q.drain().iter().map(|e| e.obj.0).collect();
+        assert_eq!(order, vec![5, 6, 7]);
     }
 
     #[test]

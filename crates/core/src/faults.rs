@@ -9,7 +9,7 @@
 use crate::msg::MuninMsg;
 use crate::server::{DeclLite, MuninServer};
 use crate::state::{InflightKind, PendingFault};
-use munin_sim::{Kernel, OpOutcome, OpResult};
+use munin_sim::{KernelApi, OpOutcome, OpResult};
 use munin_types::{ByteRange, DsmError, NodeId, ObjectId, ReadMostlyMode, SharingType, ThreadId};
 
 impl MuninServer {
@@ -22,7 +22,12 @@ impl MuninServer {
     }
 
     /// Complete a read locally from the store.
-    fn read_hit(&mut self, k: &Kernel<MuninMsg>, obj: ObjectId, range: ByteRange) -> OpOutcome {
+    fn read_hit(
+        &mut self,
+        k: &dyn KernelApi<MuninMsg>,
+        obj: ObjectId,
+        range: ByteRange,
+    ) -> OpOutcome {
         let st = self.local_mut(obj);
         st.reads += 1;
         st.used_since_update = true;
@@ -35,7 +40,7 @@ impl MuninServer {
     /// Complete a write locally into the store (no coherence action).
     fn write_hit(
         &mut self,
-        k: &Kernel<MuninMsg>,
+        k: &dyn KernelApi<MuninMsg>,
         obj: ObjectId,
         range: ByteRange,
         data: &[u8],
@@ -53,7 +58,7 @@ impl MuninServer {
 
     pub(crate) fn op_read(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         thread: ThreadId,
         obj: ObjectId,
         range: ByteRange,
@@ -161,7 +166,7 @@ impl MuninServer {
     /// a time ("allowing portions of large read-only objects to page out").
     fn read_write_once(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         thread: ThreadId,
         decl: DeclLite,
         obj: ObjectId,
@@ -226,7 +231,7 @@ impl MuninServer {
 
     pub(crate) fn op_write(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         thread: ThreadId,
         obj: ObjectId,
         range: ByteRange,
@@ -333,7 +338,7 @@ impl MuninServer {
     /// or eager push for producer-consumer objects declared `eager`.
     fn write_loose(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         thread: ThreadId,
         decl: DeclLite,
         obj: ObjectId,
@@ -392,7 +397,7 @@ impl MuninServer {
     /// the home confirms full propagation.
     fn write_read_mostly(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         thread: ThreadId,
         decl: DeclLite,
         obj: ObjectId,
@@ -413,7 +418,12 @@ impl MuninServer {
     }
 
     /// Kick a migration request (fault path for migratory objects).
-    fn request_migration(&mut self, k: &mut Kernel<MuninMsg>, decl: DeclLite, obj: ObjectId) {
+    fn request_migration(
+        &mut self,
+        k: &mut dyn KernelApi<MuninMsg>,
+        decl: DeclLite,
+        obj: ObjectId,
+    ) {
         if self.inflight_contains(obj, InflightKind::Migration) {
             return;
         }
@@ -432,7 +442,7 @@ impl MuninServer {
     /// Serve a copy / page / one-shot read of an object homed here.
     pub(crate) fn serve_read_copy(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         obj: ObjectId,
         requester: NodeId,
         page: Option<u32>,
@@ -470,7 +480,7 @@ impl MuninServer {
     /// the home's clone-free self-serve path (`serve_read_copy`).
     pub(crate) fn finish_install(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         decl: DeclLite,
         obj: ObjectId,
     ) {
@@ -495,7 +505,7 @@ impl MuninServer {
     /// Home side of a read fault.
     pub(crate) fn handle_read_req(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         from: NodeId,
         obj: ObjectId,
         page: Option<u32>,
@@ -549,7 +559,7 @@ impl MuninServer {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn handle_read_reply(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         _from: NodeId,
         obj: ObjectId,
         page: Option<u32>,
@@ -611,7 +621,7 @@ impl MuninServer {
     /// Replay one parked fault through the normal access path.
     pub(crate) fn replay_one_fault(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         obj: ObjectId,
         fault: PendingFault,
     ) {
@@ -631,7 +641,7 @@ impl MuninServer {
     }
 
     /// Replay every parked fault for `obj`.
-    pub(crate) fn replay_faults(&mut self, k: &mut Kernel<MuninMsg>, obj: ObjectId) {
+    pub(crate) fn replay_faults(&mut self, k: &mut dyn KernelApi<MuninMsg>, obj: ObjectId) {
         let pending = match self.faults.remove(&obj) {
             Some(p) => p,
             None => return,

@@ -25,14 +25,17 @@
 use crate::msg::{MuninMsg, UpdateItem};
 use crate::server::{MuninServer, OutSession, SessionKind};
 use munin_mem::Diff;
-use munin_sim::{Kernel, OpResult};
+use munin_sim::{KernelApi, OpResult};
 use munin_types::{NodeId, ObjectId, SharingType, ThreadId, UpdatePolicy};
 use std::collections::BTreeMap;
 
 impl MuninServer {
     /// Turn the DUQ into per-home update batches, preserving program order
     /// within each batch.
-    fn collect_flush_items(&mut self, k: &mut Kernel<MuninMsg>) -> Vec<(NodeId, Vec<UpdateItem>)> {
+    fn collect_flush_items(
+        &mut self,
+        k: &mut dyn KernelApi<MuninMsg>,
+    ) -> Vec<(NodeId, Vec<UpdateItem>)> {
         let entries = self.duq.drain();
         let mut groups: Vec<(NodeId, Vec<UpdateItem>)> = Vec::new();
         for e in entries {
@@ -70,7 +73,7 @@ impl MuninServer {
     /// Flush triggered by a synchronization operation. Creates one session
     /// covering every home involved; `op_sync` queues the continuation until
     /// all sessions drain.
-    pub(crate) fn start_sync_flush(&mut self, k: &mut Kernel<MuninMsg>, _thread: ThreadId) {
+    pub(crate) fn start_sync_flush(&mut self, k: &mut dyn KernelApi<MuninMsg>, _thread: ThreadId) {
         let groups = self.collect_flush_items(k);
         if groups.is_empty() {
             return;
@@ -82,7 +85,7 @@ impl MuninServer {
     /// Flush triggered by DUQ pressure ("until it is convenient to perform
     /// them"): nothing waits on it, but sync operations that arrive before
     /// it completes will (conservatively) wait for the session to drain.
-    pub(crate) fn after_duq_write(&mut self, k: &mut Kernel<MuninMsg>) {
+    pub(crate) fn after_duq_write(&mut self, k: &mut dyn KernelApi<MuninMsg>) {
         if self.duq.len() < self.cfg.duq_max_objects {
             return;
         }
@@ -98,7 +101,7 @@ impl MuninServer {
     /// delayed-updates-off ablation): the thread resumes on `FlushDone`.
     pub(crate) fn write_through(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         thread: ThreadId,
         obj: ObjectId,
         home: NodeId,
@@ -115,7 +118,7 @@ impl MuninServer {
 
     fn dispatch_flush_groups(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         session: u64,
         groups: Vec<(NodeId, Vec<UpdateItem>)>,
     ) {
@@ -148,7 +151,7 @@ impl MuninServer {
 
     pub(crate) fn handle_flush_in(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         origin: NodeId,
         session: u64,
         items: Vec<UpdateItem>,
@@ -223,7 +226,7 @@ impl MuninServer {
     /// Copy-holder side of a refresh.
     pub(crate) fn handle_flush_out(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         from: NodeId,
         session: u64,
         items: Vec<UpdateItem>,
@@ -250,7 +253,7 @@ impl MuninServer {
     /// salvaged into the DUQ as a write log before the copy is dropped.
     pub(crate) fn handle_flush_inval(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         from: NodeId,
         session: u64,
         objs: Vec<ObjectId>,
@@ -298,7 +301,7 @@ impl MuninServer {
     /// Home side: one distribution ack came back.
     pub(crate) fn handle_flush_out_ack(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         from: NodeId,
         session: u64,
         used: Vec<(ObjectId, bool)>,
@@ -324,7 +327,12 @@ impl MuninServer {
         }
     }
 
-    fn finish_out_session(&mut self, k: &mut Kernel<MuninMsg>, origin: NodeId, session: u64) {
+    fn finish_out_session(
+        &mut self,
+        k: &mut dyn KernelApi<MuninMsg>,
+        origin: NodeId,
+        session: u64,
+    ) {
         if origin == self.node {
             self.handle_flush_done(k, self.node, session);
         } else {
@@ -335,7 +343,7 @@ impl MuninServer {
     /// Flusher side: one home finished propagating.
     pub(crate) fn handle_flush_done(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         _from: NodeId,
         session: u64,
     ) {
@@ -364,7 +372,7 @@ impl MuninServer {
     /// Home side of an eager push: apply, then forward to consumers.
     pub(crate) fn handle_eager(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         origin: NodeId,
         items: Vec<UpdateItem>,
     ) {
@@ -394,7 +402,7 @@ impl MuninServer {
     /// Consumer side of an eager push.
     pub(crate) fn handle_eager_out(
         &mut self,
-        _k: &mut Kernel<MuninMsg>,
+        _k: &mut dyn KernelApi<MuninMsg>,
         _from: NodeId,
         items: Vec<UpdateItem>,
     ) {

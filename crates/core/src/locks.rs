@@ -19,7 +19,7 @@
 use crate::msg::MuninMsg;
 use crate::server::MuninServer;
 use crate::sync_objs::ProxyLock;
-use munin_sim::{Kernel, OpResult};
+use munin_sim::{KernelApi, OpResult};
 use munin_types::{DsmError, LockId, NodeId, ObjectId, ThreadId};
 
 impl MuninServer {
@@ -28,7 +28,12 @@ impl MuninServer {
     }
 
     /// Thread-side acquire (after the sync flush completed).
-    pub(crate) fn lock_acquire(&mut self, k: &mut Kernel<MuninMsg>, thread: ThreadId, l: LockId) {
+    pub(crate) fn lock_acquire(
+        &mut self,
+        k: &mut dyn KernelApi<MuninMsg>,
+        thread: ThreadId,
+        l: LockId,
+    ) {
         let home = self.lock_home(l);
         let p = self.proxies.entry(l).or_insert_with(|| ProxyLock::new(false));
         if p.can_grant_locally() {
@@ -45,7 +50,12 @@ impl MuninServer {
     }
 
     /// Thread-side release.
-    pub(crate) fn lock_release(&mut self, k: &mut Kernel<MuninMsg>, thread: ThreadId, l: LockId) {
+    pub(crate) fn lock_release(
+        &mut self,
+        k: &mut dyn KernelApi<MuninMsg>,
+        thread: ThreadId,
+        l: LockId,
+    ) {
         let holds = self.proxies.get(&l).is_some_and(|p| p.locked_by == Some(thread));
         if !holds {
             k.complete(thread, OpResult::Err(DsmError::NotLockHolder { lock: l, thread }), 0);
@@ -68,7 +78,7 @@ impl MuninServer {
     }
 
     /// Send the token (and associated migratory objects) to `dst`.
-    pub(crate) fn pass_token(&mut self, k: &mut Kernel<MuninMsg>, l: LockId, dst: NodeId) {
+    pub(crate) fn pass_token(&mut self, k: &mut dyn KernelApi<MuninMsg>, l: LockId, dst: NodeId) {
         debug_assert_ne!(dst, self.node, "home never directs a pass to the current holder");
         {
             let p = self.proxies.get_mut(&l).expect("pass_token on known proxy");
@@ -85,16 +95,11 @@ impl MuninServer {
     /// chain is pointed at the destination.
     fn collect_lock_associates(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         l: LockId,
         dst: NodeId,
     ) -> Vec<(ObjectId, Vec<u8>)> {
-        let assoc: Vec<ObjectId> = k
-            .decls_sorted()
-            .iter()
-            .filter(|d| d.associated_lock == Some(l))
-            .map(|d| d.id)
-            .collect();
+        let assoc = k.assoc_objects(l);
         let mut out = Vec::new();
         for obj in assoc {
             let holds = self.local.get(&obj).is_some_and(|s| s.valid);
@@ -116,7 +121,12 @@ impl MuninServer {
 
     // ---- home side -----------------------------------------------------------
 
-    pub(crate) fn handle_lock_req(&mut self, k: &mut Kernel<MuninMsg>, from: NodeId, l: LockId) {
+    pub(crate) fn handle_lock_req(
+        &mut self,
+        k: &mut dyn KernelApi<MuninMsg>,
+        from: NodeId,
+        l: LockId,
+    ) {
         let h = self.lock_homes.get_mut(&l).expect("LockReq routed to lock home");
         h.queue.push_back(from);
         self.dispatch_lock_fetch(k, l);
@@ -124,7 +134,7 @@ impl MuninServer {
 
     /// If the token is idle (no fetch in flight) and someone is waiting,
     /// direct the holder to pass it.
-    pub(crate) fn dispatch_lock_fetch(&mut self, k: &mut Kernel<MuninMsg>, l: LockId) {
+    pub(crate) fn dispatch_lock_fetch(&mut self, k: &mut dyn KernelApi<MuninMsg>, l: LockId) {
         let (to, holder) = {
             let h = self.lock_homes.get_mut(&l).expect("dispatch on lock home");
             if h.fetch_outstanding {
@@ -146,7 +156,7 @@ impl MuninServer {
 
     pub(crate) fn handle_lock_fetch(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         _from: NodeId,
         l: LockId,
         to: NodeId,
@@ -171,7 +181,7 @@ impl MuninServer {
 
     pub(crate) fn handle_lock_pass(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         _from: NodeId,
         l: LockId,
         piggyback: Vec<(ObjectId, Vec<u8>)>,
@@ -212,11 +222,16 @@ impl MuninServer {
         }
     }
 
-    pub(crate) fn handle_lock_notify(&mut self, k: &mut Kernel<MuninMsg>, from: NodeId, l: LockId) {
+    pub(crate) fn handle_lock_notify(
+        &mut self,
+        k: &mut dyn KernelApi<MuninMsg>,
+        from: NodeId,
+        l: LockId,
+    ) {
         self.note_token_arrival(k, l, from);
     }
 
-    fn note_token_arrival(&mut self, k: &mut Kernel<MuninMsg>, l: LockId, at: NodeId) {
+    fn note_token_arrival(&mut self, k: &mut dyn KernelApi<MuninMsg>, l: LockId, at: NodeId) {
         {
             let h = self.lock_homes.get_mut(&l).expect("notify routed to lock home");
             h.token_at = at;

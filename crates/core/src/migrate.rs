@@ -18,14 +18,14 @@
 use crate::msg::MuninMsg;
 use crate::server::MuninServer;
 use crate::state::{ActiveWrite, DirOp, InflightKind};
-use munin_sim::Kernel;
+use munin_sim::KernelApi;
 use munin_types::{NodeId, ObjectId};
 
 impl MuninServer {
     /// Home side of a migration fault.
     pub(crate) fn handle_migrate_req(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         from: NodeId,
         obj: ObjectId,
     ) {
@@ -48,7 +48,7 @@ impl MuninServer {
     /// doubles as the "migration in progress" marker.
     pub(crate) fn start_migration(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         obj: ObjectId,
         requester: NodeId,
     ) {
@@ -72,7 +72,7 @@ impl MuninServer {
     /// forward along our probable-holder pointer.
     pub(crate) fn handle_migrate_yield(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         _from: NodeId,
         obj: ObjectId,
         requester: NodeId,
@@ -112,7 +112,7 @@ impl MuninServer {
     /// The object arrived: we are the holder now.
     pub(crate) fn handle_migrate_data(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         _from: NodeId,
         obj: ObjectId,
         data: Vec<u8>,
@@ -137,14 +137,14 @@ impl MuninServer {
     /// Home bookkeeping: migration transaction finished.
     pub(crate) fn handle_migrate_notify(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         from: NodeId,
         obj: ObjectId,
     ) {
         self.migration_done(k, obj, from);
     }
 
-    fn migration_done(&mut self, k: &mut Kernel<MuninMsg>, obj: ObjectId, holder: NodeId) {
+    fn migration_done(&mut self, k: &mut dyn KernelApi<MuninMsg>, obj: ObjectId, holder: NodeId) {
         {
             let entry = self.dir.get_mut(&obj).expect("home has dir entry");
             entry.owner = holder;

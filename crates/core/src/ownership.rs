@@ -15,14 +15,14 @@
 use crate::msg::MuninMsg;
 use crate::server::MuninServer;
 use crate::state::{ActiveWrite, DirOp, InflightKind};
-use munin_sim::Kernel;
+use munin_sim::KernelApi;
 use munin_types::{NodeId, ObjectId};
 
 impl MuninServer {
     /// Home side of a general read-write read fault.
     pub(crate) fn general_read_req(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         from: NodeId,
         obj: ObjectId,
     ) {
@@ -36,7 +36,7 @@ impl MuninServer {
         self.general_serve_read(k, from, obj);
     }
 
-    fn general_serve_read(&mut self, k: &mut Kernel<MuninMsg>, from: NodeId, obj: ObjectId) {
+    fn general_serve_read(&mut self, k: &mut dyn KernelApi<MuninMsg>, from: NodeId, obj: ObjectId) {
         let owner = {
             let entry = self.dir.get_mut(&obj).expect("home ensured");
             if from != self.node {
@@ -71,7 +71,7 @@ impl MuninServer {
     /// Home: a forwarded read copy was installed at `from`.
     pub(crate) fn handle_read_confirm(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         from: NodeId,
         obj: ObjectId,
     ) {
@@ -91,7 +91,7 @@ impl MuninServer {
     /// shared-owner (next local write must re-acquire exclusivity).
     pub(crate) fn handle_fwd_read(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         obj: ObjectId,
         requester: NodeId,
     ) {
@@ -110,7 +110,7 @@ impl MuninServer {
     /// Home side of an ownership (write) request.
     pub(crate) fn handle_write_req(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         from: NodeId,
         obj: ObjectId,
     ) {
@@ -129,7 +129,12 @@ impl MuninServer {
         self.start_write_txn(k, obj, from);
     }
 
-    fn start_write_txn(&mut self, k: &mut Kernel<MuninMsg>, obj: ObjectId, requester: NodeId) {
+    fn start_write_txn(
+        &mut self,
+        k: &mut dyn KernelApi<MuninMsg>,
+        obj: ObjectId,
+        requester: NodeId,
+    ) {
         let (owner, to_inval, had_copy) = {
             let entry = self.dir.get_mut(&obj).expect("home ensured");
             let owner = entry.owner;
@@ -175,7 +180,7 @@ impl MuninServer {
     /// Previous owner: ship the (possibly dirty) bytes home and invalidate.
     pub(crate) fn handle_owner_yield(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         from: NodeId,
         obj: ObjectId,
     ) {
@@ -193,7 +198,7 @@ impl MuninServer {
     /// Home: the owner's bytes arrived.
     pub(crate) fn handle_owner_data(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         _from: NodeId,
         obj: ObjectId,
         data: Vec<u8>,
@@ -214,7 +219,7 @@ impl MuninServer {
     /// protocol-reset after a runtime retype).
     pub(crate) fn handle_inval(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         from: NodeId,
         obj: ObjectId,
         session: Option<u64>,
@@ -228,7 +233,7 @@ impl MuninServer {
     /// Home: an invalidation ack for the active write transaction.
     pub(crate) fn handle_inval_ack(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         _from: NodeId,
         obj: ObjectId,
         _session: u64,
@@ -241,7 +246,7 @@ impl MuninServer {
 
     /// Complete the active write transaction once every invalidation is
     /// acked and the previous owner's data (if needed) has arrived.
-    pub(crate) fn check_write_txn(&mut self, k: &mut Kernel<MuninMsg>, obj: ObjectId) {
+    pub(crate) fn check_write_txn(&mut self, k: &mut dyn KernelApi<MuninMsg>, obj: ObjectId) {
         let ready = {
             match self.dir.get(&obj).and_then(|e| e.active_write.as_ref()) {
                 Some(aw) => aw.pending_invals == 0 && !aw.awaiting_owner_data,
@@ -296,7 +301,7 @@ impl MuninServer {
     /// New owner: ownership (and possibly data) arrived.
     pub(crate) fn handle_owner_grant(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         _from: NodeId,
         obj: ObjectId,
         data: Option<Vec<u8>>,
@@ -319,7 +324,7 @@ impl MuninServer {
     /// service; writes from nodes still expecting an `OwnerGrant` receive a
     /// writable replica grant (which the loose protocols treat as a normal
     /// copy installation).
-    pub(crate) fn process_dir_queue(&mut self, k: &mut Kernel<MuninMsg>, obj: ObjectId) {
+    pub(crate) fn process_dir_queue(&mut self, k: &mut dyn KernelApi<MuninMsg>, obj: ObjectId) {
         loop {
             let op = {
                 let entry = self.dir.get_mut(&obj).expect("exists");

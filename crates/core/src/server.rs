@@ -17,7 +17,7 @@ use crate::msg::MuninMsg;
 use crate::state::{DirEntry, InflightKind, LocalState, PendingFault, SyncDecls};
 use crate::sync_objs::{BarrierHomeState, CondHomeState, LockHomeState, ProxyLock};
 use munin_mem::{ObjectStore, TwinStore};
-use munin_sim::{DsmOp, Kernel, OpOutcome, OpResult, Server};
+use munin_sim::{DsmOp, KernelApi, OpOutcome, OpResult, Server};
 use munin_types::{
     BarrierId, ByteRange, CondId, DsmError, LockId, MuninConfig, NodeId, ObjectId, SharingType,
     ThreadId,
@@ -186,7 +186,7 @@ impl MuninServer {
     /// Fetch (and cache) the lite declaration of an object. The cache is
     /// dropped wholesale whenever the kernel's registry version moves (a
     /// runtime retype happened somewhere).
-    pub(crate) fn decl(&mut self, k: &Kernel<MuninMsg>, obj: ObjectId) -> Option<DeclLite> {
+    pub(crate) fn decl(&mut self, k: &dyn KernelApi<MuninMsg>, obj: ObjectId) -> Option<DeclLite> {
         if self.decl_cache_version != k.registry_version() {
             self.decl_cache.clear();
             self.decl_cache_version = k.registry_version();
@@ -236,7 +236,7 @@ impl MuninServer {
     /// Route a protocol message: remote destinations go over the wire, the
     /// local node is handled by a direct (zero-cost, zero-latency) call —
     /// the moral equivalent of the server invoking its own handler.
-    pub(crate) fn route(&mut self, k: &mut Kernel<MuninMsg>, dst: NodeId, msg: MuninMsg) {
+    pub(crate) fn route(&mut self, k: &mut dyn KernelApi<MuninMsg>, dst: NodeId, msg: MuninMsg) {
         if dst == self.node {
             self.handle_msg(k, self.node, msg);
         } else {
@@ -268,14 +268,14 @@ impl MuninServer {
     }
 
     /// Cost charged when a fault completes: trap overhead + the access.
-    pub(crate) fn fault_cost(&self, k: &Kernel<MuninMsg>) -> u64 {
+    pub(crate) fn fault_cost(&self, k: &dyn KernelApi<MuninMsg>) -> u64 {
         k.cost().fault_overhead_us + k.cost().local_access_us
     }
 
     /// Publish every unpublished write-once object homed on this node and
     /// serve readers that were waiting for publication. Called at every
     /// local synchronization operation and phase transition.
-    pub(crate) fn publish_write_once(&mut self, k: &mut Kernel<MuninMsg>) {
+    pub(crate) fn publish_write_once(&mut self, k: &mut dyn KernelApi<MuninMsg>) {
         let candidates: Vec<ObjectId> = self
             .dir
             .iter()
@@ -299,7 +299,7 @@ impl MuninServer {
     /// continuation.
     pub(crate) fn op_sync(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         thread: ThreadId,
         cont: SyncCont,
     ) -> OpOutcome {
@@ -314,7 +314,12 @@ impl MuninServer {
     }
 
     /// Execute a sync continuation after its flush completed.
-    pub(crate) fn run_cont(&mut self, k: &mut Kernel<MuninMsg>, thread: ThreadId, cont: SyncCont) {
+    pub(crate) fn run_cont(
+        &mut self,
+        k: &mut dyn KernelApi<MuninMsg>,
+        thread: ThreadId,
+        cont: SyncCont,
+    ) {
         match cont {
             SyncCont::FlushOnly | SyncCont::Exit => {
                 k.complete(thread, OpResult::Unit, k.cost().local_access_us);
@@ -331,7 +336,7 @@ impl MuninServer {
 
     /// Called when the set of open sessions drains to empty: run every
     /// queued sync continuation (FIFO).
-    pub(crate) fn maybe_release_sync_waiters(&mut self, k: &mut Kernel<MuninMsg>) {
+    pub(crate) fn maybe_release_sync_waiters(&mut self, k: &mut dyn KernelApi<MuninMsg>) {
         if !self.sessions.is_empty() {
             return;
         }
@@ -351,7 +356,7 @@ impl MuninServer {
     /// Record an access for the runtime type detector (home side).
     pub(crate) fn note_dir_access(
         &mut self,
-        k: &mut Kernel<MuninMsg>,
+        k: &mut dyn KernelApi<MuninMsg>,
         obj: ObjectId,
         from: NodeId,
         is_write: bool,
@@ -373,7 +378,7 @@ impl MuninServer {
 impl Server for MuninServer {
     type Payload = MuninMsg;
 
-    fn on_op(&mut self, k: &mut Kernel<MuninMsg>, thread: ThreadId, op: DsmOp) -> OpOutcome {
+    fn on_op(&mut self, k: &mut dyn KernelApi<MuninMsg>, thread: ThreadId, op: DsmOp) -> OpOutcome {
         match op {
             DsmOp::Alloc(decl) => {
                 let sharing = decl.sharing;
@@ -415,7 +420,7 @@ impl Server for MuninServer {
         }
     }
 
-    fn on_message(&mut self, k: &mut Kernel<MuninMsg>, from: NodeId, payload: MuninMsg) {
+    fn on_message(&mut self, k: &mut dyn KernelApi<MuninMsg>, from: NodeId, payload: MuninMsg) {
         self.handle_msg(k, from, payload);
     }
 }
@@ -423,7 +428,12 @@ impl Server for MuninServer {
 impl MuninServer {
     /// Unified message dispatch (also reachable via `route` for local
     /// destinations).
-    pub(crate) fn handle_msg(&mut self, k: &mut Kernel<MuninMsg>, from: NodeId, msg: MuninMsg) {
+    pub(crate) fn handle_msg(
+        &mut self,
+        k: &mut dyn KernelApi<MuninMsg>,
+        from: NodeId,
+        msg: MuninMsg,
+    ) {
         use MuninMsg::*;
         match msg {
             ReadReq { obj, page } => self.handle_read_req(k, from, obj, page),

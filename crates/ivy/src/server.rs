@@ -4,7 +4,7 @@
 use crate::msg::IvyMsg;
 use crate::pending::{PageInflight, PageNeed, PendingIvyOp};
 use munin_mem::{AddressSpace, PageId};
-use munin_sim::{DsmOp, Kernel, OpOutcome, OpResult, Server};
+use munin_sim::{DsmOp, KernelApi, OpOutcome, OpResult, Server};
 use munin_types::{
     BarrierId, ByteRange, DsmError, IvyConfig, LockId, NodeId, ObjectDecl, ObjectId, SyncStrategy,
     ThreadId,
@@ -159,7 +159,7 @@ impl IvyServer {
         NodeId((page.0 % self.n_nodes as u64) as u16)
     }
 
-    fn route(&mut self, k: &mut Kernel<IvyMsg>, dst: NodeId, msg: IvyMsg) {
+    fn route(&mut self, k: &mut dyn KernelApi<IvyMsg>, dst: NodeId, msg: IvyMsg) {
         if dst == self.node {
             self.handle_msg(k, self.node, msg);
         } else {
@@ -303,7 +303,7 @@ impl IvyServer {
 
     /// Issue page requests for unmet needs (duplicate-suppressed; a write
     /// request waits for any in-flight read to land first).
-    fn request_needs(&mut self, k: &mut Kernel<IvyMsg>, needs: &[PageNeed]) {
+    fn request_needs(&mut self, k: &mut dyn KernelApi<IvyMsg>, needs: &[PageNeed]) {
         for need in needs {
             if self.have(*need) {
                 continue;
@@ -364,7 +364,7 @@ impl IvyServer {
     /// Try to complete every pending op; re-request what is still missing.
     /// Runs to fixpoint: completing one op can unblock another (barrier
     /// flips, lock releases).
-    fn rescan(&mut self, k: &mut Kernel<IvyMsg>) {
+    fn rescan(&mut self, k: &mut dyn KernelApi<IvyMsg>) {
         loop {
             self.wake_lock_probes();
             let mut progressed = false;
@@ -393,7 +393,7 @@ impl IvyServer {
     }
 
     /// Execute an op whose pages are all locally available.
-    fn execute(&mut self, k: &mut Kernel<IvyMsg>, op: PendingIvyOp) {
+    fn execute(&mut self, k: &mut dyn KernelApi<IvyMsg>, op: PendingIvyOp) {
         let cost = k.cost().fault_overhead_us + k.cost().local_access_us;
         match op {
             PendingIvyOp::Read { thread, obj, range } => {
@@ -482,7 +482,7 @@ impl IvyServer {
     /// tsp work-queue polling loop).
     fn park_ticket_wait(
         &mut self,
-        k: &mut Kernel<IvyMsg>,
+        k: &mut dyn KernelApi<IvyMsg>,
         thread: ThreadId,
         lock: LockId,
         ticket: u64,
@@ -509,7 +509,7 @@ impl IvyServer {
     }
 
     /// Back off and retry a spin (barrier sense poll) later.
-    fn spin_retry(&mut self, k: &mut Kernel<IvyMsg>, thread: ThreadId, op: PendingIvyOp) {
+    fn spin_retry(&mut self, k: &mut dyn KernelApi<IvyMsg>, thread: ThreadId, op: PendingIvyOp) {
         let n = self.attempts.entry(thread).or_insert(0);
         *n += 1;
         if *n > self.cfg.barrier_poll_limit {
@@ -541,7 +541,7 @@ impl IvyServer {
     // Page protocol: manager side
     // ==================================================================
 
-    fn handle_rreq(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, page: PageId) {
+    fn handle_rreq(&mut self, k: &mut dyn KernelApi<IvyMsg>, from: NodeId, page: PageId) {
         self.ensure_dir(page);
         {
             let d = self.dir.get_mut(&page).expect("ensured");
@@ -553,7 +553,7 @@ impl IvyServer {
         self.serve_page_read(k, from, page);
     }
 
-    fn serve_page_read(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, page: PageId) {
+    fn serve_page_read(&mut self, k: &mut dyn KernelApi<IvyMsg>, from: NodeId, page: PageId) {
         let owner = {
             let d = self.dir.get_mut(&page).expect("ensured");
             d.copyset.insert(from);
@@ -581,7 +581,7 @@ impl IvyServer {
         }
     }
 
-    fn handle_fwd_read(&mut self, k: &mut Kernel<IvyMsg>, page: PageId, requester: NodeId) {
+    fn handle_fwd_read(&mut self, k: &mut dyn KernelApi<IvyMsg>, page: PageId, requester: NodeId) {
         let data = {
             let Some(copy) = self.pages.get_mut(&page) else {
                 k.error(format!("FwdRead at non-holder for {page}"));
@@ -595,7 +595,7 @@ impl IvyServer {
         self.rescan(k);
     }
 
-    fn handle_wreq(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, page: PageId) {
+    fn handle_wreq(&mut self, k: &mut dyn KernelApi<IvyMsg>, from: NodeId, page: PageId) {
         self.ensure_dir(page);
         {
             let d = self.dir.get_mut(&page).expect("ensured");
@@ -607,7 +607,7 @@ impl IvyServer {
         self.start_page_txn(k, from, page);
     }
 
-    fn start_page_txn(&mut self, k: &mut Kernel<IvyMsg>, requester: NodeId, page: PageId) {
+    fn start_page_txn(&mut self, k: &mut dyn KernelApi<IvyMsg>, requester: NodeId, page: PageId) {
         let (owner, to_inval, had_copy) = {
             let d = self.dir.get_mut(&page).expect("ensured");
             let owner = d.owner;
@@ -644,7 +644,7 @@ impl IvyServer {
         self.check_page_txn(k, page);
     }
 
-    fn handle_yield(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, page: PageId) {
+    fn handle_yield(&mut self, k: &mut dyn KernelApi<IvyMsg>, from: NodeId, page: PageId) {
         let Some(copy) = self.pages.remove(&page) else {
             k.error(format!("Yield at non-holder for {page}"));
             return;
@@ -655,7 +655,7 @@ impl IvyServer {
 
     fn handle_yield_data(
         &mut self,
-        k: &mut Kernel<IvyMsg>,
+        k: &mut dyn KernelApi<IvyMsg>,
         _from: NodeId,
         page: PageId,
         data: Vec<u8>,
@@ -667,13 +667,13 @@ impl IvyServer {
         self.check_page_txn(k, page);
     }
 
-    fn handle_inval(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, page: PageId) {
+    fn handle_inval(&mut self, k: &mut dyn KernelApi<IvyMsg>, from: NodeId, page: PageId) {
         self.pages.remove(&page);
         self.route(k, from, IvyMsg::InvalAck { page });
         self.rescan(k);
     }
 
-    fn handle_inval_ack(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, page: PageId) {
+    fn handle_inval_ack(&mut self, k: &mut dyn KernelApi<IvyMsg>, from: NodeId, page: PageId) {
         {
             let Some(txn) = self.dir.get_mut(&page).and_then(|d| d.active.as_mut()) else {
                 k.error(format!("InvalAck without transaction for {page} from {from}"));
@@ -684,7 +684,7 @@ impl IvyServer {
         self.check_page_txn(k, page);
     }
 
-    fn check_page_txn(&mut self, k: &mut Kernel<IvyMsg>, page: PageId) {
+    fn check_page_txn(&mut self, k: &mut dyn KernelApi<IvyMsg>, page: PageId) {
         let ready = self
             .dir
             .get(&page)
@@ -740,7 +740,7 @@ impl IvyServer {
         self.process_page_queue(k, page);
     }
 
-    fn process_page_queue(&mut self, k: &mut Kernel<IvyMsg>, page: PageId) {
+    fn process_page_queue(&mut self, k: &mut dyn KernelApi<IvyMsg>, page: PageId) {
         loop {
             let op = {
                 let d = self.dir.get_mut(&page).expect("exists");
@@ -778,7 +778,7 @@ impl IvyServer {
 
     fn handle_pdata(
         &mut self,
-        k: &mut Kernel<IvyMsg>,
+        k: &mut dyn KernelApi<IvyMsg>,
         _from: NodeId,
         page: PageId,
         data: Vec<u8>,
@@ -795,7 +795,7 @@ impl IvyServer {
         self.rescan(k);
     }
 
-    fn handle_rconfirm(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, page: PageId) {
+    fn handle_rconfirm(&mut self, k: &mut dyn KernelApi<IvyMsg>, from: NodeId, page: PageId) {
         let drained = {
             let Some(d) = self.dir.get_mut(&page) else {
                 return;
@@ -810,7 +810,7 @@ impl IvyServer {
 
     fn handle_grant(
         &mut self,
-        k: &mut Kernel<IvyMsg>,
+        k: &mut dyn KernelApi<IvyMsg>,
         _from: NodeId,
         page: PageId,
         data: Option<Vec<u8>>,
@@ -838,7 +838,7 @@ impl IvyServer {
 
     fn central_lock_req(
         &mut self,
-        k: &mut Kernel<IvyMsg>,
+        k: &mut dyn KernelApi<IvyMsg>,
         from: NodeId,
         lock: LockId,
         thread: ThreadId,
@@ -862,7 +862,7 @@ impl IvyServer {
         }
     }
 
-    fn central_unlock(&mut self, k: &mut Kernel<IvyMsg>, lock: LockId) {
+    fn central_unlock(&mut self, k: &mut dyn KernelApi<IvyMsg>, lock: LockId) {
         let next = {
             let st = self.central_locks.entry(lock).or_default();
             match st.queue.pop_front() {
@@ -884,7 +884,7 @@ impl IvyServer {
 
     fn central_barrier_arrive(
         &mut self,
-        k: &mut Kernel<IvyMsg>,
+        k: &mut dyn KernelApi<IvyMsg>,
         from: NodeId,
         b: BarrierId,
         threads: u32,
@@ -910,7 +910,7 @@ impl IvyServer {
         }
     }
 
-    fn central_barrier_release(&mut self, k: &mut Kernel<IvyMsg>, b: BarrierId) {
+    fn central_barrier_release(&mut self, k: &mut dyn KernelApi<IvyMsg>, b: BarrierId) {
         for t in self.barrier_parked.remove(&b).unwrap_or_default() {
             k.complete(t, OpResult::Unit, k.cost().local_lock_us);
         }
@@ -920,7 +920,7 @@ impl IvyServer {
     // Dispatch
     // ==================================================================
 
-    fn handle_msg(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, msg: IvyMsg) {
+    fn handle_msg(&mut self, k: &mut dyn KernelApi<IvyMsg>, from: NodeId, msg: IvyMsg) {
         use IvyMsg::*;
         match msg {
             RReq { page } => self.handle_rreq(k, from, page),
@@ -946,7 +946,7 @@ impl IvyServer {
     }
 
     /// Park a data/spin op and try to satisfy it.
-    fn submit(&mut self, k: &mut Kernel<IvyMsg>, op: PendingIvyOp) {
+    fn submit(&mut self, k: &mut dyn KernelApi<IvyMsg>, op: PendingIvyOp) {
         self.pending.push(op);
         self.rescan(k);
     }
@@ -955,7 +955,7 @@ impl IvyServer {
 impl Server for IvyServer {
     type Payload = IvyMsg;
 
-    fn on_op(&mut self, k: &mut Kernel<IvyMsg>, thread: ThreadId, op: DsmOp) -> OpOutcome {
+    fn on_op(&mut self, k: &mut dyn KernelApi<IvyMsg>, thread: ThreadId, op: DsmOp) -> OpOutcome {
         match op {
             DsmOp::Alloc(_) => OpOutcome::fail(DsmError::Internal(
                 "Ivy requires all objects to be declared before the run".into(),
@@ -1053,7 +1053,7 @@ impl Server for IvyServer {
         }
     }
 
-    fn on_message(&mut self, k: &mut Kernel<IvyMsg>, from: NodeId, payload: IvyMsg) {
+    fn on_message(&mut self, k: &mut dyn KernelApi<IvyMsg>, from: NodeId, payload: IvyMsg) {
         self.handle_msg(k, from, payload);
     }
 
@@ -1100,7 +1100,7 @@ impl Server for IvyServer {
         out
     }
 
-    fn on_timer(&mut self, k: &mut Kernel<IvyMsg>, token: u64) {
+    fn on_timer(&mut self, k: &mut dyn KernelApi<IvyMsg>, token: u64) {
         if let Some(op) = self.parked.remove(&token) {
             self.pending.push(op);
             self.rescan(k);

@@ -1,0 +1,212 @@
+//! The application-thread side of the real-time kernel.
+//!
+//! Unlike the simulator's rendezvous ([`munin_sim::ThreadCtx`]), an
+//! [`RtCtx`] never hands control to a scheduler: threads run whenever the
+//! OS runs them, mail operations to their node's server inbox, and block on
+//! a private resume channel until the protocol completes the fault. The
+//! recv loop wakes periodically to check the stall watchdog's poison flag,
+//! so a wedged protocol tears the thread down (with a panic the harness
+//! reports) instead of hanging the process.
+
+use crate::fabric::{NodeEvent, Shared};
+use crate::world::{ComputeMode, RtTuning};
+use munin_sim::report::WaitTable;
+use munin_sim::{DsmOp, OpResult};
+use munin_types::{BarrierId, ByteRange, CondId, LockId, NodeId, ObjectDecl, ObjectId, ThreadId};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often a blocked thread wakes to check for poisoning.
+const POISON_POLL: Duration = Duration::from_millis(25);
+
+/// Handle through which application code talks to the real-time DSM.
+pub struct RtCtx<P> {
+    pub(crate) thread: ThreadId,
+    pub(crate) node: NodeId,
+    pub(crate) n_nodes: usize,
+    pub(crate) n_threads: usize,
+    pub(crate) to_server: Sender<NodeEvent<P>>,
+    pub(crate) resume_rx: Receiver<OpResult>,
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) tuning: RtTuning,
+    /// Real-microsecond wait accounting per op label (feeds the report's
+    /// `thread_waits`, same shape as the simulator's virtual-time table).
+    pub(crate) waits: WaitTable,
+}
+
+impl<P> RtCtx<P> {
+    /// This thread's global id.
+    pub fn thread_id(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// The node this thread runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Total nodes in the world.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Total application threads in the world.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Issue a raw operation and block until the protocol completes it.
+    ///
+    /// `Compute` never reaches the server: the calling thread performs it
+    /// locally according to [`ComputeMode`] — that locality is exactly what
+    /// lets workers compute in parallel.
+    ///
+    /// Panics if the watchdog poisoned the run (the panic is caught by the
+    /// harness wrapper and reported as a run error, mirroring the
+    /// simulator's deadlock teardown).
+    pub fn op(&mut self, op: DsmOp) -> OpResult {
+        let label = op.label();
+        let issued = Instant::now();
+        self.shared.ops.fetch_add(1, Ordering::Relaxed);
+        let result = if let DsmOp::Compute(us) = op {
+            // Executed locally, but still counted as an op with a wait-table
+            // row so rt and simulator reports stay comparable.
+            self.compute_inner(us);
+            OpResult::Unit
+        } else {
+            self.shared.blocked.fetch_add(1, Ordering::SeqCst);
+            let result = self.send_and_wait(op, label);
+            self.shared.blocked.fetch_sub(1, Ordering::SeqCst);
+            result
+        };
+        let waited = u64::try_from(issued.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let e = self.waits.entry(label).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += waited;
+        result
+    }
+
+    fn send_and_wait(&mut self, op: DsmOp, label: &'static str) -> OpResult {
+        if self.to_server.send(NodeEvent::Op(self.thread, op)).is_err() {
+            panic!("real-time kernel vanished while issuing '{label}'");
+        }
+        loop {
+            match self.resume_rx.recv_timeout(POISON_POLL) {
+                Ok(r) => return r,
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.shared.is_poisoned() {
+                        panic!("real-time kernel stalled while thread was blocked in '{label}'");
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("real-time kernel tore down while thread was blocked in '{label}'");
+                }
+            }
+        }
+    }
+
+    // ---- convenience wrappers (same surface as the simulator's
+    // ThreadCtx, so the API harness treats both uniformly) ----------------
+
+    /// Allocate a shared object; `id`/`home` are filled in by the runtime.
+    pub fn alloc(&mut self, decl: ObjectDecl) -> ObjectId {
+        self.op(DsmOp::Alloc(decl)).into_object()
+    }
+
+    /// Read a byte range of an object.
+    pub fn read(&mut self, obj: ObjectId, range: ByteRange) -> Vec<u8> {
+        self.op(DsmOp::Read { obj, range }).into_bytes()
+    }
+
+    /// Read a byte range into a caller-owned buffer (`out.len()` must equal
+    /// `range.len`).
+    pub fn read_into(&mut self, obj: ObjectId, range: ByteRange, out: &mut [u8]) {
+        let bytes = self.op(DsmOp::Read { obj, range }).into_bytes();
+        assert_eq!(
+            out.len(),
+            bytes.len(),
+            "read_into buffer is {} bytes for a {} byte range",
+            out.len(),
+            bytes.len()
+        );
+        out.copy_from_slice(&bytes);
+    }
+
+    /// Write bytes at `start` within an object.
+    pub fn write(&mut self, obj: ObjectId, start: u32, data: Vec<u8>) {
+        let range = ByteRange::new(start, data.len() as u32);
+        self.op(DsmOp::Write { obj, range, data }).expect_unit();
+    }
+
+    /// Write borrowed bytes at `start` within an object.
+    pub fn write_raw(&mut self, obj: ObjectId, start: u32, data: &[u8]) {
+        self.write(obj, start, data.to_vec());
+    }
+
+    /// Atomic fetch-and-add on the i64 at `offset`; returns the old value.
+    pub fn fetch_add(&mut self, obj: ObjectId, offset: u32, delta: i64) -> i64 {
+        self.op(DsmOp::AtomicFetchAdd { obj, offset, delta }).into_value()
+    }
+
+    pub fn lock(&mut self, lock: LockId) {
+        self.op(DsmOp::Lock(lock)).expect_unit();
+    }
+
+    pub fn unlock(&mut self, lock: LockId) {
+        self.op(DsmOp::Unlock(lock)).expect_unit();
+    }
+
+    pub fn barrier(&mut self, barrier: BarrierId) {
+        self.op(DsmOp::BarrierWait(barrier)).expect_unit();
+    }
+
+    /// Monitor wait: releases `lock`, waits for a signal, re-acquires.
+    pub fn cond_wait(&mut self, cond: CondId, lock: LockId) {
+        self.op(DsmOp::CondWait { cond, lock }).expect_unit();
+    }
+
+    pub fn cond_signal(&mut self, cond: CondId) {
+        self.op(DsmOp::CondSignal { cond, broadcast: false }).expect_unit();
+    }
+
+    pub fn cond_broadcast(&mut self, cond: CondId) {
+        self.op(DsmOp::CondSignal { cond, broadcast: true }).expect_unit();
+    }
+
+    /// Flush this thread's delayed update queue.
+    pub fn flush(&mut self) {
+        self.op(DsmOp::Flush).expect_unit();
+    }
+
+    /// Mark the beginning of program phase `n`.
+    pub fn phase(&mut self, n: u32) {
+        self.op(DsmOp::Phase(n)).expect_unit();
+    }
+
+    /// Perform `us` microseconds of modelled computation on *this* thread
+    /// (see [`ComputeMode`]); never involves the server. Goes through
+    /// [`RtCtx::op`] so the op counter and wait table see it, like the
+    /// simulator's compute handling.
+    pub fn compute(&mut self, us: u64) {
+        self.op(DsmOp::Compute(us)).expect_unit();
+    }
+
+    fn compute_inner(&mut self, us: u64) {
+        let us = (us as f64 * self.tuning.compute_scale).round() as u64;
+        if us == 0 {
+            return;
+        }
+        match self.tuning.compute {
+            ComputeMode::Sleep => std::thread::sleep(Duration::from_micros(us)),
+            ComputeMode::Spin => {
+                let end = Instant::now() + Duration::from_micros(us);
+                while Instant::now() < end {
+                    std::hint::spin_loop();
+                }
+            }
+            ComputeMode::Skip => {}
+        }
+    }
+}

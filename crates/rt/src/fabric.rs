@@ -1,0 +1,105 @@
+//! Shared run state: the channels and atomics that stitch node servers,
+//! application threads, the timer thread and the watchdog together.
+
+use munin_net::NetStats;
+use munin_sim::DsmOp;
+use munin_types::{NodeId, ObjectDecl, ObjectId, ThreadId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::Instant;
+
+/// One event in a node server's inbox. The server thread drains these in
+/// arrival order; everything a server does happens on its own thread, so
+/// server state needs no locking (the same single-writer discipline the
+/// simulator enforces).
+pub(crate) enum NodeEvent<P> {
+    /// A local application thread issued a DSM operation.
+    Op(ThreadId, DsmOp),
+    /// A protocol message from another node's server.
+    Msg(NodeId, P),
+    /// A timer armed via `KernelApi::set_timer` came due.
+    Timer(u64),
+    /// The watchdog wants `debug_stuck_state` captured into the error log.
+    DumpStuck,
+    /// The run is over; exit the server loop.
+    Shutdown,
+}
+
+/// State shared (behind an `Arc`) by every thread of one real-time run.
+pub(crate) struct Shared {
+    /// Wall-clock origin of the run.
+    pub start: Instant,
+    /// Global object-declaration registry — the moral equivalent of the
+    /// simulator kernel's registry map, shared because real nodes each run
+    /// their own kernel instance. Reads vastly outnumber writes (servers
+    /// cache declarations keyed on `registry_version`).
+    pub registry: RwLock<HashMap<ObjectId, ObjectDecl>>,
+    /// Bumped on every runtime retype; mirrors the simulator's counter.
+    pub registry_version: AtomicU64,
+    /// Allocator for dynamically registered object ids.
+    pub next_object: AtomicU64,
+    /// Run errors (panics, stalls, server-reported invariant violations).
+    pub errors: Mutex<Vec<String>>,
+    /// Protocol traffic accounting (message/byte counts by kind).
+    pub stats: Mutex<NetStats>,
+    /// Bumped every time any server thread processes an inbox event. The
+    /// watchdog reads it to distinguish "slow" from "stuck".
+    pub activity: AtomicU64,
+    /// Application threads currently blocked inside a DSM operation.
+    pub blocked: AtomicUsize,
+    /// Application threads that have not yet finished their body.
+    pub live: AtomicUsize,
+    /// Timers armed but not yet fired (maintained by the timer thread; a
+    /// pending timer means the run can still make progress on its own).
+    pub timers_pending: AtomicUsize,
+    /// Set by the watchdog on stall: blocked threads panic out of their
+    /// recv loops, server loops exit, the run tears down instead of hanging.
+    pub poisoned: AtomicBool,
+    /// Total DSM operations issued.
+    pub ops: AtomicU64,
+    /// `MUNIN_DEBUG_ERRORS` was set: mirror errors and stall dumps to
+    /// stderr as they happen.
+    pub debug_errors: bool,
+}
+
+impl Shared {
+    pub fn new(decls: Vec<ObjectDecl>, n_threads: usize) -> Self {
+        let next_object = decls.iter().map(|d| d.id.0 + 1).max().unwrap_or(0);
+        Shared {
+            start: Instant::now(),
+            registry: RwLock::new(decls.into_iter().map(|d| (d.id, d)).collect()),
+            registry_version: AtomicU64::new(0),
+            next_object: AtomicU64::new(next_object),
+            errors: Mutex::new(Vec::new()),
+            stats: Mutex::new(NetStats::new()),
+            activity: AtomicU64::new(0),
+            blocked: AtomicUsize::new(0),
+            live: AtomicUsize::new(n_threads),
+            timers_pending: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            ops: AtomicU64::new(0),
+            debug_errors: std::env::var_os("MUNIN_DEBUG_ERRORS").is_some(),
+        }
+    }
+
+    /// Microseconds of wall clock since the run started.
+    pub fn now_us(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    pub fn error(&self, msg: String) {
+        if self.debug_errors {
+            eprintln!("[rt kernel error] {msg}");
+        }
+        self.errors.lock().expect("error log poisoned").push(msg);
+    }
+
+    pub fn mark_activity(&self) {
+        self.activity.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,131 @@
+//! [`RtKernel`]: the per-node-server implementation of the
+//! [`munin_sim::KernelApi`] seam over channels, atomics and wall-clock
+//! timers.
+
+use crate::fabric::{NodeEvent, Shared};
+use crate::timer::TimerReq;
+use munin_net::PayloadInfo;
+use munin_sim::{KernelApi, OpResult};
+use munin_types::{CostModel, NodeId, ObjectDecl, ObjectId, SharingType, ThreadId, VirtualTime};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Kernel services for one node's server thread.
+///
+/// Each server thread owns its own `RtKernel` — including its own clones of
+/// every peer inbox sender — so sends from node A to node B always travel
+/// through A's clone of B's channel, preserving the per-(src,dst) FIFO
+/// ordering the protocols assume. Send failures are ignored by design: they
+/// only happen when the destination already shut down during teardown.
+pub struct RtKernel<P> {
+    pub(crate) node: NodeId,
+    pub(crate) cost: CostModel,
+    pub(crate) inboxes: Vec<Sender<NodeEvent<P>>>,
+    pub(crate) resumes: Vec<Sender<OpResult>>,
+    pub(crate) timer_tx: Sender<TimerReq>,
+    pub(crate) shared: Arc<Shared>,
+    /// Per-kernel traffic accounting, merged into the shared totals when
+    /// the server loop exits — keeps the send path free of cross-node
+    /// locking.
+    pub(crate) stats: munin_net::NetStats,
+}
+
+impl<P> RtKernel<P> {
+    /// Fold this node's traffic counters into the run totals (called once,
+    /// when the owning server loop exits).
+    pub(crate) fn publish_stats(&mut self) {
+        self.shared.stats.lock().expect("stats lock poisoned").merge(&self.stats);
+    }
+}
+
+impl<P: PayloadInfo + Clone> KernelApi<P> for RtKernel<P> {
+    fn now(&self) -> VirtualTime {
+        VirtualTime::micros(self.shared.now_us())
+    }
+
+    fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    fn send(&mut self, src: NodeId, dst: NodeId, payload: P) {
+        debug_assert_eq!(src, self.node, "rt kernels send on behalf of their own node");
+        debug_assert_ne!(src, dst, "servers handle local work locally, not by self-send");
+        self.stats.record(payload.class(), payload.kind(), payload.wire_bytes());
+        let _ = self.inboxes[dst.index()].send(NodeEvent::Msg(src, payload));
+    }
+
+    fn multicast(&mut self, src: NodeId, dsts: &[NodeId], payload: P) {
+        // Match the simulated transport: an empty destination list is not a
+        // multicast (keeps `stats.multicasts` comparable across kernels).
+        if dsts.is_empty() {
+            return;
+        }
+        for _ in dsts {
+            self.stats.record(payload.class(), payload.kind(), payload.wire_bytes());
+        }
+        // No hardware multicast on a channel fabric: fanout == sends.
+        self.stats.record_multicast(dsts.len(), dsts.len());
+        for &dst in dsts {
+            debug_assert_ne!(src, dst);
+            let _ = self.inboxes[dst.index()].send(NodeEvent::Msg(src, payload.clone()));
+        }
+    }
+
+    fn complete(&mut self, thread: ThreadId, result: OpResult, _extra_cost_us: u64) {
+        // Modelled completion cost is a virtual-time concept; here the
+        // thread's real wait *is* the cost, so resume immediately.
+        let _ = self.resumes[thread.index()].send(result);
+    }
+
+    fn set_timer(&mut self, node: NodeId, delay_us: u64, token: u64) {
+        let _ = self.timer_tx.send(TimerReq {
+            due: Instant::now() + Duration::from_micros(delay_us),
+            node,
+            token,
+        });
+    }
+
+    fn register_decl(&mut self, mut decl: ObjectDecl, home: NodeId) -> ObjectId {
+        let id = ObjectId(self.shared.next_object.fetch_add(1, Ordering::Relaxed));
+        decl.id = id;
+        decl.home = home;
+        self.shared.registry.write().expect("registry poisoned").insert(id, decl);
+        id
+    }
+
+    fn decl(&self, obj: ObjectId) -> Option<ObjectDecl> {
+        self.shared.registry.read().expect("registry poisoned").get(&obj).cloned()
+    }
+
+    fn assoc_objects(&self, lock: munin_types::LockId) -> Vec<ObjectId> {
+        let mut v: Vec<ObjectId> = self
+            .shared
+            .registry
+            .read()
+            .expect("registry poisoned")
+            .values()
+            .filter(|d| d.associated_lock == Some(lock))
+            .map(|d| d.id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn retype(&mut self, obj: ObjectId, sharing: SharingType) {
+        let mut reg = self.shared.registry.write().expect("registry poisoned");
+        if let Some(d) = reg.get_mut(&obj) {
+            d.sharing = sharing;
+            self.shared.registry_version.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    fn registry_version(&self) -> u64 {
+        self.shared.registry_version.load(Ordering::Acquire)
+    }
+
+    fn error(&mut self, msg: String) {
+        self.shared.error(msg);
+    }
+}

@@ -1,0 +1,70 @@
+//! The wall-clock timer thread: the real-time replacement for the
+//! simulator's virtual-time timer events.
+//!
+//! Servers arm timers through `KernelApi::set_timer`; the kernel converts
+//! the relative delay into a deadline and mails it here. The thread keeps a
+//! min-heap of deadlines and delivers `NodeEvent::Timer(token)` to the
+//! owning node's inbox when each comes due. It exits when every
+//! `TimerReq` sender (one per node kernel plus the builder's) is gone.
+
+use crate::fabric::{NodeEvent, Shared};
+use munin_types::NodeId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A timer armed by a server.
+pub(crate) struct TimerReq {
+    pub due: Instant,
+    pub node: NodeId,
+    pub token: u64,
+}
+
+/// Heap entry ordered by deadline (earliest first via `Reverse`), with an
+/// arming sequence number as tie-break so equal deadlines fire in order.
+type Entry = Reverse<(Instant, u64, u16, u64)>;
+
+pub(crate) fn run_timer_thread<P: Send + 'static>(
+    rx: Receiver<TimerReq>,
+    inboxes: Vec<Sender<NodeEvent<P>>>,
+    shared: Arc<Shared>,
+) {
+    let pending = &shared.timers_pending;
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    loop {
+        // Fire everything due, then wait for the next deadline or request.
+        let now = Instant::now();
+        while let Some(&Reverse((due, _, node, token))) = heap.peek() {
+            if due > now {
+                break;
+            }
+            heap.pop();
+            pending.store(heap.len(), Ordering::Release);
+            // Ignore send errors: the node shut down during teardown.
+            let _ = inboxes[node as usize].send(NodeEvent::Timer(token));
+        }
+        let wait = match heap.peek() {
+            Some(&Reverse((due, ..))) => due.saturating_duration_since(now),
+            // Idle: park until a request arrives (bounded so disconnect is
+            // noticed promptly even on quiet runs).
+            None => Duration::from_millis(100),
+        };
+        match rx.recv_timeout(wait) {
+            Ok(req) => {
+                seq += 1;
+                heap.push(Reverse((req.due, seq, req.node.0, req.token)));
+                pending.store(heap.len(), Ordering::Release);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // All kernels gone: deliver nothing further and exit.
+                pending.store(0, Ordering::Release);
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Building and running a real-time world: one server thread per node,
+//! free-running application threads, a timer thread and a stall watchdog.
+
+use crate::ctx::RtCtx;
+use crate::fabric::{NodeEvent, Shared};
+use crate::kernel::RtKernel;
+use crate::timer::run_timer_thread;
+use munin_sim::report::{RunReport, WaitTable, WallClock};
+use munin_sim::{DsmOp, OpOutcome, Server};
+use munin_types::{CostModel, NodeId, ObjectDecl, ObjectId, ThreadId, VirtualTime};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+use std::time::Instant;
+
+/// What an application `compute(us)` call does on the real-time kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComputeMode {
+    /// Timed wait of `us` microseconds (default). Waits overlap across
+    /// workers even when the host has fewer cores than workers, so measured
+    /// speedup isolates the runtime's overlap/overhead behaviour from host
+    /// core count.
+    Sleep,
+    /// Busy-spin for `us` microseconds: occupies a core, for CPU-bound
+    /// realism on hosts with enough cores.
+    Spin,
+    /// Drop modelled compute entirely (pure protocol stress).
+    Skip,
+}
+
+/// Tuning knobs of the real-time kernel. Everything has a sensible default;
+/// the stall timeout can also be overridden with `MUNIN_RT_STALL_MS` (handy
+/// for tests that *want* fast stall detection).
+#[derive(Debug, Clone)]
+pub struct RtTuning {
+    pub compute: ComputeMode,
+    /// Multiplier applied to every modelled compute duration.
+    pub compute_scale: f64,
+    /// How long all live threads must sit blocked, with zero kernel
+    /// activity and no pending timer, before the run is declared stalled.
+    pub stall_timeout: Duration,
+    /// Watchdog sampling period.
+    pub watchdog_poll: Duration,
+}
+
+impl Default for RtTuning {
+    fn default() -> Self {
+        let stall_ms = std::env::var("MUNIN_RT_STALL_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(5_000);
+        RtTuning {
+            compute: ComputeMode::Sleep,
+            compute_scale: 1.0,
+            stall_timeout: Duration::from_millis(stall_ms),
+            watchdog_poll: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Builder for a real-time world: declare objects, spawn threads, then
+/// [`RtWorldBuilder::run`] with one server per node. The shape mirrors
+/// [`munin_sim::WorldBuilder`] so the API harness can drive either kernel.
+pub struct RtWorldBuilder<P> {
+    n_nodes: usize,
+    cost: CostModel,
+    tuning: RtTuning,
+    decls: Vec<ObjectDecl>,
+    next_object: u64,
+    #[allow(clippy::type_complexity)]
+    spawns: Vec<(NodeId, Box<dyn FnOnce(&mut RtCtx<P>) + Send + 'static>)>,
+}
+
+impl<P: Send + Clone + 'static> RtWorldBuilder<P> {
+    pub fn new(n_nodes: usize) -> Self {
+        assert!(n_nodes > 0, "a world needs at least one node");
+        assert!(n_nodes <= u16::MAX as usize, "node ids are u16");
+        RtWorldBuilder {
+            n_nodes,
+            cost: CostModel::default(),
+            tuning: RtTuning::default(),
+            decls: Vec::new(),
+            next_object: 0,
+            spawns: Vec::new(),
+        }
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Cost model handed to the servers (their bookkeeping reads it; the
+    /// kernel itself never charges modelled latencies).
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    pub fn tuning(mut self, tuning: RtTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Declare a shared object before the run starts. Returns the assigned
+    /// id (dense, in declaration order — same contract as the simulator).
+    pub fn declare(&mut self, mut decl: ObjectDecl, home: NodeId) -> ObjectId {
+        assert!(home.index() < self.n_nodes, "home {home} out of range");
+        let id = ObjectId(self.next_object);
+        self.next_object += 1;
+        decl.id = id;
+        decl.home = home;
+        self.decls.push(decl);
+        id
+    }
+
+    /// Spawn an application thread on `node`. Unlike the simulator there is
+    /// no start rendezvous: threads begin running as soon as the world does.
+    pub fn spawn(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut RtCtx<P>) + Send + 'static,
+    ) -> ThreadId {
+        assert!(node.index() < self.n_nodes, "node {node} out of range");
+        let id = ThreadId(self.spawns.len() as u32);
+        self.spawns.push((node, Box::new(f)));
+        id
+    }
+
+    /// Run to completion with one server per node (`servers[i]` serves
+    /// `NodeId(i)`). Returns a [`RunReport`] whose `wall` section and wait
+    /// tables are real (host) microseconds.
+    pub fn run<S>(self, servers: Vec<S>) -> RunReport
+    where
+        S: Server<Payload = P> + 'static,
+        S::Payload: Send,
+    {
+        assert_eq!(servers.len(), self.n_nodes, "need exactly one server per node");
+        let n_nodes = self.n_nodes;
+        let n_threads = self.spawns.len();
+        let shared = Arc::new(Shared::new(self.decls, n_threads));
+
+        let mut inbox_txs: Vec<Sender<NodeEvent<P>>> = Vec::with_capacity(n_nodes);
+        let mut inbox_rxs: Vec<Receiver<NodeEvent<P>>> = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let (tx, rx) = channel();
+            inbox_txs.push(tx);
+            inbox_rxs.push(rx);
+        }
+        let mut resume_txs = Vec::with_capacity(n_threads);
+        let mut resume_rxs = Vec::with_capacity(n_threads);
+        for _ in 0..n_threads {
+            let (tx, rx) = channel();
+            resume_txs.push(tx);
+            resume_rxs.push(rx);
+        }
+        let (timer_tx, timer_rx) = channel();
+
+        let timer_join = {
+            let inboxes = inbox_txs.clone();
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("rt-timer".into())
+                .spawn(move || run_timer_thread(timer_rx, inboxes, shared))
+                .expect("failed to spawn timer thread")
+        };
+
+        let mut server_joins = Vec::with_capacity(n_nodes);
+        for (i, (server, inbox)) in servers.into_iter().zip(inbox_rxs).enumerate() {
+            let kernel = RtKernel {
+                node: NodeId(i as u16),
+                cost: self.cost.clone(),
+                inboxes: inbox_txs.clone(),
+                resumes: resume_txs.clone(),
+                timer_tx: timer_tx.clone(),
+                shared: shared.clone(),
+                stats: munin_net::NetStats::new(),
+            };
+            server_joins.push(
+                std::thread::Builder::new()
+                    .name(format!("rt-node-{i}"))
+                    .spawn(move || server_loop(server, kernel, inbox))
+                    .expect("failed to spawn server thread"),
+            );
+        }
+
+        // The watchdog parks on this channel between polls; dropping the
+        // sender wakes it instantly at teardown (a plain sleep would add a
+        // full poll interval to every run's wall clock).
+        let (watchdog_stop_tx, watchdog_stop_rx) = channel::<()>();
+        let watchdog_join = {
+            let shared = shared.clone();
+            let inboxes = inbox_txs.clone();
+            let tuning = self.tuning.clone();
+            std::thread::Builder::new()
+                .name("rt-watchdog".into())
+                .spawn(move || watchdog(shared, inboxes, tuning, watchdog_stop_rx))
+                .expect("failed to spawn watchdog thread")
+        };
+
+        let mut app_joins = Vec::with_capacity(n_threads);
+        for ((idx, (node, body)), resume_rx) in self.spawns.into_iter().enumerate().zip(resume_rxs)
+        {
+            let tid = ThreadId(idx as u32);
+            let mut ctx = RtCtx {
+                thread: tid,
+                node,
+                n_nodes,
+                n_threads,
+                to_server: inbox_txs[node.index()].clone(),
+                resume_rx,
+                shared: shared.clone(),
+                tuning: self.tuning.clone(),
+                waits: WaitTable::new(),
+            };
+            let shared = shared.clone();
+            app_joins.push(
+                std::thread::Builder::new()
+                    .name(format!("rt-{tid}"))
+                    .spawn(move || {
+                        match catch_unwind(AssertUnwindSafe(|| body(&mut ctx))) {
+                            Ok(()) => {
+                                // Graceful exit is itself a synchronization
+                                // point (flushes the delayed update queue).
+                                // A panic here means the watchdog tore the
+                                // run down mid-exit; it already reported.
+                                let _ = catch_unwind(AssertUnwindSafe(|| ctx.op(DsmOp::Exit)));
+                            }
+                            Err(p) => {
+                                let msg = panic_message(p);
+                                // Teardown panics raised by RtCtx::op after
+                                // poisoning are a consequence of the stall,
+                                // not an application bug — the watchdog
+                                // already reported the cause.
+                                if !msg.starts_with("real-time kernel") {
+                                    shared.error(format!("{tid} panicked: {msg}"));
+                                }
+                            }
+                        }
+                        shared.live.fetch_sub(1, Ordering::SeqCst);
+                        ctx.waits
+                    })
+                    .expect("failed to spawn application thread"),
+            );
+        }
+
+        let thread_waits: Vec<WaitTable> =
+            app_joins.into_iter().map(|j| j.join().unwrap_or_default()).collect();
+
+        drop(watchdog_stop_tx);
+        let _ = watchdog_join.join();
+
+        for tx in &inbox_txs {
+            let _ = tx.send(NodeEvent::Shutdown);
+        }
+        for j in server_joins {
+            let _ = j.join();
+        }
+        drop(inbox_txs);
+        drop(timer_tx);
+        let _ = timer_join.join();
+
+        let elapsed = shared.start.elapsed();
+        let stats = shared.stats.lock().expect("stats poisoned").clone();
+        let errors = shared.errors.lock().expect("error log poisoned").clone();
+        RunReport {
+            finished_at: VirtualTime::micros(
+                u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+            ),
+            stats,
+            ops: shared.ops.load(Ordering::Relaxed),
+            thread_waits,
+            errors,
+            deadlocked: shared.is_poisoned(),
+            wall: Some(WallClock { elapsed, workers: n_threads, nodes: n_nodes }),
+        }
+    }
+}
+
+/// One node's event loop: drain the inbox, hand everything to the server.
+/// Single-threaded per node by construction — the concurrency model the
+/// protocol servers were written for.
+fn server_loop<S: Server>(
+    mut server: S,
+    mut kernel: RtKernel<S::Payload>,
+    inbox: Receiver<NodeEvent<S::Payload>>,
+) {
+    let shared = kernel.shared.clone();
+    let node = kernel.node;
+    loop {
+        let ev = match inbox.recv_timeout(Duration::from_millis(50)) {
+            Ok(ev) => ev,
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.is_poisoned() {
+                    break;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        shared.mark_activity();
+        match ev {
+            NodeEvent::Op(thread, op) => match server.on_op(&mut kernel, thread, op) {
+                OpOutcome::Done { result, cost_us: _ } => {
+                    let _ = kernel.resumes[thread.index()].send(result);
+                }
+                OpOutcome::Blocked => {}
+            },
+            NodeEvent::Msg(from, payload) => server.on_message(&mut kernel, from, payload),
+            NodeEvent::Timer(token) => server.on_timer(&mut kernel, token),
+            NodeEvent::DumpStuck => {
+                let dump = server.debug_stuck_state();
+                if !dump.is_empty() {
+                    let msg = format!("[stall dump n{}] {dump}", node.index());
+                    if shared.debug_errors {
+                        eprintln!("{msg}");
+                    }
+                    shared.errors.lock().expect("error log poisoned").push(msg);
+                }
+            }
+            NodeEvent::Shutdown => break,
+        }
+    }
+    kernel.publish_stats();
+}
+
+/// The real-time replacement for quiescence-based deadlock detection: a
+/// run is stalled when every live application thread is blocked inside a
+/// DSM operation, no server has processed an event for `stall_timeout`,
+/// and no timer is pending. On stall: report, capture every server's
+/// `debug_stuck_state`, then poison the run so blocked threads tear down.
+fn watchdog<P: Send + 'static>(
+    shared: Arc<Shared>,
+    inboxes: Vec<Sender<NodeEvent<P>>>,
+    tuning: RtTuning,
+    stop: Receiver<()>,
+) {
+    let mut last_epoch = shared.activity.load(Ordering::Relaxed);
+    let mut stable_since = Instant::now();
+    loop {
+        match stop.recv_timeout(tuning.watchdog_poll) {
+            // The run is over (sender dropped or an explicit stop).
+            Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+        let epoch = shared.activity.load(Ordering::Relaxed);
+        if epoch != last_epoch {
+            last_epoch = epoch;
+            stable_since = Instant::now();
+            continue;
+        }
+        let live = shared.live.load(Ordering::SeqCst);
+        let blocked = shared.blocked.load(Ordering::SeqCst);
+        if live == 0 || blocked < live || shared.timers_pending.load(Ordering::Acquire) > 0 {
+            stable_since = Instant::now();
+            continue;
+        }
+        if stable_since.elapsed() < tuning.stall_timeout {
+            continue;
+        }
+        shared.error(format!(
+            "stall: all {live} live thread(s) blocked in DSM operations with no kernel \
+             activity and no pending timer for {:?} — real-time deadlock",
+            tuning.stall_timeout
+        ));
+        for tx in &inboxes {
+            let _ = tx.send(NodeEvent::DumpStuck);
+        }
+        // Give the (idle, hence responsive) servers a beat to dump state
+        // before the teardown panics start flying.
+        std::thread::sleep(Duration::from_millis(300));
+        shared.poisoned.store(true, Ordering::Release);
+        return;
+    }
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    p.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}

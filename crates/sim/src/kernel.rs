@@ -1,0 +1,118 @@
+//! The kernel-services seam between protocol servers and the runtime that
+//! hosts them.
+//!
+//! [`crate::Server`] implementations (the Munin per-node server, the Ivy
+//! manager) do not care *how* they are scheduled — only that they can send
+//! protocol messages, complete blocked threads, register declarations, arm
+//! timers and report errors. [`KernelApi`] captures exactly that contract,
+//! so the same protocol logic runs on two very different kernels:
+//!
+//! * the **virtual-time kernel** ([`crate::Kernel`] inside
+//!   [`crate::World`]) — deterministic discrete-event simulation, one
+//!   runnable thread at a time;
+//! * the **real-time kernel** (`munin-rt`) — one OS thread per node server,
+//!   per-node message channels, app threads truly in parallel, wall-clock
+//!   timers.
+//!
+//! The trait is object-safe on purpose: servers take
+//! `&mut dyn KernelApi<P>`, which keeps every fault handler monomorphic
+//! (no per-kernel code duplication) and keeps the `Server` trait itself
+//! kernel-agnostic.
+
+use crate::op::OpResult;
+use munin_net::PayloadInfo;
+use munin_types::{
+    CostModel, LockId, NodeId, ObjectDecl, ObjectId, SharingType, ThreadId, VirtualTime,
+};
+
+/// Kernel services available to a [`crate::Server`] while it handles
+/// operations, messages and timers.
+///
+/// Implemented by the deterministic virtual-time kernel
+/// ([`crate::Kernel`]) and by the real-time kernel (`munin_rt::RtKernel`).
+pub trait KernelApi<P: PayloadInfo + Clone> {
+    /// Current time: virtual microseconds on the simulator, wall-clock
+    /// microseconds since run start on the real-time kernel.
+    fn now(&self) -> VirtualTime;
+
+    /// The cost model in force. On the simulator every charge below advances
+    /// the clock; the real-time kernel keeps the model purely for the
+    /// protocols' bookkeeping (real latencies are measured, not modelled).
+    fn cost(&self) -> &CostModel;
+
+    /// Send a protocol message to another node's server.
+    fn send(&mut self, src: NodeId, dst: NodeId, payload: P);
+
+    /// Multicast a protocol message. Callers pass sorted destination lists
+    /// so simulator traces stay stable across refactorings.
+    fn multicast(&mut self, src: NodeId, dsts: &[NodeId], payload: P);
+
+    /// Complete a blocked thread's pending operation. `extra_cost_us` is
+    /// virtual time on the simulator; the real-time kernel resumes the
+    /// thread immediately (its cost *is* the elapsed wall clock).
+    fn complete(&mut self, thread: ThreadId, result: OpResult, extra_cost_us: u64);
+
+    /// Register a server timer: `on_timer(token)` fires on `node`'s server
+    /// after `delay_us` (virtual or wall-clock microseconds).
+    fn set_timer(&mut self, node: NodeId, delay_us: u64, token: u64);
+
+    /// Allocate a fresh object id and register its declaration. The
+    /// declaration's `id` field is overwritten with the assigned id and
+    /// `home` with the allocating node.
+    fn register_decl(&mut self, decl: ObjectDecl, home: NodeId) -> ObjectId;
+
+    /// Look up an object's declaration (cloned — declarations are tiny and
+    /// servers cache the hot fields). Declarations are globally known (the
+    /// paper compiles them into the program), so this models no
+    /// communication.
+    fn decl(&self, obj: ObjectId) -> Option<ObjectDecl>;
+
+    /// Ids of objects declared with `lock` as their associated lock, sorted
+    /// by id. This is the lock-token piggyback query — it runs on every
+    /// token pass, so it is a targeted lookup returning plain ids rather
+    /// than a clone of the whole registry.
+    fn assoc_objects(&self, lock: LockId) -> Vec<ObjectId>;
+
+    /// Change an object's sharing annotation at runtime — the paper's §4
+    /// dynamic re-typing. The caller (the object's home server) is
+    /// responsible for resetting protocol state.
+    fn retype(&mut self, obj: ObjectId, sharing: SharingType);
+
+    /// Monotone counter bumped on every runtime retype; servers use it to
+    /// revalidate their declaration caches cheaply.
+    fn registry_version(&self) -> u64;
+
+    /// Report a server-detected error (invariant violation, livelock). The
+    /// run continues but the report will not be clean.
+    fn error(&mut self, msg: String);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Never constructed: only the type is needed for the object-safety
+    // check below.
+    #[derive(Debug, Clone)]
+    #[allow(dead_code)]
+    struct Nop;
+
+    impl PayloadInfo for Nop {
+        fn class(&self) -> munin_net::MsgClass {
+            munin_net::MsgClass::Control
+        }
+        fn kind(&self) -> &'static str {
+            "Nop"
+        }
+        fn wire_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    // Object safety is the load-bearing property: the whole protocol layer
+    // takes `&mut dyn KernelApi<P>`.
+    #[test]
+    fn kernel_api_is_object_safe() {
+        fn _takes_dyn(_: &mut dyn KernelApi<Nop>) {}
+    }
+}

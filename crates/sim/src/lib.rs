@@ -28,6 +28,7 @@
 //! [`ThreadCtx`]; each DSM operation is a rendezvous with the event loop.
 
 pub mod event;
+pub mod kernel;
 pub mod op;
 pub mod report;
 pub mod thread;
@@ -35,6 +36,7 @@ pub mod tracer;
 pub mod transport;
 pub mod world;
 
+pub use kernel::KernelApi;
 pub use op::{DsmOp, OpOutcome, OpResult};
 pub use report::RunReport;
 pub use thread::ThreadCtx;

@@ -8,10 +8,33 @@ use std::collections::BTreeMap;
 /// issue and resume).
 pub type WaitTable = BTreeMap<&'static str, (u64, u64)>;
 
+/// Wall-clock section of a [`RunReport`] — filled in by the real-time
+/// kernel (`munin-rt`), where elapsed host time *is* the measurement. The
+/// virtual-time simulator leaves it `None` (its wall clock is a host
+/// artifact, not a result).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WallClock {
+    /// Real elapsed time from the first thread starting to the last thread
+    /// (and all protocol servers) shutting down.
+    pub elapsed: std::time::Duration,
+    /// Application threads that ran in parallel.
+    pub workers: usize,
+    /// Protocol server threads (one per node).
+    pub nodes: usize,
+}
+
+impl WallClock {
+    /// Elapsed microseconds (saturated to u64), the unit the wait tables use.
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.elapsed.as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
 /// Result of running a [`crate::World`] to completion.
 #[derive(Debug)]
 pub struct RunReport {
-    /// Virtual time when the last event was processed.
+    /// Virtual time when the last event was processed. On the real-time
+    /// kernel this mirrors `wall` (microseconds of real elapsed time).
     pub finished_at: VirtualTime,
     /// Total network traffic.
     pub stats: NetStats,
@@ -22,8 +45,11 @@ pub struct RunReport {
     /// Errors: panicked threads, deadlock diagnostics, server-reported
     /// invariant violations.
     pub errors: Vec<String>,
-    /// True if the run ended with live-but-blocked threads.
+    /// True if the run ended with live-but-blocked threads (simulator:
+    /// event-queue quiescence; real-time kernel: stall watchdog).
     pub deadlocked: bool,
+    /// Wall-clock measurements — `Some` only for real-time kernel runs.
+    pub wall: Option<WallClock>,
 }
 
 impl RunReport {
@@ -73,6 +99,7 @@ mod tests {
             thread_waits: vec![w0, w1],
             errors: vec![],
             deadlocked: false,
+            wall: None,
         };
         assert_eq!(r.total_wait_us("read"), 350);
         assert_eq!(r.total_ops("read"), 4);
@@ -91,6 +118,7 @@ mod tests {
             thread_waits: vec![],
             errors: vec!["t0 blocked in lock".into()],
             deadlocked: true,
+            wall: None,
         };
         r.assert_clean();
     }

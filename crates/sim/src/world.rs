@@ -9,6 +9,7 @@
 //! function of (program, configuration, seed).
 
 use crate::event::{EventKind, EventQueue};
+use crate::kernel::KernelApi;
 use crate::op::{DsmOp, OpOutcome, OpResult};
 use crate::report::{RunReport, WaitTable};
 use crate::thread::{ThreadCtx, ThreadReq};
@@ -31,11 +32,11 @@ pub trait Server: Send {
     /// Handle an operation issued by a local application thread.
     ///
     /// Return [`OpOutcome::Done`] for local completion, or
-    /// [`OpOutcome::Blocked`] and later call [`Kernel::complete`] once the
+    /// [`OpOutcome::Blocked`] and later call [`KernelApi::complete`] once the
     /// protocol finishes the fault.
     fn on_op(
         &mut self,
-        kernel: &mut Kernel<Self::Payload>,
+        kernel: &mut dyn KernelApi<Self::Payload>,
         thread: ThreadId,
         op: DsmOp,
     ) -> OpOutcome;
@@ -43,13 +44,13 @@ pub trait Server: Send {
     /// Handle a protocol message from another node's server.
     fn on_message(
         &mut self,
-        kernel: &mut Kernel<Self::Payload>,
+        kernel: &mut dyn KernelApi<Self::Payload>,
         from: NodeId,
         payload: Self::Payload,
     );
 
-    /// Handle a timer previously registered with [`Kernel::set_timer`].
-    fn on_timer(&mut self, _kernel: &mut Kernel<Self::Payload>, _token: u64) {}
+    /// Handle a timer previously registered with [`KernelApi::set_timer`].
+    fn on_timer(&mut self, _kernel: &mut dyn KernelApi<Self::Payload>, _token: u64) {}
 
     /// Describe internal state for the deadlock report (diagnostic only).
     fn debug_stuck_state(&self) -> String {
@@ -224,6 +225,54 @@ impl<P: PayloadInfo + Clone> Kernel<P> {
     /// [`RunReport`]).
     pub fn stats(&self) -> &munin_net::NetStats {
         &self.stats_ext
+    }
+}
+
+/// The virtual-time kernel exposes its services through the kernel seam, so
+/// the same servers run here and on the real-time kernel (`munin-rt`).
+impl<P: PayloadInfo + Clone> KernelApi<P> for Kernel<P> {
+    fn now(&self) -> VirtualTime {
+        Kernel::now(self)
+    }
+    fn cost(&self) -> &CostModel {
+        Kernel::cost(self)
+    }
+    fn send(&mut self, src: NodeId, dst: NodeId, payload: P) {
+        Kernel::send(self, src, dst, payload)
+    }
+    fn multicast(&mut self, src: NodeId, dsts: &[NodeId], payload: P) {
+        Kernel::multicast(self, src, dsts, payload)
+    }
+    fn complete(&mut self, thread: ThreadId, result: OpResult, extra_cost_us: u64) {
+        Kernel::complete(self, thread, result, extra_cost_us)
+    }
+    fn set_timer(&mut self, node: NodeId, delay_us: u64, token: u64) {
+        Kernel::set_timer(self, node, delay_us, token)
+    }
+    fn register_decl(&mut self, decl: ObjectDecl, home: NodeId) -> ObjectId {
+        Kernel::register_decl(self, decl, home)
+    }
+    fn decl(&self, obj: ObjectId) -> Option<ObjectDecl> {
+        Kernel::decl(self, obj).cloned()
+    }
+    fn assoc_objects(&self, lock: munin_types::LockId) -> Vec<ObjectId> {
+        let mut v: Vec<ObjectId> = self
+            .registry
+            .values()
+            .filter(|d| d.associated_lock == Some(lock))
+            .map(|d| d.id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+    fn retype(&mut self, obj: ObjectId, sharing: munin_types::SharingType) {
+        Kernel::retype(self, obj, sharing)
+    }
+    fn registry_version(&self) -> u64 {
+        Kernel::registry_version(self)
+    }
+    fn error(&mut self, msg: String) {
+        Kernel::error(self, msg)
     }
 }
 
@@ -529,6 +578,7 @@ impl<S: Server> World<S> {
             thread_waits: self.kernel.threads.into_iter().map(|t| t.waits).collect(),
             errors: self.kernel.errors,
             deadlocked,
+            wall: None,
         }
     }
 
@@ -604,7 +654,12 @@ mod tests {
     impl Server for EchoServer {
         type Payload = EchoMsg;
 
-        fn on_op(&mut self, k: &mut Kernel<EchoMsg>, thread: ThreadId, op: DsmOp) -> OpOutcome {
+        fn on_op(
+            &mut self,
+            k: &mut dyn KernelApi<EchoMsg>,
+            thread: ThreadId,
+            op: DsmOp,
+        ) -> OpOutcome {
             match op {
                 DsmOp::Read { range, .. } => {
                     if self.node == NodeId(1) {
@@ -620,7 +675,7 @@ mod tests {
             }
         }
 
-        fn on_message(&mut self, k: &mut Kernel<EchoMsg>, from: NodeId, payload: EchoMsg) {
+        fn on_message(&mut self, k: &mut dyn KernelApi<EchoMsg>, from: NodeId, payload: EchoMsg) {
             match payload {
                 EchoMsg::Req { thread, len } => {
                     self.served += 1;
@@ -726,13 +781,13 @@ mod tests {
 
     impl Server for BlackHoleServer {
         type Payload = EchoMsg;
-        fn on_op(&mut self, _k: &mut Kernel<EchoMsg>, _t: ThreadId, op: DsmOp) -> OpOutcome {
+        fn on_op(&mut self, _k: &mut dyn KernelApi<EchoMsg>, _t: ThreadId, op: DsmOp) -> OpOutcome {
             match op {
                 DsmOp::Read { .. } => OpOutcome::Blocked,
                 _ => OpOutcome::unit(0),
             }
         }
-        fn on_message(&mut self, _k: &mut Kernel<EchoMsg>, _f: NodeId, _p: EchoMsg) {}
+        fn on_message(&mut self, _k: &mut dyn KernelApi<EchoMsg>, _f: NodeId, _p: EchoMsg) {}
     }
 
     #[test]

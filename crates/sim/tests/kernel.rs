@@ -4,7 +4,7 @@
 
 use munin_net::{MsgClass, PayloadInfo};
 use munin_sim::{
-    DsmOp, Kernel, OpOutcome, OpResult, Server, ThreadCtx, TraceEvent, Tracer, TransportConfig,
+    DsmOp, KernelApi, OpOutcome, OpResult, Server, ThreadCtx, TraceEvent, Tracer, TransportConfig,
     WorldBuilder,
 };
 use munin_types::{ByteRange, CostModel, NodeId, ObjectId, ThreadId, VirtualTime};
@@ -37,7 +37,7 @@ struct TimerServer {
 impl Server for TimerServer {
     type Payload = Ping;
 
-    fn on_op(&mut self, k: &mut Kernel<Ping>, thread: ThreadId, op: DsmOp) -> OpOutcome {
+    fn on_op(&mut self, k: &mut dyn KernelApi<Ping>, thread: ThreadId, op: DsmOp) -> OpOutcome {
         match op {
             DsmOp::Read { .. } => {
                 self.pending = Some(thread);
@@ -48,9 +48,9 @@ impl Server for TimerServer {
         }
     }
 
-    fn on_message(&mut self, _k: &mut Kernel<Ping>, _f: NodeId, _p: Ping) {}
+    fn on_message(&mut self, _k: &mut dyn KernelApi<Ping>, _f: NodeId, _p: Ping) {}
 
-    fn on_timer(&mut self, k: &mut Kernel<Ping>, token: u64) {
+    fn on_timer(&mut self, k: &mut dyn KernelApi<Ping>, token: u64) {
         self.fired.lock().unwrap().push((token, k.now().as_micros()));
         if token < 3 {
             k.set_timer(self.node, 100, token + 1);
@@ -115,7 +115,7 @@ impl PingServer {
 impl Server for PingServer {
     type Payload = Ping;
 
-    fn on_op(&mut self, k: &mut Kernel<Ping>, thread: ThreadId, op: DsmOp) -> OpOutcome {
+    fn on_op(&mut self, k: &mut dyn KernelApi<Ping>, thread: ThreadId, op: DsmOp) -> OpOutcome {
         match op {
             DsmOp::Read { .. } => {
                 self.waiting.push_back(thread);
@@ -126,7 +126,7 @@ impl Server for PingServer {
         }
     }
 
-    fn on_message(&mut self, k: &mut Kernel<Ping>, from: NodeId, _p: Ping) {
+    fn on_message(&mut self, k: &mut dyn KernelApi<Ping>, from: NodeId, _p: Ping) {
         if let Some(t) = self.waiting.pop_front() {
             k.complete(t, OpResult::Bytes(vec![1]), 0);
         } else {

@@ -1,9 +1,30 @@
 #!/usr/bin/env bash
-# Run the flush-pipeline benchmark and regenerate BENCH_flush.json (the
-# perf-trajectory record at the workspace root). Extra args are forwarded to
-# `cargo bench`.
+# Regenerate the perf-trajectory records at the workspace root:
+#   BENCH_flush.json — flush-pipeline diff throughput (virtual-time kernel)
+#   BENCH_rt.json    — wall-clock speedup vs worker count (real-time kernel)
+# Usage:
+#   scripts/bench.sh [flush|rt|all] [extra cargo-bench args...]
+# A first argument that is not a selector is treated as a cargo-bench arg
+# and both benches run (so `scripts/bench.sh --quiet` still works).
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cargo bench --bench flush "$@"
-echo "--- BENCH_flush.json ---"
-cat BENCH_flush.json
+
+which="all"
+case "${1:-}" in
+    flush | rt | all)
+        which="$1"
+        shift
+        ;;
+esac
+
+if [ "$which" = "flush" ] || [ "$which" = "all" ]; then
+    cargo bench --bench flush "$@"
+    echo "--- BENCH_flush.json ---"
+    cat BENCH_flush.json
+fi
+
+if [ "$which" = "rt" ] || [ "$which" = "all" ]; then
+    cargo bench --bench runtime_rt "$@"
+    echo "--- BENCH_rt.json ---"
+    cat BENCH_rt.json
+fi

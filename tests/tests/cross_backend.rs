@@ -1,17 +1,57 @@
 //! Cross-crate integration: every study application must produce the
 //! sequential-reference result on every backend — Munin (loose, type-
-//! specific), Ivy (strict, page-based, spin or central sync), and native
-//! threads — and Munin must also stay correct under its ablation
-//! configurations.
+//! specific), Ivy (strict, page-based, spin or central sync), native
+//! threads, and the real-time MuninRt/IvyRt kernels — and Munin must also
+//! stay correct under its ablation configurations.
 
 use munin_api::Backend;
 use munin_apps::App;
 use munin_types::{IvyConfig, MuninConfig, ReadMostlyMode, SharingType, UpdatePolicy};
 
 fn run_app(app: App, nodes: usize, backend: Backend) {
+    let name = backend.name();
     let (p, verify) = app.build_default(nodes);
     p.run(backend).assert_clean();
-    verify();
+    // verify() panics on mismatch; wrap so a failure names the matrix cell
+    // that produced it.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(verify));
+    if let Err(p) = outcome {
+        let msg = p
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        panic!("{} x{nodes} on {name}: wrong result: {msg}", app.name());
+    }
+}
+
+/// The five backends every program must agree on, freshly configured (the
+/// real-time kernels are scheduled by the OS, so each run is a genuinely
+/// different interleaving — the agreement asserted here is semantic, not
+/// rerun-of-the-same-schedule).
+fn all_backends() -> Vec<Backend> {
+    vec![
+        Backend::Munin(MuninConfig::default()),
+        Backend::Ivy(IvyConfig::default()),
+        Backend::Native,
+        Backend::MuninRt(MuninConfig::default()),
+        Backend::IvyRt(IvyConfig::default()),
+    ]
+}
+
+/// The full matrix of the paper's six applications: every backend, at one
+/// worker (trivial placement, everything local) and at four (real traffic,
+/// and — on the rt backends — real parallelism), all producing the
+/// sequential reference result bit for bit.
+#[test]
+fn all_apps_bit_identical_across_all_backends_at_1_and_4_workers() {
+    for nodes in [1usize, 4] {
+        for app in App::ALL {
+            for backend in all_backends() {
+                run_app(app, nodes, backend);
+            }
+        }
+    }
 }
 
 #[test]
