@@ -17,7 +17,7 @@ pub struct KindStat {
 }
 
 /// Aggregated network statistics for one run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetStats {
     /// Total messages placed on the wire (multicast counted per actual
     /// transmission under the configured hardware model).

@@ -1,13 +1,33 @@
 //! Shared run state: the channels and atomics that stitch node servers,
 //! application threads, the timer thread and the watchdog together.
 
-use munin_net::NetStats;
 use munin_sim::DsmOp;
 use munin_types::{NodeId, ObjectDecl, ObjectId, ThreadId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
+
+/// A protocol payload travelling through the channel fabric. Unicast sends
+/// move the payload; multicast fan-outs share one allocation behind an
+/// `Arc` so a K-way fan-out never deep-clones the payload at send time —
+/// receivers unwrap it, and only receivers that race with a still-live
+/// sibling copy pay a clone (the last consumer never does).
+pub(crate) enum MsgBody<P> {
+    Owned(P),
+    Shared(Arc<P>),
+}
+
+impl<P: Clone> MsgBody<P> {
+    /// Take the payload, cloning only when another destination of the same
+    /// multicast still holds the allocation.
+    pub fn into_payload(self) -> P {
+        match self {
+            MsgBody::Owned(p) => p,
+            MsgBody::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()),
+        }
+    }
+}
 
 /// One event in a node server's inbox. The server thread drains these in
 /// arrival order; everything a server does happens on its own thread, so
@@ -17,7 +37,13 @@ pub(crate) enum NodeEvent<P> {
     /// A local application thread issued a DSM operation.
     Op(ThreadId, DsmOp),
     /// A protocol message from another node's server.
-    Msg(NodeId, P),
+    Msg(NodeId, MsgBody<P>),
+    /// Every protocol message one peer server sent here during one of its
+    /// server steps, coalesced into a single channel operation (items are
+    /// `(src, payload)` in send order, so per-(src,dst) FIFO is exactly the
+    /// order of this vector). A K-item flush fan-out costs the fabric one
+    /// send and one receiver wake-up instead of K.
+    Batch(Vec<(NodeId, MsgBody<P>)>),
     /// A timer armed via `KernelApi::set_timer` came due.
     Timer(u64),
     /// The watchdog wants `debug_stuck_state` captured into the error log.
@@ -41,8 +67,6 @@ pub(crate) struct Shared {
     pub next_object: AtomicU64,
     /// Run errors (panics, stalls, server-reported invariant violations).
     pub errors: Mutex<Vec<String>>,
-    /// Protocol traffic accounting (message/byte counts by kind).
-    pub stats: Mutex<NetStats>,
     /// Bumped every time any server thread processes an inbox event. The
     /// watchdog reads it to distinguish "slow" from "stuck".
     pub activity: AtomicU64,
@@ -50,8 +74,13 @@ pub(crate) struct Shared {
     pub blocked: AtomicUsize,
     /// Application threads that have not yet finished their body.
     pub live: AtomicUsize,
-    /// Timers armed but not yet fired (maintained by the timer thread; a
-    /// pending timer means the run can still make progress on its own).
+    /// Timers armed but not yet *delivered*: incremented by the arming
+    /// kernel before the request is even mailed to the timer thread, and
+    /// decremented by the timer thread only after the fired `Timer` event
+    /// is in the destination inbox. Strictly additive on both sides so the
+    /// watchdog can never observe "no pending timer" while a timer request
+    /// or a fired event is still in flight (a pending timer means the run
+    /// can still make progress on its own).
     pub timers_pending: AtomicUsize,
     /// Set by the watchdog on stall: blocked threads panic out of their
     /// recv loops, server loops exit, the run tears down instead of hanging.
@@ -72,7 +101,6 @@ impl Shared {
             registry_version: AtomicU64::new(0),
             next_object: AtomicU64::new(next_object),
             errors: Mutex::new(Vec::new()),
-            stats: Mutex::new(NetStats::new()),
             activity: AtomicU64::new(0),
             blocked: AtomicUsize::new(0),
             live: AtomicUsize::new(n_threads),

@@ -2,7 +2,7 @@
 //! [`munin_sim::KernelApi`] seam over channels, atomics and wall-clock
 //! timers.
 
-use crate::fabric::{NodeEvent, Shared};
+use crate::fabric::{MsgBody, NodeEvent, Shared};
 use crate::timer::TimerReq;
 use munin_net::PayloadInfo;
 use munin_sim::{KernelApi, OpResult};
@@ -19,6 +19,15 @@ use std::time::{Duration, Instant};
 /// through A's clone of B's channel, preserving the per-(src,dst) FIFO
 /// ordering the protocols assume. Send failures are ignored by design: they
 /// only happen when the destination already shut down during teardown.
+///
+/// With `coalesce` on (the default), protocol sends issued while the server
+/// handles one batch of inbox events are buffered per destination and
+/// flushed as a single [`NodeEvent::Batch`] channel message when the step
+/// ends ([`KernelApi::flush_outbound`], called by the server loop before it
+/// blocks again) — a K-item fan-out costs the fabric one channel operation
+/// and one receiver wake-up per destination instead of one per item. The
+/// outbox is strictly per-destination and in send order, so coalescing
+/// never reorders a (src,dst) pair.
 pub struct RtKernel<P> {
     pub(crate) node: NodeId,
     pub(crate) cost: CostModel,
@@ -26,17 +35,31 @@ pub struct RtKernel<P> {
     pub(crate) resumes: Vec<Sender<OpResult>>,
     pub(crate) timer_tx: Sender<TimerReq>,
     pub(crate) shared: Arc<Shared>,
-    /// Per-kernel traffic accounting, merged into the shared totals when
-    /// the server loop exits — keeps the send path free of cross-node
-    /// locking.
+    /// Per-kernel traffic accounting, returned by the owning server thread
+    /// when its loop exits and merged into the run totals there — keeps the
+    /// send path free of cross-node locking.
     pub(crate) stats: munin_net::NetStats,
+    /// Coalesce outbound sends into per-destination batches (see above);
+    /// off reproduces the one-channel-send-per-message fabric.
+    pub(crate) coalesce: bool,
+    /// Outbound messages buffered during the current server step, one queue
+    /// per destination node.
+    pub(crate) outbox: Vec<Vec<(NodeId, MsgBody<P>)>>,
 }
 
 impl<P> RtKernel<P> {
-    /// Fold this node's traffic counters into the run totals (called once,
-    /// when the owning server loop exits).
-    pub(crate) fn publish_stats(&mut self) {
-        self.shared.stats.lock().expect("stats lock poisoned").merge(&self.stats);
+    /// This node's traffic counters, taken by the owning server loop when
+    /// it exits (the world merges every node's share into the run totals).
+    pub(crate) fn take_stats(&mut self) -> munin_net::NetStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    fn deliver(&mut self, dst: NodeId, src: NodeId, body: MsgBody<P>) {
+        if self.coalesce {
+            self.outbox[dst.index()].push((src, body));
+        } else {
+            let _ = self.inboxes[dst.index()].send(NodeEvent::Msg(src, body));
+        }
     }
 }
 
@@ -53,7 +76,7 @@ impl<P: PayloadInfo + Clone> KernelApi<P> for RtKernel<P> {
         debug_assert_eq!(src, self.node, "rt kernels send on behalf of their own node");
         debug_assert_ne!(src, dst, "servers handle local work locally, not by self-send");
         self.stats.record(payload.class(), payload.kind(), payload.wire_bytes());
-        let _ = self.inboxes[dst.index()].send(NodeEvent::Msg(src, payload));
+        self.deliver(dst, src, MsgBody::Owned(payload));
     }
 
     fn multicast(&mut self, src: NodeId, dsts: &[NodeId], payload: P) {
@@ -65,11 +88,35 @@ impl<P: PayloadInfo + Clone> KernelApi<P> for RtKernel<P> {
         for _ in dsts {
             self.stats.record(payload.class(), payload.kind(), payload.wire_bytes());
         }
-        // No hardware multicast on a channel fabric: fanout == sends.
+        // No hardware multicast on a channel fabric: fanout == sends. The
+        // *payload*, however, is shared — one `Arc` for every destination
+        // instead of a deep clone per destination.
         self.stats.record_multicast(dsts.len(), dsts.len());
+        let shared_payload = Arc::new(payload);
         for &dst in dsts {
             debug_assert_ne!(src, dst);
-            let _ = self.inboxes[dst.index()].send(NodeEvent::Msg(src, payload.clone()));
+            self.deliver(dst, src, MsgBody::Shared(shared_payload.clone()));
+        }
+    }
+
+    fn flush_outbound(&mut self) {
+        if !self.coalesce {
+            return;
+        }
+        for dst in 0..self.outbox.len() {
+            match self.outbox[dst].len() {
+                0 => continue,
+                // A lone message needs no batch wrapper (and no Vec on the
+                // receiving side).
+                1 => {
+                    let (src, body) = self.outbox[dst].pop().expect("len checked");
+                    let _ = self.inboxes[dst].send(NodeEvent::Msg(src, body));
+                }
+                _ => {
+                    let items = std::mem::take(&mut self.outbox[dst]);
+                    let _ = self.inboxes[dst].send(NodeEvent::Batch(items));
+                }
+            }
         }
     }
 
@@ -80,11 +127,17 @@ impl<P: PayloadInfo + Clone> KernelApi<P> for RtKernel<P> {
     }
 
     fn set_timer(&mut self, node: NodeId, delay_us: u64, token: u64) {
-        let _ = self.timer_tx.send(TimerReq {
-            due: Instant::now() + Duration::from_micros(delay_us),
-            node,
-            token,
-        });
+        // Count the timer as pending *before* the request is mailed, so the
+        // watchdog can never catch the arm in flight (it would otherwise
+        // see "all threads blocked, no activity, no pending timer" while
+        // the request sits in the timer thread's queue).
+        self.shared.timers_pending.fetch_add(1, Ordering::Release);
+        let req = TimerReq { due: Instant::now() + Duration::from_micros(delay_us), node, token };
+        if self.timer_tx.send(req).is_err() {
+            // Teardown: the timer thread is gone, the timer will never
+            // fire — don't leave the counter stuck above zero.
+            self.shared.timers_pending.fetch_sub(1, Ordering::Release);
+        }
     }
 
     fn register_decl(&mut self, mut decl: ObjectDecl, home: NodeId) -> ObjectId {

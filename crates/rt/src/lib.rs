@@ -26,6 +26,19 @@
 //! * **per-pair FIFO transport** — each kernel owns its own sender clone
 //!   per destination, so the per-(src,dst) FIFO ordering the protocols
 //!   assume carries over from the simulated transport;
+//! * **a batched message pipeline** — server loops drain their inbox in
+//!   bounded batches (one blocking `recv` plus `try_recv`s up to
+//!   [`RtTuning::batch_max`], one watchdog activity bump per batch), and
+//!   every protocol message a server sends while handling one batch is
+//!   coalesced into a single channel message per destination
+//!   (`NodeEvent::Batch`, flushed through `KernelApi::flush_outbound`
+//!   before the loop blocks again). A K-item flush or eager fan-out costs
+//!   the fabric one send and one receiver wake-up per destination instead
+//!   of one per item; multicast payloads are shared behind an `Arc` rather
+//!   than deep-cloned per destination. Batching never reorders a
+//!   (src,dst) pair — batch items are delivered in send order — and
+//!   `RtTuning::unbatched()` restores the one-message-per-send fabric for
+//!   A/B measurement (`benches/traffic_rt.rs`);
 //! * **a wall-clock timer thread** replacing virtual-time timers (Ivy's
 //!   spin backoff and barrier sense polling work unmodified);
 //! * **a stall watchdog** replacing quiescence-based deadlock detection:

@@ -6,7 +6,7 @@ use crate::fabric::{NodeEvent, Shared};
 use crate::kernel::RtKernel;
 use crate::timer::run_timer_thread;
 use munin_sim::report::{RunReport, WaitTable, WallClock};
-use munin_sim::{DsmOp, OpOutcome, Server};
+use munin_sim::{DsmOp, KernelApi, OpOutcome, Server};
 use munin_types::{CostModel, NodeId, ObjectDecl, ObjectId, ThreadId, VirtualTime};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
@@ -43,6 +43,17 @@ pub struct RtTuning {
     pub stall_timeout: Duration,
     /// Watchdog sampling period.
     pub watchdog_poll: Duration,
+    /// Most inbox events one server wake-up drains (and processes under a
+    /// single activity-epoch bump) before flushing its outbound batches and
+    /// re-checking the channel. `1` reproduces the one-event-per-wake-up
+    /// fabric; larger values amortize channel and wake-up overhead under
+    /// heavy traffic.
+    pub batch_max: usize,
+    /// Coalesce the protocol messages a server sends during one step into
+    /// one channel message per destination (flush-fan-out batching; see
+    /// [`crate::RtKernel`]). Off, every protocol message is its own
+    /// channel send.
+    pub coalesce: bool,
 }
 
 impl Default for RtTuning {
@@ -56,7 +67,21 @@ impl Default for RtTuning {
             compute_scale: 1.0,
             stall_timeout: Duration::from_millis(stall_ms),
             watchdog_poll: Duration::from_millis(50),
+            batch_max: 128,
+            coalesce: true,
         }
+    }
+}
+
+impl RtTuning {
+    /// The pre-batching fabric: one inbox event per wake-up, one channel
+    /// send per protocol message. The baseline the batching pipeline is
+    /// benchmarked against (`benches/traffic_rt.rs`), and a useful A/B for
+    /// tests asserting batching changes no observable result.
+    pub fn unbatched(mut self) -> Self {
+        self.batch_max = 1;
+        self.coalesce = false;
+        self
     }
 }
 
@@ -73,7 +98,7 @@ pub struct RtWorldBuilder<P> {
     spawns: Vec<(NodeId, Box<dyn FnOnce(&mut RtCtx<P>) + Send + 'static>)>,
 }
 
-impl<P: Send + Clone + 'static> RtWorldBuilder<P> {
+impl<P: Send + Sync + Clone + 'static> RtWorldBuilder<P> {
     pub fn new(n_nodes: usize) -> Self {
         assert!(n_nodes > 0, "a world needs at least one node");
         assert!(n_nodes <= u16::MAX as usize, "node ids are u16");
@@ -176,11 +201,14 @@ impl<P: Send + Clone + 'static> RtWorldBuilder<P> {
                 timer_tx: timer_tx.clone(),
                 shared: shared.clone(),
                 stats: munin_net::NetStats::new(),
+                coalesce: self.tuning.coalesce,
+                outbox: (0..n_nodes).map(|_| Vec::new()).collect(),
             };
+            let batch_max = self.tuning.batch_max;
             server_joins.push(
                 std::thread::Builder::new()
                     .name(format!("rt-node-{i}"))
-                    .spawn(move || server_loop(server, kernel, inbox))
+                    .spawn(move || server_loop(server, kernel, inbox, batch_max))
                     .expect("failed to spawn server thread"),
             );
         }
@@ -254,15 +282,20 @@ impl<P: Send + Clone + 'static> RtWorldBuilder<P> {
         for tx in &inbox_txs {
             let _ = tx.send(NodeEvent::Shutdown);
         }
+        // Each server thread returns its node's traffic shard; summing them
+        // here at teardown is the only place the counters ever meet — the
+        // send path never touches a cross-node lock.
+        let mut stats = munin_net::NetStats::new();
         for j in server_joins {
-            let _ = j.join();
+            if let Ok(node_stats) = j.join() {
+                stats.merge(&node_stats);
+            }
         }
         drop(inbox_txs);
         drop(timer_tx);
         let _ = timer_join.join();
 
         let elapsed = shared.start.elapsed();
-        let stats = shared.stats.lock().expect("stats poisoned").clone();
         let errors = shared.errors.lock().expect("error log poisoned").clone();
         RunReport {
             finished_at: VirtualTime::micros(
@@ -278,20 +311,32 @@ impl<P: Send + Clone + 'static> RtWorldBuilder<P> {
     }
 }
 
-/// One node's event loop: drain the inbox, hand everything to the server.
-/// Single-threaded per node by construction — the concurrency model the
-/// protocol servers were written for.
+/// One node's event loop: drain the inbox in bounded batches, hand
+/// everything to the server. Single-threaded per node by construction —
+/// the concurrency model the protocol servers were written for.
+///
+/// Each wake-up takes one blocking `recv` then greedily `try_recv`s up to
+/// `batch_max` events in total, under a single activity-epoch bump; the
+/// step ends by flushing the kernel's coalesced outbound batches (so
+/// nothing this step sent can be stranded while the loop blocks again).
+/// Returns this node's traffic shard for the world to merge at teardown.
 fn server_loop<S: Server>(
     mut server: S,
     mut kernel: RtKernel<S::Payload>,
     inbox: Receiver<NodeEvent<S::Payload>>,
-) {
+    batch_max: usize,
+) -> munin_net::NetStats {
     let shared = kernel.shared.clone();
     let node = kernel.node;
-    loop {
-        let ev = match inbox.recv_timeout(Duration::from_millis(50)) {
+    let batch_max = batch_max.max(1);
+    let mut done = false;
+    while !done {
+        let first = match inbox.recv_timeout(Duration::from_millis(50)) {
             Ok(ev) => ev,
             Err(RecvTimeoutError::Timeout) => {
+                // An idle poll is *not* activity — bumping the epoch here
+                // would reset the watchdog's stability window every 50 ms
+                // and stop it from ever firing on a genuinely stalled run.
                 if shared.is_poisoned() {
                     break;
                 }
@@ -299,30 +344,53 @@ fn server_loop<S: Server>(
             }
             Err(RecvTimeoutError::Disconnected) => break,
         };
+        // One epoch bump covers the whole drained batch: the watchdog only
+        // needs to know the server made progress, not how much.
         shared.mark_activity();
-        match ev {
-            NodeEvent::Op(thread, op) => match server.on_op(&mut kernel, thread, op) {
-                OpOutcome::Done { result, cost_us: _ } => {
-                    let _ = kernel.resumes[thread.index()].send(result);
-                }
-                OpOutcome::Blocked => {}
-            },
-            NodeEvent::Msg(from, payload) => server.on_message(&mut kernel, from, payload),
-            NodeEvent::Timer(token) => server.on_timer(&mut kernel, token),
-            NodeEvent::DumpStuck => {
-                let dump = server.debug_stuck_state();
-                if !dump.is_empty() {
-                    let msg = format!("[stall dump n{}] {dump}", node.index());
-                    if shared.debug_errors {
-                        eprintln!("{msg}");
+        let mut next = Some(first);
+        let mut handled = 0usize;
+        while let Some(ev) = next {
+            handled += 1;
+            match ev {
+                NodeEvent::Op(thread, op) => match server.on_op(&mut kernel, thread, op) {
+                    OpOutcome::Done { result, cost_us: _ } => {
+                        let _ = kernel.resumes[thread.index()].send(result);
                     }
-                    shared.errors.lock().expect("error log poisoned").push(msg);
+                    OpOutcome::Blocked => {}
+                },
+                NodeEvent::Msg(from, body) => {
+                    server.on_message(&mut kernel, from, body.into_payload());
+                }
+                NodeEvent::Batch(items) => {
+                    // One channel op from one peer step; per-(src,dst) FIFO
+                    // is the vector order.
+                    for (from, body) in items {
+                        server.on_message(&mut kernel, from, body.into_payload());
+                    }
+                }
+                NodeEvent::Timer(token) => server.on_timer(&mut kernel, token),
+                NodeEvent::DumpStuck => {
+                    let dump = server.debug_stuck_state();
+                    if !dump.is_empty() {
+                        let msg = format!("[stall dump n{}] {dump}", node.index());
+                        if shared.debug_errors {
+                            eprintln!("{msg}");
+                        }
+                        shared.errors.lock().expect("error log poisoned").push(msg);
+                    }
+                }
+                NodeEvent::Shutdown => {
+                    done = true;
+                    break;
                 }
             }
-            NodeEvent::Shutdown => break,
+            next = if handled < batch_max { inbox.try_recv().ok() } else { None };
         }
+        // Everything the server sent while handling this batch goes out as
+        // one channel message per destination, before the loop can block.
+        kernel.flush_outbound();
     }
-    kernel.publish_stats();
+    kernel.take_stats()
 }
 
 /// The real-time replacement for quiescence-based deadlock detection: a
@@ -330,7 +398,7 @@ fn server_loop<S: Server>(
 /// DSM operation, no server has processed an event for `stall_timeout`,
 /// and no timer is pending. On stall: report, capture every server's
 /// `debug_stuck_state`, then poison the run so blocked threads tear down.
-fn watchdog<P: Send + 'static>(
+fn watchdog<P: Send + Sync + 'static>(
     shared: Arc<Shared>,
     inboxes: Vec<Sender<NodeEvent<P>>>,
     tuning: RtTuning,

@@ -47,6 +47,15 @@ pub trait KernelApi<P: PayloadInfo + Clone> {
     /// so simulator traces stay stable across refactorings.
     fn multicast(&mut self, src: NodeId, dsts: &[NodeId], payload: P);
 
+    /// End-of-step batching hook: kernels that coalesce outbound sends
+    /// flush everything buffered since the last call as one channel
+    /// message per destination. The hosting event loop calls this after
+    /// each bounded batch of server events, before it can block again, so
+    /// no buffered message is ever stranded behind a sleeping server. The
+    /// virtual-time kernel delivers every send eagerly into its event
+    /// queue, so its implementation is the default no-op.
+    fn flush_outbound(&mut self) {}
+
     /// Complete a blocked thread's pending operation. `extra_cost_us` is
     /// virtual time on the simulator; the real-time kernel resumes the
     /// thread immediately (its cost *is* the elapsed wall clock).

@@ -31,7 +31,7 @@ impl WallClock {
 }
 
 /// Result of running a [`crate::World`] to completion.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Virtual time when the last event was processed. On the real-time
     /// kernel this mirrors `wall` (microseconds of real elapsed time).

@@ -243,6 +243,10 @@ impl<P: PayloadInfo + Clone> KernelApi<P> for Kernel<P> {
     fn multicast(&mut self, src: NodeId, dsts: &[NodeId], payload: P) {
         Kernel::multicast(self, src, dsts, payload)
     }
+    fn flush_outbound(&mut self) {
+        // Trivial pass-through: `send`/`multicast` already pushed their
+        // deliveries into the event queue — there is nothing buffered.
+    }
     fn complete(&mut self, thread: ThreadId, result: OpResult, extra_cost_us: u64) {
         Kernel::complete(self, thread, result, extra_cost_us)
     }

@@ -2,8 +2,9 @@
 # Regenerate the perf-trajectory records at the workspace root:
 #   BENCH_flush.json — flush-pipeline diff throughput (virtual-time kernel)
 #   BENCH_rt.json    — wall-clock speedup vs worker count (real-time kernel)
+#   BENCH_traffic.json — batched vs unbatched rt fabric throughput
 # Usage:
-#   scripts/bench.sh [flush|rt|all] [extra cargo-bench args...]
+#   scripts/bench.sh [flush|rt|traffic|all] [extra cargo-bench args...]
 # A first argument that is not a selector is treated as a cargo-bench arg
 # and both benches run (so `scripts/bench.sh --quiet` still works).
 set -euo pipefail
@@ -11,7 +12,7 @@ cd "$(dirname "$0")/.."
 
 which="all"
 case "${1:-}" in
-    flush | rt | all)
+    flush | rt | traffic | all)
         which="$1"
         shift
         ;;
@@ -27,4 +28,10 @@ if [ "$which" = "rt" ] || [ "$which" = "all" ]; then
     cargo bench --bench runtime_rt "$@"
     echo "--- BENCH_rt.json ---"
     cat BENCH_rt.json
+fi
+
+if [ "$which" = "traffic" ] || [ "$which" = "all" ]; then
+    cargo bench --bench traffic_rt "$@"
+    echo "--- BENCH_traffic.json ---"
+    cat BENCH_traffic.json
 fi

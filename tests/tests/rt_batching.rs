@@ -1,0 +1,181 @@
+//! The batched rt message pipeline must be an invisible optimization:
+//! coalescing inbox drains and outbound fan-outs changes how many *channel*
+//! operations the fabric performs, never which *protocol* messages flow or
+//! what the program computes. These tests run the same programs with the
+//! default batched tuning and with `RtTuning::unbatched()` (one event per
+//! wake-up, one channel send per message — the pre-batching fabric) and
+//! assert results, and where the protocol traffic is deterministic by
+//! construction, the entire `NetStats` block, are identical.
+
+use munin_api::{Backend, ComputeMode, Par, ParTyped, ProgramBuilder, RtTuning};
+use munin_net::NetStats;
+use munin_sim::RunReport;
+use munin_types::{IvyConfig, MuninConfig, SharingType};
+use std::time::Duration;
+
+fn base_tuning() -> RtTuning {
+    let mut t = RtTuning::default();
+    t.compute = ComputeMode::Skip;
+    t.stall_timeout = Duration::from_secs(5);
+    t
+}
+
+/// Round-robin lock counter: in round `r` only thread `r % N` takes the
+/// lock, with a barrier between rounds. The lock token therefore migrates
+/// in one fixed order regardless of OS scheduling, which makes the protocol
+/// traffic — not just the result — deterministic, so batched and unbatched
+/// runs must produce byte-identical `NetStats`.
+fn ordered_lock_counter(nodes: usize, rounds: usize, tuning: RtTuning) -> ProgramBuilder {
+    let mut p = ProgramBuilder::new(nodes);
+    p.rt_tuning(tuning);
+    let ctr = p.scalar::<i64>("ctr", SharingType::GeneralReadWrite, 0);
+    let l = p.lock(0);
+    let bar = p.barrier(0, nodes as u32);
+    for t in 0..nodes {
+        p.thread(t, move |par: &mut dyn Par| {
+            for r in 0..rounds {
+                if r % par.n_threads() == par.self_id() {
+                    par.lock(l);
+                    let v = par.load(&ctr);
+                    par.store(&ctr, v + 1);
+                    par.unlock(l);
+                }
+                par.barrier(bar);
+            }
+            // One designated checker: a concurrent check from every thread
+            // would re-race the lock, and the token migration order (hence
+            // the message count) would stop being deterministic.
+            if par.self_id() == 0 {
+                par.lock(l);
+                let total = par.load(&ctr);
+                par.unlock(l);
+                assert_eq!(total, rounds as i64, "lost update under ordered locking");
+            }
+        });
+    }
+    p
+}
+
+/// Contended lock counter (every thread hammers the lock concurrently).
+/// Message counts here legitimately vary run to run — the token migration
+/// order is whatever the OS race produced — so this asserts only that the
+/// *result* is exact under both fabrics while real contention stresses the
+/// batch path.
+fn contended_lock_counter(nodes: usize, iters: usize, tuning: RtTuning) -> ProgramBuilder {
+    let mut p = ProgramBuilder::new(nodes);
+    p.rt_tuning(tuning);
+    let ctr = p.scalar::<i64>("ctr", SharingType::GeneralReadWrite, 0);
+    let l = p.lock(0);
+    let bar = p.barrier(0, nodes as u32);
+    for t in 0..nodes {
+        p.thread(t, move |par: &mut dyn Par| {
+            for _ in 0..iters {
+                par.lock(l);
+                let v = par.load(&ctr);
+                par.store(&ctr, v + 1);
+                par.unlock(l);
+            }
+            par.barrier(bar);
+            par.lock(l);
+            let total = par.load(&ctr);
+            par.unlock(l);
+            assert_eq!(total, (iters * par.n_threads()) as i64, "lost update under contention");
+        });
+    }
+    p
+}
+
+fn run_report(p: ProgramBuilder, backend: Backend) -> RunReport {
+    let o = p.run(backend);
+    o.assert_clean();
+    o.report().clone()
+}
+
+fn assert_stats_identical(batched: &NetStats, unbatched: &NetStats, what: &str) {
+    assert_eq!(
+        batched.messages, unbatched.messages,
+        "{what}: batching changed the protocol message count"
+    );
+    assert_eq!(batched.bytes, unbatched.bytes, "{what}: batching changed wire bytes");
+    assert_eq!(batched, unbatched, "{what}: batching changed the traffic breakdown");
+}
+
+#[test]
+fn ordered_lock_counter_identical_stats_batched_vs_unbatched_munin_rt() {
+    let batched = run_report(
+        ordered_lock_counter(4, 12, base_tuning()),
+        Backend::MuninRt(MuninConfig::default()),
+    );
+    let unbatched = run_report(
+        ordered_lock_counter(4, 12, base_tuning().unbatched()),
+        Backend::MuninRt(MuninConfig::default()),
+    );
+    assert_stats_identical(&batched.stats, &unbatched.stats, "ordered lock counter (MuninRt)");
+    assert_eq!(batched.ops, unbatched.ops, "op counts must match");
+}
+
+#[test]
+fn ordered_lock_counter_identical_stats_batched_vs_unbatched_ivy_rt_central() {
+    // Central-server locks keep Ivy's sync traffic deterministic too (the
+    // spin path arms wall-clock backoff timers, whose counts are timing-
+    // dependent by nature).
+    let cfg = IvyConfig::default().with_central_locks();
+    let batched =
+        run_report(ordered_lock_counter(4, 12, base_tuning()), Backend::IvyRt(cfg.clone()));
+    let unbatched =
+        run_report(ordered_lock_counter(4, 12, base_tuning().unbatched()), Backend::IvyRt(cfg));
+    assert_stats_identical(&batched.stats, &unbatched.stats, "ordered lock counter (IvyRt)");
+}
+
+#[test]
+fn contended_lock_counter_exact_result_batched_and_unbatched() {
+    for tuning in [base_tuning(), base_tuning().unbatched()] {
+        contended_lock_counter(4, 40, tuning.clone())
+            .run(Backend::MuninRt(MuninConfig::default()))
+            .assert_clean();
+        contended_lock_counter(4, 25, tuning)
+            .run(Backend::IvyRt(IvyConfig::default()))
+            .assert_clean();
+    }
+}
+
+/// Life is the flush-heavy study app: boundary rows are eager
+/// producer-consumer objects, so every generation ends in a flush whose
+/// updates fan out to every copyholder — exactly the traffic the outbound
+/// coalescer batches. Its phases are barrier-separated, so its protocol
+/// traffic is schedule-independent: batched and unbatched runs must agree
+/// on the result *and* on every traffic counter.
+#[test]
+fn life_flush_fanout_identical_results_and_stats_batched_vs_unbatched() {
+    use munin_apps::life;
+    let cfg = life::LifeCfg { width: 48, height: 48, generations: 6, nodes: 4, seed: 17 };
+    let want = life::reference(&cfg);
+
+    let mut reports = Vec::new();
+    for tuning in [base_tuning(), base_tuning().unbatched()] {
+        let (mut p, out) = life::build(&cfg);
+        p.rt_tuning(tuning);
+        let o = p.run(Backend::MuninRt(MuninConfig::default()));
+        o.assert_clean();
+        life::check(&out, &want);
+        reports.push(o.report().clone());
+    }
+    let (batched, unbatched) = (&reports[0], &reports[1]);
+    assert_stats_identical(&batched.stats, &unbatched.stats, "life flush fan-out");
+    assert_eq!(batched.ops, unbatched.ops, "op counts must match");
+}
+
+/// Mixed knob settings must compose: inbox batching without outbound
+/// coalescing and vice versa are both legal fabrics.
+#[test]
+fn batch_knobs_compose_independently() {
+    let mut inbox_only = base_tuning();
+    inbox_only.coalesce = false; // batch_max stays at the default
+    let mut coalesce_only = base_tuning();
+    coalesce_only.batch_max = 1;
+    for tuning in [inbox_only, coalesce_only] {
+        contended_lock_counter(3, 20, tuning)
+            .run(Backend::MuninRt(MuninConfig::default()))
+            .assert_clean();
+    }
+}

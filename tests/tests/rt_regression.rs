@@ -1,0 +1,75 @@
+//! Regression tests for the rt kernel's stall watchdog: idle inbox polls
+//! must never count as progress. (The timer-race regression that needs the
+//! `MUNIN_RT_STALL_MS` env override lives alone in `rt_stall_env.rs` —
+//! mutating the environment with sibling tests running would be a
+//! getenv/setenv race.)
+
+use munin_api::{Backend, ComputeMode, Par, ParTyped, ProgramBuilder, RtTuning};
+use munin_types::{MuninConfig, SharingType};
+use std::time::{Duration, Instant};
+
+/// Idle inbox polls must not mask stalls: a server's 50 ms `recv_timeout`
+/// wake-ups are not activity, so a run whose servers sit idle forever (one
+/// thread parked at a barrier nobody else will reach, no timers anywhere)
+/// must be declared stalled by the watchdog — and within the stall window
+/// plus slack, not eventually. If an idle poll ever counts as activity the
+/// watchdog never fires and this test hangs until the CI-level timeout.
+#[test]
+fn watchdog_fires_while_servers_are_completely_idle() {
+    let mut tuning = RtTuning::default();
+    tuning.compute = ComputeMode::Skip;
+    tuning.stall_timeout = Duration::from_millis(500);
+
+    let mut p = ProgramBuilder::new(1);
+    p.rt_tuning(tuning);
+    let bar = p.barrier(0, 2); // two participants, only one thread: never satisfied
+    p.thread(0, move |par: &mut dyn Par| {
+        par.barrier(bar);
+    });
+    let started = Instant::now();
+    let o = p.run(Backend::MuninRt(MuninConfig::default()));
+    let elapsed = started.elapsed();
+    let r = o.report();
+    assert!(r.deadlocked, "watchdog never fired on an idle, stalled run");
+    assert!(r.errors.iter().any(|e| e.contains("stall")), "stall not reported: {:?}", r.errors);
+    assert!(
+        elapsed >= Duration::from_millis(500),
+        "stall declared before the window elapsed: {elapsed:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "idle polls delayed stall detection far beyond the window: {elapsed:?}"
+    );
+}
+
+/// The same idle-stall detection must hold on the *batched* server loop
+/// with a batch in flight beforehand: traffic first, then a wedge.
+#[test]
+fn watchdog_fires_after_real_traffic_goes_quiet() {
+    let mut tuning = RtTuning::default();
+    tuning.compute = ComputeMode::Skip;
+    tuning.stall_timeout = Duration::from_millis(600);
+
+    const NODES: usize = 2;
+    let mut p = ProgramBuilder::new(NODES);
+    p.rt_tuning(tuning);
+    let ctr = p.scalar::<i64>("ctr", SharingType::GeneralReadWrite, 0);
+    let l = p.lock(0);
+    let wedge = p.barrier(0, (NODES + 1) as u32); // one participant short
+    for t in 0..NODES {
+        p.thread(t, move |par: &mut dyn Par| {
+            for _ in 0..10 {
+                par.lock(l);
+                let v = par.load(&ctr);
+                par.store(&ctr, v + 1);
+                par.unlock(l);
+            }
+            par.barrier(wedge); // everyone arrives; nobody ever releases
+        });
+    }
+    let started = Instant::now();
+    let o = p.run(Backend::MuninRt(MuninConfig::default()));
+    let r = o.report();
+    assert!(r.deadlocked, "watchdog missed the post-traffic stall");
+    assert!(started.elapsed() < Duration::from_secs(30));
+}

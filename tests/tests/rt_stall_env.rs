@@ -1,0 +1,78 @@
+//! Regression test for the timer-in-flight watchdog race, exercised via
+//! the `MUNIN_RT_STALL_MS` env override the bug report names.
+//!
+//! This is the **only** test in this binary on purpose: it mutates the
+//! process environment (`set_var`/`remove_var`), and `RtTuning::default()`
+//! / `Shared::new` read the environment from whatever thread constructs
+//! them — concurrent sibling tests in the same binary would make that a
+//! getenv/setenv data race (undefined behavior on glibc). Cargo runs test
+//! binaries sequentially, so a single-test binary has no such neighbors.
+
+use munin_api::{Backend, ComputeMode, Par, ParTyped, ProgramBuilder, RtTuning};
+use munin_types::{IvyConfig, SharingType};
+use std::time::Duration;
+
+/// Timer-in-flight watchdog race (the bug): the timer thread used to
+/// decrement `timers_pending` *before* delivering the fired event, so a
+/// watchdog with a tight stall window could observe "all threads blocked +
+/// no activity + no pending timer" while the event that would unblock the
+/// run was still in flight, and declare a false stall.
+///
+/// This run makes wall-clock backoff timers the *only* progress signal for
+/// long stretches: Ivy spin-lock waiters park on armed timers between
+/// polls, every thread is blocked (no modelled compute), and the stall
+/// window — set through `MUNIN_RT_STALL_MS` — is far below the backoff
+/// windows. A clean finish means every fire was accounted as
+/// pending-until-delivered and counted as activity.
+#[test]
+fn tight_stall_window_sees_no_false_stall_from_in_flight_timers() {
+    // Capture the env override into this test's tuning, then clear it so
+    // the rest of the run is unaffected.
+    std::env::set_var("MUNIN_RT_STALL_MS", "400");
+    let mut tuning = RtTuning::default();
+    std::env::remove_var("MUNIN_RT_STALL_MS");
+    assert_eq!(
+        tuning.stall_timeout,
+        Duration::from_millis(400),
+        "MUNIN_RT_STALL_MS override not picked up"
+    );
+    tuning.compute = ComputeMode::Skip;
+
+    // Long backoff windows (up to 64x the base) keep waiters parked on
+    // nothing but a pending timer for multiples of the stall window.
+    let mut cfg = IvyConfig::default();
+    cfg.spin_backoff_us = 2_000;
+
+    const NODES: usize = 3;
+    const ITERS: usize = 30;
+    let mut p = ProgramBuilder::new(NODES);
+    p.rt_tuning(tuning);
+    let ctr = p.scalar::<i64>("ctr", SharingType::GeneralReadWrite, 0);
+    let l = p.lock(0);
+    let bar = p.barrier(0, NODES as u32);
+    for t in 0..NODES {
+        p.thread(t, move |par: &mut dyn Par| {
+            for _ in 0..ITERS {
+                par.lock(l);
+                let v = par.load(&ctr);
+                par.store(&ctr, v + 1);
+                par.unlock(l);
+            }
+            par.barrier(bar);
+            if par.self_id() == 0 {
+                par.lock(l);
+                let total = par.load(&ctr);
+                par.unlock(l);
+                assert_eq!(total, (NODES * ITERS) as i64);
+            }
+        });
+    }
+    let o = p.run(Backend::IvyRt(cfg));
+    let r = o.report();
+    assert!(
+        !r.deadlocked,
+        "false stall: watchdog fired while timer-driven progress was pending: {:?}",
+        r.errors
+    );
+    o.assert_clean();
+}
