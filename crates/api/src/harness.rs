@@ -12,6 +12,7 @@ use munin_core::{MuninMsg, MuninServer};
 use munin_ivy::{IvyMsg, IvyServer};
 use munin_rt::{RtCtx, RtTuning, RtWorldBuilder};
 use munin_sim::{RunReport, ThreadCtx, Tracer, TransportConfig, WorldBuilder};
+use munin_tcp::{TcpTuning, TcpWorldBuilder};
 use munin_types::{
     BarrierDecl, BarrierId, CondDecl, CondId, Element, IvyConfig, LockDecl, LockId, MuninConfig,
     NodeId, ObjectDecl, ObjectId, SharedArray, SharedScalar, SharingType, SyncDecls,
@@ -29,6 +30,15 @@ pub enum Backend {
     MuninRt(MuninConfig),
     /// The Ivy baseline on the real-time kernel.
     IvyRt(IvyConfig),
+    /// The Munin runtime on the multi-process TCP fabric: one OS process
+    /// per node (`munin-node` children), protocol messages as
+    /// length-prefixed frames on one stream per node pair, application
+    /// threads hosted by the coordinator. Probe
+    /// [`tcp_support`](munin_tcp::tcp_support) before selecting this in an
+    /// environment that may lack loopback sockets or the node binary.
+    MuninTcp(MuninConfig),
+    /// The Ivy baseline on the TCP fabric.
+    IvyTcp(IvyConfig),
     /// Real threads, real shared memory (semantic reference).
     Native,
 }
@@ -41,7 +51,11 @@ impl Backend {
         match self {
             Backend::Munin(c) => TransportConfig::lossless(c.cost.clone()),
             Backend::Ivy(c) => TransportConfig::lossless(c.cost.clone()),
-            Backend::MuninRt(_) | Backend::IvyRt(_) | Backend::Native => TransportConfig::default(),
+            Backend::MuninRt(_)
+            | Backend::IvyRt(_)
+            | Backend::MuninTcp(_)
+            | Backend::IvyTcp(_)
+            | Backend::Native => TransportConfig::default(),
         }
     }
 
@@ -52,13 +66,24 @@ impl Backend {
             Backend::Ivy(_) => "Ivy",
             Backend::MuninRt(_) => "MuninRt",
             Backend::IvyRt(_) => "IvyRt",
+            Backend::MuninTcp(_) => "MuninTcp",
+            Backend::IvyTcp(_) => "IvyTcp",
             Backend::Native => "Native",
         }
     }
 
-    /// Does this backend run on the real-time kernel?
+    /// Does this backend run on a wall-clock kernel (in-process rt or the
+    /// multi-process TCP fabric)?
     pub fn is_realtime(&self) -> bool {
-        matches!(self, Backend::MuninRt(_) | Backend::IvyRt(_))
+        matches!(
+            self,
+            Backend::MuninRt(_) | Backend::IvyRt(_) | Backend::MuninTcp(_) | Backend::IvyTcp(_)
+        )
+    }
+
+    /// Does this backend span multiple OS processes?
+    pub fn is_distributed(&self) -> bool {
+        matches!(self, Backend::MuninTcp(_) | Backend::IvyTcp(_))
     }
 }
 
@@ -427,6 +452,39 @@ impl ProgramBuilder {
                     .map(|i| IvyServer::new(NodeId(i as u16), cfg.clone(), n_nodes, &decls, &sync))
                     .collect();
                 let report = b.run(servers);
+                Outcome { report: Some(report), wall: started.elapsed(), backend: backend_name }
+            }
+            // The distributed backends: same thread bodies, same `RtCtx`
+            // surface — the world builder forwards remote-node operations
+            // over the per-node control streams.
+            Backend::MuninTcp(cfg) => {
+                assert_rt_supports(&transport, &tracer, backend_name);
+                let sync = self.sync_decls();
+                let mut b = TcpWorldBuilder::<MuninMsg>::new(self.n_nodes)
+                    .tuning(TcpTuning::from(self.rt_tuning.clone()));
+                for d in &self.objects {
+                    let id = b.declare(d.clone(), d.home);
+                    debug_assert_eq!(id, d.id, "builder ids must stay dense");
+                }
+                for (node, body) in self.threads {
+                    b.spawn(node, move |ctx: &mut RtCtx<MuninMsg>| body(ctx));
+                }
+                let report = b.run_munin(cfg, sync);
+                Outcome { report: Some(report), wall: started.elapsed(), backend: backend_name }
+            }
+            Backend::IvyTcp(cfg) => {
+                assert_rt_supports(&transport, &tracer, backend_name);
+                let sync = self.sync_decls();
+                let mut b = TcpWorldBuilder::<IvyMsg>::new(self.n_nodes)
+                    .tuning(TcpTuning::from(self.rt_tuning.clone()));
+                for d in &self.objects {
+                    let id = b.declare(d.clone(), d.home);
+                    debug_assert_eq!(id, d.id);
+                }
+                for (node, body) in self.threads {
+                    b.spawn(node, move |ctx: &mut RtCtx<IvyMsg>| body(ctx));
+                }
+                let report = b.run_ivy(cfg, sync);
                 Outcome { report: Some(report), wall: started.elapsed(), backend: backend_name }
             }
         }

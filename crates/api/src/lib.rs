@@ -62,6 +62,7 @@ pub mod par;
 pub use harness::{Backend, Outcome, ProgramBuilder};
 pub use monitor::Monitor;
 pub use munin_rt::{ComputeMode, RtTuning};
+pub use munin_tcp::{tcp_support, TcpTuning};
 pub use munin_types::{Element, SharedArray, SharedScalar};
 #[allow(deprecated)]
 pub use par::ParExt;

@@ -1,0 +1,158 @@
+//! Socket fabric vs in-process channels: what does crossing a real process
+//! boundary cost per DSM operation?
+//!
+//! The workload is deliberately op-bound (`ComputeMode::Skip`, small
+//! payloads): each worker hammers a node-0-homed counter with atomic
+//! fetch-adds — every one a full client → server → home → server → client
+//! round trip for remote workers. On `MuninRt` that round trip is two
+//! channel sends and two thread wake-ups; on `MuninTcp` the same logical
+//! path crosses the control stream (forwarded op + resume) and a
+//! per-node-pair data stream (AtomicReq/AtomicReply frames), so the ratio
+//! between the two columns is the per-op price of serialization + loopback
+//! TCP + an extra process hop. A bulk-payload row (whole-row reads of a
+//! 256 KiB array) shows the gap narrowing when bandwidth, not per-op
+//! latency, dominates.
+//!
+//! Results go to `BENCH_tcp.json` (regenerate with `scripts/bench.sh tcp`);
+//! correctness (bit-identical app results across the fabrics) is asserted
+//! by `tests/tests/cross_backend.rs`, and this bench re-checks one app
+//! (matmul) per run as a guard.
+
+use munin_api::{Backend, ComputeMode, ParTyped, ProgramBuilder, RtTuning};
+use munin_apps::App;
+use munin_types::{MuninConfig, SharingType};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Fetch-adds per worker in the op-bound row.
+const OPS_PER_WORKER: usize = 1500;
+/// Row reads per worker in the bulk row.
+const READS_PER_WORKER: usize = 40;
+/// Elements of the bulk array (i64): 32768 * 8 B = 256 KiB.
+const BULK_ELEMS: u32 = 32_768;
+
+fn tuning() -> RtTuning {
+    let mut t = RtTuning::default();
+    t.compute = ComputeMode::Skip;
+    t
+}
+
+/// (total DSM ops, wall seconds) for `workers` fetch-add hammers.
+fn run_counter(workers: usize, backend: Backend) -> (u64, f64) {
+    let mut p = ProgramBuilder::new(workers);
+    p.rt_tuning(tuning());
+    let ctr = p.scalar::<i64>("ctr", SharingType::GeneralReadWrite, 0);
+    for i in 0..workers {
+        p.thread(i, move |par| {
+            for _ in 0..OPS_PER_WORKER {
+                par.fetch_add_scalar(&ctr, 1);
+            }
+        });
+    }
+    let started = Instant::now();
+    let out = p.run(backend);
+    out.assert_clean();
+    let wall = started.elapsed().as_secs_f64();
+    let r = out.report();
+    assert_eq!(r.ops, (workers * OPS_PER_WORKER) as u64 + workers as u64); // + exits
+    (r.ops, wall)
+}
+
+/// (total bytes moved, wall seconds) for bulk whole-array reads from
+/// non-home workers (read-mostly replication: first read ships the array,
+/// later reads hit the local copy — so this measures the data path plus
+/// local-hit op overhead).
+fn run_bulk(workers: usize, backend: Backend) -> (u64, f64) {
+    let mut p = ProgramBuilder::new(workers);
+    p.rt_tuning(tuning());
+    let arr = p.array::<i64>("bulk", BULK_ELEMS, SharingType::ReadMostly, 0);
+    for i in 0..workers {
+        p.thread(i, move |par| {
+            let mut buf = vec![0i64; BULK_ELEMS as usize];
+            for _ in 0..READS_PER_WORKER {
+                par.read_into(&arr, 0, &mut buf);
+            }
+            assert_eq!(buf[0], 0);
+        });
+    }
+    let started = Instant::now();
+    let out = p.run(backend);
+    out.assert_clean();
+    let wall = started.elapsed().as_secs_f64();
+    (out.report().stats.bytes, wall)
+}
+
+struct Row {
+    workers: usize,
+    rt_ops_s: f64,
+    tcp_ops_s: f64,
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--test") {
+        println!("tcp_fabric: skipping measurement under --test");
+        return;
+    }
+    if let Err(notice) = munin_api::tcp_support() {
+        eprintln!("tcp_fabric: {notice} — nothing to measure");
+        return;
+    }
+
+    // Correctness guard: one real app, bit-identical across the fabrics.
+    let (p, verify) = App::Matmul.build_default(4);
+    p.run(Backend::MuninTcp(MuninConfig::default())).assert_clean();
+    verify();
+
+    let mut rows = Vec::new();
+    for workers in [2usize, 4] {
+        let (ops, rt_wall) = run_counter(workers, Backend::MuninRt(MuninConfig::default()));
+        let (_, tcp_wall) = run_counter(workers, Backend::MuninTcp(MuninConfig::default()));
+        let row = Row { workers, rt_ops_s: ops as f64 / rt_wall, tcp_ops_s: ops as f64 / tcp_wall };
+        println!(
+            "counter {}w   MuninRt {:>9.0} ops/s | MuninTcp {:>9.0} ops/s | tcp/rt {:>5.2}x",
+            row.workers,
+            row.rt_ops_s,
+            row.tcp_ops_s,
+            row.tcp_ops_s / row.rt_ops_s,
+        );
+        assert!(row.tcp_ops_s > 1_000.0, "loopback fabric should sustain >1k ops/s");
+        rows.push(row);
+    }
+
+    let (bytes, rt_bulk) = run_bulk(4, Backend::MuninRt(MuninConfig::default()));
+    let (tcp_bytes, tcp_bulk) = run_bulk(4, Backend::MuninTcp(MuninConfig::default()));
+    assert_eq!(bytes, tcp_bytes, "both fabrics must account identical protocol bytes");
+    println!(
+        "bulk 4w      MuninRt {:>9.1} MiB/s | MuninTcp {:>9.1} MiB/s (protocol payload)",
+        bytes as f64 / rt_bulk / (1 << 20) as f64,
+        bytes as f64 / tcp_bulk / (1 << 20) as f64,
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"tcp_fabric\",\n  \"compute_mode\": \"skip\",\n");
+    let _ = writeln!(json, "  \"ops_per_worker\": {OPS_PER_WORKER},");
+    json.push_str("  \"counter_rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"workers\": {}, \"munin_rt_ops_per_s\": {:.0}, \"munin_tcp_ops_per_s\": \
+             {:.0}, \"tcp_over_rt\": {:.3}}}",
+            r.workers,
+            r.rt_ops_s,
+            r.tcp_ops_s,
+            r.tcp_ops_s / r.rt_ops_s
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"bulk_4w\": {{\"payload_bytes\": {bytes}, \"munin_rt_mib_per_s\": {:.1}, \
+         \"munin_tcp_mib_per_s\": {:.1}}}",
+        bytes as f64 / rt_bulk / (1 << 20) as f64,
+        bytes as f64 / tcp_bulk / (1 << 20) as f64
+    );
+    json.push_str("}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tcp.json");
+    std::fs::write(path, &json).expect("write BENCH_tcp.json");
+    println!("wrote {path}");
+}

@@ -423,6 +423,56 @@ impl Server for MuninServer {
     fn on_message(&mut self, k: &mut dyn KernelApi<MuninMsg>, from: NodeId, payload: MuninMsg) {
         self.handle_msg(k, from, payload);
     }
+
+    fn debug_stuck_state(&self) -> String {
+        use std::fmt::Write;
+        // Compact snapshot of everything that can hold a thread: pending
+        // faults, in-flight coherence transactions, flush sessions, and the
+        // synchronization subsystem. Empty sections are omitted so a mostly
+        // idle node dumps a short line, not a page.
+        let mut out = String::new();
+        if !self.sync_waiters.is_empty() {
+            let _ = write!(out, "sync_waiters={:?}; ", self.sync_waiters);
+        }
+        if !self.faults.is_empty() {
+            let faults: Vec<_> = self.faults.iter().map(|(obj, pend)| (*obj, pend.len())).collect();
+            let _ = write!(out, "faults={faults:?}; ");
+        }
+        if !self.inflight.is_empty() {
+            let _ = write!(out, "inflight={:?}; ", self.inflight);
+        }
+        if !self.sessions.is_empty() {
+            let _ = write!(out, "flush_sessions={:?}; ", self.sessions);
+        }
+        if !self.out_sessions.is_empty() {
+            let _ = write!(out, "out_sessions={:?}; ", self.out_sessions);
+        }
+        for (l, p) in &self.proxies {
+            if p.locked_by.is_some() || !p.local_queue.is_empty() || p.requested {
+                let _ = write!(
+                    out,
+                    "proxy {l}: token={} locked_by={:?} queue={:?} requested={}; ",
+                    p.has_token, p.locked_by, p.local_queue, p.requested
+                );
+            }
+        }
+        for (l, h) in &self.lock_homes {
+            if !h.queue.is_empty() || h.fetch_outstanding {
+                let _ = write!(
+                    out,
+                    "lock_home {l}: token_at={} queue={:?} fetch_outstanding={}; ",
+                    h.token_at, h.queue, h.fetch_outstanding
+                );
+            }
+        }
+        if !self.barrier_parked.is_empty() {
+            let _ = write!(out, "barrier_parked={:?}; ", self.barrier_parked);
+        }
+        if !self.cv_parked.is_empty() {
+            let _ = write!(out, "cv_parked={:?}; ", self.cv_parked);
+        }
+        out
+    }
 }
 
 impl MuninServer {

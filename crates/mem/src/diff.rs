@@ -126,6 +126,25 @@ impl Diff {
         Diff { runs: vec![Run { range, offset: 0 }], data }
     }
 
+    /// Append a run while rebuilding a diff from its wire form. Runs must
+    /// arrive in ascending object order with non-empty payloads — exactly
+    /// the invariant [`Diff::runs`] iterates in — so a decode → encode of
+    /// any diff is the identity. Returns `false` (leaving the diff
+    /// untouched) instead of panicking when the input violates the
+    /// invariant, so a corrupt frame surfaces as a decode error rather than
+    /// a crash in the transport.
+    pub fn append_run(&mut self, start: u32, bytes: &[u8]) -> bool {
+        if bytes.is_empty()
+            || u32::try_from(bytes.len()).is_err()
+            || start.checked_add(bytes.len() as u32).is_none()
+            || self.runs.last().is_some_and(|last| last.range.end() > start)
+        {
+            return false;
+        }
+        self.push_run(start, bytes);
+        true
+    }
+
     /// No changes?
     pub fn is_empty(&self) -> bool {
         self.runs.is_empty()

@@ -37,6 +37,33 @@ pub struct RtCtx<P> {
 }
 
 impl<P> RtCtx<P> {
+    /// Assemble a context for an alternate wall-clock fabric. `munin-tcp`'s
+    /// coordinator hosts every application thread and uses this to point
+    /// each one at its logical node's server — a local channel for the
+    /// coordinator's own node, a socket-forwarding channel for remote ones.
+    pub fn new(
+        thread: ThreadId,
+        node: NodeId,
+        n_nodes: usize,
+        n_threads: usize,
+        to_server: Sender<NodeEvent<P>>,
+        resume_rx: Receiver<OpResult>,
+        shared: Arc<Shared>,
+        tuning: RtTuning,
+    ) -> Self {
+        RtCtx {
+            thread,
+            node,
+            n_nodes,
+            n_threads,
+            to_server,
+            resume_rx,
+            shared,
+            tuning,
+            waits: WaitTable::new(),
+        }
+    }
+
     /// This thread's global id.
     pub fn thread_id(&self) -> ThreadId {
         self.thread
@@ -68,6 +95,15 @@ impl<P> RtCtx<P> {
     /// simulator's deadlock teardown).
     pub fn op(&mut self, op: DsmOp) -> OpResult {
         let label = op.label();
+        // Issue-time poison check: on a distributed run a lost peer poisons
+        // the world while threads whose ops still succeed locally are
+        // unblocked — without this check they would grind on until their
+        // bodies finish, stretching teardown from milliseconds to the whole
+        // remaining run. (The message prefix marks this as a teardown
+        // consequence, not an application bug — see `drive_app_thread`.)
+        if self.shared.is_poisoned() {
+            panic!("real-time kernel poisoned before '{label}' was issued");
+        }
         let issued = Instant::now();
         self.shared.ops.fetch_add(1, Ordering::Relaxed);
         let result = if let DsmOp::Compute(us) = op {

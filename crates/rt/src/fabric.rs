@@ -13,7 +13,7 @@ use std::time::Instant;
 /// `Arc` so a K-way fan-out never deep-clones the payload at send time —
 /// receivers unwrap it, and only receivers that race with a still-live
 /// sibling copy pay a clone (the last consumer never does).
-pub(crate) enum MsgBody<P> {
+pub enum MsgBody<P> {
     Owned(P),
     Shared(Arc<P>),
 }
@@ -29,11 +29,23 @@ impl<P: Clone> MsgBody<P> {
     }
 }
 
+impl<P> MsgBody<P> {
+    /// Borrow the payload without consuming the body (serializing fabrics
+    /// encode from a reference so a multicast's shared allocation survives
+    /// until the last destination is written).
+    pub fn payload(&self) -> &P {
+        match self {
+            MsgBody::Owned(p) => p,
+            MsgBody::Shared(a) => a,
+        }
+    }
+}
+
 /// One event in a node server's inbox. The server thread drains these in
 /// arrival order; everything a server does happens on its own thread, so
 /// server state needs no locking (the same single-writer discipline the
 /// simulator enforces).
-pub(crate) enum NodeEvent<P> {
+pub enum NodeEvent<P> {
     /// A local application thread issued a DSM operation.
     Op(ThreadId, DsmOp),
     /// A protocol message from another node's server.
@@ -48,12 +60,17 @@ pub(crate) enum NodeEvent<P> {
     Timer(u64),
     /// The watchdog wants `debug_stuck_state` captured into the error log.
     DumpStuck,
+    /// Someone wants `debug_stuck_state` delivered to them instead of the
+    /// error log — the on-demand (SIGUSR1 / wire-requested) dump path. The
+    /// server loop replies on the channel and the requester decides where
+    /// the text goes.
+    DumpTo(std::sync::mpsc::Sender<String>),
     /// The run is over; exit the server loop.
     Shutdown,
 }
 
 /// State shared (behind an `Arc`) by every thread of one real-time run.
-pub(crate) struct Shared {
+pub struct Shared {
     /// Wall-clock origin of the run.
     pub start: Instant,
     /// Global object-declaration registry — the moral equivalent of the

@@ -63,6 +63,24 @@ impl<P> RtKernel<P> {
     }
 }
 
+impl<P: PayloadInfo + Clone> crate::serve::NodeKernel<P> for RtKernel<P> {
+    fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    fn resume(&mut self, thread: ThreadId, result: OpResult) {
+        let _ = self.resumes[thread.index()].send(result);
+    }
+
+    fn take_stats(&mut self) -> munin_net::NetStats {
+        RtKernel::take_stats(self)
+    }
+}
+
 impl<P: PayloadInfo + Clone> KernelApi<P> for RtKernel<P> {
     fn now(&self) -> VirtualTime {
         VirtualTime::micros(self.shared.now_us())

@@ -69,11 +69,14 @@
 //! stress.
 
 mod ctx;
-mod fabric;
+pub mod fabric;
 mod kernel;
-mod timer;
+pub mod serve;
+pub mod timer;
 mod world;
 
 pub use ctx::RtCtx;
+pub use fabric::{MsgBody, NodeEvent, Shared};
 pub use kernel::RtKernel;
+pub use serve::{drive_app_thread, request_dump, server_loop, NodeKernel};
 pub use world::{ComputeMode, RtTuning, RtWorldBuilder};

@@ -1,0 +1,179 @@
+//! The node-server event loop, shared by every wall-clock fabric.
+//!
+//! PR 3 wrote this loop for the in-process channel fabric; the TCP fabric
+//! (`munin-tcp`) hosts exactly the same loop in a different process, with a
+//! kernel whose remote deliveries are socket writes instead of channel
+//! sends. [`NodeKernel`] is the small extra contract the loop needs beyond
+//! [`KernelApi`]: local thread resumption, access to the run-wide shared
+//! state, and the traffic shard the loop returns at exit.
+
+use crate::fabric::{NodeEvent, Shared};
+use munin_net::PayloadInfo;
+use munin_sim::{KernelApi, OpOutcome, OpResult, Server};
+use munin_types::{NodeId, ThreadId};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a wall-clock fabric's kernel provides to the shared server loop, on
+/// top of the protocol-facing [`KernelApi`]. Implemented by the in-process
+/// [`crate::RtKernel`] and by `munin-tcp`'s socket kernel.
+pub trait NodeKernel<P: PayloadInfo + Clone>: KernelApi<P> {
+    /// The node this kernel serves.
+    fn node_id(&self) -> NodeId;
+
+    /// Run-wide shared state (activity epochs, poisoning, error log).
+    fn shared(&self) -> &Arc<Shared>;
+
+    /// Resume a blocked application thread whose op completed locally
+    /// without going through [`KernelApi::complete`]'s bookkeeping.
+    fn resume(&mut self, thread: ThreadId, result: OpResult);
+
+    /// This node's traffic counters, taken when the loop exits (the world
+    /// merges every node's shard into the run totals).
+    fn take_stats(&mut self) -> munin_net::NetStats;
+}
+
+/// Run one application thread's body to completion: catch panics, issue the
+/// implicit `Exit` synchronization, decrement the live count, and return the
+/// thread's wait table. Shared by the in-process rt world and the tcp
+/// coordinator (which hosts every application thread of a distributed run).
+pub fn drive_app_thread<P: Send + Sync + Clone + 'static>(
+    mut ctx: crate::RtCtx<P>,
+    body: Box<dyn FnOnce(&mut crate::RtCtx<P>) + Send>,
+) -> munin_sim::report::WaitTable {
+    use munin_sim::DsmOp;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let shared = ctx.shared.clone();
+    let tid = ctx.thread;
+    match catch_unwind(AssertUnwindSafe(|| body(&mut ctx))) {
+        Ok(()) => {
+            // Graceful exit is itself a synchronization point (flushes the
+            // delayed update queue). A panic here means the watchdog tore
+            // the run down mid-exit; it already reported.
+            let _ = catch_unwind(AssertUnwindSafe(|| ctx.op(DsmOp::Exit)));
+        }
+        Err(p) => {
+            let msg = panic_message(p);
+            // Teardown panics raised by RtCtx::op after poisoning are a
+            // consequence of the stall, not an application bug — the
+            // watchdog already reported the cause.
+            if !msg.starts_with("real-time kernel") {
+                shared.error(format!("{tid} panicked: {msg}"));
+            }
+        }
+    }
+    shared.live.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+    ctx.waits
+}
+
+pub(crate) fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    p.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Ask a server loop for its `debug_stuck_state` through its inbox,
+/// bounded by `timeout` so a wedged (or gone) server cannot hang the
+/// requester. Used by the tcp fabric's on-demand/stall dump paths on both
+/// ends of the wire.
+pub fn request_dump<P>(inbox: &std::sync::mpsc::Sender<NodeEvent<P>>, timeout: Duration) -> String {
+    let (tx, rx) = std::sync::mpsc::channel();
+    if inbox.send(NodeEvent::DumpTo(tx)).is_err() {
+        return "(server loop gone)".into();
+    }
+    rx.recv_timeout(timeout).unwrap_or_else(|_| "(server loop unresponsive)".into())
+}
+
+/// One node's event loop: drain the inbox in bounded batches, hand
+/// everything to the server. Single-threaded per node by construction —
+/// the concurrency model the protocol servers were written for.
+///
+/// Each wake-up takes one blocking `recv` then greedily `try_recv`s up to
+/// `batch_max` events in total, under a single activity-epoch bump; the
+/// step ends by flushing the kernel's coalesced outbound batches (so
+/// nothing this step sent can be stranded while the loop blocks again).
+/// Returns this node's traffic shard for the world to merge at teardown.
+pub fn server_loop<S, K>(
+    mut server: S,
+    mut kernel: K,
+    inbox: Receiver<NodeEvent<S::Payload>>,
+    batch_max: usize,
+) -> munin_net::NetStats
+where
+    S: Server,
+    K: NodeKernel<S::Payload>,
+{
+    let shared = kernel.shared().clone();
+    let node = kernel.node_id();
+    let batch_max = batch_max.max(1);
+    let mut done = false;
+    while !done {
+        let first = match inbox.recv_timeout(Duration::from_millis(50)) {
+            Ok(ev) => ev,
+            Err(RecvTimeoutError::Timeout) => {
+                // An idle poll is *not* activity — bumping the epoch here
+                // would reset the watchdog's stability window every 50 ms
+                // and stop it from ever firing on a genuinely stalled run.
+                if shared.is_poisoned() {
+                    break;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        // One epoch bump covers the whole drained batch: the watchdog only
+        // needs to know the server made progress, not how much.
+        shared.mark_activity();
+        let mut next = Some(first);
+        let mut handled = 0usize;
+        while let Some(ev) = next {
+            handled += 1;
+            match ev {
+                NodeEvent::Op(thread, op) => match server.on_op(&mut kernel, thread, op) {
+                    OpOutcome::Done { result, cost_us: _ } => {
+                        kernel.resume(thread, result);
+                    }
+                    OpOutcome::Blocked => {}
+                },
+                NodeEvent::Msg(from, body) => {
+                    server.on_message(&mut kernel, from, body.into_payload());
+                }
+                NodeEvent::Batch(items) => {
+                    // One channel op from one peer step; per-(src,dst) FIFO
+                    // is the vector order.
+                    for (from, body) in items {
+                        server.on_message(&mut kernel, from, body.into_payload());
+                    }
+                }
+                NodeEvent::Timer(token) => server.on_timer(&mut kernel, token),
+                NodeEvent::DumpStuck => {
+                    let dump = server.debug_stuck_state();
+                    if !dump.is_empty() {
+                        let msg = format!("[stall dump n{}] {dump}", node.index());
+                        if shared.debug_errors {
+                            eprintln!("{msg}");
+                        }
+                        shared.errors.lock().expect("error log poisoned").push(msg);
+                    }
+                }
+                NodeEvent::DumpTo(reply) => {
+                    // On-demand diagnostics: the caller decides where the
+                    // text goes (stderr, the report's dump section, a wire
+                    // reply), so nothing lands in the error log here.
+                    let _ = reply.send(server.debug_stuck_state());
+                }
+                NodeEvent::Shutdown => {
+                    done = true;
+                    break;
+                }
+            }
+            next = if handled < batch_max { inbox.try_recv().ok() } else { None };
+        }
+        // Everything the server sent while handling this batch goes out as
+        // one channel message per destination, before the loop can block.
+        kernel.flush_outbound();
+    }
+    kernel.take_stats()
+}

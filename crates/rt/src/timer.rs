@@ -29,7 +29,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// A timer armed by a server.
-pub(crate) struct TimerReq {
+pub struct TimerReq {
     pub due: Instant,
     pub node: NodeId,
     pub token: u64,
@@ -39,7 +39,7 @@ pub(crate) struct TimerReq {
 /// arming sequence number as tie-break so equal deadlines fire in order.
 type Entry = Reverse<(Instant, u64, u16, u64)>;
 
-pub(crate) fn run_timer_thread<P: Send + Sync + 'static>(
+pub fn run_timer_thread<P: Send + Sync + 'static>(
     rx: Receiver<TimerReq>,
     inboxes: Vec<Sender<NodeEvent<P>>>,
     shared: Arc<Shared>,

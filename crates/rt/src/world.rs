@@ -4,11 +4,11 @@
 use crate::ctx::RtCtx;
 use crate::fabric::{NodeEvent, Shared};
 use crate::kernel::RtKernel;
+use crate::serve::{drive_app_thread, server_loop};
 use crate::timer::run_timer_thread;
 use munin_sim::report::{RunReport, WaitTable, WallClock};
-use munin_sim::{DsmOp, KernelApi, OpOutcome, Server};
+use munin_sim::Server;
 use munin_types::{CostModel, NodeId, ObjectDecl, ObjectId, ThreadId, VirtualTime};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -98,7 +98,7 @@ pub struct RtWorldBuilder<P> {
     spawns: Vec<(NodeId, Box<dyn FnOnce(&mut RtCtx<P>) + Send + 'static>)>,
 }
 
-impl<P: Send + Sync + Clone + 'static> RtWorldBuilder<P> {
+impl<P: munin_net::PayloadInfo + Send + Sync + Clone + 'static> RtWorldBuilder<P> {
     pub fn new(n_nodes: usize) -> Self {
         assert!(n_nodes > 0, "a world needs at least one node");
         assert!(n_nodes <= u16::MAX as usize, "node ids are u16");
@@ -231,44 +231,20 @@ impl<P: Send + Sync + Clone + 'static> RtWorldBuilder<P> {
         for ((idx, (node, body)), resume_rx) in self.spawns.into_iter().enumerate().zip(resume_rxs)
         {
             let tid = ThreadId(idx as u32);
-            let mut ctx = RtCtx {
-                thread: tid,
+            let ctx = RtCtx::new(
+                tid,
                 node,
                 n_nodes,
                 n_threads,
-                to_server: inbox_txs[node.index()].clone(),
+                inbox_txs[node.index()].clone(),
                 resume_rx,
-                shared: shared.clone(),
-                tuning: self.tuning.clone(),
-                waits: WaitTable::new(),
-            };
-            let shared = shared.clone();
+                shared.clone(),
+                self.tuning.clone(),
+            );
             app_joins.push(
                 std::thread::Builder::new()
                     .name(format!("rt-{tid}"))
-                    .spawn(move || {
-                        match catch_unwind(AssertUnwindSafe(|| body(&mut ctx))) {
-                            Ok(()) => {
-                                // Graceful exit is itself a synchronization
-                                // point (flushes the delayed update queue).
-                                // A panic here means the watchdog tore the
-                                // run down mid-exit; it already reported.
-                                let _ = catch_unwind(AssertUnwindSafe(|| ctx.op(DsmOp::Exit)));
-                            }
-                            Err(p) => {
-                                let msg = panic_message(p);
-                                // Teardown panics raised by RtCtx::op after
-                                // poisoning are a consequence of the stall,
-                                // not an application bug — the watchdog
-                                // already reported the cause.
-                                if !msg.starts_with("real-time kernel") {
-                                    shared.error(format!("{tid} panicked: {msg}"));
-                                }
-                            }
-                        }
-                        shared.live.fetch_sub(1, Ordering::SeqCst);
-                        ctx.waits
-                    })
+                    .spawn(move || drive_app_thread(ctx, body))
                     .expect("failed to spawn application thread"),
             );
         }
@@ -307,90 +283,9 @@ impl<P: Send + Sync + Clone + 'static> RtWorldBuilder<P> {
             errors,
             deadlocked: shared.is_poisoned(),
             wall: Some(WallClock { elapsed, workers: n_threads, nodes: n_nodes }),
+            dumps: Vec::new(),
         }
     }
-}
-
-/// One node's event loop: drain the inbox in bounded batches, hand
-/// everything to the server. Single-threaded per node by construction —
-/// the concurrency model the protocol servers were written for.
-///
-/// Each wake-up takes one blocking `recv` then greedily `try_recv`s up to
-/// `batch_max` events in total, under a single activity-epoch bump; the
-/// step ends by flushing the kernel's coalesced outbound batches (so
-/// nothing this step sent can be stranded while the loop blocks again).
-/// Returns this node's traffic shard for the world to merge at teardown.
-fn server_loop<S: Server>(
-    mut server: S,
-    mut kernel: RtKernel<S::Payload>,
-    inbox: Receiver<NodeEvent<S::Payload>>,
-    batch_max: usize,
-) -> munin_net::NetStats {
-    let shared = kernel.shared.clone();
-    let node = kernel.node;
-    let batch_max = batch_max.max(1);
-    let mut done = false;
-    while !done {
-        let first = match inbox.recv_timeout(Duration::from_millis(50)) {
-            Ok(ev) => ev,
-            Err(RecvTimeoutError::Timeout) => {
-                // An idle poll is *not* activity — bumping the epoch here
-                // would reset the watchdog's stability window every 50 ms
-                // and stop it from ever firing on a genuinely stalled run.
-                if shared.is_poisoned() {
-                    break;
-                }
-                continue;
-            }
-            Err(RecvTimeoutError::Disconnected) => break,
-        };
-        // One epoch bump covers the whole drained batch: the watchdog only
-        // needs to know the server made progress, not how much.
-        shared.mark_activity();
-        let mut next = Some(first);
-        let mut handled = 0usize;
-        while let Some(ev) = next {
-            handled += 1;
-            match ev {
-                NodeEvent::Op(thread, op) => match server.on_op(&mut kernel, thread, op) {
-                    OpOutcome::Done { result, cost_us: _ } => {
-                        let _ = kernel.resumes[thread.index()].send(result);
-                    }
-                    OpOutcome::Blocked => {}
-                },
-                NodeEvent::Msg(from, body) => {
-                    server.on_message(&mut kernel, from, body.into_payload());
-                }
-                NodeEvent::Batch(items) => {
-                    // One channel op from one peer step; per-(src,dst) FIFO
-                    // is the vector order.
-                    for (from, body) in items {
-                        server.on_message(&mut kernel, from, body.into_payload());
-                    }
-                }
-                NodeEvent::Timer(token) => server.on_timer(&mut kernel, token),
-                NodeEvent::DumpStuck => {
-                    let dump = server.debug_stuck_state();
-                    if !dump.is_empty() {
-                        let msg = format!("[stall dump n{}] {dump}", node.index());
-                        if shared.debug_errors {
-                            eprintln!("{msg}");
-                        }
-                        shared.errors.lock().expect("error log poisoned").push(msg);
-                    }
-                }
-                NodeEvent::Shutdown => {
-                    done = true;
-                    break;
-                }
-            }
-            next = if handled < batch_max { inbox.try_recv().ok() } else { None };
-        }
-        // Everything the server sent while handling this batch goes out as
-        // one channel message per destination, before the loop can block.
-        kernel.flush_outbound();
-    }
-    kernel.take_stats()
 }
 
 /// The real-time replacement for quiescence-based deadlock detection: a
@@ -441,11 +336,4 @@ fn watchdog<P: Send + Sync + 'static>(
         shared.poisoned.store(true, Ordering::Release);
         return;
     }
-}
-
-fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
-    p.downcast_ref::<String>()
-        .cloned()
-        .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
-        .unwrap_or_else(|| "non-string panic payload".to_string())
 }

@@ -50,6 +50,10 @@ pub struct RunReport {
     pub deadlocked: bool,
     /// Wall-clock measurements — `Some` only for real-time kernel runs.
     pub wall: Option<WallClock>,
+    /// On-demand state dumps (SIGUSR1 / `debug_stuck_state` requests that
+    /// were *not* stall diagnostics), one entry per responding node. Only
+    /// the distributed tcp runtime fills this; a clean run may carry dumps.
+    pub dumps: Vec<String>,
 }
 
 impl RunReport {
@@ -100,6 +104,7 @@ mod tests {
             errors: vec![],
             deadlocked: false,
             wall: None,
+            dumps: Vec::new(),
         };
         assert_eq!(r.total_wait_us("read"), 350);
         assert_eq!(r.total_ops("read"), 4);
@@ -119,6 +124,7 @@ mod tests {
             errors: vec!["t0 blocked in lock".into()],
             deadlocked: true,
             wall: None,
+            dumps: Vec::new(),
         };
         r.assert_clean();
     }

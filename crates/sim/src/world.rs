@@ -583,6 +583,7 @@ impl<S: Server> World<S> {
             errors: self.kernel.errors,
             deadlocked,
             wall: None,
+            dumps: Vec::new(),
         }
     }
 

@@ -1,0 +1,31 @@
+//! `munin-node` — one node of a distributed Munin/Ivy run.
+//!
+//! Spawned by the coordinator (`munin_tcp::TcpWorldBuilder`); not meant to
+//! be started by hand. The process connects its control stream to the
+//! coordinator, receives the run configuration, joins the data-stream mesh
+//! and then runs its node's coherence server until told to finish.
+//!
+//! ```text
+//! munin-node --connect 127.0.0.1:<port> --node <index>
+//! ```
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut connect: Option<String> = None;
+    let mut node: Option<u16> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => connect = args.next(),
+            "--node" => node = args.next().and_then(|v| v.parse().ok()),
+            other => {
+                eprintln!("munin-node: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(connect), Some(node)) = (connect, node) else {
+        eprintln!("usage: munin-node --connect <addr> --node <index>");
+        std::process::exit(2);
+    };
+    std::process::exit(munin_tcp::node::run_node(&connect, node));
+}

@@ -1,0 +1,58 @@
+//! Locating and launching the `munin-node` binary, and probing whether the
+//! sandbox supports the TCP fabric at all.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+/// Find the `munin-node` binary.
+///
+/// Checked in order: the `MUNIN_NODE_BIN` environment variable, then the
+/// directory of the current executable and its parent (test binaries live
+/// in `target/<profile>/deps/` while cargo places package binaries one
+/// level up in `target/<profile>/`). Searching relative to `current_exe`
+/// also guarantees coordinator and children share a build profile.
+pub fn node_binary() -> Option<PathBuf> {
+    if let Some(p) = std::env::var_os("MUNIN_NODE_BIN") {
+        let p = PathBuf::from(p);
+        return p.is_file().then_some(p);
+    }
+    let exe = std::env::current_exe().ok()?;
+    let dir = exe.parent()?;
+    [dir.join("munin-node"), dir.parent()?.join("munin-node")]
+        .into_iter()
+        .find(|candidate| candidate.is_file())
+}
+
+/// Can this environment run the TCP fabric? Checks that loopback sockets
+/// work and that the `munin-node` binary is findable. Tests use the `Err`
+/// string as their skip-with-notice message.
+pub fn tcp_support() -> Result<(), String> {
+    TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| format!("loopback sockets unavailable in this sandbox: {e}"))?;
+    node_binary().ok_or_else(|| {
+        "munin-node binary not found (build it with `cargo build -p munin-tcp`, or point \
+         MUNIN_NODE_BIN at it)"
+            .to_string()
+    })?;
+    Ok(())
+}
+
+/// Spawn one child node process, inheriting stderr (so child diagnostics
+/// and state dumps reach the operator) and closing stdin.
+pub fn spawn_node(coordinator_port: u16, node_index: u16) -> std::io::Result<Child> {
+    let bin = node_binary().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            "munin-node binary not found; build it with `cargo build -p munin-tcp` \
+             (checked MUNIN_NODE_BIN and next to the current executable)",
+        )
+    })?;
+    Command::new(bin)
+        .arg("--connect")
+        .arg(format!("127.0.0.1:{coordinator_port}"))
+        .arg("--node")
+        .arg(node_index.to_string())
+        .stdin(Stdio::null())
+        .spawn()
+}

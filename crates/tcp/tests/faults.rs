@@ -1,0 +1,96 @@
+//! Fault paths: a killed node process or a half-closed stream must surface
+//! as a run error **naming the peer**, and the run must tear down promptly
+//! instead of hanging. The stall timeout is set tight (the programmatic
+//! equivalent of a tight `MUNIN_RT_STALL_MS` — set as a field so racing
+//! test threads never touch the process environment) so even a missed
+//! error path would be caught by the distributed watchdog backstop.
+
+use munin_core::MuninMsg;
+use munin_tcp::{tcp_support, TcpTuning, TcpWorldBuilder, TestFault};
+use munin_types::{MuninConfig, NodeId, ObjectDecl, ObjectId, SharingType, SyncDecls};
+use std::time::{Duration, Instant};
+
+const _NODE_BIN: &str = env!("CARGO_BIN_EXE_munin-node");
+
+fn skip() -> bool {
+    if let Err(notice) = tcp_support() {
+        eprintln!("skipping tcp fault test: {notice}");
+        return true;
+    }
+    false
+}
+
+/// A 3-node world whose threads hammer a node-0-homed counter for up to
+/// `run_for` — long enough that the injected fault always lands mid-run; if
+/// fault handling ever regressed to a hang, the bounded loop (plus the
+/// watchdog) still ends the run so the assertions below get to fail loudly.
+fn build_counter_world(fault: TestFault) -> TcpWorldBuilder<MuninMsg> {
+    let n_nodes = 3;
+    let mut tuning = TcpTuning::default();
+    tuning.rt.stall_timeout = Duration::from_millis(500);
+    tuning.test_fault = Some(fault);
+    let mut b = TcpWorldBuilder::<MuninMsg>::new(n_nodes).tuning(tuning);
+    let ctr = b.declare(
+        ObjectDecl::new(ObjectId(0), "ctr", 8, SharingType::GeneralReadWrite, NodeId(0)),
+        NodeId(0),
+    );
+    for i in 0..n_nodes {
+        b.spawn(NodeId(i as u16), move |ctx| {
+            let start = Instant::now();
+            while start.elapsed() < Duration::from_secs(15) {
+                ctx.fetch_add(ctr, 0, 1);
+            }
+        });
+    }
+    b
+}
+
+fn assert_fault_surfaced(kind: &str, peer: &str, fault: TestFault) {
+    let started = Instant::now();
+    let report = build_counter_world(fault).run_munin(MuninConfig::default(), SyncDecls::default());
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(12),
+        "{kind}: run should tear down promptly, took {elapsed:?}"
+    );
+    assert!(!report.is_clean(), "{kind}: the fault must make the run unclean");
+    assert!(report.deadlocked, "{kind}: the run must be marked torn down (poisoned)");
+    assert!(
+        report.errors.iter().any(|e| e.contains(peer)),
+        "{kind}: some error must name the lost peer {peer}; got {:#?}",
+        report.errors
+    );
+}
+
+/// Killing a node process mid-run: the coordinator notices the dead control
+/// stream (or a failed op forward) and reports `n1` by name.
+#[test]
+fn killed_node_process_is_named_not_hung() {
+    if skip() {
+        return;
+    }
+    assert_fault_surfaced(
+        "killed process",
+        "n1",
+        TestFault::Exit { node: NodeId(1), after: Duration::from_millis(300) },
+    );
+}
+
+/// Half-closing one data stream mid-run: the reader on the surviving end
+/// sees the EOF and reports the peer by name (traffic keeps flowing on the
+/// stream at fault time, so the writer side surfaces too).
+#[test]
+fn half_closed_stream_is_named_not_hung() {
+    if skip() {
+        return;
+    }
+    assert_fault_surfaced(
+        "half-closed stream",
+        "n1",
+        TestFault::HalfClose {
+            node: NodeId(1),
+            peer: NodeId(0),
+            after: Duration::from_millis(300),
+        },
+    );
+}

@@ -32,7 +32,7 @@ pub struct CondDecl {
 
 /// All synchronization objects in the program, known to every server
 /// (declarations are compiled into the program, like object annotations).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SyncDecls {
     pub locks: Vec<LockDecl>,
     pub barriers: Vec<BarrierDecl>,

@@ -3,8 +3,9 @@
 #   BENCH_flush.json — flush-pipeline diff throughput (virtual-time kernel)
 #   BENCH_rt.json    — wall-clock speedup vs worker count (real-time kernel)
 #   BENCH_traffic.json — batched vs unbatched rt fabric throughput
+#   BENCH_tcp.json   — multi-process TCP fabric vs in-process rt kernel
 # Usage:
-#   scripts/bench.sh [flush|rt|traffic|all] [extra cargo-bench args...]
+#   scripts/bench.sh [flush|rt|traffic|tcp|all] [extra cargo-bench args...]
 # A first argument that is not a selector is treated as a cargo-bench arg
 # and both benches run (so `scripts/bench.sh --quiet` still works).
 set -euo pipefail
@@ -12,7 +13,7 @@ cd "$(dirname "$0")/.."
 
 which="all"
 case "${1:-}" in
-    flush | rt | traffic | all)
+    flush | rt | traffic | tcp | all)
         which="$1"
         shift
         ;;
@@ -34,4 +35,13 @@ if [ "$which" = "traffic" ] || [ "$which" = "all" ]; then
     cargo bench --bench traffic_rt "$@"
     echo "--- BENCH_traffic.json ---"
     cat BENCH_traffic.json
+fi
+
+if [ "$which" = "tcp" ] || [ "$which" = "all" ]; then
+    # The bench spawns munin-node children; build them in the same
+    # (release) profile the bench binaries run in.
+    cargo build --release -p munin-tcp
+    cargo bench --bench tcp_fabric "$@"
+    echo "--- BENCH_tcp.json ---"
+    cat BENCH_tcp.json
 fi

@@ -39,6 +39,23 @@ fn all_backends() -> Vec<Backend> {
     ]
 }
 
+/// The two multi-process TCP backends, when the environment supports them
+/// (loopback sockets plus a built `munin-node` binary); `None` with a
+/// notice otherwise, so sandboxes without sockets skip loudly instead of
+/// failing.
+fn tcp_backends() -> Option<Vec<Backend>> {
+    match munin_api::tcp_support() {
+        Ok(()) => Some(vec![
+            Backend::MuninTcp(MuninConfig::default()),
+            Backend::IvyTcp(IvyConfig::default()),
+        ]),
+        Err(notice) => {
+            eprintln!("NOTICE: skipping TCP backends in cross-backend matrix: {notice}");
+            None
+        }
+    }
+}
+
 /// The full matrix of the paper's six applications: every backend, at one
 /// worker (trivial placement, everything local) and at four (real traffic,
 /// and — on the rt backends — real parallelism), all producing the
@@ -49,6 +66,23 @@ fn all_apps_bit_identical_across_all_backends_at_1_and_4_workers() {
         for app in App::ALL {
             for backend in all_backends() {
                 run_app(app, nodes, backend);
+            }
+        }
+    }
+}
+
+/// The same matrix across real process boundaries: all six applications on
+/// `MuninTcp` and `IvyTcp` at 1 and 4 workers (4 workers = the coordinator
+/// plus three `munin-node` processes), bit-identical with the in-process
+/// backends — which the matrix above already pins to the sequential
+/// reference.
+#[test]
+fn all_apps_bit_identical_on_tcp_backends_at_1_and_4_workers() {
+    let Some(backends) = tcp_backends() else { return };
+    for nodes in [1usize, 4] {
+        for app in App::ALL {
+            for backend in &backends {
+                run_app(app, nodes, backend.clone());
             }
         }
     }
