@@ -12,7 +12,7 @@ use munin_core::{MuninMsg, MuninServer};
 use munin_ivy::{IvyMsg, IvyServer};
 use munin_rt::{RtCtx, RtTuning, RtWorldBuilder};
 use munin_sim::{RunReport, ThreadCtx, Tracer, TransportConfig, WorldBuilder};
-use munin_tcp::{TcpTuning, TcpWorldBuilder};
+use munin_tcp::{TcpTuning, TcpWorldBuilder, TestFault};
 use munin_types::{
     BarrierDecl, BarrierId, CondDecl, CondId, Element, IvyConfig, LockDecl, LockId, MuninConfig,
     NodeId, ObjectDecl, ObjectId, SharedArray, SharedScalar, SharingType, SyncDecls,
@@ -144,6 +144,7 @@ pub struct ProgramBuilder {
     conds: Vec<CondDecl>,
     threads: Vec<(NodeId, ThreadBody)>,
     rt_tuning: RtTuning,
+    tcp_fault: Option<TestFault>,
 }
 
 impl ProgramBuilder {
@@ -157,6 +158,7 @@ impl ProgramBuilder {
             conds: Vec::new(),
             threads: Vec::new(),
             rt_tuning: RtTuning::default(),
+            tcp_fault: None,
         }
     }
 
@@ -164,6 +166,14 @@ impl ProgramBuilder {
     /// ignored by the simulator and native backends.
     pub fn rt_tuning(&mut self, tuning: RtTuning) -> &mut Self {
         self.rt_tuning = tuning;
+        self
+    }
+
+    /// Inject a process-level fault (node kill, half-closed stream) on the
+    /// TCP backends — the fault-campaign hook for real-fabric failures.
+    /// Ignored by every other backend.
+    pub fn inject_tcp_fault(&mut self, fault: TestFault) -> &mut Self {
+        self.tcp_fault = Some(fault);
         self
     }
 
@@ -460,8 +470,9 @@ impl ProgramBuilder {
             Backend::MuninTcp(cfg) => {
                 assert_rt_supports(&transport, &tracer, backend_name);
                 let sync = self.sync_decls();
-                let mut b = TcpWorldBuilder::<MuninMsg>::new(self.n_nodes)
-                    .tuning(TcpTuning::from(self.rt_tuning.clone()));
+                let mut tuning = TcpTuning::from(self.rt_tuning.clone());
+                tuning.test_fault = self.tcp_fault;
+                let mut b = TcpWorldBuilder::<MuninMsg>::new(self.n_nodes).tuning(tuning);
                 for d in &self.objects {
                     let id = b.declare(d.clone(), d.home);
                     debug_assert_eq!(id, d.id, "builder ids must stay dense");
@@ -475,8 +486,9 @@ impl ProgramBuilder {
             Backend::IvyTcp(cfg) => {
                 assert_rt_supports(&transport, &tracer, backend_name);
                 let sync = self.sync_decls();
-                let mut b = TcpWorldBuilder::<IvyMsg>::new(self.n_nodes)
-                    .tuning(TcpTuning::from(self.rt_tuning.clone()));
+                let mut tuning = TcpTuning::from(self.rt_tuning.clone());
+                tuning.test_fault = self.tcp_fault;
+                let mut b = TcpWorldBuilder::<IvyMsg>::new(self.n_nodes).tuning(tuning);
                 for d in &self.objects {
                     let id = b.declare(d.clone(), d.home);
                     debug_assert_eq!(id, d.id);

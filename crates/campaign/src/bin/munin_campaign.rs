@@ -1,0 +1,209 @@
+//! `munin-campaign` — run seed-replayable fault campaigns.
+//!
+//! ```text
+//! munin-campaign --seed 42                 # one campaign on the simulator
+//! munin-campaign --batch 150 --seed-base 0 # a CI batch
+//! munin-campaign --seed 42 --gen-only      # print the plan TOML, don't run
+//! munin-campaign --plan failure.toml       # replay a saved plan
+//! munin-campaign --scenario tcp-kill       # a curated scenario
+//! munin-campaign --list-scenarios
+//! ```
+//!
+//! A failing campaign auto-shrinks to a locally minimal plan that still
+//! fails, writes it to `--out` (if given), and prints the one-line repro.
+//! Exit code: 0 all passed, 1 campaign failure, 2 usage error.
+
+use munin_campaign::exec::{execute, CampaignOutcome, ExecOptions, Target};
+use munin_campaign::gen::{generate_with, GenConfig};
+use munin_campaign::plan::InteractionPlan;
+use munin_campaign::scenario;
+use munin_campaign::shrink::shrink_failing;
+use std::process::ExitCode;
+
+struct Args {
+    seed: Option<u64>,
+    batch: Option<u64>,
+    seed_base: u64,
+    target: Target,
+    out: Option<String>,
+    plan_file: Option<String>,
+    scenario: Option<String>,
+    list_scenarios: bool,
+    export_scenario: Option<String>,
+    gen_only: bool,
+    allow_kill: bool,
+    shrink_budget: usize,
+}
+
+fn usage() -> &'static str {
+    "usage: munin-campaign (--seed N | --batch K [--seed-base B] | --plan FILE | \
+     --scenario NAME | --list-scenarios | --export-scenario NAME)\n\
+     \x20       [--backend munin|ivy|munin-tcp|ivy-tcp] [--out FILE] [--gen-only]\n\
+     \x20       [--allow-kill] [--shrink-budget K]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: None,
+        batch: None,
+        seed_base: 0,
+        target: Target::Munin,
+        out: None,
+        plan_file: None,
+        scenario: None,
+        list_scenarios: false,
+        export_scenario: None,
+        gen_only: false,
+        allow_kill: false,
+        shrink_budget: 400,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val =
+            |what: &str| it.next().ok_or_else(|| format!("{arg} needs a {what} argument"));
+        match arg.as_str() {
+            "--seed" => args.seed = Some(val("seed")?.parse().map_err(|e| format!("--seed: {e}"))?),
+            "--batch" => {
+                args.batch = Some(val("count")?.parse().map_err(|e| format!("--batch: {e}"))?)
+            }
+            "--seed-base" => {
+                args.seed_base = val("seed")?.parse().map_err(|e| format!("--seed-base: {e}"))?
+            }
+            "--backend" => args.target = Target::parse(&val("backend")?)?,
+            "--out" => args.out = Some(val("path")?),
+            "--plan" => args.plan_file = Some(val("path")?),
+            "--scenario" => args.scenario = Some(val("name")?),
+            "--list-scenarios" => args.list_scenarios = true,
+            "--export-scenario" => args.export_scenario = Some(val("name")?),
+            "--gen-only" => args.gen_only = true,
+            "--allow-kill" => args.allow_kill = true,
+            "--shrink-budget" => {
+                args.shrink_budget =
+                    val("count")?.parse().map_err(|e| format!("--shrink-budget: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    let modes = [
+        args.seed.is_some() || args.batch.is_some(),
+        args.plan_file.is_some(),
+        args.scenario.is_some(),
+        args.list_scenarios,
+        args.export_scenario.is_some(),
+    ];
+    if modes.iter().filter(|m| **m).count() != 1 {
+        return Err(format!("pick exactly one mode\n{}", usage()));
+    }
+    Ok(args)
+}
+
+/// Shrink a failing plan, report the minimum, persist it if asked.
+fn report_failure(args: &Args, plan: &InteractionPlan, out: &CampaignOutcome) {
+    eprintln!("{}", out.verdict_line());
+    for r in &out.reasons {
+        eprintln!("  reason: {r}");
+    }
+    eprintln!("shrinking (budget {} executions)...", args.shrink_budget);
+    let (min, spent) =
+        shrink_failing(plan, args.target, &ExecOptions::default(), args.shrink_budget);
+    eprintln!(
+        "minimized after {spent} executions: {} round(s), {} fault(s), {} thread(s) on {} node(s)",
+        min.rounds.len(),
+        min.faults.len(),
+        min.n_threads,
+        min.n_nodes
+    );
+    let toml = min.to_toml();
+    match &args.out {
+        Some(path) => match std::fs::write(path, &toml) {
+            Ok(()) => eprintln!("minimized plan written to {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        },
+        None => eprint!("--- minimized plan ---\n{toml}--- end plan ---\n"),
+    }
+    eprintln!("repro: {}", plan.repro_line());
+}
+
+fn run_plan(args: &Args, plan: &InteractionPlan) -> Result<bool, String> {
+    let out = execute(plan, args.target, &ExecOptions::default())?;
+    if out.passed() {
+        println!("{}", out.verdict_line());
+        Ok(true)
+    } else {
+        report_failure(args, plan, &out);
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    if args.list_scenarios {
+        for s in scenario::all() {
+            println!("{:-16} [{}] {}", s.name, s.target.name(), s.about);
+        }
+        return Ok(true);
+    }
+    if let Some(name) = &args.export_scenario {
+        let s = scenario::find(name).ok_or_else(|| format!("no scenario named `{name}`"))?;
+        print!("{}", s.toml());
+        return Ok(true);
+    }
+    if let Some(name) = &args.scenario {
+        let s = scenario::find(name).ok_or_else(|| format!("no scenario named `{name}`"))?;
+        s.target.supported()?;
+        let out = scenario::run(&s, &ExecOptions::default())?;
+        println!("scenario {name}: expectations met ({})", out.verdict_line());
+        return Ok(true);
+    }
+    args.target.supported()?;
+    let gen_cfg = GenConfig { allow_permanent: args.allow_kill, ..GenConfig::default() };
+    if let Some(path) = &args.plan_file {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+        let plan = InteractionPlan::from_toml(&text)?;
+        return run_plan(args, &plan);
+    }
+    if let Some(batch) = args.batch {
+        let mut failures = 0u64;
+        for seed in args.seed_base..args.seed_base + batch {
+            let plan = generate_with(seed, &gen_cfg);
+            let out = execute(&plan, args.target, &ExecOptions::default())?;
+            if out.passed() {
+                println!("{}", out.verdict_line());
+            } else {
+                failures += 1;
+                report_failure(args, &plan, &out);
+            }
+        }
+        println!("batch done: {}/{batch} passed on {}", batch - failures, args.target.name());
+        return Ok(failures == 0);
+    }
+    let seed = args.seed.expect("mode check guarantees a seed");
+    let plan = generate_with(seed, &gen_cfg);
+    if args.gen_only {
+        print!("{}", plan.to_toml());
+        return Ok(true);
+    }
+    run_plan(args, &plan)
+}

@@ -1,0 +1,411 @@
+//! Plan execution: lower an [`InteractionPlan`] onto a backend, record the
+//! observation log, and judge the result.
+//!
+//! The same plan runs on the virtual-time simulator (all fault classes) or
+//! the multi-process TCP fabric (process-level faults only — see
+//! [`crate::fault::tcp_compatible`]). Application threads always run in
+//! the driving process (the TCP coordinator hosts them too), so one shared
+//! recorder collects [`ObsEvent`]s on every backend. Recording order is
+//! chosen to keep the checker sound under real concurrency: writes at
+//! intent, reads at completion, lock acquire after the grant / release
+//! before the release (recorded critical sections can only shrink), and
+//! barrier arrivals before the barrier call.
+//!
+//! The verdict combines:
+//!
+//! * the coherence checker over the recorded log ([`check_campaign`] —
+//!   always a failure when it flags anything),
+//! * the run report (a plan whose faults all heal must end clean),
+//! * counter totals (on an expected-clean run, each counter's final value
+//!   must equal the sum of the plan's deltas — the classic lost-update
+//!   detector).
+
+use crate::fault::{clock_skews, sim_transport, tcp_compatible, tcp_fault};
+use crate::plan::{InteractionPlan, PlanOp};
+use munin_api::{Backend, Par, ParTyped, ProgramBuilder, RtTuning, SharedScalar};
+use munin_check::{check_campaign, CampaignHistory, ObsEvent, Violation};
+use munin_types::{IvyConfig, LockId, MuninConfig, ObjectDecl, ObjectId, SharingType, ThreadId};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Which backend executes a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Munin on the virtual-time simulator (the default; fully
+    /// deterministic).
+    Munin,
+    /// The Ivy baseline on the simulator.
+    Ivy,
+    /// Munin on the multi-process TCP fabric.
+    MuninTcp,
+    /// Ivy on the TCP fabric.
+    IvyTcp,
+}
+
+impl Target {
+    pub fn parse(s: &str) -> Result<Target, String> {
+        match s {
+            "munin" => Ok(Target::Munin),
+            "ivy" => Ok(Target::Ivy),
+            "munin-tcp" => Ok(Target::MuninTcp),
+            "ivy-tcp" => Ok(Target::IvyTcp),
+            other => Err(format!("unknown backend `{other}` (munin|ivy|munin-tcp|ivy-tcp)")),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Target::Munin => "munin",
+            Target::Ivy => "ivy",
+            Target::MuninTcp => "munin-tcp",
+            Target::IvyTcp => "ivy-tcp",
+        }
+    }
+
+    pub fn is_tcp(&self) -> bool {
+        matches!(self, Target::MuninTcp | Target::IvyTcp)
+    }
+
+    /// Probe whether this target can run here (the TCP fabric needs
+    /// loopback sockets and the `munin-node` binary).
+    pub fn supported(&self) -> Result<(), String> {
+        if self.is_tcp() {
+            munin_api::tcp_support().map_err(|e| e.to_string())
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Execution knobs that are not part of the plan.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Stall-watchdog timeout for the TCP fabric. Campaigns keep it tight
+    /// — a hung fault path should be caught in milliseconds, not the
+    /// leisurely default — which doubles as the "watchdog-tight timeout"
+    /// fault pressure of the harness.
+    pub tcp_stall: Duration,
+    /// Munin backend configuration. Campaigns run the default config; the
+    /// checker-mutation tests ride their chaos knob
+    /// (`chaos_skip_updates`) in through here to prove the checker catches
+    /// a protocol that silently drops an update.
+    pub munin: MuninConfig,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { tcp_stall: Duration::from_millis(800), munin: MuninConfig::default() }
+    }
+}
+
+/// The judged result of one campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    pub seed: u64,
+    pub target: Target,
+    /// Did the run finish without errors or teardown?
+    pub clean: bool,
+    /// Run errors from the report (panics, deadlock/stall diagnostics,
+    /// transport give-ups, lost peers).
+    pub errors: Vec<String>,
+    /// Coherence violations the checker found in the observation log.
+    pub violations: Vec<Violation>,
+    /// Failure reasons; empty means the campaign passed.
+    pub reasons: Vec<String>,
+    /// Final counter values as read back by thread 0 (empty if the run
+    /// died before the read-back).
+    pub final_counters: Vec<i64>,
+}
+
+impl CampaignOutcome {
+    pub fn passed(&self) -> bool {
+        self.reasons.is_empty()
+    }
+
+    /// One-line verdict, with the replay command on failure.
+    pub fn verdict_line(&self) -> String {
+        if self.passed() {
+            format!("PASS seed {} on {}", self.seed, self.target.name())
+        } else {
+            format!(
+                "FAIL seed {} on {}: {} — replay with `munin-campaign --seed {}`",
+                self.seed,
+                self.target.name(),
+                self.reasons.first().map(String::as_str).unwrap_or("unknown"),
+                self.seed
+            )
+        }
+    }
+}
+
+/// Execute `plan` on `target` and judge the observation log.
+pub fn execute(
+    plan: &InteractionPlan,
+    target: Target,
+    opts: &ExecOptions,
+) -> Result<CampaignOutcome, String> {
+    plan.validate()?;
+    if target.is_tcp() && !tcp_compatible(plan) {
+        return Err(format!(
+            "plan {} carries wire-level faults the TCP fabric cannot inject; \
+             run it on the simulator or strip them",
+            plan.seed
+        ));
+    }
+
+    let mut p = ProgramBuilder::new(plan.n_nodes);
+    let n = plan.n_nodes;
+
+    // Declaration order fixes the dense ObjectId layout the checker
+    // metadata relies on: free cells, then locked cells, then counters.
+    let cells: Vec<SharedScalar<i64>> = (0..plan.free_cells)
+        .map(|i| p.scalar::<i64>(&format!("c{i}"), SharingType::WriteMany, i % n))
+        .collect();
+    let mut locks = Vec::with_capacity(plan.locked_cells);
+    let mut lcells: Vec<SharedScalar<i64>> = Vec::with_capacity(plan.locked_cells);
+    for i in 0..plan.locked_cells {
+        let l = p.lock(i % n);
+        locks.push(l);
+        lcells.push(p.scalar_decl::<i64>(
+            ObjectDecl::template(format!("lc{i}"), SharingType::Migratory).with_lock(l),
+            i % n,
+        ));
+    }
+    let ctrs: Vec<SharedScalar<i64>> = (0..plan.counters)
+        .map(|i| p.scalar::<i64>(&format!("ctr{i}"), SharingType::GeneralReadWrite, i % n))
+        .collect();
+    let bar = p.barrier(0, plan.n_threads as u32);
+
+    let locked_cells: Vec<(ObjectId, LockId)> = (0..plan.locked_cells)
+        .map(|i| (ObjectId((plan.free_cells + i) as u64), locks[i]))
+        .collect();
+
+    let events: Arc<Mutex<Vec<ObsEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let final_counters: Arc<Mutex<Vec<i64>>> = Arc::new(Mutex::new(Vec::new()));
+    let skews = clock_skews(plan);
+
+    for t in 0..plan.n_threads {
+        let rounds: Vec<Vec<PlanOp>> = plan.rounds.iter().map(|r| r.ops[t].clone()).collect();
+        let skew_us: u64 = skews.iter().filter(|(th, _)| *th == t).map(|(_, us)| *us).sum();
+        let events = events.clone();
+        let final_counters = final_counters.clone();
+        let (cells, lcells, ctrs, locks) =
+            (cells.clone(), lcells.clone(), ctrs.clone(), locks.clone());
+        let me = ThreadId(t as u32);
+        p.thread(t % n, move |par: &mut dyn Par| {
+            // A panicked sibling thread may have poisoned the recorder;
+            // observations are still worth keeping.
+            let push = |e: ObsEvent| {
+                events.lock().unwrap_or_else(|p| p.into_inner()).push(e);
+            };
+            for ops in &rounds {
+                if skew_us > 0 {
+                    par.compute(skew_us);
+                }
+                for op in ops {
+                    match op {
+                        PlanOp::Write { cell, label } => {
+                            push(ObsEvent::Write {
+                                thread: me,
+                                obj: cells[*cell].id(),
+                                label: *label,
+                            });
+                            par.store(&cells[*cell], *label as i64);
+                        }
+                        PlanOp::Read { cell } => {
+                            let v = par.load(&cells[*cell]);
+                            push(ObsEvent::Read {
+                                thread: me,
+                                obj: cells[*cell].id(),
+                                observed: v as u32,
+                            });
+                        }
+                        PlanOp::LockedRmw { lcell, label } => {
+                            par.lock(locks[*lcell]);
+                            push(ObsEvent::Acquire { thread: me, lock: locks[*lcell] });
+                            let v = par.load(&lcells[*lcell]);
+                            push(ObsEvent::Read {
+                                thread: me,
+                                obj: lcells[*lcell].id(),
+                                observed: v as u32,
+                            });
+                            push(ObsEvent::Write {
+                                thread: me,
+                                obj: lcells[*lcell].id(),
+                                label: *label,
+                            });
+                            par.store(&lcells[*lcell], *label as i64);
+                            push(ObsEvent::Release { thread: me, lock: locks[*lcell] });
+                            par.unlock(locks[*lcell]);
+                        }
+                        PlanOp::FetchAdd { counter, delta } => {
+                            let prev = par.fetch_add_scalar(&ctrs[*counter], *delta);
+                            push(ObsEvent::FetchAdd {
+                                thread: me,
+                                obj: ctrs[*counter].id(),
+                                observed_prev: prev,
+                            });
+                        }
+                        PlanOp::Compute { us } => par.compute(*us),
+                    }
+                }
+                push(ObsEvent::BarrierArrive { thread: me, barrier: 0 });
+                par.barrier(bar);
+            }
+            if t == 0 {
+                // After the final barrier every delta has been applied at
+                // the counters' homes; a zero-delta fetch-add reads the
+                // settled value atomically.
+                let finals: Vec<i64> = ctrs.iter().map(|c| par.fetch_add_scalar(c, 0)).collect();
+                *final_counters.lock().unwrap_or_else(|p| p.into_inner()) = finals;
+            }
+        });
+    }
+
+    let report = match target {
+        Target::Munin => {
+            let cfg = opts.munin.clone();
+            let transport = sim_transport(plan, cfg.cost.clone());
+            p.run_with(Backend::Munin(cfg), transport, None)
+        }
+        Target::Ivy => {
+            let cfg = IvyConfig::default();
+            let transport = sim_transport(plan, cfg.cost.clone());
+            p.run_with(Backend::Ivy(cfg), transport, None)
+        }
+        Target::MuninTcp | Target::IvyTcp => {
+            let mut tuning = RtTuning::default();
+            tuning.stall_timeout = opts.tcp_stall;
+            p.rt_tuning(tuning);
+            if let Some(f) = tcp_fault(plan) {
+                p.inject_tcp_fault(f);
+            }
+            if target == Target::MuninTcp {
+                p.run(Backend::MuninTcp(opts.munin.clone()))
+            } else {
+                p.run(Backend::IvyTcp(IvyConfig::default()))
+            }
+        }
+    };
+    let report = report.report().clone();
+
+    let history = CampaignHistory {
+        n_threads: plan.n_threads,
+        barrier_counts: BTreeMap::from([(0u64, plan.n_threads)]),
+        events: std::mem::take(&mut *events.lock().unwrap_or_else(|p| p.into_inner())),
+    };
+    let violations = check_campaign(&history, &locked_cells);
+    let finals = final_counters.lock().unwrap_or_else(|p| p.into_inner()).clone();
+
+    let mut reasons = Vec::new();
+    for v in violations.iter().take(5) {
+        reasons.push(format!("coherence violation at event {}: {}", v.event_index, v.reason));
+    }
+    if violations.len() > 5 {
+        reasons.push(format!("... and {} more violations", violations.len() - 5));
+    }
+    let clean = report.is_clean();
+    if plan.expects_clean() {
+        if !clean {
+            reasons.push(format!(
+                "expected a clean run (every fault heals) but got: {}",
+                report.errors.first().map(String::as_str).unwrap_or("torn down")
+            ));
+        } else {
+            let expected = plan.expected_counter_totals();
+            if finals != expected {
+                reasons.push(format!(
+                    "counter totals {finals:?} != expected {expected:?} (lost update)"
+                ));
+            }
+        }
+    }
+
+    Ok(CampaignOutcome {
+        seed: plan.seed,
+        target,
+        clean,
+        errors: report.errors.clone(),
+        violations,
+        reasons,
+        final_counters: finals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultSpec, Round};
+
+    fn handoff_plan() -> InteractionPlan {
+        // Two threads pass a locked cell back and forth and bump a counter;
+        // thread 0 also publishes a free cell the other reads post-barrier.
+        let mut plan = InteractionPlan::skeleton(2, 2);
+        plan.seed = 1;
+        plan.free_cells = 1;
+        plan.locked_cells = 1;
+        plan.counters = 1;
+        plan.rounds = vec![
+            Round {
+                ops: vec![
+                    vec![
+                        PlanOp::Write { cell: 0, label: 1 },
+                        PlanOp::LockedRmw { lcell: 0, label: 2 },
+                        PlanOp::FetchAdd { counter: 0, delta: 2 },
+                    ],
+                    vec![PlanOp::FetchAdd { counter: 0, delta: 3 }],
+                ],
+            },
+            Round {
+                ops: vec![
+                    vec![PlanOp::FetchAdd { counter: 0, delta: 1 }],
+                    vec![PlanOp::Read { cell: 0 }, PlanOp::LockedRmw { lcell: 0, label: 3 }],
+                ],
+            },
+        ];
+        plan
+    }
+
+    #[test]
+    fn clean_plan_passes_on_munin_and_ivy() {
+        for target in [Target::Munin, Target::Ivy] {
+            let out = execute(&handoff_plan(), target, &ExecOptions::default()).unwrap();
+            assert!(out.passed(), "{target:?}: {:?}", out.reasons);
+            assert!(out.clean);
+            assert_eq!(out.final_counters, vec![6]);
+        }
+    }
+
+    #[test]
+    fn faulty_wire_still_passes_with_reliable_delivery() {
+        let mut plan = handoff_plan();
+        plan.faults = vec![
+            FaultSpec::Loss { per_mille: 100 },
+            FaultSpec::Jitter { max_us: 2_000 },
+            FaultSpec::ClockSkew { thread: 1, us: 5_000 },
+        ];
+        let out = execute(&plan, Target::Munin, &ExecOptions::default()).unwrap();
+        assert!(out.passed(), "{:?}", out.reasons);
+    }
+
+    #[test]
+    fn permanent_isolation_is_survived_without_violations() {
+        // The killed node's threads stall and the run tears down; the
+        // completed prefix of the history must still be coherent.
+        let mut plan = handoff_plan();
+        plan.faults = vec![FaultSpec::Isolate { node: 1, from_us: 0, until_us: u64::MAX }];
+        let out = execute(&plan, Target::Munin, &ExecOptions::default()).unwrap();
+        assert!(!out.clean, "a from-time-zero permanent isolation cannot end clean");
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.passed(), "unclean is expected, not a failure: {:?}", out.reasons);
+    }
+
+    #[test]
+    fn wire_faults_refuse_the_tcp_target() {
+        let mut plan = handoff_plan();
+        plan.faults = vec![FaultSpec::Loss { per_mille: 10 }];
+        let err = execute(&plan, Target::MuninTcp, &ExecOptions::default()).unwrap_err();
+        assert!(err.contains("cannot inject"), "{err}");
+    }
+}

@@ -1,0 +1,43 @@
+//! # munin-campaign
+//!
+//! A deterministic, seed-replayable fault-campaign harness over the
+//! simulator and the TCP fabric.
+//!
+//! One u64 seed expands into an [`InteractionPlan`] — a schedule of
+//! application-level operations (reads, writes, locked read-modify-writes,
+//! atomic counter bumps, modelled compute) across N nodes, interleaved
+//! with injected faults (message loss, delivery jitter, a serialized
+//! medium, partition and isolation windows, clock skew, and process-level
+//! node kills / half-closed streams on the real TCP fabric). Executing the
+//! plan records an observation log that [`munin_check::check_campaign`]
+//! validates against the coherence contract: no lost updates, lock
+//! exclusion, release-consistency visibility.
+//!
+//! The contract of the harness:
+//!
+//! * **Determinism** — the same seed always yields a byte-identical
+//!   serialized plan, and on the simulator an identical verdict.
+//! * **Replayability** — every failure prints a one-line repro
+//!   (`munin-campaign --seed N`), and failing plans auto-shrink to a
+//!   locally minimal plan that still fails ([`shrink`]).
+//! * **Portability** — plans run on the virtual-time simulator for every
+//!   fault class; the process-fault subset re-runs on the real
+//!   multi-process TCP fabric ([`Target::MuninTcp`] / [`Target::IvyTcp`]).
+//!
+//! Plans serialize to a small TOML subset (first-party codec in
+//! [`toml`] — the workspace's vendored `serde` is a no-op stub), and
+//! curated scenarios with expectations live in [`scenario`].
+
+pub mod exec;
+pub mod fault;
+pub mod gen;
+pub mod plan;
+pub mod scenario;
+pub mod shrink;
+pub mod toml;
+
+pub use exec::{execute, CampaignOutcome, ExecOptions, Target};
+pub use gen::{generate, generate_with, GenConfig};
+pub use plan::{FaultSpec, InteractionPlan, PlanOp, Round};
+pub use scenario::{Expect, Scenario};
+pub use shrink::{shrink, shrink_failing};

@@ -1,0 +1,350 @@
+//! A first-party TOML-subset reader/writer for campaign plans and
+//! scenarios.
+//!
+//! The workspace vendors `serde` as a no-op stub (no network access to
+//! crates.io), so plan files get a small hand-rolled codec instead. The
+//! subset is exactly what plans need and nothing more:
+//!
+//! * `[table]` and `[[array-of-table]]` headers,
+//! * `key = value` pairs where a value is an integer, a boolean, a
+//!   double-quoted string (with `\\`/`\"` escapes), or a flat array of
+//!   those,
+//! * `#` comments and blank lines.
+//!
+//! Writing is canonical: the writer emits keys in the order given and the
+//! parser preserves table order, so `parse(write(doc))` round-trips and
+//! equal documents serialize byte-identically — the property the
+//! determinism contract ("same seed, byte-identical plan") leans on.
+
+use std::fmt::Write as _;
+
+/// A parsed TOML value (the subset campaign files use).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Bool(bool),
+    Str(String),
+    List(Vec<Value>),
+}
+
+impl Value {
+    pub fn as_int(&self) -> Result<i64, String> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            other => Err(format!("expected integer, found {other:?}")),
+        }
+    }
+
+    pub fn as_u64(&self) -> Result<u64, String> {
+        // Plans store u64::MAX (permanent faults) as -1, since the writer
+        // emits signed 64-bit integers like real TOML.
+        match self.as_int()? {
+            -1 => Ok(u64::MAX),
+            v if v >= 0 => Ok(v as u64),
+            v => Err(format!("expected non-negative integer (or -1 for 'forever'), found {v}")),
+        }
+    }
+
+    pub fn as_usize(&self) -> Result<usize, String> {
+        let v = self.as_int()?;
+        usize::try_from(v).map_err(|_| format!("expected non-negative integer, found {v}"))
+    }
+
+    pub fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            Value::Bool(v) => Ok(*v),
+            other => Err(format!("expected boolean, found {other:?}")),
+        }
+    }
+
+    pub fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Value::Str(v) => Ok(v),
+            other => Err(format!("expected string, found {other:?}")),
+        }
+    }
+
+    pub fn as_list(&self) -> Result<&[Value], String> {
+        match self {
+            Value::List(v) => Ok(v),
+            other => Err(format!("expected array, found {other:?}")),
+        }
+    }
+}
+
+/// One table: ordered `key = value` pairs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    pub entries: Vec<(String, Value)>,
+}
+
+impl Table {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Fetch a required key, naming it in the error.
+    pub fn require(&self, key: &str) -> Result<&Value, String> {
+        self.get(key).ok_or_else(|| format!("missing key `{key}`"))
+    }
+
+    pub fn set(&mut self, key: &str, value: Value) {
+        self.entries.push((key.to_string(), value));
+    }
+}
+
+/// A parsed document: tables in file order. `[[name]]` headers simply
+/// produce multiple tables with the same name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Doc {
+    pub tables: Vec<(String, Table)>,
+}
+
+impl Doc {
+    /// The first table with this name, if any.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    /// All tables with this name, in file order.
+    pub fn tables(&self, name: &str) -> Vec<&Table> {
+        self.tables.iter().filter(|(n, _)| n == name).map(|(_, t)| t).collect()
+    }
+
+    pub fn push(&mut self, name: &str, table: Table) {
+        self.tables.push((name.to_string(), table));
+    }
+
+    /// Canonical serialization: one blank line between tables, keys in
+    /// insertion order.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        for (i, (name, table)) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            let _ = writeln!(out, "[[{name}]]");
+            for (key, value) in &table.entries {
+                let _ = writeln!(out, "{key} = {}", write_value(value));
+            }
+        }
+        out
+    }
+}
+
+fn write_value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Str(s) => {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        Value::List(items) => {
+            let inner: Vec<String> = items.iter().map(write_value).collect();
+            format!("[{}]", inner.join(", "))
+        }
+    }
+}
+
+/// Parse a document. Both `[name]` and `[[name]]` headers open a new
+/// table (the distinction does not matter for this subset — repetition is
+/// what makes an array).
+pub fn parse(input: &str) -> Result<Doc, String> {
+    let mut doc = Doc::default();
+    let mut current: Option<(String, Table)> = None;
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            if let Some(done) = current.take() {
+                doc.tables.push(done);
+            }
+            current = Some((header.trim().to_string(), Table::default()));
+        } else if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            if let Some(done) = current.take() {
+                doc.tables.push(done);
+            }
+            current = Some((header.trim().to_string(), Table::default()));
+        } else if let Some(eq) = find_top_level_eq(line) {
+            let key = line[..eq].trim();
+            let value = parse_value(line[eq + 1..].trim()).map_err(&err)?;
+            if key.is_empty() {
+                return Err(err("empty key".into()));
+            }
+            match &mut current {
+                Some((_, t)) => t.set(key, value),
+                None => return Err(err(format!("`{key}` appears before any [table] header"))),
+            }
+        } else {
+            return Err(err(format!("unrecognized line `{line}`")));
+        }
+    }
+    if let Some(done) = current.take() {
+        doc.tables.push(done);
+    }
+    Ok(doc)
+}
+
+/// Strip a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// Index of the first `=` outside any string (keys never contain `=`).
+fn find_top_level_eq(line: &str) -> Option<usize> {
+    line.find('=')
+}
+
+fn parse_value(s: &str) -> Result<Value, String> {
+    if s == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if s == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(body) = s.strip_prefix('"') {
+        let body = body.strip_suffix('"').ok_or_else(|| format!("unterminated string: {s}"))?;
+        let mut out = String::with_capacity(body.len());
+        let mut chars = body.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    other => return Err(format!("bad escape `\\{other:?}` in string")),
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        return Ok(Value::Str(out));
+    }
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body.strip_suffix(']').ok_or_else(|| format!("unterminated array: {s}"))?;
+        let mut items = Vec::new();
+        for part in split_array(body)? {
+            let part = part.trim();
+            if !part.is_empty() {
+                items.push(parse_value(part)?);
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    s.parse::<i64>().map(Value::Int).map_err(|_| format!("unrecognized value `{s}`"))
+}
+
+/// Split a flat array body on commas outside strings (no nested arrays in
+/// this subset).
+fn split_array(body: &str) -> Result<Vec<&str>, String> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '[' if !in_str => return Err("nested arrays are not supported".into()),
+            ',' if !in_str => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        escaped = false;
+    }
+    if in_str {
+        return Err("unterminated string in array".into());
+    }
+    parts.push(&body[start..]);
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_canonically() {
+        let mut doc = Doc::default();
+        let mut t = Table::default();
+        t.set("seed", Value::Int(42));
+        t.set("name", Value::Str("par#tition \"x\"".into()));
+        t.set("flag", Value::Bool(true));
+        t.set("group", Value::List(vec![Value::Int(0), Value::Int(2)]));
+        doc.push("plan", t);
+        let mut f = Table::default();
+        f.set("kind", Value::Str("loss".into()));
+        doc.push("fault", f);
+        let text = doc.to_toml();
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.to_toml(), text, "writer must be canonical");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let doc = parse(
+            "# campaign\n\n[plan]\nseed = 7 # the seed\ns = \"a # not a comment\"\n\n[[fault]]\nkind = \"jitter\"\n",
+        )
+        .unwrap();
+        assert_eq!(doc.table("plan").unwrap().get("seed"), Some(&Value::Int(7)));
+        assert_eq!(
+            doc.table("plan").unwrap().get("s"),
+            Some(&Value::Str("a # not a comment".into()))
+        );
+        assert_eq!(doc.tables("fault").len(), 1);
+    }
+
+    #[test]
+    fn negative_one_reads_as_forever() {
+        let doc = parse("[f]\nuntil_us = -1\n").unwrap();
+        assert_eq!(doc.table("f").unwrap().get("until_us").unwrap().as_u64().unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let err = parse("[t]\nwhat even is this\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse("orphan = 1\n").unwrap_err();
+        assert!(err.contains("before any"), "{err}");
+    }
+
+    #[test]
+    fn repeated_headers_form_arrays() {
+        let doc = parse("[[round]]\nt0 = [\"w 0 1\"]\n[[round]]\nt0 = []\n").unwrap();
+        assert_eq!(doc.tables("round").len(), 2);
+    }
+}

@@ -19,9 +19,11 @@
 //! [`figure1`] module reconstructs the paper's Figure 1 schedule and
 //! enumerates the legal read results under each contract.
 
+pub mod campaign;
 pub mod figure1;
 pub mod history;
 pub mod vclock;
 
+pub use campaign::{check_campaign, CampaignHistory, ObsEvent};
 pub use history::{check_loose, check_strict, legal_loose_writes, Event, History, Violation};
 pub use vclock::VectorClock;

@@ -212,6 +212,18 @@ impl MuninServer {
                 sends.push((dst, MuninMsg::FlushInval { session, objs: inval }));
             }
         }
+        if self.cfg.chaos_skip_updates > 0 {
+            // Mutation-test knob: silently drop the Nth distribution send.
+            // `pending` shrinks with it so the session still completes — the
+            // victim keeps a stale valid copy, which is exactly the silent
+            // coherence bug the campaign checker must catch.
+            let n = self.cfg.chaos_skip_updates;
+            sends.retain(|_| {
+                self.chaos_dist_sends += 1;
+                self.chaos_dist_sends != n
+            });
+            pending = sends.len();
+        }
         if pending == 0 {
             self.finish_out_session(k, origin, session);
             return;

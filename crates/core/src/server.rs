@@ -119,6 +119,11 @@ pub struct MuninServer {
 
     // ---- dynamic decisions ------------------------------------------------------------
     pub(crate) detect: HashMap<ObjectId, DetectStat>,
+
+    // ---- fault-campaign chaos (checker mutation tests) -------------------------------
+    /// Copyset distribution sends performed so far, counted only when
+    /// `cfg.chaos_skip_updates` is armed (the Nth send is skipped).
+    pub(crate) chaos_dist_sends: u64,
 }
 
 impl MuninServer {
@@ -174,6 +179,7 @@ impl MuninServer {
             cv_parked: HashMap::new(),
             result_written: HashMap::new(),
             detect: HashMap::new(),
+            chaos_dist_sends: 0,
         }
     }
 

@@ -1,6 +1,8 @@
 //! Virtual-time delivery latency.
 
 use munin_types::{CostModel, VirtualTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// Computes when a message sent now arrives at its destination.
 ///
@@ -18,15 +20,33 @@ pub struct LatencyModel {
     serialize_medium: bool,
     /// Virtual time at which the shared medium becomes free.
     wire_free_at: VirtualTime,
+    /// Seeded per-message jitter in `[0, max_us]`; `None` keeps latency a
+    /// pure function of payload size. Jitter makes later sends overtake
+    /// earlier ones, which exercises the receiver's reorder buffer.
+    jitter: Option<(u64, SmallRng)>,
 }
 
 impl LatencyModel {
     pub fn new(cost: CostModel) -> Self {
-        LatencyModel { cost, serialize_medium: false, wire_free_at: VirtualTime::ZERO }
+        LatencyModel {
+            cost,
+            serialize_medium: false,
+            wire_free_at: VirtualTime::ZERO,
+            jitter: None,
+        }
     }
 
     pub fn with_serialized_medium(mut self, on: bool) -> Self {
         self.serialize_medium = on;
+        self
+    }
+
+    /// Add deterministic delivery jitter of up to `max_us` virtual
+    /// microseconds per message, drawn from the seeded stream. A `max_us` of
+    /// zero leaves the model untouched (the RNG is never consulted).
+    pub fn with_jitter(mut self, max_us: u64, seed: u64) -> Self {
+        self.jitter =
+            if max_us == 0 { None } else { Some((max_us, SmallRng::seed_from_u64(seed))) };
         self
     }
 
@@ -37,7 +57,10 @@ impl LatencyModel {
     /// Delivery time of a message with `payload_bytes` handed to the
     /// transport at `now`.
     pub fn delivery_time(&mut self, now: VirtualTime, payload_bytes: usize) -> VirtualTime {
-        let latency = self.cost.msg_latency_us(payload_bytes);
+        let mut latency = self.cost.msg_latency_us(payload_bytes);
+        if let Some((max_us, rng)) = &mut self.jitter {
+            latency += rng.gen_range(0..=*max_us);
+        }
         if self.serialize_medium {
             // Occupy the wire for the transmission part of the latency.
             let start = now.max(self.wire_free_at);
@@ -81,6 +104,25 @@ mod tests {
         // After the wire goes idle, latency resets to base.
         let c = m.delivery_time(VirtualTime::micros(10_000), 0);
         assert_eq!(c.as_micros(), 11_000);
+    }
+
+    #[test]
+    fn jitter_is_seeded_bounded_and_reordering() {
+        let base = LatencyModel::new(CostModel::ethernet_1990())
+            .delivery_time(VirtualTime::ZERO, 0)
+            .as_micros();
+        let run = |seed: u64| -> Vec<u64> {
+            let mut m = LatencyModel::new(CostModel::ethernet_1990()).with_jitter(5_000, seed);
+            (0..64).map(|_| m.delivery_time(VirtualTime::ZERO, 0).as_micros()).collect()
+        };
+        let a = run(9);
+        assert_eq!(a, run(9), "same seed, same jitter stream");
+        assert_ne!(a, run(10));
+        assert!(a.iter().all(|t| (base..=base + 5_000).contains(t)), "jitter bounded");
+        assert!(a.windows(2).any(|w| w[0] > w[1]), "jitter must be able to reorder deliveries");
+        // max_us = 0 degenerates to the pure model.
+        let mut z = LatencyModel::new(CostModel::ethernet_1990()).with_jitter(0, 9);
+        assert_eq!(z.delivery_time(VirtualTime::ZERO, 0).as_micros(), base);
     }
 
     #[test]

@@ -21,13 +21,17 @@
 //!   without (the paper's "well designed network interface" discussion).
 
 pub mod envelope;
+pub mod fault;
 pub mod latency;
 pub mod loss;
 pub mod reorder;
+pub mod seed;
 pub mod stats;
 
 pub use envelope::{Envelope, MsgClass, PayloadInfo};
+pub use fault::{LinkFault, LinkFaultKind, LinkSchedule};
 pub use latency::LatencyModel;
 pub use loss::LossModel;
 pub use reorder::ReorderBuffer;
+pub use seed::{derive, SeedGuard};
 pub use stats::{KindStat, NetStats};

@@ -37,6 +37,10 @@ pub struct NetStats {
     pub dropped: u64,
     /// Retransmissions performed by the reliability layer.
     pub retransmissions: u64,
+    /// Transmissions the reliability layer abandoned after exhausting its
+    /// retry budget (only possible under injected link faults that outlast
+    /// the budget, e.g. a permanent partition).
+    pub gave_up: u64,
 }
 
 impl NetStats {
@@ -75,6 +79,10 @@ impl NetStats {
         self.retransmissions += 1;
     }
 
+    pub fn record_gave_up(&mut self) {
+        self.gave_up += 1;
+    }
+
     pub fn class(&self, c: MsgClass) -> KindStat {
         self.by_class.get(&c).copied().unwrap_or_default()
     }
@@ -98,6 +106,7 @@ impl NetStats {
         self.multicast_saved += other.multicast_saved;
         self.dropped += other.dropped;
         self.retransmissions += other.retransmissions;
+        self.gave_up += other.gave_up;
         for (c, s) in &other.by_class {
             let e = self.by_class.entry(*c).or_default();
             e.count += s.count;
@@ -129,6 +138,9 @@ impl fmt::Display for NetStats {
         }
         if self.dropped > 0 || self.retransmissions > 0 {
             writeln!(f, "  dropped: {}  retransmitted: {}", self.dropped, self.retransmissions)?;
+        }
+        if self.gave_up > 0 {
+            writeln!(f, "  gave up: {}", self.gave_up)?;
         }
         Ok(())
     }
@@ -179,6 +191,7 @@ mod tests {
         b.record(MsgClass::Data, "X", 5);
         b.record(MsgClass::Sync, "LockReq", 0);
         b.record_retransmission();
+        b.record_gave_up();
         a.merge(&b);
         assert_eq!(a.messages, 3);
         assert_eq!(a.bytes, 15);
@@ -186,6 +199,7 @@ mod tests {
         assert_eq!(a.class(MsgClass::Sync).count, 1);
         assert_eq!(a.dropped, 1);
         assert_eq!(a.retransmissions, 1);
+        assert_eq!(a.gave_up, 1);
     }
 
     #[test]

@@ -13,23 +13,38 @@
 //! messages only.
 
 use crate::event::{EventKind, EventQueue};
-use munin_net::{LatencyModel, LossModel, MsgClass, NetStats, PayloadInfo, ReorderBuffer};
+use munin_net::{
+    derive, LatencyModel, LinkSchedule, LossModel, MsgClass, NetStats, PayloadInfo, ReorderBuffer,
+};
 use munin_types::{CostModel, NodeId, VirtualTime};
 use std::collections::{BTreeMap, HashMap};
 
 /// Transport configuration.
+///
+/// All randomized behaviour (loss rolls, delivery jitter) derives from the
+/// single `seed` via per-role substreams, so one u64 replays the whole run.
 #[derive(Debug, Clone)]
 pub struct TransportConfig {
     pub cost: CostModel,
     /// Probability that any single wire transmission is dropped.
     pub drop_prob: f64,
-    /// Seed for the deterministic loss stream.
+    /// Seed for every deterministic random stream in this transport.
     pub seed: u64,
-    /// Retransmission timeout (virtual µs). Only relevant with loss.
+    /// Retransmission timeout (virtual µs). Only relevant when reliable.
     pub retx_timeout_us: u64,
     /// Model the network as a shared half-duplex medium (messages queue
     /// behind each other on the wire).
     pub serialize_medium: bool,
+    /// Per-message delivery jitter bound (virtual µs, 0 = none). Jitter lets
+    /// small messages overtake large ones and vice versa, exercising the
+    /// receiver-side reorder buffer.
+    pub jitter_us: u64,
+    /// Scheduled link faults (partitions, node isolation windows).
+    pub link_faults: LinkSchedule,
+    /// Retransmission attempts per message before the transport gives up
+    /// (counted in `NetStats::gave_up` and surfaced as a run error). Bounds
+    /// virtual time under permanent partitions.
+    pub max_retx: u32,
 }
 
 impl TransportConfig {
@@ -40,11 +55,27 @@ impl TransportConfig {
             seed: 0,
             retx_timeout_us: 10_000,
             serialize_medium: false,
+            jitter_us: 0,
+            link_faults: LinkSchedule::default(),
+            max_retx: 40,
         }
     }
 
     pub fn lossy(cost: CostModel, drop_prob: f64, seed: u64) -> Self {
-        TransportConfig { cost, drop_prob, seed, retx_timeout_us: 10_000, serialize_medium: false }
+        let mut cfg = TransportConfig::lossless(cost);
+        cfg.drop_prob = drop_prob;
+        cfg.seed = seed;
+        cfg
+    }
+
+    pub fn with_jitter(mut self, jitter_us: u64) -> Self {
+        self.jitter_us = jitter_us;
+        self
+    }
+
+    pub fn with_link_faults(mut self, faults: LinkSchedule) -> Self {
+        self.link_faults = faults;
+        self
     }
 }
 
@@ -69,6 +100,8 @@ pub enum Wire<P> {
 #[derive(Debug, Clone)]
 struct Unacked<P> {
     payload: P,
+    /// Retransmissions already attempted for this message.
+    retries: u32,
 }
 
 #[derive(Debug)]
@@ -111,10 +144,13 @@ pub struct Transport<P> {
 
 impl<P: PayloadInfo + Clone> Transport<P> {
     pub fn new(cfg: TransportConfig) -> Self {
-        let latency =
-            LatencyModel::new(cfg.cost.clone()).with_serialized_medium(cfg.serialize_medium);
-        let loss = LossModel::new(cfg.drop_prob, cfg.seed);
-        let reliable = cfg.drop_prob > 0.0;
+        let latency = LatencyModel::new(cfg.cost.clone())
+            .with_serialized_medium(cfg.serialize_medium)
+            .with_jitter(cfg.jitter_us, derive(cfg.seed, "latency"));
+        let loss = LossModel::new(cfg.drop_prob, derive(cfg.seed, "loss"));
+        // Link faults silently eat transmissions, so they need the same
+        // ack/retransmission machinery that recovers injected loss.
+        let reliable = cfg.drop_prob > 0.0 || !cfg.link_faults.is_empty();
         Transport { cfg, latency, loss, pairs: HashMap::new(), reliable }
     }
 
@@ -211,11 +247,15 @@ impl<P: PayloadInfo + Clone> Transport<P> {
         }
         if self.reliable {
             let pair = self.pair(src, dst);
-            pair.unacked.entry(seq).or_insert(Unacked { payload: payload.clone() });
+            pair.unacked.entry(seq).or_insert(Unacked { payload: payload.clone(), retries: 0 });
             if !pair.retx_armed {
                 pair.retx_armed = true;
                 events.push(now + self.cfg.retx_timeout_us, EventKind::RetxTimer { src, dst });
             }
+        }
+        if self.cfg.link_faults.cut(src, dst, now.as_micros()) {
+            stats.record_drop();
+            return; // Severed link: retransmission carries it across a heal.
         }
         if self.loss.should_drop() {
             stats.record_drop();
@@ -256,6 +296,10 @@ impl<P: PayloadInfo + Clone> Transport<P> {
                     // lossy but never retransmitted; later acks supersede.
                     let upto = self.pair(src, dst).reorder.expected();
                     stats.record(MsgClass::Ack, "NetAck", 0);
+                    if self.cfg.link_faults.cut(dst, src, now.as_micros()) {
+                        stats.record_drop();
+                        return released;
+                    }
                     if !self.loss.should_drop() {
                         let arrive = self.latency.delivery_time(now, 0);
                         events.push(
@@ -285,9 +329,24 @@ impl<P: PayloadInfo + Clone> Transport<P> {
         src: NodeId,
         dst: NodeId,
     ) {
+        let max_retx = self.cfg.max_retx;
         let outstanding: Vec<(u64, P)> = {
             let pair = self.pair(src, dst);
             pair.retx_armed = false;
+            let exhausted: Vec<u64> = pair
+                .unacked
+                .iter_mut()
+                .filter_map(|(s, u)| {
+                    u.retries += 1;
+                    (u.retries > max_retx).then_some(*s)
+                })
+                .collect();
+            for s in exhausted {
+                // Retry budget exhausted (the link fault outlasted it): stop
+                // retransmitting and let the run report the abandonment.
+                pair.unacked.remove(&s);
+                stats.record_gave_up();
+            }
             pair.unacked.iter().map(|(s, u)| (*s, u.payload.clone())).collect()
         };
         if outstanding.is_empty() {
@@ -436,6 +495,56 @@ mod tests {
         assert_eq!(s.multicast_saved, 3);
         let got = drain(&mut t, &mut q, &mut s);
         assert_eq!(got.len(), 4, "but all four destinations receive it");
+    }
+
+    #[test]
+    fn jitter_reorders_the_wire_but_delivery_stays_fifo() {
+        let cfg = TransportConfig::lossless(CostModel::ethernet_1990()).with_jitter(50_000);
+        let mut t = Transport::new(cfg);
+        let mut q = EventQueue::new();
+        let mut s = NetStats::new();
+        let (a, b) = (NodeId(0), NodeId(1));
+        for i in 0..32 {
+            t.send(VirtualTime::micros(i * 10), &mut q, &mut s, a, b, P(i as u32, 16));
+        }
+        let got = drain(&mut t, &mut q, &mut s);
+        let ids: Vec<u32> = got.iter().map(|(_, p)| p.0).collect();
+        assert_eq!(ids, (0..32).collect::<Vec<_>>(), "reorder buffer restores FIFO");
+        assert!(t.total_duplicates() == 0);
+    }
+
+    #[test]
+    fn healed_partition_is_recovered_by_retransmission() {
+        use munin_net::{LinkFault, LinkSchedule};
+        let cfg = TransportConfig::lossless(CostModel::ethernet_1990()).with_link_faults(
+            LinkSchedule::new(vec![LinkFault::partition(vec![NodeId(0)], 0, 60_000)]),
+        );
+        let mut t = Transport::new(cfg);
+        let mut q = EventQueue::new();
+        let mut s = NetStats::new();
+        t.send(VirtualTime::ZERO, &mut q, &mut s, NodeId(0), NodeId(1), P(7, 64));
+        let got = drain(&mut t, &mut q, &mut s);
+        assert_eq!(got, vec![(NodeId(1), P(7, 64))], "delivered after the heal");
+        assert!(s.dropped > 0, "the partition ate the first transmission");
+        assert!(s.retransmissions > 0);
+        assert_eq!(s.gave_up, 0);
+        assert_eq!(t.total_unacked(), 0);
+    }
+
+    #[test]
+    fn permanent_isolation_gives_up_and_terminates() {
+        use munin_net::{LinkFault, LinkSchedule};
+        let cfg = TransportConfig::lossless(CostModel::ethernet_1990())
+            .with_link_faults(LinkSchedule::new(vec![LinkFault::isolate(NodeId(1), 0, u64::MAX)]));
+        let mut t = Transport::new(cfg);
+        let mut q = EventQueue::new();
+        let mut s = NetStats::new();
+        t.send(VirtualTime::ZERO, &mut q, &mut s, NodeId(0), NodeId(1), P(1, 64));
+        let got = drain(&mut t, &mut q, &mut s);
+        assert!(got.is_empty(), "nothing crosses a permanent isolation");
+        assert_eq!(s.gave_up, 1, "bounded retries abandon the message");
+        assert_eq!(s.retransmissions as u32, t.cfg.max_retx);
+        assert_eq!(t.total_unacked(), 0, "abandoned entries are dropped");
     }
 
     #[test]

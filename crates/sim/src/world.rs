@@ -535,6 +535,17 @@ impl<S: Server> World<S> {
             }
         }
 
+        if self.kernel.stats_ext.gave_up > 0 {
+            // A link fault outlasted the retransmission budget: messages were
+            // silently abandoned, so protocol state may be inconsistent. The
+            // run must not read as clean.
+            self.kernel.error(format!(
+                "transport gave up on {} message(s) after exhausting retransmissions \
+                 (link fault outlasted the retry budget)",
+                self.kernel.stats_ext.gave_up
+            ));
+        }
+
         let deadlocked = live > 0;
         if deadlocked {
             let blocked: Vec<String> = self

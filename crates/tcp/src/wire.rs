@@ -510,6 +510,7 @@ wire_struct!(NetStats {
     multicast_saved,
     dropped,
     retransmissions,
+    gave_up,
 });
 
 // ---- run configuration ----------------------------------------------------
@@ -560,6 +561,7 @@ wire_struct!(MuninConfig {
     adaptive_typing,
     adapt_min_samples,
     adapt_read_fraction,
+    chaos_skip_updates,
 });
 
 wire_struct!(IvyConfig {

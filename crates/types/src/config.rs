@@ -99,6 +99,12 @@ pub struct MuninConfig {
     /// Read-fraction threshold above which the replicate-vs-remote-access
     /// adaptation chooses replication.
     pub adapt_read_fraction: f64,
+    /// Fault-campaign mutation knob: silently skip the Nth copyset
+    /// distribution send (1-based) during flush propagation, leaving one
+    /// copy-holder with a stale-but-valid copy. 0 disables. Exists so the
+    /// checker's mutation tests can prove a real coherence bug is *caught*
+    /// rather than the suite passing vacuously; never set in real runs.
+    pub chaos_skip_updates: u64,
 }
 
 impl Default for MuninConfig {
@@ -115,6 +121,7 @@ impl Default for MuninConfig {
             adaptive_typing: false,
             adapt_min_samples: 64,
             adapt_read_fraction: 0.75,
+            chaos_skip_updates: 0,
         }
     }
 }

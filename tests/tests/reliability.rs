@@ -4,6 +4,7 @@
 
 use munin_api::{Backend, Par, ParTyped, ProgramBuilder};
 use munin_apps::{life, matmul};
+use munin_net::SeedGuard;
 use munin_sim::TransportConfig;
 use munin_types::{MuninConfig, SharingType};
 
@@ -13,6 +14,7 @@ fn lossy(drop_prob: f64, seed: u64) -> TransportConfig {
 
 #[test]
 fn matmul_survives_10pct_loss() {
+    let _guard = SeedGuard::new("matmul under 10% loss", 42);
     let cfg = matmul::MatmulCfg { n: 16, nodes: 3, seed: 4 };
     let want = matmul::reference(&cfg);
     let (p, out) = matmul::build(&cfg);
@@ -28,6 +30,7 @@ fn matmul_survives_10pct_loss() {
 fn life_survives_loss_with_eager_pushes() {
     // Eager pushes are fire-and-forget at the protocol level; the transport
     // must still deliver them exactly once, in order.
+    let _guard = SeedGuard::new("life under 15% loss", 7);
     let cfg = life::LifeCfg { width: 24, height: 24, generations: 4, nodes: 3, seed: 9 };
     let want = life::reference(&cfg);
     let (p, out) = life::build(&cfg);
@@ -38,6 +41,7 @@ fn life_survives_loss_with_eager_pushes() {
 
 #[test]
 fn locks_remain_exclusive_under_loss() {
+    let _guard = SeedGuard::new("lock exclusion under 20% loss", 99);
     let nodes = 3;
     let mut p = ProgramBuilder::new(nodes);
     let l = p.lock(0);
@@ -70,6 +74,7 @@ fn locks_remain_exclusive_under_loss() {
 #[test]
 fn loss_runs_are_deterministic_given_seed() {
     let run = |seed: u64| {
+        let _guard = SeedGuard::new("matmul determinism probe", seed);
         let cfg = matmul::MatmulCfg { n: 16, nodes: 3, seed: 4 };
         let (p, _out) = matmul::build(&cfg);
         let o = p.run_with(Backend::Munin(MuninConfig::default()), lossy(0.1, seed), None);
