@@ -61,9 +61,9 @@ pub mod par;
 
 pub use harness::{Backend, Outcome, ProgramBuilder};
 pub use monitor::Monitor;
-pub use munin_rt::{ComputeMode, RtTuning};
+pub use munin_rt::{ComputeMode, RtTuning, SpinWait};
 pub use munin_tcp::{tcp_support, TcpTuning};
-pub use munin_types::{Element, SharedArray, SharedScalar};
+pub use munin_types::{Element, OpToken, SharedArray, SharedScalar, TokenState, TokenValue};
 #[allow(deprecated)]
 pub use par::ParExt;
 pub use par::{Par, ParTyped, Region};

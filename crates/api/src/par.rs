@@ -18,7 +18,8 @@
 use munin_sim::ThreadCtx;
 use munin_types::element::{bytes_of, bytes_of_mut};
 use munin_types::{
-    BarrierId, ByteRange, CondId, Element, LockId, ObjectId, SharedArray, SharedScalar,
+    BarrierId, ByteRange, CondId, Element, LockId, ObjectId, OpToken, SharedArray, SharedScalar,
+    TokenState, TokenValue,
 };
 
 /// What a parallel program may do: shared-object access plus explicit
@@ -69,6 +70,44 @@ pub trait Par {
     fn write(&mut self, obj: ObjectId, start: u32, data: Vec<u8>) {
         self.write_raw(obj, start, &data);
     }
+
+    // ---- pipelined (asynchronous) ops -----------------------------------
+    //
+    // The defaults complete the op immediately and hand back a Ready token,
+    // which is the correct degenerate pipelining for backends whose ops
+    // already finish inline (the simulator's rendezvous, the native
+    // backend). The real-time kernels override these with a genuinely
+    // asynchronous issue path bounded by `RtTuning::max_inflight`.
+
+    /// Issue a write without waiting for completion. The op is complete by
+    /// the time the returned state is redeemed ([`Par::token_wait`]) or the
+    /// next sync point, whichever comes first.
+    fn write_raw_async(&mut self, obj: ObjectId, start: u32, data: &[u8]) -> TokenState {
+        self.write_raw(obj, start, data);
+        TokenState::Ready(0)
+    }
+
+    /// Issue an atomic fetch-and-add without waiting; the old value rides
+    /// in the redeemed token.
+    fn fetch_add_async(&mut self, obj: ObjectId, offset: u32, delta: i64) -> TokenState {
+        TokenState::Ready(self.fetch_add(obj, offset, delta))
+    }
+
+    /// Redeem a token state: the raw result of its async op. Backends that
+    /// never return [`TokenState::Pending`] keep this default.
+    fn token_wait(&mut self, state: TokenState) -> i64 {
+        match state {
+            TokenState::Ready(v) => v,
+            TokenState::Pending(seq) => {
+                panic!("this backend never issued pending token {seq} — token from another ctx?")
+            }
+        }
+    }
+
+    /// Complete every op this thread has in flight (including any
+    /// client-side write-combining buffer). Implicit at every sync point;
+    /// a no-op on backends whose ops complete inline.
+    fn drain_ops(&mut self) {}
 }
 
 impl Par for ThreadCtx {
@@ -172,6 +211,19 @@ impl<P> Par for munin_rt::RtCtx<P> {
     fn flush(&mut self) {
         munin_rt::RtCtx::flush(self)
     }
+    fn write_raw_async(&mut self, obj: ObjectId, start: u32, data: &[u8]) -> TokenState {
+        let range = ByteRange::new(start, data.len() as u32);
+        self.op_async(munin_sim::DsmOp::Write { obj, range, data: data.to_vec() })
+    }
+    fn fetch_add_async(&mut self, obj: ObjectId, offset: u32, delta: i64) -> TokenState {
+        self.op_async(munin_sim::DsmOp::AtomicFetchAdd { obj, offset, delta })
+    }
+    fn token_wait(&mut self, state: TokenState) -> i64 {
+        munin_rt::RtCtx::token_wait(self, state)
+    }
+    fn drain_ops(&mut self) {
+        munin_rt::RtCtx::drain_ops(self)
+    }
 }
 
 /// Decode a little-endian byte buffer in place into `out`.
@@ -264,6 +316,76 @@ pub trait ParTyped: Par {
     /// Atomic fetch-and-add on an `i64` scalar; returns the old value.
     fn fetch_add_scalar(&mut self, s: &SharedScalar<i64>, delta: i64) -> i64 {
         self.fetch_add(s.id(), 0, delta)
+    }
+
+    // ---- pipelined (asynchronous) accessors -----------------------------
+    //
+    // Each returns an [`OpToken`] instead of blocking: redeem it with
+    // [`ParTyped::wait`] / [`ParTyped::wait_all`], or let the next sync
+    // point (acquire/release/barrier/flush/exit — any blocking op, in
+    // fact) complete it implicitly, per release consistency. On the
+    // real-time kernels this keeps up to `RtTuning::max_inflight` ops in
+    // flight per thread; on the simulator and native backends the token
+    // comes back already complete.
+
+    /// Asynchronous [`ParTyped::write_from`].
+    #[track_caller]
+    fn write_from_async<T: Element>(
+        &mut self,
+        arr: &SharedArray<T>,
+        start: u32,
+        vals: &[T],
+    ) -> OpToken<()> {
+        let range = arr.byte_range(start, vals.len() as u32);
+        let state = if cfg!(target_endian = "little") {
+            self.write_raw_async(arr.id(), range.start, bytes_of(vals))
+        } else {
+            let mut bytes = vec![0u8; vals.len() * T::SIZE];
+            for (chunk, v) in bytes.chunks_exact_mut(T::SIZE).zip(vals) {
+                v.write_le(chunk);
+            }
+            self.write_raw_async(arr.id(), range.start, &bytes)
+        };
+        OpToken::from_state(state)
+    }
+
+    /// Asynchronous [`ParTyped::set`].
+    #[track_caller]
+    fn set_async<T: Element>(&mut self, arr: &SharedArray<T>, idx: u32, v: T) -> OpToken<()> {
+        let mut buf = [0u8; 16];
+        let buf = &mut buf[..T::SIZE];
+        v.write_le(buf);
+        // Bounds-check through byte_range like `set` does via byte_offset.
+        let range = arr.byte_range(idx, 1);
+        OpToken::from_state(self.write_raw_async(arr.id(), range.start, buf))
+    }
+
+    /// Asynchronous [`ParTyped::store`].
+    #[track_caller]
+    fn store_async<T: Element>(&mut self, s: &SharedScalar<T>, v: T) -> OpToken<()> {
+        self.set_async(&s.as_array(), 0, v)
+    }
+
+    /// Asynchronous [`ParTyped::fetch_add_scalar`]; the old value arrives
+    /// when the token is redeemed.
+    fn fetch_add_scalar_async(&mut self, s: &SharedScalar<i64>, delta: i64) -> OpToken<i64> {
+        OpToken::from_state(self.fetch_add_async(s.id(), 0, delta))
+    }
+
+    /// Redeem one token: blocks until its op completes (if it hasn't) and
+    /// returns the typed result.
+    fn wait<T: TokenValue>(&mut self, token: OpToken<T>) -> T {
+        T::from_raw(self.token_wait(token.into_state()))
+    }
+
+    /// Redeem a batch of tokens in issue order.
+    fn wait_all<T: TokenValue, I: IntoIterator<Item = OpToken<T>>>(&mut self, tokens: I) -> Vec<T> {
+        tokens.into_iter().map(|t| self.wait(t)).collect()
+    }
+
+    /// Complete every in-flight async op (see [`Par::drain_ops`]).
+    fn drain(&mut self) {
+        self.drain_ops();
     }
 
     /// A scoped view of `arr[range]`: reads the range once, gives local

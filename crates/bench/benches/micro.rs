@@ -181,6 +181,25 @@ fn bench_vclock(c: &mut Criterion) {
     });
 }
 
+/// The async token plumbing on the native backend, where every op
+/// completes inline and hands back a ready token: issue+redeem vs the
+/// plain blocking call isolates the cost of the token wrapper itself
+/// (state wrap, redeem dispatch) from any fabric latency it hides.
+fn bench_token_path(c: &mut Criterion) {
+    let world = NativeWorld::new([(ObjectId(0), 8 * 8)], 0, &[], 0, 1);
+    let mut par = NativeCtx::new(world, 0);
+    let arr: SharedArray<i64> = SharedArray::from_raw(ObjectId(0), 8, SharingType::WriteMany);
+    let mut g = c.benchmark_group("token_path");
+    g.bench_function("set blocking", |b| b.iter(|| par.set(&arr, 0, black_box(1i64))));
+    g.bench_function("set_async + wait", |b| {
+        b.iter(|| {
+            let t = par.set_async(&arr, 0, black_box(1i64));
+            par.wait(t)
+        })
+    });
+    g.finish();
+}
+
 fn bench_addr(c: &mut Criterion) {
     let mut space = AddressSpace::new(1024, AllocPolicy::Packed);
     for i in 0..64 {
@@ -198,6 +217,7 @@ criterion_group!(
     bench_twins,
     bench_reorder,
     bench_vclock,
-    bench_addr
+    bench_addr,
+    bench_token_path
 );
 criterion_main!(benches);

@@ -32,6 +32,7 @@ struct Args {
     export_scenario: Option<String>,
     gen_only: bool,
     allow_kill: bool,
+    async_heavy: bool,
     shrink_budget: usize,
 }
 
@@ -39,7 +40,7 @@ fn usage() -> &'static str {
     "usage: munin-campaign (--seed N | --batch K [--seed-base B] | --plan FILE | \
      --scenario NAME | --list-scenarios | --export-scenario NAME)\n\
      \x20       [--backend munin|ivy|munin-tcp|ivy-tcp] [--out FILE] [--gen-only]\n\
-     \x20       [--allow-kill] [--shrink-budget K]"
+     \x20       [--allow-kill] [--async-heavy] [--shrink-budget K]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
         export_scenario: None,
         gen_only: false,
         allow_kill: false,
+        async_heavy: false,
         shrink_budget: 400,
     };
     let mut it = std::env::args().skip(1);
@@ -77,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
             "--export-scenario" => args.export_scenario = Some(val("name")?),
             "--gen-only" => args.gen_only = true,
             "--allow-kill" => args.allow_kill = true,
+            "--async-heavy" => args.async_heavy = true,
             "--shrink-budget" => {
                 args.shrink_budget =
                     val("count")?.parse().map_err(|e| format!("--shrink-budget: {e}"))?
@@ -177,7 +180,11 @@ fn run(args: &Args) -> Result<bool, String> {
         return Ok(true);
     }
     args.target.supported()?;
-    let gen_cfg = GenConfig { allow_permanent: args.allow_kill, ..GenConfig::default() };
+    let gen_cfg = GenConfig {
+        allow_permanent: args.allow_kill,
+        async_heavy: args.async_heavy,
+        ..GenConfig::default()
+    };
     if let Some(path) = &args.plan_file {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;

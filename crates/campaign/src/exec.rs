@@ -22,7 +22,7 @@
 
 use crate::fault::{clock_skews, sim_transport, tcp_compatible, tcp_fault};
 use crate::plan::{InteractionPlan, PlanOp};
-use munin_api::{Backend, Par, ParTyped, ProgramBuilder, RtTuning, SharedScalar};
+use munin_api::{Backend, OpToken, Par, ParTyped, ProgramBuilder, RtTuning, SharedScalar};
 use munin_check::{check_campaign, CampaignHistory, ObsEvent, Violation};
 use munin_types::{IvyConfig, LockId, MuninConfig, ObjectDecl, ObjectId, SharingType, ThreadId};
 use std::collections::BTreeMap;
@@ -98,6 +98,12 @@ impl Default for ExecOptions {
         ExecOptions { tcp_stall: Duration::from_millis(800), munin: MuninConfig::default() }
     }
 }
+
+/// Placeholder `observed_prev` for an async fetch-add whose token was never
+/// redeemed (the run died first). Deltas are positive from an initial value
+/// of zero, so no real observation can be this. Unredeemed placeholders are
+/// stripped before judging — an unobserved op is simply not in the history.
+const PENDING_PREV: i64 = i64::MIN;
 
 /// The judged result of one campaign run.
 #[derive(Debug, Clone)]
@@ -199,10 +205,28 @@ pub fn execute(
             let push = |e: ObsEvent| {
                 events.lock().unwrap_or_else(|p| p.into_inner()).push(e);
             };
+            // Reserve a log slot (the recorder only ever appends, so the
+            // index stays valid across threads).
+            let push_at = |e: ObsEvent| -> usize {
+                let mut g = events.lock().unwrap_or_else(|p| p.into_inner());
+                g.push(e);
+                g.len() - 1
+            };
             for ops in &rounds {
                 if skew_us > 0 {
                     par.compute(skew_us);
                 }
+                // Pipelined ops park their completion tokens here and
+                // redeem them in issue order before the barrier. Async
+                // writes are recorded at intent like sync writes. Async
+                // adds only learn their observed previous value at the
+                // token wait, but the checker's per-thread counter rule
+                // needs fetch-adds logged in issue order (per-thread FIFO
+                // means ops apply in issue order, so previous values rise
+                // in it) — so the slot is reserved at issue and the value
+                // patched in at the wait.
+                let mut wtoks: Vec<OpToken<()>> = Vec::new();
+                let mut atoks: Vec<(usize, OpToken<i64>)> = Vec::new();
                 for op in ops {
                     match op {
                         PlanOp::Write { cell, label } => {
@@ -247,7 +271,33 @@ pub fn execute(
                                 observed_prev: prev,
                             });
                         }
+                        PlanOp::AsyncWrite { cell, label } => {
+                            push(ObsEvent::Write {
+                                thread: me,
+                                obj: cells[*cell].id(),
+                                label: *label,
+                            });
+                            wtoks.push(par.store_async(&cells[*cell], *label as i64));
+                        }
+                        PlanOp::AsyncAdd { counter, delta } => {
+                            let idx = push_at(ObsEvent::FetchAdd {
+                                thread: me,
+                                obj: ctrs[*counter].id(),
+                                observed_prev: PENDING_PREV,
+                            });
+                            atoks.push((idx, par.fetch_add_scalar_async(&ctrs[*counter], *delta)));
+                        }
                         PlanOp::Compute { us } => par.compute(*us),
+                    }
+                }
+                for tok in wtoks {
+                    par.wait(tok);
+                }
+                for (idx, tok) in atoks {
+                    let prev = par.wait(tok);
+                    let mut g = events.lock().unwrap_or_else(|p| p.into_inner());
+                    if let ObsEvent::FetchAdd { observed_prev, .. } = &mut g[idx] {
+                        *observed_prev = prev;
                     }
                 }
                 push(ObsEvent::BarrierArrive { thread: me, barrier: 0 });
@@ -290,10 +340,12 @@ pub fn execute(
     };
     let report = report.report().clone();
 
+    let mut recorded = std::mem::take(&mut *events.lock().unwrap_or_else(|p| p.into_inner()));
+    recorded.retain(|e| !matches!(e, ObsEvent::FetchAdd { observed_prev: PENDING_PREV, .. }));
     let history = CampaignHistory {
         n_threads: plan.n_threads,
         barrier_counts: BTreeMap::from([(0u64, plan.n_threads)]),
-        events: std::mem::take(&mut *events.lock().unwrap_or_else(|p| p.into_inner())),
+        events: recorded,
     };
     let violations = check_campaign(&history, &locked_cells);
     let finals = final_counters.lock().unwrap_or_else(|p| p.into_inner()).clone();
@@ -374,6 +426,39 @@ mod tests {
             assert!(out.passed(), "{target:?}: {:?}", out.reasons);
             assert!(out.clean);
             assert_eq!(out.final_counters, vec![6]);
+        }
+    }
+
+    #[test]
+    fn pipelined_plan_passes_and_counts_on_sim() {
+        // Async writes and adds interleaved with sync ops: totals must
+        // include the async deltas and the recorded history stays coherent.
+        let mut plan = InteractionPlan::skeleton(2, 2);
+        plan.seed = 2;
+        plan.free_cells = 1;
+        plan.counters = 1;
+        plan.rounds = vec![
+            Round {
+                ops: vec![
+                    vec![
+                        PlanOp::AsyncWrite { cell: 0, label: 1 },
+                        PlanOp::AsyncAdd { counter: 0, delta: 2 },
+                        PlanOp::AsyncAdd { counter: 0, delta: 3 },
+                    ],
+                    vec![PlanOp::AsyncAdd { counter: 0, delta: 4 }],
+                ],
+            },
+            Round {
+                ops: vec![
+                    vec![PlanOp::FetchAdd { counter: 0, delta: 1 }],
+                    vec![PlanOp::Read { cell: 0 }, PlanOp::AsyncWrite { cell: 0, label: 5 }],
+                ],
+            },
+        ];
+        for target in [Target::Munin, Target::Ivy] {
+            let out = execute(&plan, target, &ExecOptions::default()).unwrap();
+            assert!(out.passed(), "{target:?}: {:?}", out.reasons);
+            assert_eq!(out.final_counters, vec![10]);
         }
     }
 

@@ -26,6 +26,11 @@ pub struct GenConfig {
     /// Allow never-healing faults (permanent isolation = simulated node
     /// kill). Off by default: the standard batch expects clean runs.
     pub allow_permanent: bool,
+    /// Bias the op mix toward pipelined (async) writes and adds, so the
+    /// batch keeps the in-flight window full and stresses token-wait
+    /// ordering under faults. Off = the balanced default mix, which still
+    /// includes some async ops.
+    pub async_heavy: bool,
 }
 
 impl Default for GenConfig {
@@ -36,6 +41,7 @@ impl Default for GenConfig {
             max_ops_per_round: 4,
             max_faults: 2,
             allow_permanent: false,
+            async_heavy: false,
         }
     }
 }
@@ -81,20 +87,33 @@ pub fn generate_with(seed: u64, cfg: &GenConfig) -> InteractionPlan {
                 .enumerate()
                 .filter_map(|(c, o)| (*o == Some(t)).then_some(c))
                 .collect();
+            // Cumulative roll thresholds: sync write, async write, read,
+            // locked rmw, sync add, async add; the remainder is compute.
+            // The heavy profile shifts weight onto the pipelined kinds.
+            let t =
+                if cfg.async_heavy { [8u32, 30, 48, 58, 64, 92] } else { [22, 30, 50, 68, 80, 92] };
             for _ in 0..ops.gen_range(0..=cfg.max_ops_per_round) {
                 let roll = ops.gen_range(0u32..100);
-                let op = if roll < 30 && !owned.is_empty() {
+                let op = if roll < t[1] && !owned.is_empty() {
                     let cell = owned[ops.gen_range(0..owned.len())];
-                    PlanOp::Write { cell, label: fresh() }
-                } else if roll < 55 {
+                    let label = fresh();
+                    if roll < t[0] {
+                        PlanOp::Write { cell, label }
+                    } else {
+                        PlanOp::AsyncWrite { cell, label }
+                    }
+                } else if roll < t[2] {
                     PlanOp::Read { cell: ops.gen_range(0..plan.free_cells) }
-                } else if roll < 75 {
+                } else if roll < t[3] {
                     let lcell = ops.gen_range(0..plan.locked_cells);
                     PlanOp::LockedRmw { lcell, label: fresh() }
-                } else if roll < 90 {
-                    PlanOp::FetchAdd {
-                        counter: ops.gen_range(0..plan.counters),
-                        delta: ops.gen_range(1..=5),
+                } else if roll < t[5] {
+                    let counter = ops.gen_range(0..plan.counters);
+                    let delta = ops.gen_range(1..=5);
+                    if roll < t[4] {
+                        PlanOp::FetchAdd { counter, delta }
+                    } else {
+                        PlanOp::AsyncAdd { counter, delta }
                     }
                 } else {
                     PlanOp::Compute { us: ops.gen_range(50..=2_000) }
@@ -206,6 +225,41 @@ mod tests {
     fn default_batch_expects_clean_runs() {
         for seed in 0..50u64 {
             assert!(generate(seed).expects_clean(), "seed {seed} generated a permanent fault");
+        }
+    }
+
+    #[test]
+    fn async_ops_appear_and_heavy_profile_biases_toward_them() {
+        let count_async = |cfg: &GenConfig| -> (usize, usize) {
+            let mut async_ops = 0;
+            let mut total = 0;
+            for seed in 0..50u64 {
+                for round in &generate_with(seed, cfg).rounds {
+                    for ops in &round.ops {
+                        total += ops.len();
+                        async_ops += ops
+                            .iter()
+                            .filter(|o| {
+                                matches!(o, PlanOp::AsyncWrite { .. } | PlanOp::AsyncAdd { .. })
+                            })
+                            .count();
+                    }
+                }
+            }
+            (async_ops, total)
+        };
+        let (base, base_total) = count_async(&GenConfig::default());
+        assert!(base > 0, "the default mix never generated an async op in 50 seeds");
+        let heavy_cfg = GenConfig { async_heavy: true, ..GenConfig::default() };
+        let (heavy, heavy_total) = count_async(&heavy_cfg);
+        assert!(
+            heavy * base_total > base * heavy_total,
+            "async-heavy profile is not heavier: {heavy}/{heavy_total} vs {base}/{base_total}"
+        );
+        for seed in 0..50u64 {
+            let plan = generate_with(seed, &heavy_cfg);
+            plan.validate().unwrap_or_else(|e| panic!("heavy seed {seed}: {e}"));
+            assert!(plan.expects_clean(), "heavy seed {seed} generated a permanent fault");
         }
     }
 

@@ -40,19 +40,29 @@ pub enum PlanOp {
     LockedRmw { lcell: usize, label: u32 },
     /// Atomic fetch-add of `delta` (> 0) on counter `counter`.
     FetchAdd { counter: usize, delta: i64 },
+    /// Pipelined store of `label` into free cell `cell`: issued without
+    /// blocking; the completion token is redeemed before the round's
+    /// barrier. Counts as a write for the one-writer-per-round rule and
+    /// the plan-wide label set.
+    AsyncWrite { cell: usize, label: u32 },
+    /// Pipelined fetch-add of `delta` (> 0) on counter `counter`: the
+    /// observed previous value only materializes at the token wait.
+    AsyncAdd { counter: usize, delta: i64 },
     /// `us` microseconds of modelled local computation.
     Compute { us: u64 },
 }
 
 impl PlanOp {
     /// Compact op string for TOML (`"w 0 5"`, `"r 1"`, `"rmw 0 7"`,
-    /// `"add 0 3"`, `"c 500"`).
+    /// `"add 0 3"`, `"aw 0 5"`, `"aadd 0 3"`, `"c 500"`).
     pub fn encode(&self) -> String {
         match self {
             PlanOp::Write { cell, label } => format!("w {cell} {label}"),
             PlanOp::Read { cell } => format!("r {cell}"),
             PlanOp::LockedRmw { lcell, label } => format!("rmw {lcell} {label}"),
             PlanOp::FetchAdd { counter, delta } => format!("add {counter} {delta}"),
+            PlanOp::AsyncWrite { cell, label } => format!("aw {cell} {label}"),
+            PlanOp::AsyncAdd { counter, delta } => format!("aadd {counter} {delta}"),
             PlanOp::Compute { us } => format!("c {us}"),
         }
     }
@@ -74,6 +84,8 @@ impl PlanOp {
                 PlanOp::LockedRmw { lcell: num("lcell")? as usize, label: num("label")? as u32 }
             }
             "add" => PlanOp::FetchAdd { counter: num("counter")? as usize, delta: num("delta")? },
+            "aw" => PlanOp::AsyncWrite { cell: num("cell")? as usize, label: num("label")? as u32 },
+            "aadd" => PlanOp::AsyncAdd { counter: num("counter")? as usize, delta: num("delta")? },
             "c" => PlanOp::Compute { us: num("us")? as u64 },
             other => return Err(format!("unknown op kind `{other}` in `{s}`")),
         };
@@ -183,7 +195,9 @@ impl InteractionPlan {
         for round in &self.rounds {
             for ops in &round.ops {
                 for op in ops {
-                    if let PlanOp::FetchAdd { counter, delta } = op {
+                    if let PlanOp::FetchAdd { counter, delta }
+                    | PlanOp::AsyncAdd { counter, delta } = op
+                    {
                         totals[*counter] += delta;
                     }
                 }
@@ -216,7 +230,7 @@ impl InteractionPlan {
             for (t, ops) in round.ops.iter().enumerate() {
                 for op in ops {
                     match op {
-                        PlanOp::Write { cell, label } => {
+                        PlanOp::Write { cell, label } | PlanOp::AsyncWrite { cell, label } => {
                             if *cell >= self.free_cells {
                                 return Err(format!("round {r} t{t}: free cell {cell} undeclared"));
                             }
@@ -244,7 +258,8 @@ impl InteractionPlan {
                             }
                             all_labels.push(*label);
                         }
-                        PlanOp::FetchAdd { counter, delta } => {
+                        PlanOp::FetchAdd { counter, delta }
+                        | PlanOp::AsyncAdd { counter, delta } => {
                             if *counter >= self.counters {
                                 return Err(format!(
                                     "round {r} t{t}: counter {counter} undeclared"
@@ -522,6 +537,8 @@ mod tests {
             PlanOp::Read { cell: 0 },
             PlanOp::LockedRmw { lcell: 1, label: 9 },
             PlanOp::FetchAdd { counter: 2, delta: 41 },
+            PlanOp::AsyncWrite { cell: 2, label: 23 },
+            PlanOp::AsyncAdd { counter: 1, delta: 7 },
             PlanOp::Compute { us: 1234 },
         ] {
             assert_eq!(PlanOp::decode(&op.encode()).unwrap(), op);
@@ -551,6 +568,39 @@ mod tests {
         }];
         let err = plan.validate().unwrap_err();
         assert!(err.contains("one writer per round"), "{err}");
+    }
+
+    #[test]
+    fn async_ops_share_the_sync_rules() {
+        // An async write and a sync write from different threads to the
+        // same free cell in one round still violate the one-writer rule.
+        let mut plan = InteractionPlan::skeleton(2, 2);
+        plan.free_cells = 1;
+        plan.rounds = vec![Round {
+            ops: vec![
+                vec![PlanOp::Write { cell: 0, label: 1 }],
+                vec![PlanOp::AsyncWrite { cell: 0, label: 2 }],
+            ],
+        }];
+        assert!(plan.validate().unwrap_err().contains("one writer per round"));
+
+        // Async adds count toward the expected counter totals.
+        let mut plan = InteractionPlan::skeleton(2, 1);
+        plan.counters = 1;
+        plan.rounds = vec![Round {
+            ops: vec![vec![
+                PlanOp::FetchAdd { counter: 0, delta: 2 },
+                PlanOp::AsyncAdd { counter: 0, delta: 5 },
+            ]],
+        }];
+        plan.validate().unwrap();
+        assert_eq!(plan.expected_counter_totals(), vec![7]);
+
+        // Non-positive async deltas are rejected like sync ones.
+        let mut plan = InteractionPlan::skeleton(2, 1);
+        plan.counters = 1;
+        plan.rounds = vec![Round { ops: vec![vec![PlanOp::AsyncAdd { counter: 0, delta: 0 }]] }];
+        assert!(plan.validate().unwrap_err().contains("positive"));
     }
 
     #[test]

@@ -71,6 +71,37 @@ fn hammer_plan(
     plan
 }
 
+/// Like [`hammer_plan`], but the counter bumps are pipelined: each thread
+/// issues a burst of async fetch-adds, computes with the ops still in
+/// flight, issues another burst, and only redeems the tokens at the end of
+/// the round. A mid-run process fault therefore lands while the in-flight
+/// window is full, exercising the fail-closed token path.
+fn pipelined_hammer_plan(
+    n_nodes: usize,
+    rounds: usize,
+    compute_us: u64,
+    fault: FaultSpec,
+) -> InteractionPlan {
+    let mut plan = InteractionPlan::skeleton(n_nodes, n_nodes);
+    plan.counters = 1;
+    plan.faults = vec![fault];
+    let burst =
+        |n: usize| std::iter::repeat_with(|| PlanOp::AsyncAdd { counter: 0, delta: 1 }).take(n);
+    for _ in 0..rounds {
+        plan.rounds.push(Round {
+            ops: (0..n_nodes)
+                .map(|_| {
+                    burst(3)
+                        .chain(std::iter::once(PlanOp::Compute { us: compute_us }))
+                        .chain(burst(3))
+                        .collect()
+                })
+                .collect(),
+        });
+    }
+    plan
+}
+
 /// All named scenarios.
 pub fn all() -> Vec<Scenario> {
     vec![
@@ -95,6 +126,17 @@ pub fn all() -> Vec<Scenario> {
                     10_000,
                     FaultSpec::TcpHalfClose { node: 1, peer: 0, after_ms: 300 },
                 )
+            },
+        },
+        Scenario {
+            name: "tcp-kill-pipelined",
+            about: "kill node n1 while every thread has a full window of \
+                    pipelined fetch-adds in flight; the failure must reach \
+                    an outstanding token, name the peer, and tear down",
+            target: Target::MuninTcp,
+            expect: Expect::UncleanNamedPeer("n1"),
+            build: || {
+                pipelined_hammer_plan(3, 60, 10_000, FaultSpec::TcpKill { node: 1, after_ms: 300 })
             },
         },
         Scenario {
@@ -216,7 +258,7 @@ mod tests {
     fn tcp_scenarios_lower_onto_the_simulator_too() {
         // The process-fault scenarios' sim lowering: kill becomes permanent
         // isolation, so the run must still tear down without violations.
-        for name in ["tcp-kill", "tcp-half-close"] {
+        for name in ["tcp-kill", "tcp-half-close", "tcp-kill-pipelined"] {
             let s = find(name).unwrap();
             let out = run_on(&s, Target::Munin, &ExecOptions::default())
                 .unwrap_or_else(|e| panic!("{name}: {e}"));

@@ -156,9 +156,13 @@ fn compact(plan: &InteractionPlan) -> InteractionPlan {
         for ops in &round.ops {
             for op in ops {
                 match op {
-                    PlanOp::Write { cell, .. } | PlanOp::Read { cell } => free_used[*cell] = true,
+                    PlanOp::Write { cell, .. }
+                    | PlanOp::Read { cell }
+                    | PlanOp::AsyncWrite { cell, .. } => free_used[*cell] = true,
                     PlanOp::LockedRmw { lcell, .. } => locked_used[*lcell] = true,
-                    PlanOp::FetchAdd { counter, .. } => ctr_used[*counter] = true,
+                    PlanOp::FetchAdd { counter, .. } | PlanOp::AsyncAdd { counter, .. } => {
+                        ctr_used[*counter] = true
+                    }
                     PlanOp::Compute { .. } => {}
                 }
             }
@@ -185,9 +189,13 @@ fn compact(plan: &InteractionPlan) -> InteractionPlan {
         for ops in &mut round.ops {
             for op in ops.iter_mut() {
                 match op {
-                    PlanOp::Write { cell, .. } | PlanOp::Read { cell } => *cell = fmap[*cell],
+                    PlanOp::Write { cell, .. }
+                    | PlanOp::Read { cell }
+                    | PlanOp::AsyncWrite { cell, .. } => *cell = fmap[*cell],
                     PlanOp::LockedRmw { lcell, .. } => *lcell = lmap[*lcell],
-                    PlanOp::FetchAdd { counter, .. } => *counter = cmap[*counter],
+                    PlanOp::FetchAdd { counter, .. } | PlanOp::AsyncAdd { counter, .. } => {
+                        *counter = cmap[*counter]
+                    }
                     PlanOp::Compute { .. } => {}
                 }
             }

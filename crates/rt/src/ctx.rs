@@ -7,19 +7,62 @@
 //! recv loop wakes periodically to check the stall watchdog's poison flag,
 //! so a wedged protocol tears the thread down (with a panic the harness
 //! reports) instead of hanging the process.
+//!
+//! PR 7 made the issue path pipelined: ops can be issued asynchronously
+//! (up to [`RtTuning::max_inflight`] per thread) and completed later by a
+//! token wait or, implicitly, by the next blocking op — every blocking op
+//! waits for its *own* completion, which on the per-thread FIFO resume
+//! channel drains everything issued before it. Adjacent writes to the same
+//! object are combined client-side ([`RtTuning::write_combine`]) and a
+//! bounded adaptive spin ([`SpinWait`]) runs before each park so short
+//! waits skip the futex wake + context-switch pair.
 
 use crate::fabric::{NodeEvent, Shared};
-use crate::world::{ComputeMode, RtTuning};
+use crate::world::{ComputeMode, RtTuning, SpinWait};
 use munin_sim::report::WaitTable;
 use munin_sim::{DsmOp, OpResult};
-use munin_types::{BarrierId, ByteRange, CondId, LockId, NodeId, ObjectDecl, ObjectId, ThreadId};
+use munin_types::{
+    BarrierId, ByteRange, CondId, LockId, NodeId, ObjectDecl, ObjectId, ThreadId, TokenState,
+};
+use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How often a blocked thread wakes to check for poisoning.
 const POISON_POLL: Duration = Duration::from_millis(25);
+
+/// Hard ceiling on the client-side write-combining buffer. A single
+/// combined write larger than this is emitted immediately rather than
+/// accumulating further.
+const WC_MAX_BYTES: usize = 64 * 1024;
+
+/// Observations above this never feed the spin EWMA: a barrier or a
+/// contended lock can block for milliseconds, and letting that pull the
+/// estimate up would make every subsequent fast op spin to its cap.
+const EWMA_CLAMP_US: u64 = 1_000;
+
+/// One op this thread has issued but not yet seen complete.
+#[derive(Clone, Copy)]
+struct InFlight {
+    seq: u64,
+    label: &'static str,
+    issued: Instant,
+    /// A token exists that may later claim this op's result. Unclaimed
+    /// non-unit results are dropped at receive time — except errors, which
+    /// panic immediately (fail-closed: a combined write with no token must
+    /// not fail silently).
+    claimed: bool,
+}
+
+/// The client-side write-combining buffer: one contiguous byte range of one
+/// object, absorbed from consecutive `write` calls.
+struct WcBuf {
+    obj: ObjectId,
+    start: u32,
+    data: Vec<u8>,
+}
 
 /// Handle through which application code talks to the real-time DSM.
 pub struct RtCtx<P> {
@@ -34,6 +77,23 @@ pub struct RtCtx<P> {
     /// Real-microsecond wait accounting per op label (feeds the report's
     /// `thread_waits`, same shape as the simulator's virtual-time table).
     pub(crate) waits: WaitTable,
+    /// Sequence number of the most recently issued op (0 = none yet).
+    next_seq: u64,
+    /// Highest sequence whose result has been taken off the resume channel.
+    received_through: u64,
+    /// In-flight ops, oldest first. The per-thread server-side op gate
+    /// completes ops in issue order, so the resume channel is a FIFO over
+    /// exactly this queue.
+    pending: VecDeque<InFlight>,
+    /// Completed-but-unredeemed token results (`seq`, label, result).
+    claimable: Vec<(u64, &'static str, OpResult)>,
+    /// Pending write-combining buffer, flushed by any non-write op.
+    wc: Option<WcBuf>,
+    /// EWMA of recent op completion times (µs), the adaptive spin's input.
+    ewma_us: u64,
+    /// Spinning is pointless when waiter and server cannot run in parallel
+    /// (1-core CI); decided once at construction.
+    can_spin: bool,
 }
 
 impl<P> RtCtx<P> {
@@ -51,6 +111,7 @@ impl<P> RtCtx<P> {
         shared: Arc<Shared>,
         tuning: RtTuning,
     ) -> Self {
+        let can_spin = std::thread::available_parallelism().map(|p| p.get() >= 2).unwrap_or(false);
         RtCtx {
             thread,
             node,
@@ -61,6 +122,13 @@ impl<P> RtCtx<P> {
             shared,
             tuning,
             waits: WaitTable::new(),
+            next_seq: 0,
+            received_through: 0,
+            pending: VecDeque::new(),
+            claimable: Vec::new(),
+            wc: None,
+            ewma_us: 15,
+            can_spin,
         }
     }
 
@@ -90,20 +158,17 @@ impl<P> RtCtx<P> {
     /// locally according to [`ComputeMode`] — that locality is exactly what
     /// lets workers compute in parallel.
     ///
+    /// Waiting for this op's own completion drains every async op issued
+    /// before it (the resume channel is a per-thread FIFO), which is what
+    /// makes every blocking op — and so every sync point — an implicit
+    /// `drain`, as release consistency requires.
+    ///
     /// Panics if the watchdog poisoned the run (the panic is caught by the
     /// harness wrapper and reported as a run error, mirroring the
     /// simulator's deadlock teardown).
     pub fn op(&mut self, op: DsmOp) -> OpResult {
         let label = op.label();
-        // Issue-time poison check: on a distributed run a lost peer poisons
-        // the world while threads whose ops still succeed locally are
-        // unblocked — without this check they would grind on until their
-        // bodies finish, stretching teardown from milliseconds to the whole
-        // remaining run. (The message prefix marks this as a teardown
-        // consequence, not an application bug — see `drive_app_thread`.)
-        if self.shared.is_poisoned() {
-            panic!("real-time kernel poisoned before '{label}' was issued");
-        }
+        self.check_issue_poison(label);
         let issued = Instant::now();
         self.shared.ops.fetch_add(1, Ordering::Relaxed);
         let result = if let DsmOp::Compute(us) = op {
@@ -112,35 +177,274 @@ impl<P> RtCtx<P> {
             self.compute_inner(us);
             OpResult::Unit
         } else {
-            self.shared.blocked.fetch_add(1, Ordering::SeqCst);
-            let result = self.send_and_wait(op, label);
-            self.shared.blocked.fetch_sub(1, Ordering::SeqCst);
-            result
+            self.flush_wc();
+            let seq = self.issue(op, label, false);
+            self.wait_seq(seq, label)
         };
+        self.record_wait(label, issued);
+        result
+    }
+
+    /// Issue an operation without waiting; returns a token state redeemable
+    /// with [`RtCtx::token_wait`]. Writes go through the combining buffer
+    /// when enabled and come back [`TokenState::Ready`] — the combined op
+    /// is emitted (still async) by the next non-write op.
+    pub fn op_async(&mut self, op: DsmOp) -> TokenState {
+        let label = op.label();
+        self.check_issue_poison(label);
+        let issued = Instant::now();
+        self.shared.ops.fetch_add(1, Ordering::Relaxed);
+        let state = match op {
+            DsmOp::Compute(us) => {
+                self.compute_inner(us);
+                TokenState::Ready(0)
+            }
+            DsmOp::Write { obj, range, data } if self.tuning.write_combine => {
+                self.wc_absorb(obj, range.start, data);
+                TokenState::Ready(0)
+            }
+            DsmOp::Write { obj, range, data } => {
+                let seq = self.issue(DsmOp::Write { obj, range, data }, label, false);
+                TokenState::Pending(seq)
+            }
+            other => {
+                self.flush_wc();
+                let seq = self.issue(other, label, true);
+                TokenState::Pending(seq)
+            }
+        };
+        self.record_wait(label, issued);
+        state
+    }
+
+    /// Redeem a token: the raw result of the async op (0 for unit results).
+    pub fn token_wait(&mut self, state: TokenState) -> i64 {
+        match state {
+            TokenState::Ready(v) => v,
+            TokenState::Pending(seq) => {
+                let issued = Instant::now();
+                let result = self.wait_seq(seq, "token_wait");
+                self.record_wait("token_wait", issued);
+                match result {
+                    OpResult::Unit => 0,
+                    OpResult::Value(v) => v,
+                    OpResult::Err(e) => panic!("asynchronous op failed: {e}"),
+                    other => panic!("async token redeemed a non-scalar result: {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// Complete every in-flight op (including the write-combining buffer).
+    /// Blocking ops do this implicitly; applications only need it to bound
+    /// the in-flight window by hand.
+    pub fn drain_ops(&mut self) {
+        self.flush_wc();
+        if !self.pending.is_empty() {
+            let issued = Instant::now();
+            while !self.pending.is_empty() {
+                let (seq, label, claimed, r) = self.receive_one("drain");
+                self.park_result(seq, label, claimed, r);
+            }
+            self.record_wait("drain", issued);
+        }
+        // Fail closed: an errored op whose token was never redeemed must
+        // not survive a drain (= sync point) silently.
+        if let Some((_, label, OpResult::Err(e))) =
+            self.claimable.iter().find(|(_, _, r)| matches!(r, OpResult::Err(_)))
+        {
+            panic!("asynchronous '{label}' failed before a sync point: {e}");
+        }
+    }
+
+    // ---- the pipelined issue/receive machinery --------------------------
+
+    /// Issue-time poison check: on a distributed run a lost peer poisons
+    /// the world while threads whose ops still succeed locally are
+    /// unblocked — without this check they would grind on until their
+    /// bodies finish, stretching teardown from milliseconds to the whole
+    /// remaining run. (The message prefix marks this as a teardown
+    /// consequence, not an application bug — see `drive_app_thread`.)
+    fn check_issue_poison(&self, label: &'static str) {
+        if self.shared.is_poisoned() {
+            panic!("real-time kernel poisoned before '{label}' was issued");
+        }
+    }
+
+    fn record_wait(&mut self, label: &'static str, issued: Instant) {
         let waited = u64::try_from(issued.elapsed().as_micros()).unwrap_or(u64::MAX);
         let e = self.waits.entry(label).or_insert((0, 0));
         e.0 += 1;
         e.1 += waited;
-        result
     }
 
-    fn send_and_wait(&mut self, op: DsmOp, label: &'static str) -> OpResult {
+    /// Mail one op to the server and enqueue it in the in-flight window,
+    /// first making room if the window is full.
+    fn issue(&mut self, op: DsmOp, label: &'static str, claimed: bool) -> u64 {
+        let cap = self.tuning.max_inflight.max(1);
+        while self.pending.len() >= cap {
+            let (seq, l, c, r) = self.receive_one(label);
+            self.park_result(seq, l, c, r);
+        }
         if self.to_server.send(NodeEvent::Op(self.thread, op)).is_err() {
             panic!("real-time kernel vanished while issuing '{label}'");
+        }
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        self.pending.push_back(InFlight { seq, label, issued: Instant::now(), claimed });
+        seq
+    }
+
+    /// Block (spin, then park) until op `seq` completes and return its
+    /// result. Earlier in-flight results received along the way are parked
+    /// for their tokens (or dropped if unit/unclaimed).
+    fn wait_seq(&mut self, seq: u64, wait_label: &'static str) -> OpResult {
+        if seq <= self.received_through {
+            return self.claim(seq);
+        }
+        loop {
+            let (s, label, claimed, r) = self.receive_one(wait_label);
+            if s == seq {
+                return r;
+            }
+            self.park_result(s, label, claimed, r);
+        }
+    }
+
+    /// Take one already-received result out of the claimable set (unit
+    /// results are never stored, so absence means unit).
+    fn claim(&mut self, seq: u64) -> OpResult {
+        match self.claimable.iter().position(|(s, _, _)| *s == seq) {
+            Some(i) => self.claimable.swap_remove(i).2,
+            None => OpResult::Unit,
+        }
+    }
+
+    /// File an out-of-order-received result: tokens redeem it later; unit
+    /// results vanish; an error nobody holds a claim on panics now rather
+    /// than getting lost.
+    fn park_result(&mut self, seq: u64, label: &'static str, claimed: bool, r: OpResult) {
+        match r {
+            OpResult::Unit => {}
+            OpResult::Err(e) if !claimed => panic!("asynchronous '{label}' failed: {e}"),
+            other => {
+                if claimed {
+                    self.claimable.push((seq, label, other));
+                }
+            }
+        }
+    }
+
+    /// Receive the oldest in-flight op's completion off the resume channel,
+    /// spinning briefly before parking. `wait_label` names the op the
+    /// *caller* is blocked in, for poison/teardown panics.
+    fn receive_one(&mut self, wait_label: &'static str) -> (u64, &'static str, bool, OpResult) {
+        let head = *self.pending.front().expect("receive with nothing in flight");
+        self.shared.blocked.fetch_add(1, Ordering::SeqCst);
+        let result = self.recv_result(wait_label);
+        self.shared.blocked.fetch_sub(1, Ordering::SeqCst);
+        self.pending.pop_front();
+        self.received_through = head.seq;
+        let observed = u64::try_from(head.issued.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.ewma_us = (self.ewma_us * 7 + observed.min(EWMA_CLAMP_US)) / 8;
+        (head.seq, head.label, head.claimed, result)
+    }
+
+    /// One completion off the channel: bounded spin, then a parked wait
+    /// that wakes every [`POISON_POLL`] to check the watchdog's flag. This
+    /// is the *single* wait path — blocking ops and token waits both end
+    /// here, so neither can miss poisoning.
+    fn recv_result(&mut self, wait_label: &'static str) -> OpResult {
+        let spin_us = match self.tuning.spin_wait {
+            _ if !self.can_spin => 0,
+            SpinWait::Off => 0,
+            SpinWait::Fixed { us } => us,
+            SpinWait::Adaptive { cap_us } => (self.ewma_us * 2).min(cap_us),
+        };
+        if spin_us > 0 {
+            let deadline = Instant::now() + Duration::from_micros(spin_us);
+            loop {
+                match self.resume_rx.try_recv() {
+                    Ok(r) => return r,
+                    Err(TryRecvError::Empty) => {
+                        if Instant::now() >= deadline {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                    Err(TryRecvError::Disconnected) => panic!(
+                        "real-time kernel tore down while thread was blocked in '{wait_label}'"
+                    ),
+                }
+            }
         }
         loop {
             match self.resume_rx.recv_timeout(POISON_POLL) {
                 Ok(r) => return r,
                 Err(RecvTimeoutError::Timeout) => {
                     if self.shared.is_poisoned() {
-                        panic!("real-time kernel stalled while thread was blocked in '{label}'");
+                        panic!(
+                            "real-time kernel stalled while thread was blocked in '{wait_label}'"
+                        );
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
-                    panic!("real-time kernel tore down while thread was blocked in '{label}'");
+                    panic!("real-time kernel tore down while thread was blocked in '{wait_label}'")
                 }
             }
         }
+    }
+
+    // ---- client-side write combining ------------------------------------
+
+    /// Fold a write into the combining buffer, or flush and restart it if
+    /// the write is not contiguous with what's buffered.
+    fn wc_absorb(&mut self, obj: ObjectId, start: u32, data: Vec<u8>) {
+        if let Some(b) = &mut self.wc {
+            let bs = b.start as usize;
+            let be = bs + b.data.len();
+            let ns = start as usize;
+            let ne = ns + data.len();
+            let touches = b.obj == obj && ns <= be && ne >= bs;
+            if touches {
+                let merged_len = ne.max(be) - ns.min(bs);
+                if merged_len <= WC_MAX_BYTES {
+                    if ns == be {
+                        // Common case: strictly appending (stripe fills).
+                        b.data.extend_from_slice(&data);
+                    } else if ns >= bs && ne <= be {
+                        // Contained overwrite.
+                        b.data[ns - bs..ne - bs].copy_from_slice(&data);
+                    } else {
+                        // General overlap/extension: rebuild around both.
+                        let new_start = ns.min(bs);
+                        let mut merged = vec![0u8; merged_len];
+                        merged[bs - new_start..be - new_start].copy_from_slice(&b.data);
+                        merged[ns - new_start..ne - new_start].copy_from_slice(&data);
+                        b.start = new_start as u32;
+                        b.data = merged;
+                    }
+                    return;
+                }
+            }
+        }
+        self.flush_wc();
+        let oversized = data.len() >= WC_MAX_BYTES;
+        self.wc = Some(WcBuf { obj, start, data });
+        if oversized {
+            self.flush_wc();
+        }
+    }
+
+    /// Emit the combining buffer as one asynchronous write. Called by every
+    /// non-write op *before* it issues, so per-thread program order — and
+    /// with it read-your-writes — is preserved on the server's FIFO.
+    fn flush_wc(&mut self) {
+        let Some(b) = self.wc.take() else { return };
+        let range = ByteRange::new(b.start, b.data.len() as u32);
+        // Already counted in `shared.ops` once per app-level write when it
+        // was absorbed; the combined emission is fabric bookkeeping.
+        self.issue(DsmOp::Write { obj: b.obj, range, data: b.data }, "write", false);
     }
 
     // ---- convenience wrappers (same surface as the simulator's
@@ -170,10 +474,16 @@ impl<P> RtCtx<P> {
         out.copy_from_slice(&bytes);
     }
 
-    /// Write bytes at `start` within an object.
+    /// Write bytes at `start` within an object. With write combining on
+    /// (the default) consecutive contiguous writes coalesce client-side and
+    /// complete asynchronously by the next non-write op; program order per
+    /// thread is preserved either way.
     pub fn write(&mut self, obj: ObjectId, start: u32, data: Vec<u8>) {
         let range = ByteRange::new(start, data.len() as u32);
-        self.op(DsmOp::Write { obj, range, data }).expect_unit();
+        let state = self.op_async(DsmOp::Write { obj, range, data });
+        // Uncombined async writes complete at the next blocking op; nothing
+        // to redeem (unit result), and errors fail closed in park_result.
+        let _ = state;
     }
 
     /// Write borrowed bytes at `start` within an object.
@@ -244,5 +554,122 @@ impl<P> RtCtx<P> {
             }
             ComputeMode::Skip => {}
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn lone_ctx() -> (RtCtx<()>, Receiver<NodeEvent<()>>, Sender<OpResult>) {
+        let (op_tx, op_rx) = channel();
+        let (res_tx, res_rx) = channel();
+        let shared = Arc::new(Shared::new(Vec::new(), 1));
+        let ctx =
+            RtCtx::new(ThreadId(0), NodeId(0), 1, 1, op_tx, res_rx, shared, RtTuning::default());
+        (ctx, op_rx, res_tx)
+    }
+
+    /// Regression (PR 7 satellite): a thread blocked redeeming a token must
+    /// see watchdog poisoning just like a thread blocked in a sync op —
+    /// before the unified wait path, only `send_and_wait` poison-polled and
+    /// a token waiter could have hung until the channel disconnected.
+    #[test]
+    fn blocked_token_waiter_sees_poison() {
+        let (mut ctx, _op_rx, _res_tx) = lone_ctx();
+        let state = ctx.op_async(DsmOp::AtomicFetchAdd { obj: ObjectId(0), offset: 0, delta: 1 });
+        assert!(matches!(state, TokenState::Pending(_)));
+        ctx.shared.poisoned.store(true, Ordering::Release);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.token_wait(state);
+        }))
+        .expect_err("token wait must panic on a poisoned run");
+        let msg = crate::serve::panic_message(err);
+        assert!(
+            msg.contains("real-time kernel stalled while thread was blocked in 'token_wait'"),
+            "unexpected panic: {msg}"
+        );
+    }
+
+    /// The issue path refuses new ops (sync or async) once poisoned.
+    #[test]
+    fn poisoned_issue_refuses_async_ops() {
+        let (mut ctx, _op_rx, _res_tx) = lone_ctx();
+        ctx.shared.poisoned.store(true, Ordering::Release);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.op_async(DsmOp::AtomicFetchAdd { obj: ObjectId(0), offset: 0, delta: 1 });
+        }))
+        .expect_err("async issue must panic on a poisoned run");
+        let msg = crate::serve::panic_message(err);
+        assert!(msg.contains("poisoned before 'fetch-add' was issued"), "unexpected: {msg}");
+    }
+
+    /// Write combining folds contiguous writes into one op and any
+    /// non-write op flushes the buffer first (program order on the wire).
+    #[test]
+    fn write_combining_coalesces_and_flushes_in_order() {
+        let (mut ctx, op_rx, res_tx) = lone_ctx();
+        assert!(ctx.tuning.write_combine);
+        ctx.write(ObjectId(3), 0, vec![1, 2, 3, 4]);
+        ctx.write(ObjectId(3), 4, vec![5, 6]); // appends
+        ctx.write(ObjectId(3), 2, vec![9, 9]); // contained overwrite
+        assert!(op_rx.try_recv().is_err(), "writes must buffer client-side");
+        // A read flushes the combined write first, then issues itself.
+        res_tx.send(OpResult::Unit).unwrap(); // combined write completes
+        res_tx.send(OpResult::Bytes(vec![0u8; 4])).unwrap(); // read completes
+        let bytes = ctx.read(ObjectId(3), ByteRange::new(0, 4));
+        assert_eq!(bytes.len(), 4);
+        let NodeEvent::Op(_, DsmOp::Write { obj, range, data }) =
+            op_rx.try_recv().expect("combined write first")
+        else {
+            panic!("expected the combined write")
+        };
+        assert_eq!(obj, ObjectId(3));
+        assert_eq!((range.start, range.len), (0, 6));
+        assert_eq!(data, vec![1, 2, 9, 9, 5, 6]);
+        let NodeEvent::Op(_, DsmOp::Read { .. }) = op_rx.try_recv().expect("then the read") else {
+            panic!("expected the read")
+        };
+        // Ops counted per app-level call: 3 writes + 1 read.
+        assert_eq!(ctx.shared.ops.load(Ordering::Relaxed), 4);
+    }
+
+    /// Disjoint writes to the same object don't merge: the first is emitted
+    /// (async) and the second starts a fresh buffer.
+    #[test]
+    fn write_combining_splits_disjoint_ranges() {
+        let (mut ctx, op_rx, _res_tx) = lone_ctx();
+        ctx.write(ObjectId(1), 0, vec![1, 2]);
+        ctx.write(ObjectId(1), 100, vec![3, 4]);
+        let NodeEvent::Op(_, DsmOp::Write { range, .. }) =
+            op_rx.try_recv().expect("first range emitted on split")
+        else {
+            panic!("expected a write")
+        };
+        assert_eq!((range.start, range.len), (0, 2));
+        assert!(op_rx.try_recv().is_err(), "second range still buffering");
+    }
+
+    /// The in-flight window cap makes the (cap+1)-th async issue wait for
+    /// the oldest completion instead of queueing without bound.
+    #[test]
+    fn inflight_window_caps_at_max_inflight() {
+        let (mut ctx, op_rx, res_tx) = lone_ctx();
+        ctx.tuning.max_inflight = 2;
+        ctx.tuning.write_combine = false;
+        let t1 = ctx.op_async(DsmOp::AtomicFetchAdd { obj: ObjectId(0), offset: 0, delta: 1 });
+        let _t2 = ctx.op_async(DsmOp::AtomicFetchAdd { obj: ObjectId(0), offset: 0, delta: 1 });
+        assert_eq!(ctx.pending.len(), 2);
+        res_tx.send(OpResult::Value(10)).unwrap();
+        let t3 = ctx.op_async(DsmOp::AtomicFetchAdd { obj: ObjectId(0), offset: 0, delta: 1 });
+        assert_eq!(ctx.pending.len(), 2, "issue retired the oldest op to make room");
+        // t1 completed out from under the window; its token redeems from
+        // the claimable set without touching the channel.
+        assert_eq!(ctx.token_wait(t1), 10);
+        res_tx.send(OpResult::Value(11)).unwrap();
+        res_tx.send(OpResult::Value(12)).unwrap();
+        assert_eq!(ctx.token_wait(t3), 12);
+        drop(op_rx);
     }
 }

@@ -45,6 +45,9 @@ pub struct RtKernel<P> {
     /// Outbound messages buffered during the current server step, one queue
     /// per destination node.
     pub(crate) outbox: Vec<Vec<(NodeId, MsgBody<P>)>>,
+    /// Threads whose blocked op completed this step (via
+    /// [`KernelApi::complete`]); drained by the server loop's op gate.
+    pub(crate) completions: Vec<ThreadId>,
 }
 
 impl<P> RtKernel<P> {
@@ -74,6 +77,10 @@ impl<P: PayloadInfo + Clone> crate::serve::NodeKernel<P> for RtKernel<P> {
 
     fn resume(&mut self, thread: ThreadId, result: OpResult) {
         let _ = self.resumes[thread.index()].send(result);
+    }
+
+    fn take_completions(&mut self) -> Vec<ThreadId> {
+        std::mem::take(&mut self.completions)
     }
 
     fn take_stats(&mut self) -> munin_net::NetStats {
@@ -140,8 +147,11 @@ impl<P: PayloadInfo + Clone> KernelApi<P> for RtKernel<P> {
 
     fn complete(&mut self, thread: ThreadId, result: OpResult, _extra_cost_us: u64) {
         // Modelled completion cost is a virtual-time concept; here the
-        // thread's real wait *is* the cost, so resume immediately.
+        // thread's real wait *is* the cost, so resume immediately. Record
+        // the thread so the server loop's op gate can dispatch whatever
+        // pipelined ops queued behind the one that just completed.
         let _ = self.resumes[thread.index()].send(result);
+        self.completions.push(thread);
     }
 
     fn set_timer(&mut self, node: NodeId, delay_us: u64, token: u64) {

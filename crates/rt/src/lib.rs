@@ -79,4 +79,4 @@ pub use ctx::RtCtx;
 pub use fabric::{MsgBody, NodeEvent, Shared};
 pub use kernel::RtKernel;
 pub use serve::{drive_app_thread, request_dump, server_loop, NodeKernel};
-pub use world::{ComputeMode, RtTuning, RtWorldBuilder};
+pub use world::{ComputeMode, RtTuning, RtWorldBuilder, SpinWait};

@@ -29,9 +29,57 @@ pub trait NodeKernel<P: PayloadInfo + Clone>: KernelApi<P> {
     /// without going through [`KernelApi::complete`]'s bookkeeping.
     fn resume(&mut self, thread: ThreadId, result: OpResult);
 
+    /// Threads whose *blocked* op the protocol completed (via
+    /// [`KernelApi::complete`]) since the last call. The server loop's op
+    /// gate uses this to dispatch those threads' queued pipelined ops; the
+    /// synchronous Done path never lands here (the loop sees it inline).
+    fn take_completions(&mut self) -> Vec<ThreadId>;
+
     /// This node's traffic counters, taken when the loop exits (the world
     /// merges every node's shard into the run totals).
     fn take_stats(&mut self) -> munin_net::NetStats;
+}
+
+/// The per-thread op gate: the protocol servers were written for at most
+/// one outstanding op per thread (their pending structures are keyed by
+/// thread), so pipelining is a *fabric* property — clients may have K ops
+/// in flight, but the loop feeds the server a thread's ops strictly one at
+/// a time, queueing the rest here. Completions are per-thread FIFO by
+/// construction, which is what lets the client match results to tokens with
+/// a plain sequence counter.
+#[derive(Default)]
+struct OpGate {
+    /// Ops waiting behind the thread's in-flight op, oldest first.
+    queued: Vec<std::collections::VecDeque<munin_sim::DsmOp>>,
+    /// Thread has an op inside the server that hasn't completed yet.
+    busy: Vec<bool>,
+}
+
+impl OpGate {
+    fn ensure(&mut self, t: ThreadId) {
+        let i = t.index();
+        if i >= self.busy.len() {
+            self.busy.resize(i + 1, false);
+            self.queued.resize_with(i + 1, Default::default);
+        }
+    }
+
+    fn is_busy(&mut self, t: ThreadId) -> bool {
+        self.ensure(t);
+        self.busy[t.index()]
+    }
+
+    fn enqueue(&mut self, t: ThreadId, op: munin_sim::DsmOp) {
+        self.ensure(t);
+        self.queued[t.index()].push_back(op);
+    }
+
+    /// Mark `t`'s blocked op done and hand back its next queued op, if any.
+    fn unblock(&mut self, t: ThreadId) -> Option<munin_sim::DsmOp> {
+        self.ensure(t);
+        self.busy[t.index()] = false;
+        self.queued[t.index()].pop_front()
+    }
 }
 
 /// Run one application thread's body to completion: catch panics, issue the
@@ -108,7 +156,35 @@ where
     let shared = kernel.shared().clone();
     let node = kernel.node_id();
     let batch_max = batch_max.max(1);
+    let mut gate = OpGate::default();
     let mut done = false;
+
+    // Feed one thread's op to the server, then keep feeding that thread's
+    // queue while ops complete synchronously; a Blocked outcome closes the
+    // thread's gate until the protocol calls `complete`.
+    fn dispatch<S: Server, K: NodeKernel<S::Payload>>(
+        server: &mut S,
+        kernel: &mut K,
+        gate: &mut OpGate,
+        thread: ThreadId,
+        first: munin_sim::DsmOp,
+    ) {
+        let mut next = Some(first);
+        while let Some(op) = next {
+            match server.on_op(kernel, thread, op) {
+                OpOutcome::Done { result, cost_us: _ } => {
+                    kernel.resume(thread, result);
+                    gate.ensure(thread);
+                    next = gate.queued[thread.index()].pop_front();
+                }
+                OpOutcome::Blocked => {
+                    gate.ensure(thread);
+                    gate.busy[thread.index()] = true;
+                    next = None;
+                }
+            }
+        }
+    }
     while !done {
         let first = match inbox.recv_timeout(Duration::from_millis(50)) {
             Ok(ev) => ev,
@@ -131,12 +207,13 @@ where
         while let Some(ev) = next {
             handled += 1;
             match ev {
-                NodeEvent::Op(thread, op) => match server.on_op(&mut kernel, thread, op) {
-                    OpOutcome::Done { result, cost_us: _ } => {
-                        kernel.resume(thread, result);
+                NodeEvent::Op(thread, op) => {
+                    if gate.is_busy(thread) {
+                        gate.enqueue(thread, op);
+                    } else {
+                        dispatch(&mut server, &mut kernel, &mut gate, thread, op);
                     }
-                    OpOutcome::Blocked => {}
-                },
+                }
                 NodeEvent::Msg(from, body) => {
                     server.on_message(&mut kernel, from, body.into_payload());
                 }
@@ -167,6 +244,21 @@ where
                 NodeEvent::Shutdown => {
                     done = true;
                     break;
+                }
+            }
+            // Settle: any event (a Done op, a protocol message, a timer)
+            // can complete other threads' blocked ops; reopen their gates
+            // and dispatch what queued behind them — repeatedly, since a
+            // dispatched op can itself complete further threads.
+            loop {
+                let completed = kernel.take_completions();
+                if completed.is_empty() {
+                    break;
+                }
+                for t in completed {
+                    if let Some(op) = gate.unblock(t) {
+                        dispatch(&mut server, &mut kernel, &mut gate, t, op);
+                    }
                 }
             }
             next = if handled < batch_max { inbox.try_recv().ok() } else { None };

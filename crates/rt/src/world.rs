@@ -54,6 +54,34 @@ pub struct RtTuning {
     /// [`crate::RtKernel`]). Off, every protocol message is its own
     /// channel send.
     pub coalesce: bool,
+    /// How a thread waits for an op completion: park immediately, or spin
+    /// first in the hope of skipping the futex wake + context switch.
+    pub spin_wait: SpinWait,
+    /// Most pipelined (async) ops one thread keeps in flight before an
+    /// issue blocks on the oldest completion. `1` reproduces the fully
+    /// synchronous one-round-trip-per-op fabric.
+    pub max_inflight: usize,
+    /// Coalesce adjacent/overlapping writes to the same object in the
+    /// issuing thread and emit them as one combined (async) write at the
+    /// next non-write op. Program order per thread is preserved: any read,
+    /// atomic, or sync op flushes the buffer first.
+    pub write_combine: bool,
+}
+
+/// How a blocked application thread waits on its resume channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpinWait {
+    /// Park on the channel immediately (the pre-PR-7 behaviour).
+    Off,
+    /// Spin for a fixed budget of microseconds before parking.
+    Fixed { us: u64 },
+    /// Spin for twice the EWMA-tracked completion time of this thread's
+    /// recent ops, bounded by `cap_us`. Tracks the fast path (in-process
+    /// round trips are ~14 µs) without burning a core on slow waits such
+    /// as barriers or contended locks. Spinning is disabled entirely when
+    /// the host cannot run waiter and server in parallel
+    /// (`available_parallelism() < 2`, e.g. a 1-core CI runner).
+    Adaptive { cap_us: u64 },
 }
 
 impl Default for RtTuning {
@@ -69,6 +97,9 @@ impl Default for RtTuning {
             watchdog_poll: Duration::from_millis(50),
             batch_max: 128,
             coalesce: true,
+            spin_wait: SpinWait::Adaptive { cap_us: 40 },
+            max_inflight: 16,
+            write_combine: true,
         }
     }
 }
@@ -203,6 +234,7 @@ impl<P: munin_net::PayloadInfo + Send + Sync + Clone + 'static> RtWorldBuilder<P
                 stats: munin_net::NetStats::new(),
                 coalesce: self.tuning.coalesce,
                 outbox: (0..n_nodes).map(|_| Vec::new()).collect(),
+                completions: Vec::new(),
             };
             let batch_max = self.tuning.batch_max;
             server_joins.push(

@@ -228,6 +228,12 @@ pub enum CtrlFrame {
     /// which may not have processed its own `Finish` yet — would report as
     /// a lost peer, poisoning a perfectly clean run.)
     Bye,
+    /// Coordinator → child: several forwarded ops in one frame. With
+    /// pipelined clients the forwarder's channel accumulates ops while a
+    /// frame is on the wire; draining them into one frame amortizes the
+    /// syscall + frame header across the in-flight window. Per-thread
+    /// order within the batch is channel (= issue) order.
+    OpBatch { ops: Vec<(ThreadId, DsmOp)> },
 }
 
 crate::wire::wire_enum!(CtrlFrame {
@@ -248,6 +254,7 @@ crate::wire::wire_enum!(CtrlFrame {
     14 => Done { stats, errors },
     15 => Poison,
     16 => Bye,
+    17 => OpBatch { ops },
 });
 
 impl Wire for Box<StartConfig> {

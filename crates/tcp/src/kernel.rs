@@ -52,6 +52,9 @@ pub struct TcpKernel<P> {
     pub(crate) outbox: Vec<Vec<MsgBody<P>>>,
     /// Reusable frame-encoding buffer.
     pub(crate) scratch: Vec<u8>,
+    /// Threads whose blocked op completed this step (via
+    /// [`KernelApi::complete`]); drained by the server loop's op gate.
+    pub(crate) completions: Vec<ThreadId>,
 }
 
 impl<P: Wire> TcpKernel<P> {
@@ -107,11 +110,38 @@ impl<P: PayloadInfo + Wire + Clone> NodeKernel<P> for TcpKernel<P> {
     }
 
     fn resume(&mut self, thread: ThreadId, result: OpResult) {
-        KernelApi::complete(self, thread, result, 0);
+        // The loop's Done path: deliver without recording a completion (the
+        // loop dispatches the thread's next queued op itself).
+        self.deliver_result(thread, result);
+    }
+
+    fn take_completions(&mut self) -> Vec<ThreadId> {
+        std::mem::take(&mut self.completions)
     }
 
     fn take_stats(&mut self) -> munin_net::NetStats {
         std::mem::take(&mut self.stats)
+    }
+}
+
+impl<P: PayloadInfo + Wire + Clone> TcpKernel<P> {
+    fn deliver_result(&mut self, thread: ThreadId, result: OpResult) {
+        match &self.resumes {
+            ResumeSink::Local(resumes) => {
+                let _ = resumes[thread.index()].send(result);
+            }
+            ResumeSink::Remote(ctrl) => {
+                if let Err(e) = send_shared(ctrl, &CtrlFrame::Resume { thread, result }) {
+                    if !self.shared.is_poisoned() {
+                        self.shared.error(format!(
+                            "node n{}: control stream failed while resuming {thread}: {e}",
+                            self.node.index()
+                        ));
+                        self.shared.poisoned.store(true, Ordering::Release);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -180,22 +210,8 @@ impl<P: PayloadInfo + Wire + Clone> KernelApi<P> for TcpKernel<P> {
     }
 
     fn complete(&mut self, thread: ThreadId, result: OpResult, _extra_cost_us: u64) {
-        match &self.resumes {
-            ResumeSink::Local(resumes) => {
-                let _ = resumes[thread.index()].send(result);
-            }
-            ResumeSink::Remote(ctrl) => {
-                if let Err(e) = send_shared(ctrl, &CtrlFrame::Resume { thread, result }) {
-                    if !self.shared.is_poisoned() {
-                        self.shared.error(format!(
-                            "node n{}: control stream failed while resuming {thread}: {e}",
-                            self.node.index()
-                        ));
-                        self.shared.poisoned.store(true, Ordering::Release);
-                    }
-                }
-            }
-        }
+        self.deliver_result(thread, result);
+        self.completions.push(thread);
     }
 
     fn set_timer(&mut self, node: NodeId, delay_us: u64, token: u64) {

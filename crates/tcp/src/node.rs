@@ -238,6 +238,7 @@ where
         coalesce: start.coalesce,
         outbox: (0..n_nodes).map(|_| Vec::new()).collect(),
         scratch: Vec::new(),
+        completions: Vec::new(),
     };
     send_shared(&ctrl_writer, &CtrlFrame::Ready)
         .map_err(|e| io::Error::new(e.kind(), format!("sending Ready: {e}")))?;
@@ -356,6 +357,16 @@ fn spawn_ctrl_reader<P>(
                     Ok(CtrlFrame::Op { thread, op }) => {
                         if inbox.send(NodeEvent::Op(thread, op)).is_err() {
                             return;
+                        }
+                    }
+                    Ok(CtrlFrame::OpBatch { ops }) => {
+                        // Expand in frame order: the forwarder drained its
+                        // channel FIFO, so this preserves per-thread issue
+                        // order into the server's op gate.
+                        for (thread, op) in ops {
+                            if inbox.send(NodeEvent::Op(thread, op)).is_err() {
+                                return;
+                            }
                         }
                     }
                     Ok(CtrlFrame::RegReply(r)) => {

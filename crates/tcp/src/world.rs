@@ -410,6 +410,7 @@ impl<P: PayloadInfo + Wire + Send + Sync + Clone + std::fmt::Debug + 'static> Tc
             coalesce: tuning.rt.coalesce,
             outbox: (0..n_nodes).map(|_| Vec::new()).collect(),
             scratch: Vec::new(),
+            completions: Vec::new(),
         };
         let node0_join = {
             let inbox_rx = inbox_rx;
@@ -434,9 +435,37 @@ impl<P: PayloadInfo + Wire + Send + Sync + Clone + std::fmt::Debug + 'static> Tc
             std::thread::Builder::new()
                 .name(format!("tcp-fwd-n{i}"))
                 .spawn(move || {
-                    for ev in rx {
-                        let NodeEvent::Op(thread, op) = ev else { continue };
-                        if let Err(e) = send_shared(&ctrl, &CtrlFrame::Op { thread, op }) {
+                    // With pipelined clients, ops pile up in the channel
+                    // while the previous frame is on the wire: drain them
+                    // into one OpBatch frame per wake-up (bounded, so one
+                    // hot thread cannot starve the flush) instead of one
+                    // frame — and one syscall — per op.
+                    const FWD_BATCH_MAX: usize = 64;
+                    let mut batch: Vec<(munin_types::ThreadId, munin_sim::DsmOp)> = Vec::new();
+                    for ev in rx.iter() {
+                        batch.clear();
+                        if let NodeEvent::Op(thread, op) = ev {
+                            batch.push((thread, op));
+                        }
+                        while batch.len() < FWD_BATCH_MAX {
+                            match rx.try_recv() {
+                                Ok(NodeEvent::Op(thread, op)) => batch.push((thread, op)),
+                                Ok(_) => continue,
+                                Err(_) => break,
+                            }
+                        }
+                        let r = match batch.len() {
+                            0 => continue,
+                            1 => {
+                                let (thread, op) = batch.pop().expect("len checked");
+                                send_shared(&ctrl, &CtrlFrame::Op { thread, op })
+                            }
+                            _ => send_shared(
+                                &ctrl,
+                                &CtrlFrame::OpBatch { ops: std::mem::take(&mut batch) },
+                            ),
+                        };
+                        if let Err(e) = r {
                             if !finishing.load(Ordering::SeqCst) && !shared.is_poisoned() {
                                 shared.error(format!(
                                     "forwarding op to node n{} failed: {e} — peer lost",

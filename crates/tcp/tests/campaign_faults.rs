@@ -55,6 +55,17 @@ fn killed_node_process_is_named_not_hung() {
     assert_fault_scenario("tcp-kill");
 }
 
+/// Killing a node while every thread keeps a full window of pipelined
+/// fetch-adds in flight: the failure must reach an outstanding token
+/// (fail-closed poison, not a hang) and still name the lost peer.
+#[test]
+fn killed_node_with_pipelined_ops_in_flight_fails_closed() {
+    if skip() {
+        return;
+    }
+    assert_fault_scenario("tcp-kill-pipelined");
+}
+
 /// Half-closing one data stream mid-run: the reader on the surviving end
 /// sees the EOF and reports the peer by name (traffic keeps flowing on the
 /// stream at fault time, so the writer side surfaces too).

@@ -393,6 +393,12 @@ fn control_frames_roundtrip() {
         CtrlFrame::Done { stats: sample_stats(), errors: vec!["e1".into()] },
         CtrlFrame::Poison,
         CtrlFrame::Bye,
+        CtrlFrame::OpBatch {
+            ops: vec![
+                (ThreadId(5), DsmOp::AtomicFetchAdd { obj: ObjectId(2), offset: 8, delta: -3 }),
+                (ThreadId(7), DsmOp::Lock(LockId(1))),
+            ],
+        },
     ];
     for f in frames {
         roundtrip(&f);

@@ -23,6 +23,7 @@ pub mod range;
 pub mod sharing;
 pub mod syncdecl;
 pub mod time;
+pub mod token;
 
 pub use config::{AllocPolicy, IvyConfig, MuninConfig, ReadMostlyMode, SyncStrategy, UpdatePolicy};
 pub use cost::CostModel;
@@ -34,3 +35,4 @@ pub use range::ByteRange;
 pub use sharing::{ObjectDecl, SharingType};
 pub use syncdecl::{BarrierDecl, CondDecl, LockDecl, SyncDecls};
 pub use time::VirtualTime;
+pub use token::{OpToken, TokenState, TokenValue};
