@@ -124,6 +124,13 @@ impl Outcome {
         self.backend
     }
 
+    /// The run's telemetry snapshot, if the backend records one (wall-clock
+    /// fabrics with `RtTuning::telemetry` not `Off`; the simulator and
+    /// native backends never do).
+    pub fn metrics(&self) -> Option<&munin_obs::MetricsSnapshot> {
+        self.report.as_ref().and_then(|r| r.metrics.as_ref())
+    }
+
     /// Panic unless the run was clean (native runs are clean if they joined).
     pub fn assert_clean(&self) -> &Self {
         if let Some(r) = &self.report {

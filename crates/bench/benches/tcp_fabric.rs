@@ -18,7 +18,9 @@
 //! by `tests/tests/cross_backend.rs`, and this bench re-checks one app
 //! (matmul) per run as a guard.
 
-use munin_api::{Backend, ComputeMode, ParTyped, ProgramBuilder, RtTuning, SpinWait};
+use munin_api::{
+    Backend, ComputeMode, MetricsSnapshot, ParTyped, ProgramBuilder, RtTuning, SpinWait, Telemetry,
+};
 use munin_apps::App;
 use munin_types::{MuninConfig, SharingType};
 use std::fmt::Write as _;
@@ -144,6 +146,28 @@ fn run_bulk(workers: usize, backend: Backend) -> (u64, f64) {
     (out.report().stats.bytes, wall)
 }
 
+/// One full-telemetry pass of the op-bound counter workload on the TCP
+/// fabric: the per-op latency distributions and the causal span tail the
+/// run leaves behind. Separate from the throughput rows so the span
+/// stamping cost never pollutes the ops/s columns.
+fn run_latency_pass(workers: usize) -> MetricsSnapshot {
+    let mut p = ProgramBuilder::new(workers);
+    let mut t = tuning();
+    t.telemetry = Telemetry::Spans;
+    p.rt_tuning(t);
+    let ctr = p.scalar::<i64>("ctr", SharingType::GeneralReadWrite, 0);
+    for i in 0..workers {
+        p.thread(i, move |par| {
+            for _ in 0..OPS_PER_WORKER {
+                par.fetch_add_scalar(&ctr, 1);
+            }
+        });
+    }
+    let out = p.run(Backend::MuninTcp(MuninConfig::default()));
+    out.assert_clean();
+    out.metrics().expect("spans mode fills RunReport::metrics").clone()
+}
+
 struct Row {
     workers: usize,
     rt_ops_s: f64,
@@ -252,6 +276,25 @@ fn main() {
         comb_w_s / raw_w_s
     );
 
+    // Per-op latency percentiles under full span telemetry, 4 workers.
+    let metrics = run_latency_pass(4);
+    for cs in &metrics.hists {
+        println!(
+            "latency 4w   {:>9}/{:<9} p50 {:>6} us | p90 {:>6} us | p99 {:>6} us ({} ops)",
+            cs.class.label(),
+            cs.mode_label(),
+            cs.hist.p50_us(),
+            cs.hist.p90_us(),
+            cs.hist.p99_us(),
+            cs.hist.count,
+        );
+    }
+    assert!(
+        metrics.class_hist(munin_api::OpClass::FetchAdd, false).is_some(),
+        "the counter workload must leave a blocking fetch-add histogram"
+    );
+    assert!(!metrics.spans.is_empty(), "spans mode must leave a span tail");
+
     let (bytes, rt_bulk) = run_bulk(4, Backend::MuninRt(MuninConfig::default()));
     let (tcp_bytes, tcp_bulk) = run_bulk(4, Backend::MuninTcp(MuninConfig::default()));
     assert_eq!(bytes, tcp_bytes, "both fabrics must account identical protocol bytes");
@@ -305,12 +348,33 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"bulk_4w\": {{\"payload_bytes\": {bytes}, \"munin_rt_mib_per_s\": {:.1}, \
-         \"munin_tcp_mib_per_s\": {:.1}}}",
+         \"munin_tcp_mib_per_s\": {:.1}}},",
         bytes as f64 / rt_bulk / (1 << 20) as f64,
         bytes as f64 / tcp_bulk / (1 << 20) as f64
     );
-    json.push_str("}\n");
+    json.push_str("  \"latency_us_4w\": [\n");
+    for (i, cs) in metrics.hists.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"class\": \"{}\", \"mode\": \"{}\", \"count\": {}, \"p50\": {}, \
+             \"p90\": {}, \"p99\": {}}}",
+            cs.class.label(),
+            cs.mode_label(),
+            cs.hist.count,
+            cs.hist.p50_us(),
+            cs.hist.p90_us(),
+            cs.hist.p99_us()
+        );
+        json.push_str(if i + 1 < metrics.hists.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tcp.json");
     std::fs::write(path, &json).expect("write BENCH_tcp.json");
     println!("wrote {path}");
+
+    // The full snapshot (schema: README "Observability") for dashboards
+    // and the bench.sh summary.
+    let mpath = concat!(env!("CARGO_MANIFEST_DIR"), "/../../metrics.json");
+    std::fs::write(mpath, metrics.render_json()).expect("write metrics.json");
+    println!("wrote {mpath}");
 }

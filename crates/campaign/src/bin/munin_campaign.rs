@@ -122,13 +122,51 @@ fn report_failure(args: &Args, plan: &InteractionPlan, out: &CampaignOutcome) {
     );
     let toml = min.to_toml();
     match &args.out {
-        Some(path) => match std::fs::write(path, &toml) {
-            Ok(()) => eprintln!("minimized plan written to {path}"),
-            Err(e) => eprintln!("could not write {path}: {e}"),
-        },
+        Some(path) => {
+            match std::fs::write(path, &toml) {
+                Ok(()) => eprintln!("minimized plan written to {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+            if let Some(m) = &out.metrics {
+                let mpath = format!("{path}.metrics.txt");
+                match std::fs::write(&mpath, metrics_artifact(m)) {
+                    Ok(()) => eprintln!("failing run's telemetry written to {mpath}"),
+                    Err(e) => eprintln!("could not write {mpath}: {e}"),
+                }
+            }
+        }
         None => eprint!("--- minimized plan ---\n{toml}--- end plan ---\n"),
     }
     eprintln!("repro: {}", plan.repro_line());
+}
+
+/// Telemetry artifact written next to a failing minimized plan: the metrics
+/// exposition from the *original* failing run, followed by its remote-op
+/// span tail — the causal timeline of the last ops each thread got through
+/// before things went wrong.
+fn metrics_artifact(m: &munin_api::MetricsSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = m.render_text();
+    out.push_str("\n# span tail (oldest first; segments in us)\n");
+    if m.spans_dropped > 0 {
+        let _ = writeln!(out, "# {} older span halves overwritten", m.spans_dropped);
+    }
+    for s in &m.spans {
+        let _ = write!(
+            out,
+            "t{} seq={} {}{} total={}us:",
+            s.thread.0,
+            s.seq,
+            s.class.label(),
+            if s.pipelined { " (pipelined)" } else { "" },
+            s.total_us()
+        );
+        for (label, a, b) in s.segments() {
+            let _ = write!(out, " {label}+{}", b.saturating_sub(a));
+        }
+        out.push('\n');
+    }
+    out
 }
 
 fn run_plan(args: &Args, plan: &InteractionPlan) -> Result<bool, String> {

@@ -122,6 +122,11 @@ pub struct CampaignOutcome {
     /// Final counter values as read back by thread 0 (empty if the run
     /// died before the read-back).
     pub final_counters: Vec<i64>,
+    /// Telemetry snapshot from the run (latency histograms plus the
+    /// remote-op span tail). Wall-clock fabrics only — the virtual-time
+    /// simulator records no telemetry, so sim targets leave this `None`.
+    /// Failing shrunk plans attach it to their artifacts.
+    pub metrics: Option<munin_obs::MetricsSnapshot>,
 }
 
 impl CampaignOutcome {
@@ -327,6 +332,10 @@ pub fn execute(
         Target::MuninTcp | Target::IvyTcp => {
             let mut tuning = RtTuning::default();
             tuning.stall_timeout = opts.tcp_stall;
+            // Full span telemetry: when a seed fails and shrinks, the
+            // minimized plan's artifact carries the causal remote-op spans
+            // from the failing run.
+            tuning.telemetry = munin_types::Telemetry::Spans;
             p.rt_tuning(tuning);
             if let Some(f) = tcp_fault(plan) {
                 p.inject_tcp_fault(f);
@@ -382,6 +391,7 @@ pub fn execute(
         violations,
         reasons,
         final_counters: finals,
+        metrics: report.metrics.clone(),
     })
 }
 

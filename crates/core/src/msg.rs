@@ -210,6 +210,17 @@ impl PayloadInfo for MuninMsg {
         }
     }
 
+    fn span_home_thread(&self) -> Option<ThreadId> {
+        // AtomicReq is the one Munin message whose handling *is* the home
+        // leg of a specific thread's op (the fetch-add at the
+        // authoritative copy). Everything else either serves no single
+        // waiting thread or is a reply, not the home-side handling.
+        match self {
+            MuninMsg::AtomicReq { thread, .. } => Some(*thread),
+            _ => None,
+        }
+    }
+
     fn wire_bytes(&self) -> usize {
         use MuninMsg::*;
         match self {

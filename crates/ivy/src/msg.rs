@@ -130,6 +130,15 @@ impl PayloadInfo for IvyMsg {
             _ => 0,
         }
     }
+
+    fn span_home_thread(&self) -> Option<ThreadId> {
+        // The central lock server's acquire is the only Ivy message whose
+        // handling is the home leg of one thread's op.
+        match self {
+            IvyMsg::CLockReq { thread, .. } => Some(*thread),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -57,6 +57,14 @@ pub trait PayloadInfo {
     /// Bytes this message would occupy on the wire **beyond** the fixed
     /// header (i.e. the payload the latency model charges for).
     fn wire_bytes(&self) -> usize;
+    /// If handling this message *is* the authoritative ("home node") step
+    /// of an op some application thread is blocked on, the id of that
+    /// thread — the observability layer stamps the home leg of the op's
+    /// causal span there. Default `None`: most protocol traffic is not
+    /// attributable to a single waiting thread.
+    fn span_home_thread(&self) -> Option<munin_types::ThreadId> {
+        None
+    }
 }
 
 /// A message in flight from `src` to `dst`.

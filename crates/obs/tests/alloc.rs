@@ -1,0 +1,60 @@
+//! Allocation regression tests for the telemetry hot path.
+//!
+//! The observability pitch is "always-on": telemetry rides inside every
+//! op on the wall-clock fabrics, so recording must never allocate — not
+//! in `Off` (a branch), not in `Counters` (atomic adds into preallocated
+//! arrays), and not in `Spans` (ring pushes into buffers reserved at
+//! construction). These tests pin that down with a counting global
+//! allocator, driving every hot-path entry point far past the ring
+//! capacity so overwrite-oldest paths are exercised too.
+
+use munin_net::NetStats;
+use munin_obs::{AccessKind, ObsCollector, OpClass, SPAN_RING_CAP};
+use munin_types::{ObjectId, Telemetry, ThreadId};
+
+#[path = "../../mem/testsupport/counting_alloc.rs"]
+mod counting_alloc;
+use counting_alloc::{allocs_of, CountingAlloc};
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Drive every hot-path recording entry point, well past the span ring
+/// capacity so the overwrite-oldest branch runs.
+fn hammer(c: &ObsCollector) {
+    let t = ThreadId(0);
+    for i in 0..(SPAN_RING_CAP as u64 * 3) {
+        c.record_op(t, OpClass::FetchAdd, i % 2 == 0, 5 + i % 7);
+        c.note_access(ObjectId(i % 8), AccessKind::Atomic);
+        c.note_wire_arrival(t, 1_000 + i);
+        c.srv_dispatch(t);
+        c.srv_home(t);
+        let _ = c.srv_finish(t);
+        c.client_span(t, i + 1, OpClass::FetchAdd, false, 1_000 + i, 2_000 + i);
+    }
+}
+
+#[test]
+fn recording_never_allocates_in_any_mode() {
+    for mode in [Telemetry::Off, Telemetry::Counters, Telemetry::Spans] {
+        let c = ObsCollector::new(mode, 2);
+        // Warm-up pass: lazy one-time costs (none expected) must not hide
+        // in the measured pass.
+        hammer(&c);
+        let n = allocs_of(|| hammer(&c));
+        assert_eq!(n, 0, "telemetry {mode:?} allocated {n} times on the hot path");
+    }
+}
+
+#[test]
+fn snapshot_may_allocate_but_recording_around_it_does_not() {
+    // The snapshot path is allowed to allocate (it builds the merged
+    // report), but it must not flip the recorders into an allocating
+    // state afterwards.
+    let c = ObsCollector::new(Telemetry::Spans, 2);
+    hammer(&c);
+    let snap = c.snapshot(NetStats::default());
+    assert!(!snap.spans.is_empty(), "spans mode must surface the span tail");
+    let n = allocs_of(|| hammer(&c));
+    assert_eq!(n, 0, "recording after a snapshot allocated {n} times");
+}

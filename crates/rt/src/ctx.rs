@@ -19,6 +19,7 @@
 
 use crate::fabric::{NodeEvent, Shared};
 use crate::world::{ComputeMode, RtTuning, SpinWait};
+use munin_obs::{wall_us, AccessKind, OpClass};
 use munin_sim::report::WaitTable;
 use munin_sim::{DsmOp, OpResult};
 use munin_types::{
@@ -54,6 +55,29 @@ struct InFlight {
     /// panic immediately (fail-closed: a combined write with no token must
     /// not fail silently).
     claimed: bool,
+    /// Latency-accounting class (telemetry).
+    class: OpClass,
+    /// Issued through the async path (telemetry splits blocking from
+    /// pipelined latencies — they measure different things).
+    pipelined: bool,
+    /// Wall stamp at issue (µs since epoch); 0 unless spans are on.
+    issue_wall: u64,
+}
+
+/// Classify an op for the latency recorders.
+fn op_class(op: &DsmOp) -> OpClass {
+    match op {
+        DsmOp::Alloc(_) => OpClass::Alloc,
+        DsmOp::Read { .. } => OpClass::Read,
+        DsmOp::Write { .. } => OpClass::Write,
+        DsmOp::AtomicFetchAdd { .. } => OpClass::FetchAdd,
+        DsmOp::Lock(_) => OpClass::Lock,
+        DsmOp::Unlock(_) => OpClass::Unlock,
+        DsmOp::BarrierWait(_) => OpClass::Barrier,
+        DsmOp::CondWait { .. } | DsmOp::CondSignal { .. } => OpClass::Cond,
+        DsmOp::Flush => OpClass::Flush,
+        _ => OpClass::Other,
+    }
 }
 
 /// The client-side write-combining buffer: one contiguous byte range of one
@@ -171,6 +195,7 @@ impl<P> RtCtx<P> {
         self.check_issue_poison(label);
         let issued = Instant::now();
         self.shared.ops.fetch_add(1, Ordering::Relaxed);
+        self.note_access(&op);
         let result = if let DsmOp::Compute(us) = op {
             // Executed locally, but still counted as an op with a wait-table
             // row so rt and simulator reports stay comparable.
@@ -178,7 +203,7 @@ impl<P> RtCtx<P> {
             OpResult::Unit
         } else {
             self.flush_wc();
-            let seq = self.issue(op, label, false);
+            let seq = self.issue(op, label, false, false);
             self.wait_seq(seq, label)
         };
         self.record_wait(label, issued);
@@ -194,6 +219,7 @@ impl<P> RtCtx<P> {
         self.check_issue_poison(label);
         let issued = Instant::now();
         self.shared.ops.fetch_add(1, Ordering::Relaxed);
+        self.note_access(&op);
         let state = match op {
             DsmOp::Compute(us) => {
                 self.compute_inner(us);
@@ -204,12 +230,12 @@ impl<P> RtCtx<P> {
                 TokenState::Ready(0)
             }
             DsmOp::Write { obj, range, data } => {
-                let seq = self.issue(DsmOp::Write { obj, range, data }, label, false);
+                let seq = self.issue(DsmOp::Write { obj, range, data }, label, false, true);
                 TokenState::Pending(seq)
             }
             other => {
                 self.flush_wc();
-                let seq = self.issue(other, label, true);
+                let seq = self.issue(other, label, true, true);
                 TokenState::Pending(seq)
             }
         };
@@ -271,6 +297,24 @@ impl<P> RtCtx<P> {
         }
     }
 
+    /// Count the application-level access against its object (feeds the
+    /// per-object telemetry the retyping detectors will read). One branch
+    /// when telemetry is off.
+    #[inline]
+    fn note_access(&self, op: &DsmOp) {
+        if !self.tuning.telemetry.enabled() {
+            return;
+        }
+        match op {
+            DsmOp::Read { obj, .. } => self.shared.obs.note_access(*obj, AccessKind::Read),
+            DsmOp::Write { obj, .. } => self.shared.obs.note_access(*obj, AccessKind::Write),
+            DsmOp::AtomicFetchAdd { obj, .. } => {
+                self.shared.obs.note_access(*obj, AccessKind::Atomic)
+            }
+            _ => {}
+        }
+    }
+
     fn record_wait(&mut self, label: &'static str, issued: Instant) {
         let waited = u64::try_from(issued.elapsed().as_micros()).unwrap_or(u64::MAX);
         let e = self.waits.entry(label).or_insert((0, 0));
@@ -280,18 +324,28 @@ impl<P> RtCtx<P> {
 
     /// Mail one op to the server and enqueue it in the in-flight window,
     /// first making room if the window is full.
-    fn issue(&mut self, op: DsmOp, label: &'static str, claimed: bool) -> u64 {
+    fn issue(&mut self, op: DsmOp, label: &'static str, claimed: bool, pipelined: bool) -> u64 {
         let cap = self.tuning.max_inflight.max(1);
         while self.pending.len() >= cap {
             let (seq, l, c, r) = self.receive_one(label);
             self.park_result(seq, l, c, r);
         }
+        let class = op_class(&op);
+        let issue_wall = if self.tuning.telemetry.spans() { wall_us() } else { 0 };
         if self.to_server.send(NodeEvent::Op(self.thread, op)).is_err() {
             panic!("real-time kernel vanished while issuing '{label}'");
         }
         self.next_seq += 1;
         let seq = self.next_seq;
-        self.pending.push_back(InFlight { seq, label, issued: Instant::now(), claimed });
+        self.pending.push_back(InFlight {
+            seq,
+            label,
+            issued: Instant::now(),
+            claimed,
+            class,
+            pipelined,
+            issue_wall,
+        });
         seq
     }
 
@@ -347,6 +401,21 @@ impl<P> RtCtx<P> {
         self.received_through = head.seq;
         let observed = u64::try_from(head.issued.elapsed().as_micros()).unwrap_or(u64::MAX);
         self.ewma_us = (self.ewma_us * 7 + observed.min(EWMA_CLAMP_US)) / 8;
+        // The single client-side completion point: every op's latency is
+        // recorded here, and the client half of its span when enabled.
+        if self.tuning.telemetry.enabled() {
+            self.shared.obs.record_op(self.thread, head.class, head.pipelined, observed);
+            if self.tuning.telemetry.spans() {
+                self.shared.obs.client_span(
+                    self.thread,
+                    head.seq,
+                    head.class,
+                    head.pipelined,
+                    head.issue_wall,
+                    wall_us(),
+                );
+            }
+        }
         (head.seq, head.label, head.claimed, result)
     }
 
@@ -444,7 +513,7 @@ impl<P> RtCtx<P> {
         let range = ByteRange::new(b.start, b.data.len() as u32);
         // Already counted in `shared.ops` once per app-level write when it
         // was absorbed; the combined emission is fabric bookkeeping.
-        self.issue(DsmOp::Write { obj: b.obj, range, data: b.data }, "write", false);
+        self.issue(DsmOp::Write { obj: b.obj, range, data: b.data }, "write", false, true);
     }
 
     // ---- convenience wrappers (same surface as the simulator's
@@ -565,7 +634,7 @@ mod tests {
     fn lone_ctx() -> (RtCtx<()>, Receiver<NodeEvent<()>>, Sender<OpResult>) {
         let (op_tx, op_rx) = channel();
         let (res_tx, res_rx) = channel();
-        let shared = Arc::new(Shared::new(Vec::new(), 1));
+        let shared = Arc::new(Shared::new(Vec::new(), 1, munin_types::Telemetry::default()));
         let ctx =
             RtCtx::new(ThreadId(0), NodeId(0), 1, 1, op_tx, res_rx, shared, RtTuning::default());
         (ctx, op_rx, res_tx)

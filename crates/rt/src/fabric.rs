@@ -1,8 +1,9 @@
 //! Shared run state: the channels and atomics that stitch node servers,
 //! application threads, the timer thread and the watchdog together.
 
+use munin_obs::ObsCollector;
 use munin_sim::DsmOp;
-use munin_types::{NodeId, ObjectDecl, ObjectId, ThreadId};
+use munin_types::{NodeId, ObjectDecl, ObjectId, Telemetry, ThreadId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -107,10 +108,19 @@ pub struct Shared {
     /// `MUNIN_DEBUG_ERRORS` was set: mirror errors and stall dumps to
     /// stderr as they happen.
     pub debug_errors: bool,
+    /// The observability collector: per-thread latency histograms, causal
+    /// span rings and per-object access counters (all preallocated here;
+    /// recording never allocates). Sized by `telemetry` — `Off` keeps no
+    /// slots at all.
+    pub obs: ObsCollector,
+    /// Stuck-state dumps captured by the watchdog (`DumpStuck`) or the
+    /// SIGUSR1 path — surfaced as `RunReport::dumps`, mirroring what the
+    /// TCP coordinator collects over the wire.
+    pub dumps: Mutex<Vec<String>>,
 }
 
 impl Shared {
-    pub fn new(decls: Vec<ObjectDecl>, n_threads: usize) -> Self {
+    pub fn new(decls: Vec<ObjectDecl>, n_threads: usize, telemetry: Telemetry) -> Self {
         let next_object = decls.iter().map(|d| d.id.0 + 1).max().unwrap_or(0);
         Shared {
             start: Instant::now(),
@@ -125,7 +135,19 @@ impl Shared {
             poisoned: AtomicBool::new(false),
             ops: AtomicU64::new(0),
             debug_errors: std::env::var_os("MUNIN_DEBUG_ERRORS").is_some(),
+            obs: ObsCollector::new(telemetry, n_threads),
+            dumps: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Record a captured stuck-state dump (watchdog or on-demand).
+    pub fn dump(&self, text: String) {
+        self.dumps.lock().unwrap_or_else(|p| p.into_inner()).push(text);
+    }
+
+    /// Take the dumps collected so far (teardown).
+    pub fn take_dumps(&self) -> Vec<String> {
+        std::mem::take(&mut *self.dumps.lock().unwrap_or_else(|p| p.into_inner()))
     }
 
     /// Microseconds of wall clock since the run started.

@@ -76,6 +76,10 @@ impl<P: PayloadInfo + Clone> crate::serve::NodeKernel<P> for RtKernel<P> {
     }
 
     fn resume(&mut self, thread: ThreadId, result: OpResult) {
+        // Close the span's server half; the in-process fabric has no wire
+        // hop, so the SrvSpan stays in the collector's ring (nothing to
+        // attach to a reply frame).
+        let _ = self.shared.obs.srv_finish(thread);
         let _ = self.resumes[thread.index()].send(result);
     }
 
@@ -150,6 +154,7 @@ impl<P: PayloadInfo + Clone> KernelApi<P> for RtKernel<P> {
         // thread's real wait *is* the cost, so resume immediately. Record
         // the thread so the server loop's op gate can dispatch whatever
         // pipelined ops queued behind the one that just completed.
+        let _ = self.shared.obs.srv_finish(thread);
         let _ = self.resumes[thread.index()].send(result);
         self.completions.push(thread);
     }

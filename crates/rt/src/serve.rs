@@ -171,6 +171,11 @@ where
     ) {
         let mut next = Some(first);
         while let Some(op) = next {
+            // Gate dispatch *is* the protocol server's handle instant: the
+            // span's dispatch timestamp and its server half open here. The
+            // matching `srv_finish` happens inside the kernel's resume /
+            // complete paths (whichever ends this op).
+            kernel.shared().obs.srv_dispatch(thread);
             match server.on_op(kernel, thread, op) {
                 OpOutcome::Done { result, cost_us: _ } => {
                     kernel.resume(thread, result);
@@ -215,12 +220,22 @@ where
                     }
                 }
                 NodeEvent::Msg(from, body) => {
+                    if shared.obs.spans() {
+                        if let Some(t) = body.payload().span_home_thread() {
+                            shared.obs.srv_home(t);
+                        }
+                    }
                     server.on_message(&mut kernel, from, body.into_payload());
                 }
                 NodeEvent::Batch(items) => {
                     // One channel op from one peer step; per-(src,dst) FIFO
                     // is the vector order.
                     for (from, body) in items {
+                        if shared.obs.spans() {
+                            if let Some(t) = body.payload().span_home_thread() {
+                                shared.obs.srv_home(t);
+                            }
+                        }
                         server.on_message(&mut kernel, from, body.into_payload());
                     }
                 }
@@ -232,6 +247,11 @@ where
                         if shared.debug_errors {
                             eprintln!("{msg}");
                         }
+                        // Captured state is both an error-log diagnostic and
+                        // a `RunReport::dumps` entry — the rt fabric used to
+                        // fill only the error log, leaving `dumps` a
+                        // tcp-only field.
+                        shared.dump(msg.clone());
                         shared.errors.lock().expect("error log poisoned").push(msg);
                     }
                 }

@@ -103,7 +103,7 @@ mod tests {
     fn harness() -> (Sender<TimerReq>, Receiver<Ev>, Arc<Shared>, std::thread::JoinHandle<()>) {
         let (timer_tx, timer_rx) = channel();
         let (inbox_tx, inbox_rx) = channel::<Ev>();
-        let shared = Arc::new(Shared::new(Vec::new(), 0));
+        let shared = Arc::new(Shared::new(Vec::new(), 0, munin_types::Telemetry::Off));
         let s = shared.clone();
         let j = std::thread::spawn(move || run_timer_thread(timer_rx, vec![inbox_tx], s));
         (timer_tx, inbox_rx, shared, j)

@@ -8,7 +8,7 @@ use crate::serve::{drive_app_thread, server_loop};
 use crate::timer::run_timer_thread;
 use munin_sim::report::{RunReport, WaitTable, WallClock};
 use munin_sim::Server;
-use munin_types::{CostModel, NodeId, ObjectDecl, ObjectId, ThreadId, VirtualTime};
+use munin_types::{CostModel, NodeId, ObjectDecl, ObjectId, Telemetry, ThreadId, VirtualTime};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -66,6 +66,11 @@ pub struct RtTuning {
     /// next non-write op. Program order per thread is preserved: any read,
     /// atomic, or sync op flushes the buffer first.
     pub write_combine: bool,
+    /// What the run records about itself: `Off` (nothing; hot paths reduce
+    /// to one predicted branch), `Counters` (latency histograms + per-object
+    /// access counters; the default), or `Spans` (counters plus causal
+    /// per-op timestamp spans). See [`munin_obs`].
+    pub telemetry: Telemetry,
 }
 
 /// How a blocked application thread waits on its resume channel.
@@ -100,6 +105,7 @@ impl Default for RtTuning {
             spin_wait: SpinWait::Adaptive { cap_us: 40 },
             max_inflight: 16,
             write_combine: true,
+            telemetry: Telemetry::default(),
         }
     }
 }
@@ -195,7 +201,7 @@ impl<P: munin_net::PayloadInfo + Send + Sync + Clone + 'static> RtWorldBuilder<P
         assert_eq!(servers.len(), self.n_nodes, "need exactly one server per node");
         let n_nodes = self.n_nodes;
         let n_threads = self.spawns.len();
-        let shared = Arc::new(Shared::new(self.decls, n_threads));
+        let shared = Arc::new(Shared::new(self.decls, n_threads, self.tuning.telemetry));
 
         let mut inbox_txs: Vec<Sender<NodeEvent<P>>> = Vec::with_capacity(n_nodes);
         let mut inbox_rxs: Vec<Receiver<NodeEvent<P>>> = Vec::with_capacity(n_nodes);
@@ -305,6 +311,7 @@ impl<P: munin_net::PayloadInfo + Send + Sync + Clone + 'static> RtWorldBuilder<P
 
         let elapsed = shared.start.elapsed();
         let errors = shared.errors.lock().expect("error log poisoned").clone();
+        let metrics = self.tuning.telemetry.enabled().then(|| shared.obs.snapshot(stats.clone()));
         RunReport {
             finished_at: VirtualTime::micros(
                 u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
@@ -315,7 +322,8 @@ impl<P: munin_net::PayloadInfo + Send + Sync + Clone + 'static> RtWorldBuilder<P
             errors,
             deadlocked: shared.is_poisoned(),
             wall: Some(WallClock { elapsed, workers: n_threads, nodes: n_nodes }),
-            dumps: Vec::new(),
+            dumps: shared.take_dumps(),
+            metrics,
         }
     }
 }

@@ -51,9 +51,15 @@ pub struct RunReport {
     /// Wall-clock measurements — `Some` only for real-time kernel runs.
     pub wall: Option<WallClock>,
     /// On-demand state dumps (SIGUSR1 / `debug_stuck_state` requests that
-    /// were *not* stall diagnostics), one entry per responding node. Only
-    /// the distributed tcp runtime fills this; a clean run may carry dumps.
+    /// were *not* stall diagnostics), one entry per responding node. The
+    /// wall-clock fabrics (rt and tcp) fill this; a clean run may carry
+    /// dumps.
     pub dumps: Vec<String>,
+    /// Telemetry snapshot (latency histograms, per-object access counters,
+    /// remote-op spans) merged at teardown. `None` when the run's fabric
+    /// does not record telemetry (the virtual-time simulator, or a
+    /// wall-clock run with `Telemetry::Off`).
+    pub metrics: Option<munin_obs::MetricsSnapshot>,
 }
 
 impl RunReport {
@@ -105,6 +111,7 @@ mod tests {
             deadlocked: false,
             wall: None,
             dumps: Vec::new(),
+            metrics: None,
         };
         assert_eq!(r.total_wait_us("read"), 350);
         assert_eq!(r.total_ops("read"), 4);
@@ -125,6 +132,7 @@ mod tests {
             deadlocked: true,
             wall: None,
             dumps: Vec::new(),
+            metrics: None,
         };
         r.assert_clean();
     }

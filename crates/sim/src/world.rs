@@ -595,6 +595,7 @@ impl<S: Server> World<S> {
             deadlocked,
             wall: None,
             dumps: Vec::new(),
+            metrics: None,
         }
     }
 

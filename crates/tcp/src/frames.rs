@@ -132,6 +132,12 @@ pub struct StartConfig {
     /// order (`peers[i]` belongs to node `i`; entry 0 is the coordinator).
     pub peers: Vec<(NodeId, u16)>,
     pub test_fault: Option<TestFault>,
+    /// Telemetry mode of the run (`RtTuning::telemetry`); children size
+    /// their observability collectors from this.
+    pub telemetry: munin_types::Telemetry,
+    /// Application threads of the run (all coordinator-hosted). Children
+    /// need the count to preallocate per-thread server-span slots.
+    pub n_threads: usize,
 }
 
 crate::wire::wire_struct!(StartConfig {
@@ -145,6 +151,8 @@ crate::wire::wire_struct!(StartConfig {
     heartbeat,
     peers,
     test_fault,
+    telemetry,
+    n_threads,
 });
 
 /// A registry write, sent by any node's kernel to the coordinator-hosted
@@ -191,9 +199,14 @@ pub enum CtrlFrame {
     Ready,
     /// Coordinator → child: an application thread (hosted by the
     /// coordinator) issued a DSM operation against this node's server.
-    Op { thread: ThreadId, op: DsmOp },
+    /// `fwd_us` is the forwarder's wall-clock stamp (µs since epoch) when
+    /// the run records spans, `0` otherwise — the span's "hit the wire"
+    /// mark.
+    Op { thread: ThreadId, op: DsmOp, fwd_us: u64 },
     /// Child → coordinator: the operation completed; resume the thread.
-    Resume { thread: ThreadId, result: OpResult },
+    /// `span` carries the server half of the op's telemetry span (dispatch
+    /// and reply stamps) when the run records spans.
+    Resume { thread: ThreadId, result: OpResult, span: Option<munin_obs::SrvSpan> },
     /// Child → coordinator: registry write.
     Reg(RegRequest),
     /// Coordinator → child: registry write reply (ack-barrier done).
@@ -217,8 +230,11 @@ pub enum CtrlFrame {
     ReportError { msg: String },
     /// Coordinator → child: clean shutdown (the run is quiescent).
     Finish,
-    /// Child → coordinator: final traffic shard and accumulated errors.
-    Done { stats: NetStats, errors: Vec<String> },
+    /// Child → coordinator: final traffic shard, accumulated errors, and
+    /// (spans mode) home-leg stamps `(thread, wall_us)` recorded while
+    /// handling peers' protocol messages — merged into the coordinator's
+    /// span table at teardown.
+    Done { stats: NetStats, errors: Vec<String>, homes: Vec<(ThreadId, u64)> },
     /// Coordinator → child: the run is poisoned; tear down immediately.
     Poison,
     /// Coordinator → child, after every node's `Done` arrived: all peers
@@ -232,16 +248,18 @@ pub enum CtrlFrame {
     /// pipelined clients the forwarder's channel accumulates ops while a
     /// frame is on the wire; draining them into one frame amortizes the
     /// syscall + frame header across the in-flight window. Per-thread
-    /// order within the batch is channel (= issue) order.
-    OpBatch { ops: Vec<(ThreadId, DsmOp)> },
+    /// order within the batch is channel (= issue) order. `fwd_us` is the
+    /// drain instant's wall stamp shared by every op in the frame (`0`
+    /// when the run does not record spans).
+    OpBatch { ops: Vec<(ThreadId, DsmOp)>, fwd_us: u64 },
 }
 
 crate::wire::wire_enum!(CtrlFrame {
     0 => Hello { node, data_port },
     1 => Start(cfg),
     2 => Ready,
-    3 => Op { thread, op },
-    4 => Resume { thread, result },
+    3 => Op { thread, op, fwd_us },
+    4 => Resume { thread, result, span },
     5 => Reg(req),
     6 => RegReply(reply),
     7 => RegUpdate { decl, version, seq },
@@ -251,10 +269,10 @@ crate::wire::wire_enum!(CtrlFrame {
     11 => DumpReply { text },
     12 => ReportError { msg },
     13 => Finish,
-    14 => Done { stats, errors },
+    14 => Done { stats, errors, homes },
     15 => Poison,
     16 => Bye,
-    17 => OpBatch { ops },
+    17 => OpBatch { ops, fwd_us },
 });
 
 impl Wire for Box<StartConfig> {

@@ -126,12 +126,16 @@ impl<P: PayloadInfo + Wire + Clone> NodeKernel<P> for TcpKernel<P> {
 
 impl<P: PayloadInfo + Wire + Clone> TcpKernel<P> {
     fn deliver_result(&mut self, thread: ThreadId, result: OpResult) {
+        // Close the op's server span half. On node 0 (Local) the span stays
+        // in the coordinator's collector directly; on a child (Remote) it
+        // rides the Resume frame back to the coordinator's span table.
+        let span = self.shared.obs.srv_finish(thread);
         match &self.resumes {
             ResumeSink::Local(resumes) => {
                 let _ = resumes[thread.index()].send(result);
             }
             ResumeSink::Remote(ctrl) => {
-                if let Err(e) = send_shared(ctrl, &CtrlFrame::Resume { thread, result }) {
+                if let Err(e) = send_shared(ctrl, &CtrlFrame::Resume { thread, result, span }) {
                     if !self.shared.is_poisoned() {
                         self.shared.error(format!(
                             "node n{}: control stream failed while resuming {thread}: {e}",

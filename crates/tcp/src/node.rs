@@ -113,7 +113,10 @@ where
 {
     let me = start.node;
     let n_nodes = start.n_nodes as usize;
-    let shared = Arc::new(Shared::new(Vec::new(), 0));
+    // No application threads live here, but the observability collector
+    // still needs one server-span slot per (coordinator-hosted) thread —
+    // forwarded ops dispatch on this node under their issuing thread's id.
+    let shared = Arc::new(Shared::new(Vec::new(), start.n_threads, start.telemetry));
     let finishing = Arc::new(AtomicBool::new(false));
     let cache = Arc::new(RegCache::new(&start.decls));
     let (inbox_tx, inbox_rx) = channel::<NodeEvent<S::Payload>>();
@@ -248,7 +251,8 @@ where
     finishing.store(true, Ordering::SeqCst);
     let errors = shared.errors.lock().expect("error log poisoned").clone();
     let poisoned = shared.is_poisoned();
-    let _ = send_shared(&ctrl_writer, &CtrlFrame::Done { stats, errors });
+    let homes = shared.obs.take_homes();
+    let _ = send_shared(&ctrl_writer, &CtrlFrame::Done { stats, errors, homes });
     if !poisoned {
         // Phase two of the clean shutdown: hold our sockets open until the
         // coordinator confirms every node's Done arrived (`Bye`), so our
@@ -354,16 +358,22 @@ fn spawn_ctrl_reader<P>(
             let mut buf = Vec::new();
             loop {
                 match read_frame::<CtrlFrame>(&mut stream, &mut buf) {
-                    Ok(CtrlFrame::Op { thread, op }) => {
+                    Ok(CtrlFrame::Op { thread, op, fwd_us }) => {
+                        // Queue the forwarder's wire stamp out-of-band (the
+                        // inbox event vocabulary is fabric-agnostic); the
+                        // gate dispatches this thread's ops in the same
+                        // order, so stamps pair up by position.
+                        shared.obs.note_wire_arrival(thread, fwd_us);
                         if inbox.send(NodeEvent::Op(thread, op)).is_err() {
                             return;
                         }
                     }
-                    Ok(CtrlFrame::OpBatch { ops }) => {
+                    Ok(CtrlFrame::OpBatch { ops, fwd_us }) => {
                         // Expand in frame order: the forwarder drained its
                         // channel FIFO, so this preserves per-thread issue
                         // order into the server's op gate.
                         for (thread, op) in ops {
+                            shared.obs.note_wire_arrival(thread, fwd_us);
                             if inbox.send(NodeEvent::Op(thread, op)).is_err() {
                                 return;
                             }

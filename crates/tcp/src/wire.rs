@@ -27,11 +27,12 @@ use munin_core::{MuninMsg, UpdateItem};
 use munin_ivy::IvyMsg;
 use munin_mem::{Diff, PageId};
 use munin_net::{KindStat, MsgClass, NetStats};
+use munin_obs::SrvSpan;
 use munin_sim::{DsmOp, OpResult};
 use munin_types::{
     AllocPolicy, BarrierDecl, BarrierId, ByteRange, CondDecl, CondId, CostModel, DsmError,
     IvyConfig, LockDecl, LockId, MuninConfig, NodeId, ObjectDecl, ObjectId, ReadMostlyMode,
-    SharingType, SyncDecls, SyncStrategy, ThreadId, UpdatePolicy,
+    SharingType, SyncDecls, SyncStrategy, Telemetry, ThreadId, UpdatePolicy,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -512,6 +513,16 @@ wire_struct!(NetStats {
     retransmissions,
     gave_up,
 });
+
+// ---- telemetry -------------------------------------------------------------
+
+wire_enum!(Telemetry {
+    0 => Off,
+    1 => Counters,
+    2 => Spans,
+});
+
+wire_struct!(SrvSpan { seq, fwd_us, dispatch_us, reply_us });
 
 // ---- run configuration ----------------------------------------------------
 

@@ -205,7 +205,7 @@ impl<P: PayloadInfo + Wire + Send + Sync + Clone + std::fmt::Debug + 'static> Tc
         let n_nodes = self.n_nodes;
         let n_threads = self.spawns.len();
         let tuning = self.tuning.clone();
-        let shared = Arc::new(Shared::new(Vec::new(), n_threads));
+        let shared = Arc::new(Shared::new(Vec::new(), n_threads, tuning.rt.telemetry));
         let finishing = Arc::new(AtomicBool::new(false));
         let dumps = Arc::new(Mutex::new(Vec::<String>::new()));
         sig::install();
@@ -281,6 +281,8 @@ impl<P: PayloadInfo + Wire + Send + Sync + Clone + std::fmt::Debug + 'static> Tc
                 heartbeat: tuning.heartbeat,
                 peers: peers_table.clone(),
                 test_fault: tuning.test_fault,
+                telemetry: tuning.rt.telemetry,
+                n_threads,
             };
             send_shared(
                 ctrl_writers[i].as_ref().expect("ctrl writer exists"),
@@ -324,7 +326,7 @@ impl<P: PayloadInfo + Wire + Send + Sync + Clone + std::fmt::Debug + 'static> Tc
         // ---- control readers, registry service, heartbeat table ---------
         let (reg_tx, reg_rx) = channel::<RegEvent>();
         let (ready_tx, ready_rx) = channel::<NodeId>();
-        let (done_tx, done_rx) = channel::<(NodeId, NetStats, Vec<String>)>();
+        let (done_tx, done_rx) = channel::<(NodeId, NetStats, Vec<String>, Vec<(ThreadId, u64)>)>();
         let (dump_tx, dump_rx) = channel::<(NodeId, String)>();
         let hb = Arc::new(HbTable::new(n_nodes));
         for (i, stream) in ctrl_streams.into_iter().enumerate() {
@@ -454,15 +456,19 @@ impl<P: PayloadInfo + Wire + Send + Sync + Clone + std::fmt::Debug + 'static> Tc
                                 Err(_) => break,
                             }
                         }
+                        // Spans: stamp the drain instant as the ops' "hit
+                        // the wire" mark (one clock read per frame — the
+                        // drained ops leave together anyway).
+                        let fwd_us = if shared.obs.spans() { munin_obs::wall_us() } else { 0 };
                         let r = match batch.len() {
                             0 => continue,
                             1 => {
                                 let (thread, op) = batch.pop().expect("len checked");
-                                send_shared(&ctrl, &CtrlFrame::Op { thread, op })
+                                send_shared(&ctrl, &CtrlFrame::Op { thread, op, fwd_us })
                             }
                             _ => send_shared(
                                 &ctrl,
-                                &CtrlFrame::OpBatch { ops: std::mem::take(&mut batch) },
+                                &CtrlFrame::OpBatch { ops: std::mem::take(&mut batch), fwd_us },
                             ),
                         };
                         if let Err(e) = r {
@@ -560,9 +566,10 @@ impl<P: PayloadInfo + Wire + Send + Sync + Clone + std::fmt::Debug + 'static> Tc
         while reported.len() < n_nodes - 1 {
             let left = deadline.saturating_duration_since(Instant::now());
             match done_rx.recv_timeout(left) {
-                Ok((node, node_stats, errors)) => {
+                Ok((node, node_stats, errors, homes)) => {
                     reported.insert(node);
                     stats.merge(&node_stats);
+                    shared.obs.ingest_homes(&homes);
                     for e in errors {
                         // A child's async `ReportError` and its Done log
                         // carry the same string; don't record it twice.
@@ -605,7 +612,9 @@ impl<P: PayloadInfo + Wire + Send + Sync + Clone + std::fmt::Debug + 'static> Tc
 
         let elapsed = shared.start.elapsed();
         let errors = shared.errors.lock().expect("error log poisoned").clone();
-        let dumps = std::mem::take(&mut *dumps.lock().expect("dump log poisoned"));
+        let mut dumps = std::mem::take(&mut *dumps.lock().expect("dump log poisoned"));
+        dumps.extend(shared.take_dumps());
+        let metrics = tuning.rt.telemetry.enabled().then(|| shared.obs.snapshot(stats.clone()));
         RunReport {
             finished_at: VirtualTime::micros(
                 u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
@@ -617,6 +626,7 @@ impl<P: PayloadInfo + Wire + Send + Sync + Clone + std::fmt::Debug + 'static> Tc
             deadlocked: shared.is_poisoned(),
             wall: Some(WallClock { elapsed, workers: n_threads, nodes: n_nodes }),
             dumps,
+            metrics,
         }
     }
 }
@@ -629,7 +639,7 @@ fn spawn_coord_ctrl_reader(
     resume_txs: Vec<Sender<OpResult>>,
     reg_tx: Sender<RegEvent>,
     ready_tx: Sender<NodeId>,
-    done_tx: Sender<(NodeId, NetStats, Vec<String>)>,
+    done_tx: Sender<(NodeId, NetStats, Vec<String>, Vec<(ThreadId, u64)>)>,
     dump_tx: Sender<(NodeId, String)>,
     hb: Arc<HbTable>,
     shared: Arc<Shared>,
@@ -644,7 +654,13 @@ fn spawn_coord_ctrl_reader(
                     Ok(CtrlFrame::Ready) => {
                         let _ = ready_tx.send(node);
                     }
-                    Ok(CtrlFrame::Resume { thread, result }) => {
+                    Ok(CtrlFrame::Resume { thread, result, span }) => {
+                        if let Some(span) = span {
+                            // The child's server half of this op's span:
+                            // file it under the issuing thread before the
+                            // resume lands (the client half joins by seq).
+                            shared.obs.srv_record(thread, span);
+                        }
                         match resume_txs.get(thread.index()) {
                             Some(tx) => {
                                 let _ = tx.send(result);
@@ -676,8 +692,8 @@ fn spawn_coord_ctrl_reader(
                             shared.poisoned.store(true, Ordering::Release);
                         }
                     }
-                    Ok(CtrlFrame::Done { stats, errors }) => {
-                        let _ = done_tx.send((node, stats, errors));
+                    Ok(CtrlFrame::Done { stats, errors, homes }) => {
+                        let _ = done_tx.send((node, stats, errors, homes));
                     }
                     Ok(other) => {
                         shared.error(format!(
@@ -737,6 +753,15 @@ fn coordinator_watchdog<P: Send + Sync + 'static>(
                 eprintln!("{line}");
                 log.push(line);
             }
+            // The live metrics surface: render the coordinator's telemetry
+            // snapshot mid-run. Net counters are merged only at teardown,
+            // so the snapshot carries zeros there until the run ends.
+            if shared.obs.enabled() {
+                let line =
+                    format!("[metrics]\n{}", shared.obs.snapshot(NetStats::new()).render_text());
+                eprintln!("{line}");
+                log.push(line);
+            }
         }
         let mut fp: Vec<u64> = Vec::with_capacity(n_nodes);
         fp.push(shared.activity.load(Ordering::Relaxed));
@@ -774,6 +799,9 @@ fn coordinator_watchdog<P: Send + Sync + 'static>(
                     if shared.debug_errors {
                         eprintln!("{msg}");
                     }
+                    // Mirror into the report's dump section too, matching
+                    // the rt fabric's watchdog.
+                    dumps.lock().expect("dump log poisoned").push(msg.clone());
                     errors.push(msg);
                 }
             }

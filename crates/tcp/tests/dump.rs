@@ -50,13 +50,22 @@ fn sigusr1_dumps_every_nodes_stuck_state_without_poisoning() {
 
     // The dump is diagnostic: the run itself must stay clean.
     report.assert_clean();
+    // One stuck-state entry per node process, plus the live telemetry
+    // snapshot (the default mode is Counters, so the metrics surface is on).
+    let node_dumps: Vec<&String> =
+        report.dumps.iter().filter(|d| d.starts_with("[dump n")).collect();
     assert_eq!(
-        report.dumps.len(),
+        node_dumps.len(),
         n_nodes,
         "one dump entry per node process; got {:#?}",
         report.dumps
     );
-    for (i, dump) in report.dumps.iter().enumerate() {
+    assert!(
+        report.dumps.iter().any(|d| d.starts_with("[metrics]")),
+        "SIGUSR1 should also render the live metrics snapshot: {:#?}",
+        report.dumps
+    );
+    for (i, dump) in node_dumps.iter().enumerate() {
         assert!(dump.starts_with(&format!("[dump n{i}]")), "dump {i} must name its node: {dump:?}");
         assert!(
             dump.contains("lk0"),

@@ -370,14 +370,30 @@ fn control_frames_roundtrip() {
                 peer: NodeId(0),
                 after: Duration::from_millis(250),
             }),
+            telemetry: munin_types::Telemetry::Spans,
+            n_threads: 6,
         };
         roundtrip(&CtrlFrame::Start(Box::new(start)));
     }
     let frames = vec![
         CtrlFrame::Hello { node: NodeId(3), data_port: 40123 },
         CtrlFrame::Ready,
-        CtrlFrame::Op { thread: ThreadId(5), op: DsmOp::Lock(LockId(1)) },
-        CtrlFrame::Resume { thread: ThreadId(5), result: OpResult::Bytes(vec![1, 2, 3]) },
+        CtrlFrame::Op {
+            thread: ThreadId(5),
+            op: DsmOp::Lock(LockId(1)),
+            fwd_us: 1_754_000_000_017,
+        },
+        CtrlFrame::Resume {
+            thread: ThreadId(5),
+            result: OpResult::Bytes(vec![1, 2, 3]),
+            span: Some(munin_obs::SrvSpan {
+                seq: 42,
+                fwd_us: 1_754_000_000_017,
+                dispatch_us: 1_754_000_000_103,
+                reply_us: 1_754_000_000_251,
+            }),
+        },
+        CtrlFrame::Resume { thread: ThreadId(6), result: OpResult::Unit, span: None },
         CtrlFrame::Reg(RegRequest::Retype {
             obj: ObjectId(9),
             sharing: SharingType::ProducerConsumer,
@@ -390,7 +406,11 @@ fn control_frames_roundtrip() {
         CtrlFrame::DumpReply { text: "proxy l0: token=true".into() },
         CtrlFrame::ReportError { msg: "data stream from peer n2 failed".into() },
         CtrlFrame::Finish,
-        CtrlFrame::Done { stats: sample_stats(), errors: vec!["e1".into()] },
+        CtrlFrame::Done {
+            stats: sample_stats(),
+            errors: vec!["e1".into()],
+            homes: vec![(ThreadId(5), 1_754_000_000_200), (ThreadId(7), 1_754_000_000_300)],
+        },
         CtrlFrame::Poison,
         CtrlFrame::Bye,
         CtrlFrame::OpBatch {
@@ -398,6 +418,7 @@ fn control_frames_roundtrip() {
                 (ThreadId(5), DsmOp::AtomicFetchAdd { obj: ObjectId(2), offset: 8, delta: -3 }),
                 (ThreadId(7), DsmOp::Lock(LockId(1))),
             ],
+            fwd_us: 1_754_000_000_001,
         },
     ];
     for f in frames {
@@ -422,7 +443,14 @@ fn corrupt_input_fails_closed() {
     for variant in 0..MUNIN_VARIANTS {
         encodings.push(arb_munin(&mut rng, variant).encode());
     }
-    encodings.push(CtrlFrame::Done { stats: sample_stats(), errors: vec!["x".into()] }.encode());
+    encodings.push(
+        CtrlFrame::Done {
+            stats: sample_stats(),
+            errors: vec!["x".into()],
+            homes: vec![(ThreadId(1), 7)],
+        }
+        .encode(),
+    );
     for bytes in &encodings {
         for cut in 0..bytes.len() {
             assert!(

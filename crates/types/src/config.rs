@@ -53,6 +53,39 @@ pub enum SyncStrategy {
     DsmSpin,
 }
 
+/// How much the real-time fabrics record about themselves while running.
+///
+/// The paper's premise is that *measuring* access behaviour is what makes
+/// type-specific coherence possible; this knob decides how much of that
+/// measurement the production fabrics (`MuninRt`/`MuninTcp`) keep. Every
+/// recorder behind it is fixed-size and preallocated, so no level
+/// allocates on the op hot path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Telemetry {
+    /// Record nothing: the hot path pays one predictable branch.
+    Off,
+    /// Per-op latency histograms (log-bucketed, per thread) and per-object
+    /// access counters. The always-on default.
+    #[default]
+    Counters,
+    /// Everything in `Counters` plus causal per-op spans: wall-clock stamps
+    /// at issue, server dispatch, home handling, reply and resume, kept in
+    /// fixed per-thread rings and joined at teardown.
+    Spans,
+}
+
+impl Telemetry {
+    /// Anything at all being recorded?
+    pub fn enabled(&self) -> bool {
+        !matches!(self, Telemetry::Off)
+    }
+
+    /// Are causal spans being recorded?
+    pub fn spans(&self) -> bool {
+        matches!(self, Telemetry::Spans)
+    }
+}
+
 /// Object placement for the Ivy baseline's flat address space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AllocPolicy {

@@ -25,7 +25,9 @@ pub mod syncdecl;
 pub mod time;
 pub mod token;
 
-pub use config::{AllocPolicy, IvyConfig, MuninConfig, ReadMostlyMode, SyncStrategy, UpdatePolicy};
+pub use config::{
+    AllocPolicy, IvyConfig, MuninConfig, ReadMostlyMode, SyncStrategy, Telemetry, UpdatePolicy,
+};
 pub use cost::CostModel;
 pub use element::Element;
 pub use error::{DsmError, DsmResult};

@@ -4,6 +4,9 @@
 #   BENCH_rt.json    — wall-clock speedup vs worker count (real-time kernel)
 #   BENCH_traffic.json — batched vs unbatched rt fabric throughput
 #   BENCH_tcp.json   — multi-process TCP fabric vs in-process rt kernel
+#                      (throughput plus per-op p50/p90/p99 latency rows)
+#   metrics.json     — full telemetry snapshot (histograms, per-object
+#                      counters, span tail) from the tcp latency pass
 # Usage:
 #   scripts/bench.sh [flush|rt|traffic|tcp|all] [extra cargo-bench args...]
 # A first argument that is not a selector is treated as a cargo-bench arg
@@ -44,4 +47,6 @@ if [ "$which" = "tcp" ] || [ "$which" = "all" ]; then
     cargo bench --bench tcp_fabric "$@"
     echo "--- BENCH_tcp.json ---"
     cat BENCH_tcp.json
+    echo "--- metrics.json (full-telemetry pass) ---"
+    cat metrics.json
 fi
