@@ -1,9 +1,15 @@
-//! `munin-node` — one node of a distributed Munin/Ivy run.
+//! `munin-node` — one node of a distributed run.
 //!
 //! Spawned by the coordinator (`munin_tcp::TcpWorldBuilder`); not meant to
 //! be started by hand. The process connects its control stream to the
-//! coordinator, receives the run configuration, joins the data-stream mesh
-//! and then runs its node's coherence server until told to finish.
+//! coordinator, receives the run configuration — including the protocol
+//! tag, resolved against this binary's registry of linked protocols — and
+//! then runs its node's coherence server until told to finish.
+//!
+//! The binary lives in `munin-api` (not the fabric crate) because this is
+//! the one place that must link every protocol: the fabric stays
+//! protocol-agnostic, and adding a protocol means adding one registry
+//! entry here.
 //!
 //! ```text
 //! munin-node --connect 127.0.0.1:<port> --node <index>
@@ -27,5 +33,5 @@ fn main() {
         eprintln!("usage: munin-node --connect <addr> --node <index>");
         std::process::exit(2);
     };
-    std::process::exit(munin_tcp::node::run_node(&connect, node));
+    std::process::exit(munin_tcp::node::run_node(&connect, node, &munin_api::node_protos()));
 }

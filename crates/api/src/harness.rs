@@ -8,14 +8,16 @@
 
 use crate::native::{NativeCtx, NativeWorld};
 use crate::par::Par;
-use munin_core::{MuninMsg, MuninServer};
-use munin_ivy::{IvyMsg, IvyServer};
+use munin_core::MuninProto;
+use munin_ivy::IvyProto;
+use munin_proto::Protocol;
 use munin_rt::{RtCtx, RtTuning, RtWorldBuilder};
 use munin_sim::{RunReport, ThreadCtx, Tracer, TransportConfig, WorldBuilder};
+use munin_tardis::TardisProto;
 use munin_tcp::{TcpTuning, TcpWorldBuilder, TestFault};
 use munin_types::{
     BarrierDecl, BarrierId, CondDecl, CondId, Element, IvyConfig, LockDecl, LockId, MuninConfig,
-    NodeId, ObjectDecl, ObjectId, SharedArray, SharedScalar, SharingType, SyncDecls,
+    NodeId, ObjectDecl, ObjectId, SharedArray, SharedScalar, SharingType, SyncDecls, TardisConfig,
 };
 
 /// Which runtime executes the program.
@@ -39,11 +41,57 @@ pub enum Backend {
     MuninTcp(MuninConfig),
     /// The Ivy baseline on the TCP fabric.
     IvyTcp(IvyConfig),
+    /// Tardis timestamp-lease coherence on the deterministic simulator.
+    Tardis(TardisConfig),
+    /// Tardis on the real-time kernel.
+    TardisRt(TardisConfig),
+    /// Tardis on the TCP fabric.
+    TardisTcp(TardisConfig),
     /// Real threads, real shared memory (semantic reference).
     Native,
 }
 
+/// Which kernel a backend runs its servers on. Every non-native backend is
+/// a (protocol × fabric) product; this is the fabric axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fabric {
+    /// The deterministic virtual-time simulator.
+    Sim = 0,
+    /// The in-process real-time kernel (one OS thread per node server).
+    Rt = 1,
+    /// The multi-process TCP fabric (one OS process per node).
+    Tcp = 2,
+}
+
 impl Backend {
+    /// The fabric axis of the (protocol × fabric) decomposition; `None`
+    /// for the native reference backend.
+    fn fabric(&self) -> Option<Fabric> {
+        match self {
+            Backend::Munin(_) | Backend::Ivy(_) | Backend::Tardis(_) => Some(Fabric::Sim),
+            Backend::MuninRt(_) | Backend::IvyRt(_) | Backend::TardisRt(_) => Some(Fabric::Rt),
+            Backend::MuninTcp(_) | Backend::IvyTcp(_) | Backend::TardisTcp(_) => Some(Fabric::Tcp),
+            Backend::Native => None,
+        }
+    }
+
+    /// The protocol axis: the protocol's per-fabric backend-name table
+    /// ([`Protocol::BACKEND_NAMES`]). `None` for native.
+    fn proto_names(&self) -> Option<[&'static str; 3]> {
+        match self {
+            Backend::Munin(_) | Backend::MuninRt(_) | Backend::MuninTcp(_) => {
+                Some(MuninProto::BACKEND_NAMES)
+            }
+            Backend::Ivy(_) | Backend::IvyRt(_) | Backend::IvyTcp(_) => {
+                Some(IvyProto::BACKEND_NAMES)
+            }
+            Backend::Tardis(_) | Backend::TardisRt(_) | Backend::TardisTcp(_) => {
+                Some(TardisProto::BACKEND_NAMES)
+            }
+            Backend::Native => None,
+        }
+    }
+
     /// Default lossless transport matching the backend's cost model. The
     /// real-time backends use OS channels, not the simulated transport, so
     /// (like Native) the value is unused for them.
@@ -51,39 +99,63 @@ impl Backend {
         match self {
             Backend::Munin(c) => TransportConfig::lossless(c.cost.clone()),
             Backend::Ivy(c) => TransportConfig::lossless(c.cost.clone()),
-            Backend::MuninRt(_)
-            | Backend::IvyRt(_)
-            | Backend::MuninTcp(_)
-            | Backend::IvyTcp(_)
-            | Backend::Native => TransportConfig::default(),
+            Backend::Tardis(c) => TransportConfig::lossless(c.cost.clone()),
+            _ => TransportConfig::default(),
         }
     }
 
-    /// Short display name, used in reports and error messages.
+    /// Short display name, used in reports and error messages. Sourced
+    /// from each protocol's [`Protocol::BACKEND_NAMES`], so a protocol's
+    /// naming lives in its own crate.
     pub fn name(&self) -> &'static str {
-        match self {
-            Backend::Munin(_) => "Munin",
-            Backend::Ivy(_) => "Ivy",
-            Backend::MuninRt(_) => "MuninRt",
-            Backend::IvyRt(_) => "IvyRt",
-            Backend::MuninTcp(_) => "MuninTcp",
-            Backend::IvyTcp(_) => "IvyTcp",
-            Backend::Native => "Native",
+        match (self.proto_names(), self.fabric()) {
+            (Some(names), Some(fabric)) => names[fabric as usize],
+            _ => "Native",
         }
     }
 
     /// Does this backend run on a wall-clock kernel (in-process rt or the
     /// multi-process TCP fabric)?
     pub fn is_realtime(&self) -> bool {
-        matches!(
-            self,
-            Backend::MuninRt(_) | Backend::IvyRt(_) | Backend::MuninTcp(_) | Backend::IvyTcp(_)
-        )
+        matches!(self.fabric(), Some(Fabric::Rt | Fabric::Tcp))
     }
 
     /// Does this backend span multiple OS processes?
     pub fn is_distributed(&self) -> bool {
-        matches!(self, Backend::MuninTcp(_) | Backend::IvyTcp(_))
+        self.fabric() == Some(Fabric::Tcp)
+    }
+
+    /// Every (protocol × fabric) backend with default configs, in
+    /// protocol-major order. The one list the cross-backend tests and
+    /// traffic benches iterate — a new protocol shows up everywhere by
+    /// extending this (and [`Backend::parse`]), nowhere else. `Native` is
+    /// excluded: it is the semantic reference, not a protocol backend, and
+    /// callers that want it add it explicitly. Distributed entries are
+    /// included; gate them with [`Backend::is_distributed`] +
+    /// [`munin_tcp::tcp_support`] where the environment may lack them.
+    pub fn matrix() -> Vec<Backend> {
+        vec![
+            Backend::Munin(MuninConfig::default()),
+            Backend::MuninRt(MuninConfig::default()),
+            Backend::MuninTcp(MuninConfig::default()),
+            Backend::Ivy(IvyConfig::default()),
+            Backend::IvyRt(IvyConfig::default()),
+            Backend::IvyTcp(IvyConfig::default()),
+            Backend::Tardis(TardisConfig::default()),
+            Backend::TardisRt(TardisConfig::default()),
+            Backend::TardisTcp(TardisConfig::default()),
+        ]
+    }
+
+    /// Parse a backend name (as printed by [`Backend::name`], or the
+    /// kebab-case CLI spelling like `munin-tcp`/`tardis-rt`) into a
+    /// default-config backend. Drives the study/bench CLIs.
+    pub fn parse(name: &str) -> Option<Backend> {
+        if name.eq_ignore_ascii_case("native") {
+            return Some(Backend::Native);
+        }
+        let canon: String = name.chars().filter(|c| *c != '-' && *c != '_').collect();
+        Backend::matrix().into_iter().find(|b| b.name().eq_ignore_ascii_case(&canon))
     }
 }
 
@@ -384,129 +456,131 @@ impl ProgramBuilder {
                 }
                 Outcome { report: None, wall: started.elapsed(), backend: backend_name }
             }
+            // Every other backend is a (protocol × fabric) product: one
+            // generic arm per fabric, protocol plugged in via the
+            // `Protocol` seam. Adding a protocol means adding its three
+            // `Backend` variants here — no new run logic.
             Backend::Munin(cfg) => {
-                let sync = self.sync_decls();
-                let n_nodes = self.n_nodes;
-                let mut b = WorldBuilder::new(n_nodes).transport(transport);
-                if let Some(t) = tracer {
-                    b = b.tracer(t);
-                }
-                for d in &self.objects {
-                    let id = b.declare(d.clone(), d.home);
-                    debug_assert_eq!(id, d.id, "builder ids must stay dense");
-                }
-                for (node, body) in self.threads {
-                    b.spawn(node, move |ctx: &mut ThreadCtx| body(ctx));
-                }
-                let servers: Vec<MuninServer> = (0..n_nodes)
-                    .map(|i| MuninServer::new(NodeId(i as u16), cfg.clone(), sync.clone()))
-                    .collect();
-                let report = b.build(servers).run();
-                Outcome { report: Some(report), wall: started.elapsed(), backend: backend_name }
+                self.run_sim_proto::<MuninProto>(cfg, transport, tracer, started, backend_name)
             }
             Backend::Ivy(cfg) => {
-                let sync = self.sync_decls();
-                let n_nodes = self.n_nodes;
-                let decls = self.objects.clone();
-                let mut b = WorldBuilder::new(n_nodes).transport(transport);
-                if let Some(t) = tracer {
-                    b = b.tracer(t);
-                }
-                for d in &self.objects {
-                    let id = b.declare(d.clone(), d.home);
-                    debug_assert_eq!(id, d.id);
-                }
-                for (node, body) in self.threads {
-                    b.spawn(node, move |ctx: &mut ThreadCtx| body(ctx));
-                }
-                let servers: Vec<IvyServer> = (0..n_nodes)
-                    .map(|i| IvyServer::new(NodeId(i as u16), cfg.clone(), n_nodes, &decls, &sync))
-                    .collect();
-                let report = b.build(servers).run();
-                Outcome { report: Some(report), wall: started.elapsed(), backend: backend_name }
+                self.run_sim_proto::<IvyProto>(cfg, transport, tracer, started, backend_name)
+            }
+            Backend::Tardis(cfg) => {
+                self.run_sim_proto::<TardisProto>(cfg, transport, tracer, started, backend_name)
             }
             // The real-time backends run over OS channels: simulated-wire
             // features (loss injection, shared medium, tracing) cannot be
             // honored, and silently dropping them would let an experiment
             // measure something other than what it configured — reject
-            // loudly instead.
+            // loudly instead (in `run_rt_proto`/`run_tcp_proto`).
             Backend::MuninRt(cfg) => {
-                assert_rt_supports(&transport, &tracer, backend_name);
-                let sync = self.sync_decls();
-                let n_nodes = self.n_nodes;
-                let mut b = RtWorldBuilder::<MuninMsg>::new(n_nodes)
-                    .cost(cfg.cost.clone())
-                    .tuning(self.rt_tuning.clone());
-                for d in &self.objects {
-                    let id = b.declare(d.clone(), d.home);
-                    debug_assert_eq!(id, d.id, "builder ids must stay dense");
-                }
-                for (node, body) in self.threads {
-                    b.spawn(node, move |ctx: &mut RtCtx<MuninMsg>| body(ctx));
-                }
-                let servers: Vec<MuninServer> = (0..n_nodes)
-                    .map(|i| MuninServer::new(NodeId(i as u16), cfg.clone(), sync.clone()))
-                    .collect();
-                let report = b.run(servers);
-                Outcome { report: Some(report), wall: started.elapsed(), backend: backend_name }
+                self.run_rt_proto::<MuninProto>(cfg, &transport, &tracer, started, backend_name)
             }
             Backend::IvyRt(cfg) => {
-                assert_rt_supports(&transport, &tracer, backend_name);
-                let sync = self.sync_decls();
-                let n_nodes = self.n_nodes;
-                let decls = self.objects.clone();
-                let mut b = RtWorldBuilder::<IvyMsg>::new(n_nodes)
-                    .cost(cfg.cost.clone())
-                    .tuning(self.rt_tuning.clone());
-                for d in &self.objects {
-                    let id = b.declare(d.clone(), d.home);
-                    debug_assert_eq!(id, d.id);
-                }
-                for (node, body) in self.threads {
-                    b.spawn(node, move |ctx: &mut RtCtx<IvyMsg>| body(ctx));
-                }
-                let servers: Vec<IvyServer> = (0..n_nodes)
-                    .map(|i| IvyServer::new(NodeId(i as u16), cfg.clone(), n_nodes, &decls, &sync))
-                    .collect();
-                let report = b.run(servers);
-                Outcome { report: Some(report), wall: started.elapsed(), backend: backend_name }
+                self.run_rt_proto::<IvyProto>(cfg, &transport, &tracer, started, backend_name)
+            }
+            Backend::TardisRt(cfg) => {
+                self.run_rt_proto::<TardisProto>(cfg, &transport, &tracer, started, backend_name)
             }
             // The distributed backends: same thread bodies, same `RtCtx`
             // surface — the world builder forwards remote-node operations
             // over the per-node control streams.
             Backend::MuninTcp(cfg) => {
-                assert_rt_supports(&transport, &tracer, backend_name);
-                let sync = self.sync_decls();
-                let mut tuning = TcpTuning::from(self.rt_tuning.clone());
-                tuning.test_fault = self.tcp_fault;
-                let mut b = TcpWorldBuilder::<MuninMsg>::new(self.n_nodes).tuning(tuning);
-                for d in &self.objects {
-                    let id = b.declare(d.clone(), d.home);
-                    debug_assert_eq!(id, d.id, "builder ids must stay dense");
-                }
-                for (node, body) in self.threads {
-                    b.spawn(node, move |ctx: &mut RtCtx<MuninMsg>| body(ctx));
-                }
-                let report = b.run_munin(cfg, sync);
-                Outcome { report: Some(report), wall: started.elapsed(), backend: backend_name }
+                self.run_tcp_proto::<MuninProto>(cfg, &transport, &tracer, started, backend_name)
             }
             Backend::IvyTcp(cfg) => {
-                assert_rt_supports(&transport, &tracer, backend_name);
-                let sync = self.sync_decls();
-                let mut tuning = TcpTuning::from(self.rt_tuning.clone());
-                tuning.test_fault = self.tcp_fault;
-                let mut b = TcpWorldBuilder::<IvyMsg>::new(self.n_nodes).tuning(tuning);
-                for d in &self.objects {
-                    let id = b.declare(d.clone(), d.home);
-                    debug_assert_eq!(id, d.id);
-                }
-                for (node, body) in self.threads {
-                    b.spawn(node, move |ctx: &mut RtCtx<IvyMsg>| body(ctx));
-                }
-                let report = b.run_ivy(cfg, sync);
-                Outcome { report: Some(report), wall: started.elapsed(), backend: backend_name }
+                self.run_tcp_proto::<IvyProto>(cfg, &transport, &tracer, started, backend_name)
+            }
+            Backend::TardisTcp(cfg) => {
+                self.run_tcp_proto::<TardisProto>(cfg, &transport, &tracer, started, backend_name)
             }
         }
+    }
+
+    /// Run protocol `Pr` on the deterministic simulator.
+    fn run_sim_proto<Pr: Protocol>(
+        self,
+        cfg: Pr::Config,
+        transport: TransportConfig,
+        tracer: Option<Box<dyn Tracer>>,
+        started: std::time::Instant,
+        backend: &'static str,
+    ) -> Outcome {
+        let sync = self.sync_decls();
+        let n_nodes = self.n_nodes;
+        let decls = self.objects.clone();
+        let mut b = WorldBuilder::new(n_nodes).transport(transport);
+        if let Some(t) = tracer {
+            b = b.tracer(t);
+        }
+        for d in &self.objects {
+            let id = b.declare(d.clone(), d.home);
+            debug_assert_eq!(id, d.id, "builder ids must stay dense");
+        }
+        for (node, body) in self.threads {
+            b.spawn(node, move |ctx: &mut ThreadCtx| body(ctx));
+        }
+        let servers: Vec<Pr::Server> = (0..n_nodes)
+            .map(|i| Pr::server(&cfg, NodeId(i as u16), n_nodes, &decls, &sync))
+            .collect();
+        let report = b.build(servers).run();
+        Outcome { report: Some(report), wall: started.elapsed(), backend }
+    }
+
+    /// Run protocol `Pr` on the in-process real-time kernel.
+    fn run_rt_proto<Pr: Protocol>(
+        self,
+        cfg: Pr::Config,
+        transport: &TransportConfig,
+        tracer: &Option<Box<dyn Tracer>>,
+        started: std::time::Instant,
+        backend: &'static str,
+    ) -> Outcome {
+        assert_rt_supports(transport, tracer, backend);
+        let sync = self.sync_decls();
+        let n_nodes = self.n_nodes;
+        let decls = self.objects.clone();
+        let mut b = RtWorldBuilder::<Pr::Msg>::new(n_nodes)
+            .cost(Pr::cost(&cfg).clone())
+            .tuning(self.rt_tuning.clone());
+        for d in &self.objects {
+            let id = b.declare(d.clone(), d.home);
+            debug_assert_eq!(id, d.id, "builder ids must stay dense");
+        }
+        for (node, body) in self.threads {
+            b.spawn(node, move |ctx: &mut RtCtx<Pr::Msg>| body(ctx));
+        }
+        let servers: Vec<Pr::Server> = (0..n_nodes)
+            .map(|i| Pr::server(&cfg, NodeId(i as u16), n_nodes, &decls, &sync))
+            .collect();
+        let report = b.run(servers);
+        Outcome { report: Some(report), wall: started.elapsed(), backend }
+    }
+
+    /// Run protocol `Pr` on the multi-process TCP fabric.
+    fn run_tcp_proto<Pr: Protocol>(
+        self,
+        cfg: Pr::Config,
+        transport: &TransportConfig,
+        tracer: &Option<Box<dyn Tracer>>,
+        started: std::time::Instant,
+        backend: &'static str,
+    ) -> Outcome {
+        assert_rt_supports(transport, tracer, backend);
+        let sync = self.sync_decls();
+        let mut tuning = TcpTuning::from(self.rt_tuning.clone());
+        tuning.test_fault = self.tcp_fault;
+        let mut b = TcpWorldBuilder::<Pr::Msg>::new(self.n_nodes).tuning(tuning);
+        for d in &self.objects {
+            let id = b.declare(d.clone(), d.home);
+            debug_assert_eq!(id, d.id, "builder ids must stay dense");
+        }
+        for (node, body) in self.threads {
+            b.spawn(node, move |ctx: &mut RtCtx<Pr::Msg>| body(ctx));
+        }
+        let report = b.run_proto::<Pr>(cfg, sync);
+        Outcome { report: Some(report), wall: started.elapsed(), backend }
     }
 }
 

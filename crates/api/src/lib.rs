@@ -59,6 +59,24 @@ pub mod monitor;
 pub mod native;
 pub mod par;
 
+/// The protocol registry linked into the `munin-node` binary: every
+/// protocol a distributed run may ask a child process to speak. This crate
+/// is the one place that names all protocols — the TCP fabric dispatches
+/// children purely by [`munin_proto::Protocol::TAG`], so adding a protocol
+/// to the fabric means adding one `node_entry` line here.
+pub fn node_protos() -> Vec<(u8, munin_tcp::node::NodeRunFn)> {
+    use munin_tcp::node::node_entry;
+    let protos = vec![
+        node_entry::<munin_core::MuninProto>(),
+        node_entry::<munin_ivy::IvyProto>(),
+        node_entry::<munin_tardis::TardisProto>(),
+    ];
+    for (i, (a, _)) in protos.iter().enumerate() {
+        assert!(protos.iter().skip(i + 1).all(|(b, _)| a != b), "duplicate protocol wire tag {a}");
+    }
+    protos
+}
+
 pub use harness::{Backend, Outcome, ProgramBuilder};
 pub use monitor::Monitor;
 pub use munin_obs::{MetricsSnapshot, OpClass, OpSpan};

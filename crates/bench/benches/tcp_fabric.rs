@@ -22,6 +22,8 @@ use munin_api::{
     Backend, ComputeMode, MetricsSnapshot, ParTyped, ProgramBuilder, RtTuning, SpinWait, Telemetry,
 };
 use munin_apps::App;
+use munin_bench::read_heavy::{inval_msgs, read_heavy_stats};
+use munin_net::NetStats;
 use munin_types::{MuninConfig, SharingType};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -295,6 +297,34 @@ fn main() {
     );
     assert!(!metrics.spans.is_empty(), "spans mode must leave a span tail");
 
+    // Every protocol in the matrix across the process boundary: the
+    // op-bound counter on each TCP backend, plus the read-heavy sharing
+    // workload with its traffic breakdown. The lease protocol must cross
+    // the real wire without a single invalidation message.
+    let tcp_backends: Vec<Backend> =
+        Backend::matrix().into_iter().filter(|b| b.is_distributed()).collect();
+    let mut proto_rows: Vec<(&'static str, f64, NetStats)> = Vec::new();
+    for backend in &tcp_backends {
+        let name = backend.name();
+        let (ops, wall) = run_counter(4, backend.clone());
+        let ops_s = ops as f64 / wall;
+        let stats = read_heavy_stats(backend.clone());
+        println!(
+            "proto 4w     {name:>9}: counter {ops_s:>9.0} ops/s | read-heavy {:>5} msgs \
+             {:>3} inval",
+            stats.messages,
+            inval_msgs(&stats),
+        );
+        proto_rows.push((name, ops_s, stats));
+    }
+    let tardis_stats =
+        &proto_rows.iter().find(|(n, _, _)| *n == "TardisTcp").expect("TardisTcp row").2;
+    assert_eq!(
+        inval_msgs(tardis_stats),
+        0,
+        "TardisTcp must finish the read-heavy workload with zero invalidation messages"
+    );
+
     let (bytes, rt_bulk) = run_bulk(4, Backend::MuninRt(MuninConfig::default()));
     let (tcp_bytes, tcp_bulk) = run_bulk(4, Backend::MuninTcp(MuninConfig::default()));
     assert_eq!(bytes, tcp_bytes, "both fabrics must account identical protocol bytes");
@@ -352,6 +382,20 @@ fn main() {
         bytes as f64 / rt_bulk / (1 << 20) as f64,
         bytes as f64 / tcp_bulk / (1 << 20) as f64
     );
+    json.push_str("  \"protocol_rows_4w\": [\n");
+    for (i, (name, ops_s, stats)) in proto_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"backend\": \"{name}\", \"counter_ops_per_s\": {ops_s:.0}, \
+             \"read_heavy_messages\": {}, \"read_heavy_inval_msgs\": {}, \
+             \"read_heavy_multicasts\": {}}}",
+            stats.messages,
+            inval_msgs(stats),
+            stats.multicasts
+        );
+        json.push_str(if i + 1 < proto_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"latency_us_4w\": [\n");
     for (i, cs) in metrics.hists.iter().enumerate() {
         let _ = write!(

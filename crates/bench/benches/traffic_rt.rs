@@ -30,7 +30,9 @@
 
 use munin_api::{Backend, ComputeMode, Par, ParTyped, ProgramBuilder, RtTuning};
 use munin_apps::App;
-use munin_types::{IvyConfig, MuninConfig, ObjectDecl, SharedArray, SharingType};
+use munin_bench::read_heavy::{inval_msgs, read_heavy_stats, RH_READS, RH_ROUNDS};
+use munin_net::NetStats;
+use munin_types::{MuninConfig, ObjectDecl, SharedArray, SharingType};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -235,24 +237,77 @@ fn main() {
     );
 
     // The six study apps stay bit-identical to the sequential reference on
-    // all five backends, with the rt backends running the default batched
-    // pipeline.
-    let backends: &[(&str, fn() -> Backend)] = &[
-        ("Munin", || Backend::Munin(MuninConfig::default())),
-        ("Ivy", || Backend::Ivy(IvyConfig::default())),
-        ("Native", || Backend::Native),
-        ("MuninRt", || Backend::MuninRt(MuninConfig::default())),
-        ("IvyRt", || Backend::IvyRt(IvyConfig::default())),
-    ];
+    // every in-process cell of `Backend::matrix()` plus native threads,
+    // with the rt backends running the default batched pipeline. (The TCP
+    // cells are covered by `tcp_fabric` and `tests/tests/cross_backend.rs`.)
+    let mut backends: Vec<Backend> =
+        Backend::matrix().into_iter().filter(|b| !b.is_distributed()).collect();
+    backends.push(Backend::Native);
+    let n_backends = backends.len();
     for app in App::ALL {
-        for (name, mk) in backends {
+        for backend in &backends {
+            let name = backend.name();
             let (p, verify) = app.build_default(4);
-            p.run(mk()).assert_clean();
+            p.run(backend.clone()).assert_clean();
             let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(verify));
             assert!(ok.is_ok(), "{} on {name}: result diverged under batched fabric", app.name());
         }
     }
-    println!("matrix: 6 apps x 5 backends bit-identical (rt backends batched)");
+    println!("matrix: 6 apps x {n_backends} backends bit-identical (rt backends batched)");
+
+    // Read-heavy protocol comparison on the deterministic simulator: the
+    // lease-based protocol must finish the workload with *zero*
+    // invalidation messages and zero invalidation multicasts, while the
+    // write-invalidate baseline visibly pays them.
+    let proto_rows: Vec<(&'static str, NetStats)> = Backend::matrix()
+        .into_iter()
+        .filter(|b| !b.is_realtime())
+        .map(|b| (b.name(), read_heavy_stats(b)))
+        .collect();
+    for (name, stats) in &proto_rows {
+        println!(
+            "read-heavy   {name:>7}: {:>5} msgs {:>8} B | {:>3} inval msgs | {:>2} multicasts",
+            stats.messages,
+            stats.bytes,
+            inval_msgs(stats),
+            stats.multicasts,
+        );
+    }
+    let by_name = |n: &str| &proto_rows.iter().find(|(name, _)| *name == n).expect(n).1;
+    let tardis = by_name("Tardis");
+    assert_eq!(
+        inval_msgs(tardis),
+        0,
+        "Tardis must complete the read-heavy workload with zero invalidation messages \
+         (and therefore zero invalidation multicasts)"
+    );
+    // The only multicasts Tardis ever performs are barrier releases (two
+    // per round here); a write is one timestamp bump at the home, never a
+    // fan-out.
+    assert!(
+        tardis.multicasts <= (2 * RH_ROUNDS) as u64,
+        "Tardis multicast count {} exceeds the barrier-release budget — a write fanned out",
+        tardis.multicasts
+    );
+    assert!(
+        inval_msgs(by_name("Ivy")) > 0,
+        "the write-invalidate baseline must pay invalidations on this workload, \
+         or the comparison is vacuous"
+    );
+
+    let mut proto_json = String::new();
+    for (name, stats) in &proto_rows {
+        let _ = writeln!(
+            proto_json,
+            "    {{\"backend\": \"{name}\", \"messages\": {}, \"bytes\": {}, \
+             \"inval_msgs\": {}, \"multicasts\": {}}},",
+            stats.messages,
+            stats.bytes,
+            inval_msgs(stats),
+            stats.multicasts,
+        );
+    }
+    let proto_json = proto_json.trim_end_matches(",\n").to_string();
 
     let json = format!(
         "{{\n  \"bench\": \"traffic_rt\",\n  \"workload\": \"flush_fanout\",\n  \
@@ -260,8 +315,10 @@ fn main() {
          \"obj_bytes\": {},\n  \"rounds\": {ROUNDS},\n  \"compute_mode\": \"skip\",\n  \
          \"reps_best_of\": {REPS},\n  \"rows\": [\n{json_rows}\n  ],\n  \
          \"batched_over_unbatched_msgs_per_s_at_4w\": {:.3},\n  \"matrix\": {{\"apps\": 6, \
-         \"backends\": 5, \"nodes\": 4, \"bit_identical\": true, \"rt_tuning\": \"default \
-         (batched)\"}}\n}}\n",
+         \"backends\": {n_backends}, \"nodes\": 4, \"bit_identical\": true, \"rt_tuning\": \
+         \"default (batched)\"}},\n  \"read_heavy_sim\": {{\"nodes\": 4, \"rounds\": \
+         {RH_ROUNDS}, \"reads_per_reader_per_round\": {RH_READS}, \"rows\": \
+         [\n{proto_json}\n  ]}}\n}}\n",
         OBJ_ELEMS * 8,
         at4.speedup(),
     );

@@ -5,6 +5,7 @@
 //! study --backend munin-tcp                       # matmul, life, tsp on 4 nodes
 //! study --backend munin-tcp --apps life --nodes 2 # CI's 2-process smoke
 //! study --backend ivy-rt --apps all
+//! study --backend tardis-tcp --apps all           # any matrix backend works
 //! ```
 //!
 //! Every app is verified against its sequential reference (bit for bit) and
@@ -15,19 +16,27 @@
 
 use munin_api::Backend;
 use munin_apps::App;
-use munin_types::{IvyConfig, MuninConfig};
 
-fn parse_backend(name: &str) -> Option<Backend> {
-    Some(match name {
-        "munin" => Backend::Munin(MuninConfig::default()),
-        "ivy" => Backend::Ivy(IvyConfig::default()),
-        "munin-rt" => Backend::MuninRt(MuninConfig::default()),
-        "ivy-rt" => Backend::IvyRt(IvyConfig::default()),
-        "munin-tcp" => Backend::MuninTcp(MuninConfig::default()),
-        "ivy-tcp" => Backend::IvyTcp(IvyConfig::default()),
-        "native" => Backend::Native,
-        _ => return None,
-    })
+/// Every matrix backend's kebab-case spelling plus `native`, for the usage
+/// line — derived from `Backend::matrix()`, so a new protocol shows up
+/// here without an edit.
+fn backend_names() -> String {
+    let mut names: Vec<String> = Backend::matrix()
+        .iter()
+        .map(|b| {
+            // CamelCase display name -> the kebab-case the CLI accepts.
+            let mut out = String::new();
+            for (i, ch) in b.name().char_indices() {
+                if ch.is_ascii_uppercase() && i > 0 {
+                    out.push('-');
+                }
+                out.push(ch.to_ascii_lowercase());
+            }
+            out
+        })
+        .collect();
+    names.push("native".into());
+    names.join("|")
 }
 
 fn parse_apps(list: &str) -> Option<Vec<App>> {
@@ -64,16 +73,16 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "study: unknown argument `{other}`\nusage: study [--backend \
-                     munin|ivy|munin-rt|ivy-rt|munin-tcp|ivy-tcp|native] [--apps a,b,c|all] \
-                     [--nodes N] [--dump-after-ms N]"
+                    "study: unknown argument `{other}`\nusage: study [--backend {}] \
+                     [--apps a,b,c|all] [--nodes N] [--dump-after-ms N]",
+                    backend_names()
                 );
                 std::process::exit(2);
             }
         }
     }
-    let Some(backend) = parse_backend(&backend_name) else {
-        eprintln!("study: unknown backend `{backend_name}`");
+    let Some(backend) = Backend::parse(&backend_name) else {
+        eprintln!("study: unknown backend `{backend_name}` (expected one of {})", backend_names());
         std::process::exit(2);
     };
     let Some(apps) = parse_apps(&apps) else {

@@ -17,6 +17,7 @@ pub mod false_sharing;
 pub mod hardware;
 pub mod msgpass;
 pub mod proto_exp;
+pub mod read_heavy;
 pub mod study;
 pub mod table;
 pub mod traffic;

@@ -1,0 +1,62 @@
+//! The read-heavy sharing workload the protocol benches compare coherence
+//! strategies on: one writer refreshes a shared `ReadMostly` array once per
+//! round, the other three nodes re-read it many times per round, barriers
+//! fence the rounds.
+//!
+//! This is the workload where write-propagation strategies separate: Ivy
+//! invalidates every copyholder on each writer pass, Munin pushes or
+//! invalidates by sharing annotation, and Tardis bumps a timestamp at the
+//! home — readers renew expired leases on their next read, so no
+//! invalidation traffic of any kind exists in its vocabulary. On the
+//! virtual-time simulator the returned [`NetStats`] is exactly
+//! reproducible; on the wall-clock fabrics the kind breakdown (which kinds
+//! appear) is still protocol-determined even where counts jitter.
+
+use munin_api::{Backend, Par, ParTyped, ProgramBuilder};
+use munin_net::NetStats;
+use munin_types::SharingType;
+
+/// Nodes (and threads) in the workload; node 0 writes, the rest read.
+pub const RH_NODES: usize = 4;
+/// i64 elements of the shared array.
+pub const RH_ELEMS: u32 = 256;
+/// Writer passes (one per round).
+pub const RH_ROUNDS: usize = 6;
+/// Reads per reader thread per round.
+pub const RH_READS: usize = 25;
+
+/// Run the workload on `backend` and return its traffic totals. Panics if
+/// the run is unclean or any reader observes stale data.
+pub fn read_heavy_stats(backend: Backend) -> NetStats {
+    let mut p = ProgramBuilder::new(RH_NODES);
+    let arr = p.array::<i64>("rh", RH_ELEMS, SharingType::ReadMostly, 0);
+    let bar = p.barrier(0, RH_NODES as u32);
+    for t in 0..RH_NODES {
+        p.thread(t, move |par: &mut dyn Par| {
+            let mut buf = vec![0i64; RH_ELEMS as usize];
+            for round in 0..RH_ROUNDS {
+                if t == 0 {
+                    buf.fill(round as i64);
+                    par.write_from(&arr, 0, &buf);
+                }
+                par.barrier(bar);
+                if t != 0 {
+                    for _ in 0..RH_READS {
+                        par.read_into(&arr, 0, &mut buf);
+                        assert!(buf.iter().all(|&v| v == round as i64), "stale read-heavy data");
+                    }
+                }
+                par.barrier(bar);
+            }
+        });
+    }
+    let o = p.run(backend);
+    o.assert_clean();
+    o.report().stats.clone()
+}
+
+/// Messages whose kind names an invalidation (`Inval`, `InvalAck`,
+/// `FlushInval`, ...): the traffic class Tardis exists to eliminate.
+pub fn inval_msgs(stats: &NetStats) -> u64 {
+    stats.by_kind.iter().filter(|(k, _)| k.contains("Inval")).map(|(_, s)| s.count).sum()
+}

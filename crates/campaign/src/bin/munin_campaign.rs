@@ -7,6 +7,7 @@
 //! munin-campaign --plan failure.toml       # replay a saved plan
 //! munin-campaign --scenario tcp-kill       # a curated scenario
 //! munin-campaign --list-scenarios
+//! munin-campaign --list-targets            # every protocol × fabric target
 //! ```
 //!
 //! A failing campaign auto-shrinks to a locally minimal plan that still
@@ -29,6 +30,7 @@ struct Args {
     plan_file: Option<String>,
     scenario: Option<String>,
     list_scenarios: bool,
+    list_targets: bool,
     export_scenario: Option<String>,
     gen_only: bool,
     allow_kill: bool,
@@ -38,9 +40,10 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: munin-campaign (--seed N | --batch K [--seed-base B] | --plan FILE | \
-     --scenario NAME | --list-scenarios | --export-scenario NAME)\n\
-     \x20       [--backend munin|ivy|munin-tcp|ivy-tcp] [--out FILE] [--gen-only]\n\
-     \x20       [--allow-kill] [--async-heavy] [--shrink-budget K]"
+     --scenario NAME | --list-scenarios | --list-targets | --export-scenario NAME)\n\
+     \x20       [--backend TARGET] [--out FILE] [--gen-only]\n\
+     \x20       [--allow-kill] [--async-heavy] [--shrink-budget K]\n\
+     \x20       TARGET is a protocol × fabric pair; see --list-targets"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
         plan_file: None,
         scenario: None,
         list_scenarios: false,
+        list_targets: false,
         export_scenario: None,
         gen_only: false,
         allow_kill: false,
@@ -76,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
             "--plan" => args.plan_file = Some(val("path")?),
             "--scenario" => args.scenario = Some(val("name")?),
             "--list-scenarios" => args.list_scenarios = true,
+            "--list-targets" => args.list_targets = true,
             "--export-scenario" => args.export_scenario = Some(val("name")?),
             "--gen-only" => args.gen_only = true,
             "--allow-kill" => args.allow_kill = true,
@@ -96,6 +101,7 @@ fn parse_args() -> Result<Args, String> {
         args.plan_file.is_some(),
         args.scenario.is_some(),
         args.list_scenarios,
+        args.list_targets,
         args.export_scenario.is_some(),
     ];
     if modes.iter().filter(|m| **m).count() != 1 {
@@ -202,6 +208,16 @@ fn run(args: &Args) -> Result<bool, String> {
     if args.list_scenarios {
         for s in scenario::all() {
             println!("{:-16} [{}] {}", s.name, s.target.name(), s.about);
+        }
+        return Ok(true);
+    }
+    if args.list_targets {
+        for t in Target::ALL {
+            let here = match t.supported() {
+                Ok(()) => "",
+                Err(_) => " (unsupported here)",
+            };
+            println!("{:-12} {}{}", t.name(), t.describe(), here);
         }
         return Ok(true);
     }

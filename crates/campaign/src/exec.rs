@@ -24,7 +24,9 @@ use crate::fault::{clock_skews, sim_transport, tcp_compatible, tcp_fault};
 use crate::plan::{InteractionPlan, PlanOp};
 use munin_api::{Backend, OpToken, Par, ParTyped, ProgramBuilder, RtTuning, SharedScalar};
 use munin_check::{check_campaign, CampaignHistory, ObsEvent, Violation};
-use munin_types::{IvyConfig, LockId, MuninConfig, ObjectDecl, ObjectId, SharingType, ThreadId};
+use munin_types::{
+    IvyConfig, LockId, MuninConfig, ObjectDecl, ObjectId, SharingType, TardisConfig, ThreadId,
+};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -37,34 +39,60 @@ pub enum Target {
     Munin,
     /// The Ivy baseline on the simulator.
     Ivy,
+    /// Tardis timestamp-lease coherence on the simulator.
+    Tardis,
     /// Munin on the multi-process TCP fabric.
     MuninTcp,
     /// Ivy on the TCP fabric.
     IvyTcp,
+    /// Tardis on the TCP fabric.
+    TardisTcp,
 }
 
 impl Target {
+    /// Every campaign target, in the order `--list-targets` prints them.
+    pub const ALL: [Target; 6] = [
+        Target::Munin,
+        Target::Ivy,
+        Target::Tardis,
+        Target::MuninTcp,
+        Target::IvyTcp,
+        Target::TardisTcp,
+    ];
+
     pub fn parse(s: &str) -> Result<Target, String> {
-        match s {
-            "munin" => Ok(Target::Munin),
-            "ivy" => Ok(Target::Ivy),
-            "munin-tcp" => Ok(Target::MuninTcp),
-            "ivy-tcp" => Ok(Target::IvyTcp),
-            other => Err(format!("unknown backend `{other}` (munin|ivy|munin-tcp|ivy-tcp)")),
-        }
+        Target::ALL
+            .iter()
+            .copied()
+            .find(|t| t.name() == s)
+            .ok_or_else(|| format!("unknown backend `{s}` (see --list-targets)"))
     }
 
     pub fn name(&self) -> &'static str {
         match self {
             Target::Munin => "munin",
             Target::Ivy => "ivy",
+            Target::Tardis => "tardis",
             Target::MuninTcp => "munin-tcp",
             Target::IvyTcp => "ivy-tcp",
+            Target::TardisTcp => "tardis-tcp",
+        }
+    }
+
+    /// One-line description for `--list-targets`.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            Target::Munin => "Munin type-specific coherence on the virtual-time simulator",
+            Target::Ivy => "Ivy write-invalidate baseline on the simulator",
+            Target::Tardis => "Tardis timestamp-lease coherence on the simulator",
+            Target::MuninTcp => "Munin on the multi-process TCP fabric",
+            Target::IvyTcp => "Ivy on the multi-process TCP fabric",
+            Target::TardisTcp => "Tardis on the multi-process TCP fabric",
         }
     }
 
     pub fn is_tcp(&self) -> bool {
-        matches!(self, Target::MuninTcp | Target::IvyTcp)
+        matches!(self, Target::MuninTcp | Target::IvyTcp | Target::TardisTcp)
     }
 
     /// Probe whether this target can run here (the TCP fabric needs
@@ -122,6 +150,9 @@ pub struct CampaignOutcome {
     /// Final counter values as read back by thread 0 (empty if the run
     /// died before the read-back).
     pub final_counters: Vec<i64>,
+    /// Network traffic totals from the run — scenarios assert on these
+    /// (e.g. a healed partition must retransmit, never give up).
+    pub stats: munin_net::NetStats,
     /// Telemetry snapshot from the run (latency histograms plus the
     /// remote-op span tail). Wall-clock fabrics only — the virtual-time
     /// simulator records no telemetry, so sim targets leave this `None`.
@@ -329,7 +360,12 @@ pub fn execute(
             let transport = sim_transport(plan, cfg.cost.clone());
             p.run_with(Backend::Ivy(cfg), transport, None)
         }
-        Target::MuninTcp | Target::IvyTcp => {
+        Target::Tardis => {
+            let cfg = TardisConfig::default();
+            let transport = sim_transport(plan, cfg.cost.clone());
+            p.run_with(Backend::Tardis(cfg), transport, None)
+        }
+        Target::MuninTcp | Target::IvyTcp | Target::TardisTcp => {
             let mut tuning = RtTuning::default();
             tuning.stall_timeout = opts.tcp_stall;
             // Full span telemetry: when a seed fails and shrinks, the
@@ -340,10 +376,10 @@ pub fn execute(
             if let Some(f) = tcp_fault(plan) {
                 p.inject_tcp_fault(f);
             }
-            if target == Target::MuninTcp {
-                p.run(Backend::MuninTcp(opts.munin.clone()))
-            } else {
-                p.run(Backend::IvyTcp(IvyConfig::default()))
+            match target {
+                Target::MuninTcp => p.run(Backend::MuninTcp(opts.munin.clone())),
+                Target::IvyTcp => p.run(Backend::IvyTcp(IvyConfig::default())),
+                _ => p.run(Backend::TardisTcp(TardisConfig::default())),
             }
         }
     };
@@ -391,6 +427,7 @@ pub fn execute(
         violations,
         reasons,
         final_counters: finals,
+        stats: report.stats.clone(),
         metrics: report.metrics.clone(),
     })
 }

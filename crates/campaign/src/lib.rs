@@ -22,7 +22,9 @@
 //!   locally minimal plan that still fails ([`shrink`]).
 //! * **Portability** — plans run on the virtual-time simulator for every
 //!   fault class; the process-fault subset re-runs on the real
-//!   multi-process TCP fabric ([`Target::MuninTcp`] / [`Target::IvyTcp`]).
+//!   multi-process TCP fabric ([`Target::MuninTcp`] / [`Target::IvyTcp`] /
+//!   [`Target::TardisTcp`]) — every protocol plugged into the dispatch seam
+//!   is a campaign target on both fabrics (`--list-targets`).
 //!
 //! Plans serialize to a small TOML subset (first-party codec in
 //! [`toml`] — the workspace's vendored `serde` is a no-op stub), and

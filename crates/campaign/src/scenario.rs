@@ -155,6 +155,22 @@ pub fn all() -> Vec<Scenario> {
             },
         },
         Scenario {
+            name: "tardis-lease-partition",
+            about: "the same healed 50 ms partition under Tardis: leases \
+                    expire during the outage, renewals retransmit across the \
+                    heal, and the run ends clean with no lost updates",
+            target: Target::Tardis,
+            expect: Expect::CleanPass,
+            build: || {
+                hammer_plan(
+                    3,
+                    8,
+                    5_000,
+                    FaultSpec::Partition { group: vec![0], from_us: 10_000, until_us: 60_000 },
+                )
+            },
+        },
+        Scenario {
             name: "node-kill-sim",
             about: "permanently isolate node 1 five virtual ms in (the \
                     simulator's node kill); the transport gives up, the run \
@@ -244,6 +260,15 @@ mod tests {
         let s = find("partition-heal").unwrap();
         let out = run(&s, &ExecOptions::default()).unwrap();
         assert!(out.passed());
+    }
+
+    #[test]
+    fn tardis_lease_partition_heals_without_giving_up() {
+        let s = find("tardis-lease-partition").unwrap();
+        let out = run(&s, &ExecOptions::default()).unwrap();
+        assert!(out.passed(), "{:?}", out.reasons);
+        assert!(out.clean);
+        assert_eq!(out.stats.gave_up, 0, "reliable delivery must retransmit across the heal");
     }
 
     #[test]

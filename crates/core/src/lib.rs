@@ -45,10 +45,12 @@ pub mod locks;
 pub mod migrate;
 pub mod msg;
 pub mod ownership;
+pub mod proto;
 pub mod server;
 pub mod state;
 pub mod sync_objs;
 
 pub use msg::{MuninMsg, UpdateItem};
+pub use proto::MuninProto;
 pub use server::MuninServer;
 pub use state::{BarrierDecl, CondDecl, LockDecl, SyncDecls};

@@ -24,7 +24,9 @@
 
 pub mod msg;
 pub mod pending;
+pub mod proto;
 pub mod server;
 
 pub use msg::IvyMsg;
+pub use proto::IvyProto;
 pub use server::IvyServer;

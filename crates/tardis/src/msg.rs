@@ -1,0 +1,207 @@
+//! The Tardis inter-server protocol messages.
+//!
+//! Note what is *absent*: there is no invalidation, no copyset refresh, no
+//! ownership transfer. Every message is a point-to-point request to an
+//! object's home (or a lock/barrier home) or its reply; the only multicast
+//! in the protocol is the barrier release. Coherence travels as
+//! timestamps, not as fan-out.
+
+use munin_net::{MsgClass, PayloadInfo};
+use munin_proto::wire_enum;
+use munin_types::{BarrierId, ByteRange, LockId, ObjectId, ThreadId};
+
+/// Protocol messages exchanged between Tardis servers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TardisMsg {
+    // ---- data protocol ---------------------------------------------------
+    /// Requester → home: fetch a leased copy. `pts` is the reader's program
+    /// timestamp; the home extends the object's lease past it.
+    ReadReq { obj: ObjectId, thread: ThreadId, pts: u64 },
+    /// Home → requester: the bytes plus the copy's validity interval
+    /// `[wts, rts]`.
+    ReadReply { thread: ThreadId, obj: ObjectId, data: Vec<u8>, wts: u64, rts: u64 },
+    /// Requester → home: the reader still holds a copy at `have_wts` but its
+    /// lease expired; extend it. The home answers [`TardisMsg::RenewAck`]
+    /// (no payload) when the copy is still current, or a full
+    /// [`TardisMsg::ReadReply`] when it was overwritten — this is the
+    /// lease-renewal traffic the benches weigh against invalidation
+    /// fan-out.
+    RenewReq { obj: ObjectId, thread: ThreadId, pts: u64, have_wts: u64 },
+    /// Home → requester: lease extended, your copy is still version `wts`.
+    RenewAck { thread: ThreadId, obj: ObjectId, wts: u64, rts: u64 },
+    /// Requester → home: write-through of `data` at `range`. The home jumps
+    /// the object's write timestamp past every granted lease — no
+    /// invalidation is sent to anyone.
+    WriteReq { obj: ObjectId, range: ByteRange, data: Vec<u8>, thread: ThreadId, pts: u64 },
+    /// Home → writer: applied at timestamp `wts`.
+    WriteAck { thread: ThreadId, wts: u64 },
+    /// Requester → home: atomic fetch-and-add at the authoritative copy.
+    AtomicReq { obj: ObjectId, offset: u32, delta: i64, thread: ThreadId, pts: u64 },
+    /// Home → requester: previous value, stamped like a write.
+    AtomicReply { thread: ThreadId, old: i64, wts: u64 },
+
+    // ---- timestamped synchronization --------------------------------------
+    /// Node → lock home: `thread` wants the lock; `pts` is its timestamp.
+    LockReq { lock: LockId, thread: ThreadId, pts: u64 },
+    /// Lock home → acquirer's node: granted; `ts` is the lock's release
+    /// timestamp — folding it into the acquirer's clock is what makes
+    /// post-acquire reads outrun every lease granted before the critical
+    /// section's writes.
+    LockGrant { thread: ThreadId, ts: u64 },
+    /// Holder's node → lock home: released at timestamp `pts`.
+    Unlock { lock: LockId, pts: u64 },
+    /// Node → barrier home: `threads` local arrivals, clock at `pts`.
+    BarrierArrive { barrier: BarrierId, threads: u32, pts: u64 },
+    /// Barrier home → participants: released; every waiter lifts its clock
+    /// to `pts` (the max arrival timestamp).
+    BarrierRelease { barrier: BarrierId, pts: u64 },
+}
+
+impl PayloadInfo for TardisMsg {
+    fn class(&self) -> MsgClass {
+        use TardisMsg::*;
+        match self {
+            ReadReply { .. } => MsgClass::Data,
+            WriteReq { .. } => MsgClass::Update,
+            RenewAck { .. } | WriteAck { .. } => MsgClass::Ack,
+            ReadReq { .. } | RenewReq { .. } => MsgClass::Control,
+            AtomicReq { .. }
+            | AtomicReply { .. }
+            | LockReq { .. }
+            | LockGrant { .. }
+            | Unlock { .. }
+            | BarrierArrive { .. }
+            | BarrierRelease { .. } => MsgClass::Sync,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        use TardisMsg::*;
+        match self {
+            ReadReq { .. } => "ReadReq",
+            ReadReply { .. } => "ReadReply",
+            RenewReq { .. } => "RenewReq",
+            RenewAck { .. } => "RenewAck",
+            WriteReq { .. } => "WriteReq",
+            WriteAck { .. } => "WriteAck",
+            AtomicReq { .. } => "AtomicReq",
+            AtomicReply { .. } => "AtomicReply",
+            LockReq { .. } => "LockReq",
+            LockGrant { .. } => "LockGrant",
+            Unlock { .. } => "Unlock",
+            BarrierArrive { .. } => "BarrierArrive",
+            BarrierRelease { .. } => "BarrierRelease",
+        }
+    }
+
+    fn span_home_thread(&self) -> Option<ThreadId> {
+        // Every Tardis request is a home-side RPC on behalf of exactly one
+        // blocked thread, so all of them anchor that thread's home span.
+        use TardisMsg::*;
+        match self {
+            ReadReq { thread, .. }
+            | RenewReq { thread, .. }
+            | WriteReq { thread, .. }
+            | AtomicReq { thread, .. }
+            | LockReq { thread, .. } => Some(*thread),
+            _ => None,
+        }
+    }
+
+    fn wire_bytes(&self) -> usize {
+        use TardisMsg::*;
+        match self {
+            ReadReply { data, .. } | WriteReq { data, .. } => data.len(),
+            ReadReq { .. }
+            | RenewReq { .. }
+            | RenewAck { .. }
+            | WriteAck { .. }
+            | AtomicReq { .. }
+            | AtomicReply { .. }
+            | LockReq { .. }
+            | LockGrant { .. }
+            | Unlock { .. }
+            | BarrierArrive { .. }
+            | BarrierRelease { .. } => 0,
+        }
+    }
+}
+
+wire_enum!(TardisMsg {
+    0 => ReadReq { obj, thread, pts },
+    1 => ReadReply { thread, obj, data, wts, rts },
+    2 => RenewReq { obj, thread, pts, have_wts },
+    3 => RenewAck { thread, obj, wts, rts },
+    4 => WriteReq { obj, range, data, thread, pts },
+    5 => WriteAck { thread, wts },
+    6 => AtomicReq { obj, offset, delta, thread, pts },
+    7 => AtomicReply { thread, old, wts },
+    8 => LockReq { lock, thread, pts },
+    9 => LockGrant { thread, ts },
+    10 => Unlock { lock, pts },
+    11 => BarrierArrive { barrier, threads, pts },
+    12 => BarrierRelease { barrier, pts },
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_messages_charge_for_payload() {
+        let m = TardisMsg::ReadReply {
+            thread: ThreadId(1),
+            obj: ObjectId(2),
+            data: vec![0; 512],
+            wts: 3,
+            rts: 67,
+        };
+        assert_eq!(m.wire_bytes(), 512);
+        assert_eq!(m.class(), MsgClass::Data);
+        assert_eq!(m.kind(), "ReadReply");
+    }
+
+    #[test]
+    fn no_variant_is_an_invalidation() {
+        // The zero-invalidation property starts here: the vocabulary has no
+        // Inval kind at all, so `NetStats::by_kind` can never grow one.
+        let kinds = [
+            "ReadReq",
+            "ReadReply",
+            "RenewReq",
+            "RenewAck",
+            "WriteReq",
+            "WriteAck",
+            "AtomicReq",
+            "AtomicReply",
+            "LockReq",
+            "LockGrant",
+            "Unlock",
+            "BarrierArrive",
+            "BarrierRelease",
+        ];
+        assert!(kinds.iter().all(|k| !k.contains("Inval")));
+    }
+
+    #[test]
+    fn requests_anchor_their_threads_home_span() {
+        let t = ThreadId(9);
+        let m = TardisMsg::ReadReq { obj: ObjectId(0), thread: t, pts: 5 };
+        assert_eq!(m.span_home_thread(), Some(t));
+        let r = TardisMsg::BarrierRelease { barrier: BarrierId(0), pts: 5 };
+        assert_eq!(r.span_home_thread(), None);
+    }
+
+    #[test]
+    fn roundtrip_via_proto_wire() {
+        use munin_proto::Wire;
+        let m = TardisMsg::WriteReq {
+            obj: ObjectId(7),
+            range: ByteRange::new(8, 4),
+            data: vec![1, 2, 3, 4],
+            thread: ThreadId(3),
+            pts: 41,
+        };
+        assert_eq!(TardisMsg::decode(&m.encode()).unwrap(), m);
+    }
+}

@@ -17,12 +17,11 @@
 //! Frame bodies are capped at [`MAX_FRAME_BYTES`]; a peer announcing a
 //! larger frame is treated as corrupt and the stream is torn down.
 
-use crate::wire::{put_u8, take_u8, Wire, WireError, WireResult};
+use crate::wire::{put_u8, take_u8, ProtoTag, Wire, WireError, WireResult};
 use munin_net::NetStats;
+use munin_proto::{wire_enum, wire_struct};
 use munin_sim::{DsmOp, OpResult};
-use munin_types::{
-    IvyConfig, MuninConfig, NodeId, ObjectDecl, ObjectId, SharingType, SyncDecls, ThreadId,
-};
+use munin_types::{NodeId, ObjectDecl, ObjectId, SharingType, SyncDecls, ThreadId};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
@@ -83,19 +82,6 @@ impl<P: Wire> Wire for DataFrame<P> {
     }
 }
 
-/// Which protocol the run speaks (children build their own servers from
-/// this, so the `munin-node` binary serves either protocol).
-#[derive(Debug, Clone, PartialEq)]
-pub enum ProtoConfig {
-    Munin(MuninConfig),
-    Ivy(IvyConfig),
-}
-
-crate::wire::wire_enum!(ProtoConfig {
-    0 => Munin(cfg),
-    1 => Ivy(cfg),
-});
-
 /// Deterministic fault injection for the fault-path tests: children know
 /// their own misbehaviour from the start config, so tests need no
 /// process-global environment variables (which racing test threads could
@@ -108,7 +94,7 @@ pub enum TestFault {
     HalfClose { node: NodeId, peer: NodeId, after: Duration },
 }
 
-crate::wire::wire_enum!(TestFault {
+wire_enum!(TestFault {
     0 => Exit { node, after },
     1 => HalfClose { node, peer, after },
 });
@@ -118,7 +104,14 @@ crate::wire::wire_enum!(TestFault {
 pub struct StartConfig {
     pub node: NodeId,
     pub n_nodes: u16,
-    pub proto: ProtoConfig,
+    /// [`munin_proto::Protocol::TAG`] of the run's protocol. The child
+    /// looks the tag up in its protocol registry (see
+    /// [`crate::node::run_node`]) — the fabric itself never names a
+    /// protocol type.
+    pub proto_tag: ProtoTag,
+    /// The protocol's `Wire`-encoded config, decoded by the registry
+    /// entry that matched `proto_tag`. Opaque to the fabric.
+    pub proto_cfg: Vec<u8>,
     /// Build-time object declarations (the initial registry snapshot).
     pub decls: Vec<ObjectDecl>,
     pub sync: SyncDecls,
@@ -140,10 +133,11 @@ pub struct StartConfig {
     pub n_threads: usize,
 }
 
-crate::wire::wire_struct!(StartConfig {
+wire_struct!(StartConfig {
     node,
     n_nodes,
-    proto,
+    proto_tag,
+    proto_cfg,
     decls,
     sync,
     batch_max,
@@ -166,7 +160,7 @@ pub enum RegRequest {
     Retype { obj: ObjectId, sharing: SharingType },
 }
 
-crate::wire::wire_enum!(RegRequest {
+wire_enum!(RegRequest {
     0 => Decl { decl, home },
     1 => Retype { obj, sharing },
 });
@@ -182,7 +176,7 @@ pub enum RegReply {
     Retype { version: u64 },
 }
 
-crate::wire::wire_enum!(RegReply {
+wire_enum!(RegReply {
     0 => Decl { id, version },
     1 => Retype { version },
 });
@@ -254,7 +248,7 @@ pub enum CtrlFrame {
     OpBatch { ops: Vec<(ThreadId, DsmOp)>, fwd_us: u64 },
 }
 
-crate::wire::wire_enum!(CtrlFrame {
+wire_enum!(CtrlFrame {
     0 => Hello { node, data_port },
     1 => Start(cfg),
     2 => Ready,

@@ -18,13 +18,12 @@
 
 use crate::frames::{
     accept_streams, read_frame, send_shared, shared_writer, write_frame, CtrlFrame, DataFrame,
-    ProtoConfig, SharedWriter, StartConfig, TestFault, STREAM_CTRL, STREAM_DATA,
+    SharedWriter, StartConfig, TestFault, STREAM_CTRL, STREAM_DATA,
 };
 use crate::kernel::{ResumeSink, TcpKernel};
 use crate::registry::{RegCache, RegClient, RegWritePath};
 use crate::wire::Wire;
-use munin_core::MuninServer;
-use munin_ivy::IvyServer;
+use munin_proto::Protocol;
 use munin_rt::timer::run_timer_thread;
 use munin_rt::{server_loop, MsgBody, NodeEvent, Shared};
 use munin_sim::Server;
@@ -44,9 +43,37 @@ fn loopback(port: u16) -> SocketAddr {
     SocketAddr::from(([127, 0, 0, 1], port))
 }
 
-/// Entry point of the `munin-node` binary. Returns the process exit code.
-pub fn run_node(coordinator: &str, node_index: u16) -> i32 {
-    match run_node_inner(coordinator, node_index) {
+/// One registered protocol: its wire tag and the function that runs a
+/// child node under it. Obtained from [`node_entry`]; the `munin-node`
+/// binary passes the full registry to [`run_node`], which is how a new
+/// protocol plugs into the fabric without this crate naming it.
+pub type NodeRunFn = fn(TcpStream, TcpListener, StartConfig) -> io::Result<bool>;
+
+/// The registry entry for protocol `Pr`.
+pub fn node_entry<Pr: Protocol>() -> (u8, NodeRunFn) {
+    (Pr::TAG, run_proto_node::<Pr>)
+}
+
+/// Become a node of a `Pr` run: decode the protocol config from the start
+/// frame, build the server, and hand off to the generic node main loop.
+fn run_proto_node<Pr: Protocol>(
+    ctrl: TcpStream,
+    listener: TcpListener,
+    start: StartConfig,
+) -> io::Result<bool> {
+    let cfg = Pr::Config::decode(&start.proto_cfg).map_err(|e| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("bad {} config: {e}", Pr::NAME))
+    })?;
+    let server = Pr::server(&cfg, start.node, start.n_nodes as usize, &start.decls, &start.sync);
+    let cost = Pr::cost(&cfg).clone();
+    node_main(ctrl, listener, start, server, cost)
+}
+
+/// Entry point of the `munin-node` binary. `protos` is the binary's
+/// protocol registry (one [`node_entry`] per linked protocol). Returns the
+/// process exit code.
+pub fn run_node(coordinator: &str, node_index: u16, protos: &[(u8, NodeRunFn)]) -> i32 {
+    match run_node_inner(coordinator, node_index, protos) {
         Ok(clean) => {
             if clean {
                 0
@@ -61,7 +88,11 @@ pub fn run_node(coordinator: &str, node_index: u16) -> i32 {
     }
 }
 
-fn run_node_inner(coordinator: &str, node_index: u16) -> io::Result<bool> {
+fn run_node_inner(
+    coordinator: &str,
+    node_index: u16,
+    protos: &[(u8, NodeRunFn)],
+) -> io::Result<bool> {
     let me = NodeId(node_index);
     let listener = TcpListener::bind(loopback(0))?;
     let data_port = listener.local_addr()?.port();
@@ -87,17 +118,17 @@ fn run_node_inner(coordinator: &str, node_index: u16) -> io::Result<bool> {
     };
     debug_assert_eq!(start.node, me, "coordinator and spawn args disagree on node id");
 
-    match start.proto.clone() {
-        ProtoConfig::Munin(cfg) => {
-            let server = MuninServer::new(me, cfg.clone(), start.sync.clone());
-            node_main(ctrl, listener, start, server, cfg.cost)
-        }
-        ProtoConfig::Ivy(cfg) => {
-            let n_nodes = start.n_nodes as usize;
-            let server = IvyServer::new(me, cfg.clone(), n_nodes, &start.decls, &start.sync);
-            node_main(ctrl, listener, start, server, cfg.cost)
-        }
-    }
+    let Some((_, run)) = protos.iter().find(|(tag, _)| *tag == start.proto_tag.0) else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "coordinator requested protocol tag {} but this binary only links {:?}",
+                start.proto_tag.0,
+                protos.iter().map(|(t, _)| *t).collect::<Vec<_>>()
+            ),
+        ));
+    };
+    run(ctrl, listener, start)
 }
 
 fn node_main<S>(

@@ -31,7 +31,7 @@ pub fn tcp_support() -> Result<(), String> {
     TcpListener::bind("127.0.0.1:0")
         .map_err(|e| format!("loopback sockets unavailable in this sandbox: {e}"))?;
     node_binary().ok_or_else(|| {
-        "munin-node binary not found (build it with `cargo build -p munin-tcp`, or point \
+        "munin-node binary not found (build it with `cargo build -p munin-api`, or point \
          MUNIN_NODE_BIN at it)"
             .to_string()
     })?;
@@ -44,7 +44,7 @@ pub fn spawn_node(coordinator_port: u16, node_index: u16) -> std::io::Result<Chi
     let bin = node_binary().ok_or_else(|| {
         std::io::Error::new(
             std::io::ErrorKind::NotFound,
-            "munin-node binary not found; build it with `cargo build -p munin-tcp` \
+            "munin-node binary not found; build it with `cargo build -p munin-api` \
              (checked MUNIN_NODE_BIN and next to the current executable)",
         )
     })?;

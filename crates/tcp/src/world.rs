@@ -21,8 +21,8 @@
 //! poisoning (see [`crate::sig`]).
 
 use crate::frames::{
-    accept_streams, read_frame, send_shared, shared_writer, CtrlFrame, ProtoConfig, RegReply,
-    SharedWriter, StartConfig, TestFault, STREAM_CTRL, STREAM_DATA,
+    accept_streams, read_frame, send_shared, shared_writer, CtrlFrame, RegReply, SharedWriter,
+    StartConfig, TestFault, STREAM_CTRL, STREAM_DATA,
 };
 use crate::kernel::{ResumeSink, TcpKernel};
 use crate::node::spawn_data_reader;
@@ -30,17 +30,13 @@ use crate::registry::{RegCache, RegClient, RegEvent, RegPort, RegWritePath};
 use crate::sig;
 use crate::spawn::spawn_node;
 use crate::wire::Wire;
-use munin_core::{MuninMsg, MuninServer};
-use munin_ivy::{IvyMsg, IvyServer};
 use munin_net::{NetStats, PayloadInfo};
+use munin_proto::Protocol;
 use munin_rt::timer::run_timer_thread;
 use munin_rt::{drive_app_thread, server_loop, NodeEvent, RtCtx, RtTuning, Shared};
 use munin_sim::report::{RunReport, WaitTable, WallClock};
 use munin_sim::{OpResult, Server};
-use munin_types::{
-    CostModel, IvyConfig, MuninConfig, NodeId, ObjectDecl, ObjectId, SyncDecls, ThreadId,
-    VirtualTime,
-};
+use munin_types::{CostModel, NodeId, ObjectDecl, ObjectId, SyncDecls, ThreadId, VirtualTime};
 use std::collections::BTreeSet;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -157,22 +153,17 @@ impl<P: PayloadInfo + Wire + Send + Sync + Clone + std::fmt::Debug + 'static> Tc
     }
 }
 
-impl TcpWorldBuilder<MuninMsg> {
-    /// Run under the Munin protocol: node 0's server in-process, one
-    /// `munin-node` process per remote node.
-    pub fn run_munin(self, cfg: MuninConfig, sync: SyncDecls) -> RunReport {
-        let server0 = MuninServer::new(NodeId(0), cfg.clone(), sync.clone());
-        let cost = cfg.cost.clone();
-        self.run_inner(server0, cost, ProtoConfig::Munin(cfg), sync)
-    }
-}
-
-impl TcpWorldBuilder<IvyMsg> {
-    /// Run under the Ivy baseline protocol.
-    pub fn run_ivy(self, cfg: IvyConfig, sync: SyncDecls) -> RunReport {
-        let server0 = IvyServer::new(NodeId(0), cfg.clone(), self.n_nodes, &self.decls, &sync);
-        let cost = cfg.cost.clone();
-        self.run_inner(server0, cost, ProtoConfig::Ivy(cfg), sync)
+impl<P: PayloadInfo + Wire + Send + Sync + Clone + std::fmt::Debug + 'static> TcpWorldBuilder<P> {
+    /// Run under protocol `Pr`: node 0's server in-process, one
+    /// `munin-node` process per remote node. The children rebuild the same
+    /// server from `Pr::TAG` plus the `Wire`-encoded config in the start
+    /// frame, so any protocol whose tag the node binary links runs over
+    /// this fabric unchanged.
+    pub fn run_proto<Pr: Protocol<Msg = P>>(self, cfg: Pr::Config, sync: SyncDecls) -> RunReport {
+        let server0 = Pr::server(&cfg, NodeId(0), self.n_nodes, &self.decls, &sync);
+        let cost = Pr::cost(&cfg).clone();
+        let proto_cfg = cfg.encode();
+        self.run_inner(server0, cost, Pr::TAG, proto_cfg, sync)
     }
 }
 
@@ -196,7 +187,8 @@ impl<P: PayloadInfo + Wire + Send + Sync + Clone + std::fmt::Debug + 'static> Tc
         self,
         server0: S,
         cost: CostModel,
-        proto: ProtoConfig,
+        proto_tag: u8,
+        proto_cfg: Vec<u8>,
         sync: SyncDecls,
     ) -> RunReport
     where
@@ -273,7 +265,8 @@ impl<P: PayloadInfo + Wire + Send + Sync + Clone + std::fmt::Debug + 'static> Tc
             let start = StartConfig {
                 node: NodeId(i as u16),
                 n_nodes: n_nodes as u16,
-                proto: proto.clone(),
+                proto_tag: crate::wire::ProtoTag(proto_tag),
+                proto_cfg: proto_cfg.clone(),
                 decls: self.decls.clone(),
                 sync: sync.clone(),
                 batch_max: tuning.rt.batch_max,

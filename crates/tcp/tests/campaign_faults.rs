@@ -5,15 +5,13 @@
 //! survive, but the plan now travels through the campaign's canonical TOML
 //! and the observed history is checked for coherence on the way out.
 //!
-//! The test lives in the munin-tcp package (not munin-campaign) because
-//! `CARGO_BIN_EXE_munin-node` only forces cargo to build the node binary
-//! for same-package tests.
+//! The `munin-node` binary lives in munin-api (the one crate linking every
+//! protocol); a workspace build produces it before these tests run, and
+//! `Target::MuninTcp.supported()` skips gracefully when it is absent.
 
 use munin_campaign::scenario::{find, run};
 use munin_campaign::{ExecOptions, Target};
 use std::time::{Duration, Instant};
-
-const _NODE_BIN: &str = env!("CARGO_BIN_EXE_munin-node");
 
 fn skip() -> bool {
     if let Err(notice) = Target::MuninTcp.supported() {

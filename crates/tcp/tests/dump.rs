@@ -8,12 +8,10 @@
 //! delivered through the installed handler (raised at ourselves by the
 //! `dump_after` test knob), and process signals are global state.
 
-use munin_core::MuninMsg;
+use munin_core::{MuninMsg, MuninProto};
 use munin_tcp::{tcp_support, TcpTuning, TcpWorldBuilder};
 use munin_types::{BarrierDecl, BarrierId, LockDecl, LockId, MuninConfig, NodeId, SyncDecls};
 use std::time::Duration;
-
-const _NODE_BIN: &str = env!("CARGO_BIN_EXE_munin-node");
 
 #[test]
 fn sigusr1_dumps_every_nodes_stuck_state_without_poisoning() {
@@ -46,7 +44,7 @@ fn sigusr1_dumps_every_nodes_stuck_state_without_poisoning() {
         barriers: vec![BarrierDecl { id: BarrierId(0), home: NodeId(0), count: 2 }],
         conds: Vec::new(),
     };
-    let report = b.run_munin(MuninConfig::default(), sync);
+    let report = b.run_proto::<MuninProto>(MuninConfig::default(), sync);
 
     // The dump is diagnostic: the run itself must stay clean.
     report.assert_clean();

@@ -3,18 +3,16 @@
 //! API harness). Skips with a notice when the sandbox has no loopback
 //! sockets or the `munin-node` binary is missing.
 
-use munin_core::MuninMsg;
-use munin_ivy::IvyMsg;
+use munin_core::{MuninMsg, MuninProto};
+use munin_ivy::{IvyMsg, IvyProto};
+use munin_tardis::{TardisMsg, TardisProto};
 use munin_tcp::{tcp_support, TcpWorldBuilder};
 use munin_types::{
     BarrierDecl, BarrierId, IvyConfig, LockDecl, LockId, MuninConfig, NodeId, ObjectDecl,
-    SharingType, SyncDecls,
+    SharingType, SyncDecls, TardisConfig,
 };
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
-
-// Referencing the binary forces cargo to build it before this test runs.
-const _NODE_BIN: &str = env!("CARGO_BIN_EXE_munin-node");
 
 fn skip() -> bool {
     if let Err(notice) = tcp_support() {
@@ -65,7 +63,7 @@ fn munin_counter_across_processes() {
                 }
             });
         }
-        let report = b.run_munin(MuninConfig::default(), sync_decls(n_nodes as u32));
+        let report = b.run_proto::<MuninProto>(MuninConfig::default(), sync_decls(n_nodes as u32));
         report.assert_clean();
         assert_eq!(total.load(Ordering::SeqCst), 10 * n_nodes as i64, "at {n_nodes} nodes");
         assert!(report.stats.messages > 0, "remote atomics must cross the wire");
@@ -113,7 +111,55 @@ fn ivy_lock_counter_across_processes() {
             }
         });
     }
-    let report = b.run_ivy(IvyConfig::default(), sync_decls(n_nodes as u32));
+    let report = b.run_proto::<IvyProto>(IvyConfig::default(), sync_decls(n_nodes as u32));
+    report.assert_clean();
+    assert_eq!(total.load(Ordering::SeqCst), 5 * n_nodes as i64);
+}
+
+/// The third protocol over the same fabric: Tardis child processes are
+/// built from the start frame's tag + opaque config, exercising the
+/// registry dispatch path end to end.
+#[test]
+fn tardis_lock_counter_across_processes() {
+    if skip() {
+        return;
+    }
+    let n_nodes = 2usize;
+    let mut b = TcpWorldBuilder::<TardisMsg>::new(n_nodes);
+    let ctr = b.declare(
+        ObjectDecl::new(
+            munin_types::ObjectId(0),
+            "ctr",
+            8,
+            SharingType::GeneralReadWrite,
+            NodeId(0),
+        ),
+        NodeId(0),
+    );
+    let total = Arc::new(AtomicI64::new(-1));
+    for i in 0..n_nodes {
+        let total = total.clone();
+        b.spawn(NodeId(i as u16), move |ctx| {
+            for _ in 0..5 {
+                ctx.lock(LockId(0));
+                let v = i64::from_le_bytes(
+                    ctx.read(ctr, munin_types::ByteRange::new(0, 8)).try_into().unwrap(),
+                );
+                ctx.write(ctr, 0, (v + 1).to_le_bytes().to_vec());
+                ctx.unlock(LockId(0));
+            }
+            ctx.barrier(BarrierId(0));
+            if ctx.thread_id().index() == 0 {
+                ctx.lock(LockId(0));
+                let v = i64::from_le_bytes(
+                    ctx.read(ctr, munin_types::ByteRange::new(0, 8)).try_into().unwrap(),
+                );
+                total.store(v, Ordering::SeqCst);
+                ctx.unlock(LockId(0));
+            }
+        });
+    }
+    let report = b.run_proto::<TardisProto>(TardisConfig::default(), sync_decls(n_nodes as u32));
     report.assert_clean();
     assert_eq!(total.load(Ordering::SeqCst), 5 * n_nodes as i64);
 }

@@ -1,22 +1,24 @@
 //! Round-trip property tests for the wire codec: `decode(encode(x)) == x`
-//! for **every** `MuninMsg` and `IvyMsg` variant, for batch frames
-//! (including payloads that travel behind a multicast's shared `Arc`), for
-//! the control-plane vocabulary, and for boundary-shaped diffs. Corrupt
-//! and truncated inputs must fail as `WireError`s, never panic.
+//! for **every** `MuninMsg`, `IvyMsg` and `TardisMsg` variant, for batch
+//! frames (including payloads that travel behind a multicast's shared
+//! `Arc`), for the control-plane vocabulary, and for boundary-shaped
+//! diffs. Corrupt and truncated inputs must fail as `WireError`s, never
+//! panic.
 
 use munin_core::{MuninMsg, UpdateItem};
 use munin_ivy::IvyMsg;
 use munin_mem::{Diff, PageId};
 use munin_rt::MsgBody;
 use munin_sim::{DsmOp, OpResult};
+use munin_tardis::TardisMsg;
 use munin_tcp::frames::{
-    encode_data_batch, encode_data_msg, CtrlFrame, DataFrame, ProtoConfig, RegReply, RegRequest,
-    StartConfig, TestFault,
+    encode_data_batch, encode_data_msg, CtrlFrame, DataFrame, RegReply, RegRequest, StartConfig,
+    TestFault,
 };
-use munin_tcp::wire::Wire;
+use munin_tcp::wire::{ProtoTag, Wire};
 use munin_types::{
     BarrierId, ByteRange, CondId, DsmError, IvyConfig, LockId, MuninConfig, NodeId, ObjectDecl,
-    ObjectId, SharingType, SyncDecls, ThreadId,
+    ObjectId, SharingType, SyncDecls, TardisConfig, ThreadId,
 };
 use proptest::prelude::*;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
@@ -25,6 +27,7 @@ use std::time::Duration;
 
 const MUNIN_VARIANTS: usize = 32;
 const IVY_VARIANTS: usize = 15;
+const TARDIS_VARIANTS: usize = 13;
 const DSMOP_VARIANTS: usize = 13;
 
 fn arb_bytes(rng: &mut SmallRng, max: usize) -> Vec<u8> {
@@ -164,6 +167,61 @@ fn arb_ivy(rng: &mut SmallRng, variant: usize) -> IvyMsg {
     }
 }
 
+fn arb_tardis(rng: &mut SmallRng, variant: usize) -> TardisMsg {
+    let obj = arb_obj(rng);
+    let thread = ThreadId(rng.gen_range(0u64..64) as u32);
+    let pts = rng.gen_range(0u64..u64::MAX);
+    match variant % TARDIS_VARIANTS {
+        0 => TardisMsg::ReadReq { obj, thread, pts },
+        1 => TardisMsg::ReadReply {
+            thread,
+            obj,
+            data: arb_bytes(rng, 1024),
+            wts: rng.gen_range(0u64..u64::MAX),
+            rts: rng.gen_range(0u64..u64::MAX),
+        },
+        2 => TardisMsg::RenewReq { obj, thread, pts, have_wts: rng.gen_range(0u64..u64::MAX) },
+        3 => TardisMsg::RenewAck {
+            thread,
+            obj,
+            wts: rng.gen_range(0u64..u64::MAX),
+            rts: rng.gen_range(0u64..u64::MAX),
+        },
+        4 => {
+            let data = arb_bytes(rng, 1024);
+            TardisMsg::WriteReq {
+                obj,
+                range: ByteRange::new(rng.gen_range(0u64..1024) as u32, data.len() as u32),
+                data,
+                thread,
+                pts,
+            }
+        }
+        5 => TardisMsg::WriteAck { thread, wts: rng.gen_range(0u64..u64::MAX) },
+        6 => TardisMsg::AtomicReq {
+            obj,
+            offset: rng.gen_range(0u64..1024) as u32,
+            delta: rng.gen_range(-100i64..100),
+            thread,
+            pts,
+        },
+        7 => TardisMsg::AtomicReply {
+            thread,
+            old: rng.gen_range(i64::MIN..i64::MAX),
+            wts: rng.gen_range(0u64..u64::MAX),
+        },
+        8 => TardisMsg::LockReq { lock: LockId(rng.gen_range(0u64..32) as u32), thread, pts },
+        9 => TardisMsg::LockGrant { thread, ts: rng.gen_range(0u64..u64::MAX) },
+        10 => TardisMsg::Unlock { lock: LockId(rng.gen_range(0u64..32) as u32), pts },
+        11 => TardisMsg::BarrierArrive {
+            barrier: BarrierId(rng.gen_range(0u64..8) as u32),
+            threads: rng.gen_range(1u64..16) as u32,
+            pts,
+        },
+        _ => TardisMsg::BarrierRelease { barrier: BarrierId(rng.gen_range(0u64..8) as u32), pts },
+    }
+}
+
 fn arb_decl(rng: &mut SmallRng) -> ObjectDecl {
     let sharing = SharingType::ALL[rng.gen_range(0u64..SharingType::ALL.len() as u64) as usize];
     let mut d = ObjectDecl::new(
@@ -241,6 +299,19 @@ proptest! {
         let mut rng = SmallRng::seed_from_u64(seed);
         for variant in 0..IVY_VARIANTS {
             let msg = arb_ivy(&mut rng, variant);
+            roundtrip(&msg);
+            roundtrip(&DataFrame::Msg(msg));
+        }
+    }
+
+    /// Every `TardisMsg` variant likewise — timestamps sweep the full u64
+    /// range so lease arithmetic at the edges still has a faithful wire
+    /// form.
+    #[test]
+    fn tardis_msg_roundtrips(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for variant in 0..TARDIS_VARIANTS {
+            let msg = arb_tardis(&mut rng, variant);
             roundtrip(&msg);
             roundtrip(&DataFrame::Msg(msg));
         }
@@ -347,18 +418,25 @@ fn max_size_diffs_roundtrip() {
 }
 
 /// Control-plane vocabulary round-trips, including a fully-populated
-/// `StartConfig` for both protocols.
+/// `StartConfig` for each protocol. The start frame carries the protocol
+/// config as an opaque byte blob behind a tag, so the fabric never learns
+/// the config types — here we check the blob survives and decodes back to
+/// the original config on the far side, exactly as `run_proto_node` does.
 #[test]
 fn control_frames_roundtrip() {
     let mut rng = SmallRng::seed_from_u64(7);
     let decls: Vec<ObjectDecl> = (0..6).map(|_| arb_decl(&mut rng)).collect();
-    for proto in
-        [ProtoConfig::Munin(MuninConfig::default()), ProtoConfig::Ivy(IvyConfig::default())]
-    {
+    let protos: [(u8, Vec<u8>); 3] = [
+        (0, MuninConfig::default().encode()),
+        (1, IvyConfig::default().encode()),
+        (2, TardisConfig::default().encode()),
+    ];
+    for (tag, proto_cfg) in protos {
         let start = StartConfig {
             node: NodeId(2),
             n_nodes: 4,
-            proto,
+            proto_tag: ProtoTag(tag),
+            proto_cfg,
             decls: decls.clone(),
             sync: SyncDecls::round_robin(3, 2, 4, 4),
             batch_max: 128,
@@ -468,6 +546,32 @@ fn corrupt_input_fails_closed() {
     evil.push(19u8); // Eager tag
     evil.extend_from_slice(&u32::MAX.to_le_bytes()); // item count
     assert!(MuninMsg::decode(&evil).is_err());
+}
+
+/// The same fail-closed discipline for every `TardisMsg` variant:
+/// truncation at any boundary errors, flipped tags error, and an oversized
+/// data-length prefix is rejected before allocation.
+#[test]
+fn tardis_corrupt_input_fails_closed() {
+    let mut rng = SmallRng::seed_from_u64(13);
+    for variant in 0..TARDIS_VARIANTS {
+        let bytes = arb_tardis(&mut rng, variant).encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                TardisMsg::decode(&bytes[..cut]).is_err(),
+                "truncation accepted at {cut}/{} for variant {variant}",
+                bytes.len()
+            );
+        }
+    }
+    assert!(TardisMsg::decode(&[0xff, 0, 0, 0]).is_err(), "bad tag must be rejected");
+    // ReadReply with a data length far beyond the remaining input.
+    let mut evil = Vec::new();
+    evil.push(1u8); // ReadReply tag
+    evil.extend_from_slice(&7u32.to_le_bytes()); // thread
+    evil.extend_from_slice(&9u64.to_le_bytes()); // obj
+    evil.extend_from_slice(&u32::MAX.to_le_bytes()); // data length
+    assert!(TardisMsg::decode(&evil).is_err());
 }
 
 /// An encoded `Msg` frame written by `encode_data_msg` parses back as the

@@ -222,6 +222,36 @@ impl IvyConfig {
     }
 }
 
+/// Configuration of the Tardis timestamp-lease protocol (Yu & Devadas).
+///
+/// Tardis replaces invalidation fan-out with logical time: the home node
+/// keeps one write timestamp and one read-lease timestamp per object, a
+/// read is granted a lease (`rts = reader_ts + lease`), and a write simply
+/// jumps the write timestamp past every granted lease — no multicast, no
+/// copyset, O(1) directory state. Stale copies die by timestamp comparison
+/// on the reader's side instead of by invalidation messages; a periodic
+/// sweep evicts copies whose lease the local clock has outrun.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TardisConfig {
+    pub cost: CostModel,
+    /// Logical lease span: how far past the reader's timestamp the home
+    /// extends an object's read lease on a fetch or renewal. Longer leases
+    /// mean more local read hits but a bigger timestamp jump (and thus more
+    /// renewals elsewhere) on the next write.
+    pub lease: u64,
+    /// Microseconds (virtual on the simulator, wall-clock on the real-time
+    /// fabrics) between lease-decay sweeps that evict locally cached copies
+    /// whose lease has expired against the node's own clock. `0` disables
+    /// the sweep; expired copies are then evicted only on access.
+    pub decay_us: u64,
+}
+
+impl Default for TardisConfig {
+    fn default() -> Self {
+        TardisConfig { cost: CostModel::default(), lease: 64, decay_us: 10_000 }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +268,13 @@ mod tests {
     fn strict_ablation_disables_duq() {
         let c = MuninConfig::default().strict();
         assert!(!c.delayed_updates);
+    }
+
+    #[test]
+    fn tardis_defaults_lease_and_sweep() {
+        let c = TardisConfig::default();
+        assert!(c.lease > 0, "a zero lease would renew on every read");
+        assert!(c.decay_us > 0, "default config keeps the decay sweep on");
     }
 
     #[test]

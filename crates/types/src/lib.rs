@@ -26,7 +26,8 @@ pub mod time;
 pub mod token;
 
 pub use config::{
-    AllocPolicy, IvyConfig, MuninConfig, ReadMostlyMode, SyncStrategy, Telemetry, UpdatePolicy,
+    AllocPolicy, IvyConfig, MuninConfig, ReadMostlyMode, SyncStrategy, TardisConfig, Telemetry,
+    UpdatePolicy,
 };
 pub use cost::CostModel;
 pub use element::Element;

@@ -43,7 +43,7 @@ fi
 if [ "$which" = "tcp" ] || [ "$which" = "all" ]; then
     # The bench spawns munin-node children; build them in the same
     # (release) profile the bench binaries run in.
-    cargo build --release -p munin-tcp
+    cargo build --release -p munin-api
     cargo bench --bench tcp_fabric "$@"
     echo "--- BENCH_tcp.json ---"
     cat BENCH_tcp.json

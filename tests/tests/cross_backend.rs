@@ -1,8 +1,9 @@
 //! Cross-crate integration: every study application must produce the
-//! sequential-reference result on every backend — Munin (loose, type-
-//! specific), Ivy (strict, page-based, spin or central sync), native
-//! threads, and the real-time MuninRt/IvyRt kernels — and Munin must also
-//! stay correct under its ablation configurations.
+//! sequential-reference result on every backend in `Backend::matrix()` —
+//! each registered protocol (Munin's type-specific coherence, the Ivy
+//! write-invalidate baseline, Tardis timestamp leases) on each fabric
+//! (simulator, real-time kernel, multi-process TCP) plus native threads —
+//! and Munin must also stay correct under its ablation configurations.
 
 use munin_api::Backend;
 use munin_apps::App;
@@ -25,30 +26,26 @@ fn run_app(app: App, nodes: usize, backend: Backend) {
     }
 }
 
-/// The five backends every program must agree on, freshly configured (the
-/// real-time kernels are scheduled by the OS, so each run is a genuinely
-/// different interleaving — the agreement asserted here is semantic, not
-/// rerun-of-the-same-schedule).
+/// The in-process cells of `Backend::matrix()` plus native threads: every
+/// protocol on the simulator and the real-time kernel, freshly configured
+/// (the real-time kernels are scheduled by the OS, so each run is a
+/// genuinely different interleaving — the agreement asserted here is
+/// semantic, not rerun-of-the-same-schedule). A protocol added to the
+/// matrix joins this test with no edit here.
 fn all_backends() -> Vec<Backend> {
-    vec![
-        Backend::Munin(MuninConfig::default()),
-        Backend::Ivy(IvyConfig::default()),
-        Backend::Native,
-        Backend::MuninRt(MuninConfig::default()),
-        Backend::IvyRt(IvyConfig::default()),
-    ]
+    let mut backends: Vec<Backend> =
+        Backend::matrix().into_iter().filter(|b| !b.is_distributed()).collect();
+    backends.push(Backend::Native);
+    backends
 }
 
-/// The two multi-process TCP backends, when the environment supports them
-/// (loopback sockets plus a built `munin-node` binary); `None` with a
-/// notice otherwise, so sandboxes without sockets skip loudly instead of
-/// failing.
+/// The multi-process TCP cells of the matrix, when the environment
+/// supports them (loopback sockets plus a built `munin-node` binary);
+/// `None` with a notice otherwise, so sandboxes without sockets skip
+/// loudly instead of failing.
 fn tcp_backends() -> Option<Vec<Backend>> {
     match munin_api::tcp_support() {
-        Ok(()) => Some(vec![
-            Backend::MuninTcp(MuninConfig::default()),
-            Backend::IvyTcp(IvyConfig::default()),
-        ]),
+        Ok(()) => Some(Backend::matrix().into_iter().filter(|b| b.is_distributed()).collect()),
         Err(notice) => {
             eprintln!("NOTICE: skipping TCP backends in cross-backend matrix: {notice}");
             None

@@ -129,13 +129,15 @@ fn ordered_lock_counter_identical_stats_batched_vs_unbatched_ivy_rt_central() {
 
 #[test]
 fn contended_lock_counter_exact_result_batched_and_unbatched() {
+    // Every in-process real-time backend in the matrix: a protocol added to
+    // `Backend::matrix()` is covered here without an edit.
+    let rt_backends: Vec<Backend> =
+        Backend::matrix().into_iter().filter(|b| b.is_realtime() && !b.is_distributed()).collect();
+    assert!(rt_backends.len() >= 3, "matrix must cover every protocol's rt backend");
     for tuning in [base_tuning(), base_tuning().unbatched()] {
-        contended_lock_counter(4, 40, tuning.clone())
-            .run(Backend::MuninRt(MuninConfig::default()))
-            .assert_clean();
-        contended_lock_counter(4, 25, tuning)
-            .run(Backend::IvyRt(IvyConfig::default()))
-            .assert_clean();
+        for backend in &rt_backends {
+            contended_lock_counter(4, 25, tuning.clone()).run(backend.clone()).assert_clean();
+        }
     }
 }
 
