@@ -224,6 +224,7 @@ pub struct ProgramBuilder {
     threads: Vec<(NodeId, ThreadBody)>,
     rt_tuning: RtTuning,
     tcp_fault: Option<TestFault>,
+    coverage: Option<std::sync::Arc<munin_obs::CoverageMap>>,
 }
 
 impl ProgramBuilder {
@@ -238,6 +239,7 @@ impl ProgramBuilder {
             threads: Vec::new(),
             rt_tuning: RtTuning::default(),
             tcp_fault: None,
+            coverage: None,
         }
     }
 
@@ -253,6 +255,16 @@ impl ProgramBuilder {
     /// Ignored by every other backend.
     pub fn inject_tcp_fault(&mut self, fault: TestFault) -> &mut Self {
         self.tcp_fault = Some(fault);
+        self
+    }
+
+    /// Attach a protocol-state coverage recorder; the run's servers note
+    /// (protocol, object, state, event) transitions into it on every
+    /// backend (sim, rt, tcp). Ignored by the native backend, which has no
+    /// protocol underneath. `None` (the default) keeps the note sites to a
+    /// single predicted branch.
+    pub fn coverage(&mut self, map: std::sync::Arc<munin_obs::CoverageMap>) -> &mut Self {
+        self.coverage = Some(map);
         self
     }
 
@@ -514,6 +526,9 @@ impl ProgramBuilder {
         if let Some(t) = tracer {
             b = b.tracer(t);
         }
+        if let Some(map) = self.coverage.clone() {
+            b = b.coverage(map);
+        }
         for d in &self.objects {
             let id = b.declare(d.clone(), d.home);
             debug_assert_eq!(id, d.id, "builder ids must stay dense");
@@ -544,6 +559,9 @@ impl ProgramBuilder {
         let mut b = RtWorldBuilder::<Pr::Msg>::new(n_nodes)
             .cost(Pr::cost(&cfg).clone())
             .tuning(self.rt_tuning.clone());
+        if let Some(map) = self.coverage.clone() {
+            b = b.coverage(map);
+        }
         for d in &self.objects {
             let id = b.declare(d.clone(), d.home);
             debug_assert_eq!(id, d.id, "builder ids must stay dense");
@@ -572,6 +590,9 @@ impl ProgramBuilder {
         let mut tuning = TcpTuning::from(self.rt_tuning.clone());
         tuning.test_fault = self.tcp_fault;
         let mut b = TcpWorldBuilder::<Pr::Msg>::new(self.n_nodes).tuning(tuning);
+        if let Some(map) = self.coverage.clone() {
+            b = b.coverage(map);
+        }
         for d in &self.objects {
             let id = b.declare(d.clone(), d.home);
             debug_assert_eq!(id, d.id, "builder ids must stay dense");

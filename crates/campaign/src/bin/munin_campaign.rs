@@ -8,13 +8,21 @@
 //! munin-campaign --scenario tcp-kill       # a curated scenario
 //! munin-campaign --list-scenarios
 //! munin-campaign --list-targets            # every protocol × fabric target
+//! munin-campaign explore --budget 64       # coverage-guided exploration
 //! ```
+//!
+//! `explore` runs the coverage-guided corpus loop: plans that fire
+//! protocol-state transitions the run has not seen join the corpus and
+//! are mutated. It prints the coverage report (write it to a file with
+//! `--out`) and exits nonzero when a must-reach manifest goal stays
+//! unreached or any explored plan fails its campaign checks.
 //!
 //! A failing campaign auto-shrinks to a locally minimal plan that still
 //! fails, writes it to `--out` (if given), and prints the one-line repro.
 //! Exit code: 0 all passed, 1 campaign failure, 2 usage error.
 
 use munin_campaign::exec::{execute, CampaignOutcome, ExecOptions, Target};
+use munin_campaign::explore::{explore, ExploreConfig};
 use munin_campaign::gen::{generate_with, GenConfig};
 use munin_campaign::plan::InteractionPlan;
 use munin_campaign::scenario;
@@ -22,6 +30,8 @@ use munin_campaign::shrink::shrink_failing;
 use std::process::ExitCode;
 
 struct Args {
+    explore: bool,
+    budget: usize,
     seed: Option<u64>,
     batch: Option<u64>,
     seed_base: u64,
@@ -43,11 +53,14 @@ fn usage() -> &'static str {
      --scenario NAME | --list-scenarios | --list-targets | --export-scenario NAME)\n\
      \x20       [--backend TARGET] [--out FILE] [--gen-only]\n\
      \x20       [--allow-kill] [--async-heavy] [--shrink-budget K]\n\
+     \x20  or:  munin-campaign explore [--budget N] [--seed N] [--backend TARGET] [--out FILE]\n\
      \x20       TARGET is a protocol × fabric pair; see --list-targets"
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
+        explore: false,
+        budget: 64,
         seed: None,
         batch: None,
         seed_base: 0,
@@ -68,6 +81,10 @@ fn parse_args() -> Result<Args, String> {
         let mut val =
             |what: &str| it.next().ok_or_else(|| format!("{arg} needs a {what} argument"));
         match arg.as_str() {
+            "explore" => args.explore = true,
+            "--budget" => {
+                args.budget = val("count")?.parse().map_err(|e| format!("--budget: {e}"))?
+            }
             "--seed" => args.seed = Some(val("seed")?.parse().map_err(|e| format!("--seed: {e}"))?),
             "--batch" => {
                 args.batch = Some(val("count")?.parse().map_err(|e| format!("--batch: {e}"))?)
@@ -97,7 +114,9 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     let modes = [
-        args.seed.is_some() || args.batch.is_some(),
+        // `explore` consumes --seed itself; --batch stays a separate mode.
+        !args.explore && (args.seed.is_some() || args.batch.is_some()),
+        args.explore,
         args.plan_file.is_some(),
         args.scenario.is_some(),
         args.list_scenarios,
@@ -106,6 +125,9 @@ fn parse_args() -> Result<Args, String> {
     ];
     if modes.iter().filter(|m| **m).count() != 1 {
         return Err(format!("pick exactly one mode\n{}", usage()));
+    }
+    if args.explore && args.batch.is_some() {
+        return Err(format!("explore and --batch are mutually exclusive\n{}", usage()));
     }
     Ok(args)
 }
@@ -239,6 +261,28 @@ fn run(args: &Args) -> Result<bool, String> {
         async_heavy: args.async_heavy,
         ..GenConfig::default()
     };
+    if args.explore {
+        let cfg = ExploreConfig {
+            target: args.target,
+            budget: args.budget,
+            gen: gen_cfg,
+            opts: ExecOptions::default(),
+        };
+        let report = explore(args.seed.unwrap_or(0), &cfg)?;
+        let text = report.to_text();
+        print!("{text}");
+        if let Some(path) = &args.out {
+            std::fs::write(path, &text).map_err(|e| format!("could not write {path}: {e}"))?;
+            eprintln!("coverage report written to {path}");
+        }
+        if !report.all_goals_reached() {
+            eprintln!("explore: must-reach goals unreached — failing");
+        }
+        for (plan, _) in &report.failures {
+            eprintln!("failing plan TOML:\n{}", plan.to_toml());
+        }
+        return Ok(report.passed());
+    }
     if let Some(path) = &args.plan_file {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;

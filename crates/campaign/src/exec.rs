@@ -21,7 +21,7 @@
 //!   detector).
 
 use crate::fault::{clock_skews, sim_transport, tcp_compatible, tcp_fault};
-use crate::plan::{InteractionPlan, PlanOp};
+use crate::plan::{CellType, InteractionPlan, PlanOp};
 use munin_api::{Backend, OpToken, Par, ParTyped, ProgramBuilder, RtTuning, SharedScalar};
 use munin_check::{check_campaign, CampaignHistory, ObsEvent, Violation};
 use munin_types::{
@@ -119,11 +119,26 @@ pub struct ExecOptions {
     /// (`chaos_skip_updates`) in through here to prove the checker catches
     /// a protocol that silently drops an update.
     pub munin: MuninConfig,
+    /// Tardis backend configuration. The plan's `tardis_lease` /
+    /// `tardis_decay_us` overrides (if set) are applied on top, so a saved
+    /// plan replays with the lease geometry it was found under. The
+    /// Tardis checker-mutation tests ride `chaos_skip_wts` in through
+    /// here.
+    pub tardis: TardisConfig,
+    /// Transition coverage map to attach to the run (explore mode). Every
+    /// protocol server notes its state transitions into it; `None` (the
+    /// default) costs one predicted branch per note site.
+    pub coverage: Option<Arc<munin_obs::CoverageMap>>,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { tcp_stall: Duration::from_millis(800), munin: MuninConfig::default() }
+        ExecOptions {
+            tcp_stall: Duration::from_millis(800),
+            munin: MuninConfig::default(),
+            tardis: TardisConfig::default(),
+            coverage: None,
+        }
     }
 }
 
@@ -158,6 +173,11 @@ pub struct CampaignOutcome {
     /// simulator records no telemetry, so sim targets leave this `None`.
     /// Failing shrunk plans attach it to their artifacts.
     pub metrics: Option<munin_obs::MetricsSnapshot>,
+    /// Transition coverage recorded by this run, when a map was attached
+    /// via [`ExecOptions::coverage`]. The snapshot is taken after the run,
+    /// so a fresh per-run map yields per-run coverage and a shared map
+    /// yields the running union.
+    pub coverage: Option<munin_obs::CoverageSnapshot>,
 }
 
 impl CampaignOutcome {
@@ -197,12 +217,33 @@ pub fn execute(
     }
 
     let mut p = ProgramBuilder::new(plan.n_nodes);
+    if let Some(map) = &opts.coverage {
+        p.coverage(map.clone());
+    }
     let n = plan.n_nodes;
+
+    // The plan's lease geometry overrides travel with its TOML, so a
+    // coverage-found failure replays under the exact lease/decay timing it
+    // was discovered with.
+    let mut tardis_cfg = opts.tardis.clone();
+    if let Some(l) = plan.tardis_lease {
+        tardis_cfg.lease = l;
+    }
+    if let Some(d) = plan.tardis_decay_us {
+        tardis_cfg.decay_us = d;
+    }
 
     // Declaration order fixes the dense ObjectId layout the checker
     // metadata relies on: free cells, then locked cells, then counters.
     let cells: Vec<SharedScalar<i64>> = (0..plan.free_cells)
-        .map(|i| p.scalar::<i64>(&format!("c{i}"), SharingType::WriteMany, i % n))
+        .map(|i| {
+            let ty = match plan.cell_type(i) {
+                CellType::WriteMany => SharingType::WriteMany,
+                CellType::ReadMostly => SharingType::ReadMostly,
+                CellType::ProducerConsumer => SharingType::ProducerConsumer,
+            };
+            p.scalar::<i64>(&format!("c{i}"), ty, i % n)
+        })
         .collect();
     let mut locks = Vec::with_capacity(plan.locked_cells);
     let mut lcells: Vec<SharedScalar<i64>> = Vec::with_capacity(plan.locked_cells);
@@ -361,9 +402,8 @@ pub fn execute(
             p.run_with(Backend::Ivy(cfg), transport, None)
         }
         Target::Tardis => {
-            let cfg = TardisConfig::default();
-            let transport = sim_transport(plan, cfg.cost.clone());
-            p.run_with(Backend::Tardis(cfg), transport, None)
+            let transport = sim_transport(plan, tardis_cfg.cost.clone());
+            p.run_with(Backend::Tardis(tardis_cfg), transport, None)
         }
         Target::MuninTcp | Target::IvyTcp | Target::TardisTcp => {
             let mut tuning = RtTuning::default();
@@ -379,7 +419,7 @@ pub fn execute(
             match target {
                 Target::MuninTcp => p.run(Backend::MuninTcp(opts.munin.clone())),
                 Target::IvyTcp => p.run(Backend::IvyTcp(IvyConfig::default())),
-                _ => p.run(Backend::TardisTcp(TardisConfig::default())),
+                _ => p.run(Backend::TardisTcp(tardis_cfg)),
             }
         }
     };
@@ -429,6 +469,7 @@ pub fn execute(
         final_counters: finals,
         stats: report.stats.clone(),
         metrics: report.metrics.clone(),
+        coverage: opts.coverage.as_ref().map(|m| m.snapshot()),
     })
 }
 

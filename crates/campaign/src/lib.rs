@@ -29,17 +29,28 @@
 //! Plans serialize to a small TOML subset (first-party codec in
 //! [`toml`] — the workspace's vendored `serde` is a no-op stub), and
 //! curated scenarios with expectations live in [`scenario`].
+//!
+//! **Explore mode** ([`explore`]) replaces blind generation with a
+//! coverage-guided corpus loop: every run records the protocol-state
+//! transitions it fired ([`munin_obs::CoverageMap`], fed through the
+//! kernel seam by all three protocol crates), plans that discover new
+//! transitions are kept and mutated, and per-protocol must-reach
+//! manifests ([`manifest`]) turn missing coverage into a red exit code.
 
 pub mod exec;
+pub mod explore;
 pub mod fault;
 pub mod gen;
+pub mod manifest;
 pub mod plan;
 pub mod scenario;
 pub mod shrink;
 pub mod toml;
 
 pub use exec::{execute, CampaignOutcome, ExecOptions, Target};
+pub use explore::{decay_sweep_plans, explore, uniform_baseline, ExploreConfig, ExploreReport};
 pub use gen::{generate, generate_with, GenConfig};
-pub use plan::{FaultSpec, InteractionPlan, PlanOp, Round};
+pub use manifest::{Goal, MustReach};
+pub use plan::{CellType, FaultSpec, InteractionPlan, PlanOp, Round};
 pub use scenario::{Expect, Scenario};
 pub use shrink::{shrink, shrink_failing};

@@ -96,6 +96,38 @@ impl PlanOp {
     }
 }
 
+/// Sharing annotation for a free cell. Write-many is the historical
+/// default; the explore mode's retype mutation moves cells onto the other
+/// loose-coherence protocols (all of them sound under the plan's
+/// one-writer-per-round, barrier-separated access shape), steering runs
+/// into protocol paths the uniform generator never exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CellType {
+    #[default]
+    WriteMany,
+    ReadMostly,
+    ProducerConsumer,
+}
+
+impl CellType {
+    pub fn encode(&self) -> &'static str {
+        match self {
+            CellType::WriteMany => "write-many",
+            CellType::ReadMostly => "read-mostly",
+            CellType::ProducerConsumer => "producer-consumer",
+        }
+    }
+
+    pub fn decode(s: &str) -> Result<CellType, String> {
+        match s {
+            "write-many" => Ok(CellType::WriteMany),
+            "read-mostly" => Ok(CellType::ReadMostly),
+            "producer-consumer" => Ok(CellType::ProducerConsumer),
+            other => Err(format!("unknown cell type `{other}`")),
+        }
+    }
+}
+
 /// One round: `ops[t]` is thread `t`'s operation sequence; a global
 /// barrier separates rounds.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -162,8 +194,20 @@ pub struct InteractionPlan {
     pub n_nodes: usize,
     pub n_threads: usize,
     pub free_cells: usize,
+    /// Per-cell sharing annotations. Either empty (every free cell is
+    /// write-many, the historical default — and the canonical TOML is
+    /// unchanged) or exactly `free_cells` long.
+    pub cell_types: Vec<CellType>,
     pub locked_cells: usize,
     pub counters: usize,
+    /// Tardis lease length override (logical timestamps). `None` keeps the
+    /// backend default; ignored by non-Tardis targets. Optional so the
+    /// canonical TOML of plans that never touch it is unchanged.
+    pub tardis_lease: Option<u64>,
+    /// Tardis decay-sweep period override (virtual µs between lease-decay
+    /// sweeps at each home). The explore mode's decay soak sweep drives
+    /// this knob; `None` keeps the backend default.
+    pub tardis_decay_us: Option<u64>,
     pub faults: Vec<FaultSpec>,
     pub rounds: Vec<Round>,
 }
@@ -176,11 +220,20 @@ impl InteractionPlan {
             n_nodes,
             n_threads,
             free_cells: 0,
+            cell_types: Vec::new(),
             locked_cells: 0,
             counters: 0,
+            tardis_lease: None,
+            tardis_decay_us: None,
             faults: Vec::new(),
             rounds: Vec::new(),
         }
+    }
+
+    /// The sharing annotation of free cell `i` (write-many when the plan
+    /// carries no explicit annotations).
+    pub fn cell_type(&self, i: usize) -> CellType {
+        self.cell_types.get(i).copied().unwrap_or_default()
     }
 
     /// Every fault heals, so the run must end clean with full visibility.
@@ -214,6 +267,19 @@ impl InteractionPlan {
         }
         if self.n_threads == 0 {
             return Err("plan has no threads".into());
+        }
+        if !self.cell_types.is_empty() && self.cell_types.len() != self.free_cells {
+            return Err(format!(
+                "cell_types has {} entries for {} free cells (empty means all write-many)",
+                self.cell_types.len(),
+                self.free_cells
+            ));
+        }
+        if self.tardis_lease == Some(0) {
+            return Err("tardis_lease must be positive".into());
+        }
+        if self.tardis_decay_us == Some(0) {
+            return Err("tardis_decay_us must be positive".into());
         }
         // The loose-coherence checker identifies writes by label alone, so
         // labels are unique across the whole plan, not just per cell.
@@ -338,6 +404,20 @@ impl InteractionPlan {
         p.set("free_cells", Value::Int(self.free_cells as i64));
         p.set("locked_cells", Value::Int(self.locked_cells as i64));
         p.set("counters", Value::Int(self.counters as i64));
+        if !self.cell_types.is_empty() {
+            p.set(
+                "cell_types",
+                Value::List(
+                    self.cell_types.iter().map(|t| Value::Str(t.encode().into())).collect(),
+                ),
+            );
+        }
+        if let Some(l) = self.tardis_lease {
+            p.set("tardis_lease", Value::Int(l as i64));
+        }
+        if let Some(d) = self.tardis_decay_us {
+            p.set("tardis_decay_us", Value::Int(d as i64));
+        }
         doc.push("plan", p);
         for f in &self.faults {
             let mut t = Table::default();
@@ -405,12 +485,25 @@ impl InteractionPlan {
         let doc = parse(text)?;
         let p = doc.table("plan").ok_or("missing [plan] table")?;
         let mut plan = InteractionPlan {
-            seed: p.require("seed")?.as_u64()?,
+            // Bijective i64 cast: seeds above i64::MAX (derived substream
+            // seeds use the full u64 range) serialize negative and read
+            // back exactly.
+            seed: p.require("seed")?.as_int()? as u64,
             n_nodes: p.require("n_nodes")?.as_usize()?,
             n_threads: p.require("n_threads")?.as_usize()?,
             free_cells: p.require("free_cells")?.as_usize()?,
             locked_cells: p.require("locked_cells")?.as_usize()?,
             counters: p.require("counters")?.as_usize()?,
+            cell_types: match p.get("cell_types") {
+                Some(v) => v
+                    .as_list()?
+                    .iter()
+                    .map(|t| t.as_str().and_then(CellType::decode))
+                    .collect::<Result<_, _>>()?,
+                None => Vec::new(),
+            },
+            tardis_lease: p.get("tardis_lease").map(|v| v.as_u64()).transpose()?,
+            tardis_decay_us: p.get("tardis_decay_us").map(|v| v.as_u64()).transpose()?,
             faults: Vec::new(),
             rounds: Vec::new(),
         };
@@ -528,6 +621,21 @@ mod tests {
         let back = InteractionPlan::from_toml(&text).unwrap();
         assert_eq!(back, plan);
         assert_eq!(back.to_toml(), text, "serialization must be canonical");
+    }
+
+    #[test]
+    fn tardis_overrides_round_trip_and_stay_optional() {
+        let mut plan = tiny_plan();
+        let base = plan.to_toml();
+        assert!(!base.contains("tardis_"), "unset overrides must not appear in canonical TOML");
+        plan.tardis_lease = Some(16);
+        plan.tardis_decay_us = Some(500);
+        let text = plan.to_toml();
+        let back = InteractionPlan::from_toml(&text).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.to_toml(), text, "serialization must stay canonical with overrides");
+        plan.tardis_decay_us = Some(0);
+        assert!(plan.validate().is_err(), "a zero decay period is rejected");
     }
 
     #[test]

@@ -183,6 +183,14 @@ fn compact(plan: &InteractionPlan) -> InteractionPlan {
     let (fmap, lmap, cmap) = (remap(&free_used), remap(&locked_used), remap(&ctr_used));
     let mut cand = plan.clone();
     cand.free_cells = free_used.iter().filter(|u| **u).count();
+    if !cand.cell_types.is_empty() {
+        cand.cell_types = free_used
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| **u)
+            .map(|(i, _)| plan.cell_type(i))
+            .collect();
+    }
     cand.locked_cells = locked_used.iter().filter(|u| **u).count();
     cand.counters = ctr_used.iter().filter(|u| **u).count();
     for round in &mut cand.rounds {

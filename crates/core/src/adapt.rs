@@ -18,6 +18,7 @@
 //!   observation that invalidation wins under per-processor locality and
 //!   refresh wins under fine-grained sharing.
 
+use crate::cover;
 use crate::msg::MuninMsg;
 use crate::server::MuninServer;
 use munin_sim::KernelApi;
@@ -111,6 +112,7 @@ impl MuninServer {
             }
         }
         self.detect.get_mut(&obj).expect("checked").retyped = true;
+        cover(k, "general-rw", "home", "retype-producer-consumer");
         self.start_recall_txn(k, obj, SharingType::ProducerConsumer);
     }
 

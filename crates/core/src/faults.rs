@@ -6,6 +6,7 @@
 //! ("the server checks what type of object the thread faulted on and
 //! invokes the appropriate fault handler").
 
+use crate::cover;
 use crate::msg::MuninMsg;
 use crate::server::{DeclLite, MuninServer};
 use crate::state::{InflightKind, PendingFault};
@@ -89,6 +90,7 @@ impl MuninServer {
                 if self.local.get(&obj).is_some_and(|s| s.valid) {
                     self.read_hit(k, obj, range)
                 } else {
+                    cover(k, decl.sharing.label(), "invalid", "read-migrate-fault");
                     self.pend_fault(obj, PendingFault::Read { thread, range });
                     self.request_migration(k, decl, obj);
                     OpOutcome::Blocked
@@ -100,6 +102,7 @@ impl MuninServer {
                 } else {
                     // Remote load: no copy is installed; every read pays the
                     // round trip (the paper's prototype behaviour).
+                    cover(k, decl.sharing.label(), "remote", "remote-load");
                     self.pend_fault(obj, PendingFault::Read { thread, range });
                     if !self.inflight_contains(obj, InflightKind::ReadCopy) {
                         self.inflight_insert(obj, InflightKind::ReadCopy);
@@ -123,6 +126,7 @@ impl MuninServer {
                         Err(e) => OpOutcome::fail(e),
                     }
                 } else {
+                    cover(k, decl.sharing.label(), "remote", "result-collect-read");
                     self.pend_fault(obj, PendingFault::Read { thread, range });
                     if !self.inflight_contains(obj, InflightKind::ReadCopy) {
                         self.inflight_insert(obj, InflightKind::ReadCopy);
@@ -139,6 +143,7 @@ impl MuninServer {
                 if self.local.get(&obj).is_some_and(|s| s.valid) {
                     self.read_hit(k, obj, range)
                 } else {
+                    cover(k, decl.sharing.label(), "invalid", "read-fault");
                     self.pend_fault(obj, PendingFault::Read { thread, range });
                     if !self.inflight_contains(obj, InflightKind::ReadCopy) {
                         self.inflight_insert(obj, InflightKind::ReadCopy);
@@ -194,11 +199,13 @@ impl MuninServer {
         self.pend_fault(obj, PendingFault::Read { thread, range });
         if decl.size <= self.cfg.write_once_page {
             // Small object: fetch whole.
+            cover(k, decl.sharing.label(), "invalid", "fetch-whole");
             if !self.inflight_contains(obj, InflightKind::ReadCopy) {
                 self.inflight_insert(obj, InflightKind::ReadCopy);
                 self.route(k, decl.home, MuninMsg::ReadReq { obj, page: None });
             }
         } else {
+            cover(k, decl.sharing.label(), "invalid", "page-fault");
             let missing: Vec<u32> = {
                 let st = self.local.entry(obj).or_default();
                 pages.filter(|p| !st.valid_pages.contains(p)).collect()
@@ -274,6 +281,7 @@ impl MuninServer {
                 if self.local.get(&obj).is_some_and(|s| s.valid) {
                     self.write_hit(k, obj, range, &data)
                 } else {
+                    cover(k, decl.sharing.label(), "invalid", "write-migrate-fault");
                     self.pend_fault(obj, PendingFault::Write { thread, range, data });
                     self.request_migration(k, decl, obj);
                     OpOutcome::Blocked
@@ -284,6 +292,16 @@ impl MuninServer {
                 if st.valid && st.writable {
                     self.write_hit(k, obj, range, &data)
                 } else {
+                    cover(
+                        k,
+                        decl.sharing.label(),
+                        if self.local.get(&obj).is_some_and(|s| s.valid) {
+                            "read-only"
+                        } else {
+                            "invalid"
+                        },
+                        "ownership-fault",
+                    );
                     self.pend_fault(obj, PendingFault::Write { thread, range, data });
                     if !self.inflight_contains(obj, InflightKind::Ownership) {
                         self.inflight_insert(obj, InflightKind::Ownership);
@@ -304,6 +322,7 @@ impl MuninServer {
                     return self.write_read_mostly(k, thread, decl, obj, range, data);
                 }
                 // Write-without-fetch: log locally, flush merges at the home.
+                cover(k, decl.sharing.label(), "scratch", "write-log");
                 self.store.ensure_zeroed(obj, decl.size);
                 if let Err(e) = self.store.write(obj, range, &data) {
                     return OpOutcome::fail(e);
@@ -353,6 +372,7 @@ impl MuninServer {
         let valid = self.local.get(&obj).is_some_and(|s| s.valid);
         if !valid {
             // Write-allocate: fetch a copy first, replay the write after.
+            cover(k, decl.sharing.label(), "invalid", "write-allocate");
             self.pend_fault(obj, PendingFault::Write { thread, range, data });
             if !self.inflight_contains(obj, InflightKind::ReadCopy) {
                 self.inflight_insert(obj, InflightKind::ReadCopy);
@@ -368,6 +388,7 @@ impl MuninServer {
         // Dirty-range twinning: snapshot only the pristine bytes this write
         // touches (before the write lands), so flush-time diffing scans
         // O(bytes written) instead of the whole object.
+        cover(k, decl.sharing.label(), "valid", "twin-write");
         self.twins.note_write(obj, range, self.store.get(obj).expect("valid copy has bytes"));
         if let Err(e) = self.store.write(obj, range, &data) {
             return OpOutcome::fail(e);
@@ -375,6 +396,7 @@ impl MuninServer {
         self.local_mut(obj).writes += 1;
         self.duq.note_twinned(obj, thread);
         if eager {
+            cover(k, decl.sharing.label(), "valid", "eager-push");
             // Push the new bytes right now ("propagating the boundary
             // element updates as soon as they occur") and mirror them into
             // the twin so the synchronization fence doesn't re-send them.
@@ -412,6 +434,7 @@ impl MuninServer {
             }
         }
         self.local_mut(obj).writes += 1;
+        cover(k, decl.sharing.label(), "valid", "write-through");
         let diff = munin_mem::Diff::overwrite(range, data);
         self.write_through(k, thread, obj, decl.home, diff);
         OpOutcome::Blocked
@@ -520,11 +543,13 @@ impl MuninServer {
             SharingType::WriteOnce => {
                 let published = self.dir.get(&obj).is_some_and(|d| d.published);
                 if published {
+                    cover(k, decl.sharing.label(), "published", "serve-read");
                     if from != self.node {
                         self.dir.get_mut(&obj).expect("ensured").copyset.insert(from);
                     }
                     self.serve_read_copy(k, obj, from, page);
                 } else {
+                    cover(k, decl.sharing.label(), "unpublished", "wait-publication");
                     self.dir.get_mut(&obj).expect("ensured").waiting_publication.push((from, page));
                 }
             }
@@ -590,6 +615,7 @@ impl MuninServer {
                 self.replay_faults(k, obj);
             }
             None if install => {
+                cover(k, decl.sharing.label(), "invalid", "install-copy");
                 self.store.install(obj, data);
                 self.finish_install(k, decl, obj);
             }

@@ -22,6 +22,7 @@
 //! per-pair FIFO channels, that every earlier eager push has been applied
 //! before the synchronization is allowed to complete.
 
+use crate::cover;
 use crate::msg::{MuninMsg, UpdateItem};
 use crate::server::{MuninServer, OutSession, SessionKind};
 use munin_mem::Diff;
@@ -78,6 +79,7 @@ impl MuninServer {
         if groups.is_empty() {
             return;
         }
+        cover(k, "duq", "queued", "sync-flush");
         let session = self.fresh_session(SessionKind::SyncFlush, groups.len());
         self.dispatch_flush_groups(k, session, groups);
     }
@@ -93,6 +95,7 @@ impl MuninServer {
         if groups.is_empty() {
             return;
         }
+        cover(k, "duq", "full", "pressure-flush");
         let session = self.fresh_session(SessionKind::SyncFlush, groups.len());
         self.dispatch_flush_groups(k, session, groups);
     }
@@ -187,9 +190,11 @@ impl MuninServer {
                 };
                 let slot = dests.entry(dst).or_default();
                 if refresh {
+                    cover(k, decl.sharing.label(), "copyset", "refresh");
                     entry.copy_usage.entry(dst).or_default().updates += 1;
                     slot.0.push(item.clone());
                 } else {
+                    cover(k, decl.sharing.label(), "copyset", "invalidate");
                     slot.1.push(item.obj);
                     dropped.push(dst);
                 }

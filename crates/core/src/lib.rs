@@ -34,6 +34,23 @@
 //! from usage feedback, and runtime promotion of general read-write objects
 //! to producer-consumer/migratory (`adapt`).
 
+/// Note a protocol-state transition into the run's coverage map, if one is
+/// attached (campaign explore mode). The `object` axis is the sharing
+/// annotation's label (or a structural name like "lock"/"barrier"), so
+/// coverage distinguishes e.g. a write-many write-fault from a migratory
+/// one. One predicted branch per site when no map is attached.
+#[inline]
+pub(crate) fn cover(
+    k: &dyn munin_sim::KernelApi<MuninMsg>,
+    object: &'static str,
+    state: &'static str,
+    event: &'static str,
+) {
+    if let Some(c) = k.coverage() {
+        c.note(munin_sim::Transition::new("munin", object, state, event));
+    }
+}
+
 pub mod adapt;
 pub mod atomic;
 pub mod barrier;

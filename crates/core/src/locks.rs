@@ -16,6 +16,7 @@
 //! * **release** — local waiters first (zero messages), then pending passes,
 //!   otherwise the token stays (re-acquisition by this node remains free).
 
+use crate::cover;
 use crate::msg::MuninMsg;
 use crate::server::MuninServer;
 use crate::sync_objs::ProxyLock;
@@ -37,12 +38,14 @@ impl MuninServer {
         let home = self.lock_home(l);
         let p = self.proxies.entry(l).or_insert_with(|| ProxyLock::new(false));
         if p.can_grant_locally() {
+            cover(k, "lock", "token-here", "local-grant");
             p.locked_by = Some(thread);
             k.complete(thread, OpResult::Unit, k.cost().local_lock_us);
             return;
         }
         p.local_queue.push_back(thread);
         if !p.has_token && !p.requested {
+            cover(k, "lock", "token-remote", "request");
             p.requested = true;
             self.route(k, home, MuninMsg::LockReq { lock: l });
         }
@@ -65,6 +68,7 @@ impl MuninServer {
         p.locked_by = None;
         // Local handoff first: the proxy win.
         if let Some(next) = p.local_queue.pop_front() {
+            cover(k, "lock", "token-here", "proxy-handoff");
             p.locked_by = Some(next);
             k.complete(next, OpResult::Unit, k.cost().local_lock_us);
             k.complete(thread, OpResult::Unit, k.cost().local_lock_us);
@@ -87,6 +91,12 @@ impl MuninServer {
             p.has_token = false;
         }
         let piggyback = self.collect_lock_associates(k, l, dst);
+        cover(
+            k,
+            "lock",
+            "token-here",
+            if piggyback.is_empty() { "token-pass" } else { "token-pass-migrate" },
+        );
         self.route(k, dst, MuninMsg::LockPass { lock: l, piggyback });
     }
 
@@ -175,6 +185,7 @@ impl MuninServer {
         if can_pass {
             self.pass_token(k, l, to);
         } else {
+            cover(k, "lock", "token-here", "pass-deferred");
             self.proxies.get_mut(&l).expect("proxy exists").pending_pass.push_back(to);
         }
     }

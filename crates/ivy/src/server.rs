@@ -11,6 +11,20 @@ use munin_types::{
 };
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
+/// Note a protocol-state transition into the run's coverage map, if one is
+/// attached (campaign explore mode). One predicted branch when off.
+#[inline]
+fn cover(
+    k: &dyn KernelApi<IvyMsg>,
+    object: &'static str,
+    state: &'static str,
+    event: &'static str,
+) {
+    if let Some(c) = k.coverage() {
+        c.note(munin_sim::Transition::new("ivy", object, state, event));
+    }
+}
+
 /// Local copy of one page.
 #[derive(Debug)]
 struct PageCopy {
@@ -314,6 +328,8 @@ impl IvyServer {
                     continue;
                 }
                 fl.write = true;
+                let upgrade = self.pages.contains_key(&need.page);
+                cover(k, "page", if upgrade { "read-only" } else { "invalid" }, "write-fault");
                 let mgr = self.manager(need.page);
                 self.route(k, mgr, IvyMsg::WReq { page: need.page });
             } else {
@@ -321,6 +337,7 @@ impl IvyServer {
                     continue;
                 }
                 fl.read = true;
+                cover(k, "page", "invalid", "read-fault");
                 let mgr = self.manager(need.page);
                 self.route(k, mgr, IvyMsg::RReq { page: need.page });
             }
@@ -415,9 +432,11 @@ impl IvyServer {
                 let ticket = self.read_u64_at(addr);
                 self.write_u64_at(addr, ticket + 1);
                 if self.read_u64_at(addr + 8) == ticket {
+                    cover(k, "lock", "free", "acquire");
                     self.attempts.remove(&thread);
                     k.complete(thread, OpResult::Unit, cost);
                 } else {
+                    cover(k, "lock", "held", "spin-park");
                     self.park_ticket_wait(k, thread, lock, ticket);
                 }
             }
@@ -431,6 +450,7 @@ impl IvyServer {
                 }
             }
             PendingIvyOp::Unlock { thread, lock } => {
+                cover(k, "lock", "held", "release");
                 let addr = self.lock_addr[&lock];
                 let serving = self.read_u64_at(addr + 8);
                 self.write_u64_at(addr + 8, serving + 1);
@@ -441,11 +461,13 @@ impl IvyServer {
                 let count = self.barrier_count[&barrier];
                 let arrived = self.read_u64_at(addr) + 1;
                 if arrived as u32 >= count {
+                    cover(k, "barrier", "gather", "sense-flip");
                     self.write_u64_at(addr, 0);
                     let sense = self.read_u64_at(addr + 8);
                     self.write_u64_at(addr + 8, sense ^ 1);
                     k.complete(thread, OpResult::Unit, cost);
                 } else {
+                    cover(k, "barrier", "gather", "arrive");
                     self.write_u64_at(addr, arrived);
                     let expected = (self.read_u64_at(addr + 8) ^ 1) as u8;
                     // Start polling the sense word.
@@ -564,6 +586,7 @@ impl IvyServer {
             // no longer write behind the readers' backs). No confirmation
             // needed: a later invalidation to `from` travels the same FIFO
             // channel as this copy, so it cannot overtake it.
+            cover(k, "page", "owned", "serve-read");
             let data = {
                 let copy = self.pages.get_mut(&page).expect("owner holds copy");
                 copy.write = false;
@@ -576,6 +599,7 @@ impl IvyServer {
         } else {
             // Forwarded: the copy travels owner→requester, off this
             // manager's channels — hold write transactions until confirmed.
+            cover(k, "page", "remote-owned", "forward-read");
             self.dir.get_mut(&page).expect("ensured").pending_reads.insert(from);
             self.route(k, owner, IvyMsg::FwdRead { page, requester: from });
         }
@@ -631,12 +655,17 @@ impl IvyServer {
             requester_had_copy: had_copy,
             xfer: None,
         });
+        cover(k, "page", "manager", "write-txn");
         if awaiting_yield {
+            cover(k, "page", "remote-owned", "yield-request");
             self.route(k, owner, IvyMsg::Yield { page });
         }
         if !self_inval.is_empty() {
             self.pages.remove(&page);
             self.rescan(k);
+        }
+        if !remote_inval.is_empty() {
+            cover(k, "page", "copyset", "invalidate");
         }
         for n in remote_inval {
             k.send(self.node, n, IvyMsg::Inval { page });
@@ -668,6 +697,7 @@ impl IvyServer {
     }
 
     fn handle_inval(&mut self, k: &mut dyn KernelApi<IvyMsg>, from: NodeId, page: PageId) {
+        cover(k, "page", "valid", "invalidated");
         self.pages.remove(&page);
         self.route(k, from, IvyMsg::InvalAck { page });
         self.rescan(k);
@@ -784,6 +814,7 @@ impl IvyServer {
         data: Vec<u8>,
         confirm: bool,
     ) {
+        cover(k, "page", "invalid", "install-read");
         self.pages.insert(page, PageCopy { data, write: false });
         if let Some(fl) = self.inflight.get_mut(&page) {
             fl.read = false;
@@ -817,9 +848,11 @@ impl IvyServer {
     ) {
         match data {
             Some(d) => {
+                cover(k, "page", "invalid", "ownership-transfer");
                 self.pages.insert(page, PageCopy { data: d, write: true });
             }
             None => {
+                cover(k, "page", "read-only", "upgrade");
                 let ps = self.cfg.page_size as usize;
                 let copy = self
                     .pages
@@ -846,9 +879,11 @@ impl IvyServer {
         let grant = {
             let st = self.central_locks.entry(lock).or_default();
             if st.busy {
+                cover(k, "lock", "central", "queue");
                 st.queue.push_back((from, thread));
                 None
             } else {
+                cover(k, "lock", "central", "grant");
                 st.busy = true;
                 Some((from, thread))
             }
@@ -890,6 +925,7 @@ impl IvyServer {
         threads: u32,
     ) {
         let count = self.barrier_count[&b];
+        cover(k, "barrier", "central", "arrive");
         let release = {
             let st = self.central_barriers.entry(b).or_default();
             st.arrived += threads;

@@ -1,0 +1,289 @@
+//! Protocol-state transition coverage.
+//!
+//! A [`CoverageMap`] records which (protocol, object-type, state, event)
+//! transitions actually fired in a run — the observability substrate for
+//! coverage-guided fault campaigns (`crates/campaign`'s explore mode). The
+//! protocol servers note transitions through the kernel seam
+//! (`KernelApi::coverage`), so the same instrumentation feeds all three
+//! fabrics:
+//!
+//! * **sim / rt** — servers share one map through the world builder; notes
+//!   land directly.
+//! * **tcp** — each child process keeps its own map and ships its rows home
+//!   in the `Done` control frame, where the coordinator ingests them (the
+//!   same teardown merge as `NetStats` shards and home-leg span stamps).
+//!
+//! Cost model: a run without a map pays one `Option` branch per note site.
+//! A run with a map pays a mutex lock and a hash-map bump — transitions
+//! fire at protocol-event rate (per fault/flush/lease action, not per
+//! byte), so this is observability-grade, not hot-path-grade, overhead.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+/// One protocol-state transition, identified structurally. All four parts
+/// are `&'static str` so noting a transition allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Transition {
+    /// Protocol short name (`"munin"`, `"ivy"`, `"tardis"`).
+    pub proto: &'static str,
+    /// Object-type axis: the sharing annotation label (`"write-many"`,
+    /// `"migratory"`, ...) or a structural class (`"page"`, `"lock"`,
+    /// `"barrier"`).
+    pub object: &'static str,
+    /// Coarse protocol state the event fired in.
+    pub state: &'static str,
+    /// The transition event itself.
+    pub event: &'static str,
+}
+
+impl Transition {
+    pub const fn new(
+        proto: &'static str,
+        object: &'static str,
+        state: &'static str,
+        event: &'static str,
+    ) -> Self {
+        Transition { proto, object, state, event }
+    }
+
+    /// Canonical `proto/object/state/event` key (the manifest format).
+    pub fn key(&self) -> String {
+        format!("{}/{}/{}/{}", self.proto, self.object, self.state, self.event)
+    }
+}
+
+/// One owned coverage row: a transition plus how often it fired. This is
+/// the wire/reporting form — child processes ship these home in `Done`
+/// frames, and snapshots are sorted lists of them.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CovRow {
+    pub proto: String,
+    pub object: String,
+    pub state: String,
+    pub event: String,
+    pub count: u64,
+}
+
+impl CovRow {
+    /// Canonical `proto/object/state/event` key (the manifest format).
+    pub fn key(&self) -> String {
+        format!("{}/{}/{}/{}", self.proto, self.object, self.state, self.event)
+    }
+}
+
+type OwnedKey = (String, String, String, String);
+
+/// Thread-safe transition recorder shared by every server of one run.
+///
+/// Two stores: `local` is keyed by the static [`Transition`] tuples the
+/// in-process note path uses (no allocation after a key's first note);
+/// `ingested` holds rows that arrived over the wire from child processes,
+/// keyed by owned strings. [`CoverageMap::rows`] merges both.
+#[derive(Debug, Default)]
+pub struct CoverageMap {
+    local: Mutex<HashMap<Transition, u64>>,
+    ingested: Mutex<BTreeMap<OwnedKey, u64>>,
+}
+
+impl CoverageMap {
+    pub fn new() -> Self {
+        CoverageMap::default()
+    }
+
+    /// Record one firing of `t`.
+    pub fn note(&self, t: Transition) {
+        *self.local.lock().unwrap_or_else(|p| p.into_inner()).entry(t).or_insert(0) += 1;
+    }
+
+    /// Merge rows shipped home by another process (the coordinator's
+    /// `Done`-frame path).
+    pub fn ingest(&self, rows: &[CovRow]) {
+        let mut ing = self.ingested.lock().unwrap_or_else(|p| p.into_inner());
+        for r in rows {
+            *ing.entry((r.proto.clone(), r.object.clone(), r.state.clone(), r.event.clone()))
+                .or_insert(0) += r.count;
+        }
+    }
+
+    /// Merged, sorted snapshot of everything recorded so far.
+    pub fn rows(&self) -> Vec<CovRow> {
+        let mut merged: BTreeMap<OwnedKey, u64> =
+            self.ingested.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        for (t, n) in self.local.lock().unwrap_or_else(|p| p.into_inner()).iter() {
+            *merged
+                .entry((
+                    t.proto.to_string(),
+                    t.object.to_string(),
+                    t.state.to_string(),
+                    t.event.to_string(),
+                ))
+                .or_insert(0) += n;
+        }
+        merged
+            .into_iter()
+            .map(|((proto, object, state, event), count)| CovRow {
+                proto,
+                object,
+                state,
+                event,
+                count,
+            })
+            .collect()
+    }
+
+    pub fn snapshot(&self) -> CoverageSnapshot {
+        CoverageSnapshot { rows: self.rows() }
+    }
+
+    /// Number of distinct transitions recorded.
+    pub fn distinct(&self) -> usize {
+        let ing = self.ingested.lock().unwrap_or_else(|p| p.into_inner());
+        let loc = self.local.lock().unwrap_or_else(|p| p.into_inner());
+        let mut n = ing.len();
+        for t in loc.keys() {
+            let k = (
+                t.proto.to_string(),
+                t.object.to_string(),
+                t.state.to_string(),
+                t.event.to_string(),
+            );
+            if !ing.contains_key(&k) {
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+/// An immutable, sorted view of a [`CoverageMap`] — what campaign runs
+/// return and what explore-mode reports are rendered from.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageSnapshot {
+    /// Sorted by (proto, object, state, event).
+    pub rows: Vec<CovRow>,
+}
+
+impl CoverageSnapshot {
+    /// Distinct transitions (rows are already deduplicated).
+    pub fn distinct(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total transition firings.
+    pub fn total(&self) -> u64 {
+        self.rows.iter().map(|r| r.count).sum()
+    }
+
+    /// Does this snapshot contain a transition the other lacks?
+    pub fn covers_new(&self, seen: &CoverageSnapshot) -> bool {
+        let known: std::collections::BTreeSet<&CovRow> = seen.rows.iter().collect();
+        // Compare keys only: counts differ run to run.
+        let keys: std::collections::BTreeSet<String> = known.iter().map(|r| r.key()).collect();
+        self.rows.iter().any(|r| !keys.contains(&r.key()))
+    }
+
+    /// Union the other snapshot into this one (counts add; key set unions).
+    pub fn merge(&mut self, other: &CoverageSnapshot) {
+        let mut map: BTreeMap<OwnedKey, u64> = BTreeMap::new();
+        for r in self.rows.iter().chain(other.rows.iter()) {
+            *map.entry((r.proto.clone(), r.object.clone(), r.state.clone(), r.event.clone()))
+                .or_insert(0) += r.count;
+        }
+        self.rows = map
+            .into_iter()
+            .map(|((proto, object, state, event), count)| CovRow {
+                proto,
+                object,
+                state,
+                event,
+                count,
+            })
+            .collect();
+    }
+
+    /// Render the human report: one `count  proto/object/state/event` line
+    /// per row, widest counts first aligned.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.rows {
+            let _ = writeln!(out, "{:>8}  {}", r.count, r.key());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T1: Transition = Transition::new("tardis", "write-many", "lease-expired", "renew-req");
+    const T2: Transition = Transition::new("munin", "migratory", "remote", "migrate-in");
+
+    #[test]
+    fn note_and_snapshot_round_trip() {
+        let m = CoverageMap::new();
+        m.note(T1);
+        m.note(T1);
+        m.note(T2);
+        let snap = m.snapshot();
+        assert_eq!(snap.distinct(), 2);
+        assert_eq!(snap.total(), 3);
+        assert_eq!(m.distinct(), 2);
+        let t1 = snap.rows.iter().find(|r| r.key() == T1.key()).unwrap();
+        assert_eq!(t1.count, 2);
+    }
+
+    #[test]
+    fn ingest_merges_with_local_notes() {
+        let m = CoverageMap::new();
+        m.note(T1);
+        let rows = vec![
+            CovRow {
+                proto: "tardis".into(),
+                object: "write-many".into(),
+                state: "lease-expired".into(),
+                event: "renew-req".into(),
+                count: 3,
+            },
+            CovRow {
+                proto: "ivy".into(),
+                object: "page".into(),
+                state: "owned".into(),
+                event: "yield".into(),
+                count: 1,
+            },
+        ];
+        m.ingest(&rows);
+        let snap = m.snapshot();
+        assert_eq!(snap.distinct(), 2);
+        assert_eq!(snap.rows.iter().find(|r| r.proto == "tardis").unwrap().count, 4);
+    }
+
+    #[test]
+    fn covers_new_compares_key_sets_not_counts() {
+        let m = CoverageMap::new();
+        m.note(T1);
+        let a = m.snapshot();
+        m.note(T1); // more firings, same key
+        let b = m.snapshot();
+        assert!(!b.covers_new(&a), "same key set, higher count is not new coverage");
+        m.note(T2);
+        let c = m.snapshot();
+        assert!(c.covers_new(&a));
+    }
+
+    #[test]
+    fn merge_unions_keys_and_adds_counts() {
+        let m1 = CoverageMap::new();
+        m1.note(T1);
+        let m2 = CoverageMap::new();
+        m2.note(T1);
+        m2.note(T2);
+        let mut u = m1.snapshot();
+        u.merge(&m2.snapshot());
+        assert_eq!(u.distinct(), 2);
+        assert_eq!(u.total(), 3);
+    }
+}

@@ -27,11 +27,13 @@
 //! additionally the `SystemTime` stamps and ring pushes.
 
 mod collect;
+pub mod cover;
 mod hist;
 mod snapshot;
 mod span;
 
 pub use collect::{AccessKind, ObsCollector, OBJ_TABLE_SLOTS, SPAN_RING_CAP};
+pub use cover::{CovRow, CoverageMap, CoverageSnapshot, Transition};
 pub use hist::{bucket_floor_us, AtomicHistogram, Histogram, OpClass, HIST_BUCKETS};
 pub use snapshot::{ClassStat, MetricsSnapshot, ObjectStat};
 pub use span::{OpSpan, SrvSpan};

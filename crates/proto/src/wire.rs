@@ -26,7 +26,7 @@
 
 use munin_mem::{Diff, PageId};
 use munin_net::{KindStat, MsgClass, NetStats};
-use munin_obs::SrvSpan;
+use munin_obs::{CovRow, SrvSpan};
 use munin_sim::{DsmOp, OpResult};
 use munin_types::{
     AllocPolicy, BarrierDecl, BarrierId, ByteRange, CondDecl, CondId, CostModel, DsmError,
@@ -490,6 +490,9 @@ wire_enum!(Telemetry {
 
 wire_struct!(SrvSpan { seq, fwd_us, dispatch_us, reply_us });
 
+// Coverage rows ship home from child node processes in `Done` frames.
+wire_struct!(CovRow { proto, object, state, event, count });
+
 // ---- run configuration ----------------------------------------------------
 
 wire_struct!(CostModel {
@@ -551,7 +554,7 @@ wire_struct!(IvyConfig {
     barrier_poll_limit,
 });
 
-wire_struct!(TardisConfig { cost, lease, decay_us });
+wire_struct!(TardisConfig { cost, lease, decay_us, chaos_skip_wts });
 
 wire_struct!(LockDecl { id, home });
 wire_struct!(BarrierDecl { id, home, count });

@@ -720,6 +720,131 @@ mod tests {
         assert!(op_rx.try_recv().is_err(), "second range still buffering");
     }
 
+    /// A write overlapping the buffer's front edge rebuilds the buffer
+    /// around both ranges, with the later write winning on the overlap.
+    #[test]
+    fn write_combining_merges_a_prepending_overlap() {
+        let (mut ctx, op_rx, res_tx) = lone_ctx();
+        ctx.write(ObjectId(2), 4, vec![1, 2, 3, 4]); // buffer [4, 8)
+        ctx.write(ObjectId(2), 2, vec![9, 9, 9]); // [2, 5): extends front, overwrites 4
+        assert!(op_rx.try_recv().is_err(), "overlap must merge, not emit");
+        res_tx.send(OpResult::Unit).unwrap();
+        ctx.drain_ops();
+        let NodeEvent::Op(_, DsmOp::Write { range, data, .. }) =
+            op_rx.try_recv().expect("one merged write")
+        else {
+            panic!("expected a write")
+        };
+        assert_eq!((range.start, range.len), (2, 6));
+        assert_eq!(data, vec![9, 9, 9, 2, 3, 4]);
+    }
+
+    /// Writes to distinct objects never merge, however adjacent the byte
+    /// ranges look: the first buffer is emitted and the second starts fresh.
+    #[test]
+    fn write_combining_does_not_merge_across_objects() {
+        let (mut ctx, op_rx, _res_tx) = lone_ctx();
+        ctx.write(ObjectId(1), 0, vec![1, 2]);
+        ctx.write(ObjectId(2), 2, vec![3, 4]); // would append if same object
+        let NodeEvent::Op(_, DsmOp::Write { obj, .. }) =
+            op_rx.try_recv().expect("first object's buffer emitted")
+        else {
+            panic!("expected a write")
+        };
+        assert_eq!(obj, ObjectId(1));
+        assert!(op_rx.try_recv().is_err(), "second object still buffering");
+    }
+
+    /// The combining buffer respects its byte ceiling: a merge that would
+    /// exceed `WC_MAX_BYTES` emits the old buffer instead, and a single
+    /// write at or above the ceiling is emitted immediately.
+    #[test]
+    fn write_combining_respects_the_byte_cap() {
+        let (mut ctx, op_rx, res_tx) = lone_ctx();
+        let half = WC_MAX_BYTES / 2 + 1; // two halves together exceed the cap
+        ctx.write(ObjectId(1), 0, vec![7u8; half]);
+        ctx.write(ObjectId(1), half as u32, vec![8u8; half]); // adjacent, too big
+        let NodeEvent::Op(_, DsmOp::Write { range, .. }) =
+            op_rx.try_recv().expect("over-cap merge emits the old buffer")
+        else {
+            panic!("expected a write")
+        };
+        assert_eq!((range.start, range.len as usize), (0, half));
+        assert!(op_rx.try_recv().is_err(), "the new write starts a fresh buffer");
+
+        res_tx.send(OpResult::Unit).unwrap(); // the emitted first buffer
+        res_tx.send(OpResult::Unit).unwrap(); // the second buffer, flushed now
+        ctx.drain_ops();
+        let _ = op_rx.try_recv();
+        ctx.write(ObjectId(1), 0, vec![9u8; WC_MAX_BYTES]);
+        let NodeEvent::Op(_, DsmOp::Write { range, .. }) =
+            op_rx.try_recv().expect("an at-cap write is emitted immediately")
+        else {
+            panic!("expected a write")
+        };
+        assert_eq!(range.len as usize, WC_MAX_BYTES);
+    }
+
+    /// Adjacent stores separated by a sync op must NOT merge: release
+    /// consistency pins the first write before the sync point. The wire
+    /// order is write / barrier / write even though the byte ranges touch.
+    #[test]
+    fn sync_op_splits_adjacent_stores() {
+        let (mut ctx, op_rx, res_tx) = lone_ctx();
+        ctx.write(ObjectId(5), 0, vec![1, 2]);
+        res_tx.send(OpResult::Unit).unwrap(); // flushed combined write
+        res_tx.send(OpResult::Unit).unwrap(); // the barrier itself
+        ctx.barrier(BarrierId(0));
+        ctx.write(ObjectId(5), 2, vec![3, 4]); // adjacent to the first
+        res_tx.send(OpResult::Unit).unwrap();
+        ctx.drain_ops();
+        let mut kinds = Vec::new();
+        while let Ok(NodeEvent::Op(_, op)) = op_rx.try_recv() {
+            kinds.push(match op {
+                DsmOp::Write { range, .. } => format!("write[{},{})", range.start, range.len),
+                DsmOp::BarrierWait(_) => "barrier".to_string(),
+                other => panic!("unexpected op: {other:?}"),
+            });
+        }
+        assert_eq!(kinds, ["write[0,2)", "barrier", "write[2,2)"]);
+    }
+
+    /// A drain that parks on in-flight ops sees watchdog poisoning — the
+    /// explicit-drain analogue of the blocked-token-waiter regression.
+    #[test]
+    fn blocked_drain_sees_poison() {
+        let (mut ctx, _op_rx, _res_tx) = lone_ctx();
+        ctx.op_async(DsmOp::AtomicFetchAdd { obj: ObjectId(0), offset: 0, delta: 1 });
+        ctx.shared.poisoned.store(true, Ordering::Release);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.drain_ops();
+        }))
+        .expect_err("drain must panic on a poisoned run");
+        let msg = crate::serve::panic_message(err);
+        assert!(
+            msg.contains("real-time kernel stalled while thread was blocked in 'drain'"),
+            "unexpected panic: {msg}"
+        );
+    }
+
+    /// Fail closed: an errored op whose token was never redeemed must not
+    /// survive a drain (= sync point) silently.
+    #[test]
+    fn unredeemed_errored_token_fails_the_next_drain() {
+        let (mut ctx, _op_rx, res_tx) = lone_ctx();
+        let _token = ctx.op_async(DsmOp::AtomicFetchAdd { obj: ObjectId(0), offset: 0, delta: 1 });
+        res_tx.send(OpResult::Err(munin_types::DsmError::UnknownObject(ObjectId(0)))).unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.drain_ops();
+        }))
+        .expect_err("an errored claimed op must fail the drain");
+        let msg = crate::serve::panic_message(err);
+        assert!(
+            msg.contains("asynchronous 'fetch-add' failed before a sync point"),
+            "unexpected panic: {msg}"
+        );
+    }
+
     /// The in-flight window cap makes the (cap+1)-th async issue wait for
     /// the oldest completion instead of queueing without bound.
     #[test]

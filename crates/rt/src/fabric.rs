@@ -117,6 +117,10 @@ pub struct Shared {
     /// SIGUSR1 path — surfaced as `RunReport::dumps`, mirroring what the
     /// TCP coordinator collects over the wire.
     pub dumps: Mutex<Vec<String>>,
+    /// Protocol-state coverage recorder, when the run is instrumented
+    /// (campaign explore mode). Servers reach it through
+    /// `KernelApi::coverage`; `None` costs one branch per note site.
+    pub coverage: Option<Arc<munin_obs::CoverageMap>>,
 }
 
 impl Shared {
@@ -137,6 +141,7 @@ impl Shared {
             debug_errors: std::env::var_os("MUNIN_DEBUG_ERRORS").is_some(),
             obs: ObsCollector::new(telemetry, n_threads),
             dumps: Mutex::new(Vec::new()),
+            coverage: None,
         }
     }
 

@@ -214,4 +214,8 @@ impl<P: PayloadInfo + Clone> KernelApi<P> for RtKernel<P> {
     fn error(&mut self, msg: String) {
         self.shared.error(msg);
     }
+
+    fn coverage(&self) -> Option<&munin_obs::CoverageMap> {
+        self.shared.coverage.as_deref()
+    }
 }

@@ -133,6 +133,7 @@ pub struct RtWorldBuilder<P> {
     next_object: u64,
     #[allow(clippy::type_complexity)]
     spawns: Vec<(NodeId, Box<dyn FnOnce(&mut RtCtx<P>) + Send + 'static>)>,
+    coverage: Option<Arc<munin_obs::CoverageMap>>,
 }
 
 impl<P: munin_net::PayloadInfo + Send + Sync + Clone + 'static> RtWorldBuilder<P> {
@@ -146,11 +147,19 @@ impl<P: munin_net::PayloadInfo + Send + Sync + Clone + 'static> RtWorldBuilder<P
             decls: Vec::new(),
             next_object: 0,
             spawns: Vec::new(),
+            coverage: None,
         }
     }
 
     pub fn n_nodes(&self) -> usize {
         self.n_nodes
+    }
+
+    /// Attach a protocol-state coverage recorder (campaign explore mode);
+    /// servers note transitions into it through `KernelApi::coverage`.
+    pub fn coverage(mut self, map: Arc<munin_obs::CoverageMap>) -> Self {
+        self.coverage = Some(map);
+        self
     }
 
     /// Cost model handed to the servers (their bookkeeping reads it; the
@@ -201,7 +210,9 @@ impl<P: munin_net::PayloadInfo + Send + Sync + Clone + 'static> RtWorldBuilder<P
         assert_eq!(servers.len(), self.n_nodes, "need exactly one server per node");
         let n_nodes = self.n_nodes;
         let n_threads = self.spawns.len();
-        let shared = Arc::new(Shared::new(self.decls, n_threads, self.tuning.telemetry));
+        let mut shared0 = Shared::new(self.decls, n_threads, self.tuning.telemetry);
+        shared0.coverage = self.coverage;
+        let shared = Arc::new(shared0);
 
         let mut inbox_txs: Vec<Sender<NodeEvent<P>>> = Vec::with_capacity(n_nodes);
         let mut inbox_rxs: Vec<Receiver<NodeEvent<P>>> = Vec::with_capacity(n_nodes);

@@ -94,6 +94,14 @@ pub trait KernelApi<P: PayloadInfo + Clone> {
     /// Report a server-detected error (invariant violation, livelock). The
     /// run continues but the report will not be clean.
     fn error(&mut self, msg: String);
+
+    /// The run's protocol-state coverage recorder, when one is attached
+    /// (campaign explore mode). Default is `None`, so an uninstrumented run
+    /// pays exactly one predicted branch per note site — protocol servers
+    /// call `if let Some(c) = k.coverage() { c.note(...) }`.
+    fn coverage(&self) -> Option<&munin_obs::CoverageMap> {
+        None
+    }
 }
 
 #[cfg(test)]

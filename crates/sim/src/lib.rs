@@ -37,6 +37,7 @@ pub mod transport;
 pub mod world;
 
 pub use kernel::KernelApi;
+pub use munin_obs::{CovRow, CoverageMap, CoverageSnapshot, Transition};
 pub use op::{DsmOp, OpOutcome, OpResult};
 pub use report::RunReport;
 pub use thread::ThreadCtx;

@@ -83,6 +83,9 @@ pub struct Kernel<P: PayloadInfo + Clone> {
     tracer: Box<dyn Tracer>,
     ops: u64,
     errors: Vec<String>,
+    /// Protocol-state coverage recorder, when the run is instrumented
+    /// (campaign explore mode attaches one through the builder).
+    coverage: Option<std::sync::Arc<munin_obs::CoverageMap>>,
 }
 
 impl<P: PayloadInfo + Clone> Kernel<P> {
@@ -278,6 +281,9 @@ impl<P: PayloadInfo + Clone> KernelApi<P> for Kernel<P> {
     fn error(&mut self, msg: String) {
         Kernel::error(self, msg)
     }
+    fn coverage(&self) -> Option<&munin_obs::CoverageMap> {
+        self.coverage.as_deref()
+    }
 }
 
 /// Builder for a [`World`]: configure nodes, transport, tracer; declare
@@ -291,6 +297,7 @@ pub struct WorldBuilder {
     spawns: Vec<(NodeId, Box<dyn FnOnce(&mut ThreadCtx) + Send + 'static>)>,
     decls: Vec<ObjectDecl>,
     next_object: u64,
+    coverage: Option<std::sync::Arc<munin_obs::CoverageMap>>,
 }
 
 impl WorldBuilder {
@@ -303,6 +310,7 @@ impl WorldBuilder {
             spawns: Vec::new(),
             decls: Vec::new(),
             next_object: 0,
+            coverage: None,
         }
     }
 
@@ -312,6 +320,13 @@ impl WorldBuilder {
 
     pub fn transport(mut self, cfg: TransportConfig) -> Self {
         self.transport = cfg;
+        self
+    }
+
+    /// Attach a protocol-state coverage recorder: servers note transitions
+    /// into it through [`KernelApi::coverage`].
+    pub fn coverage(mut self, map: std::sync::Arc<munin_obs::CoverageMap>) -> Self {
+        self.coverage = Some(map);
         self
     }
 
@@ -423,6 +438,7 @@ impl WorldBuilder {
                 tracer: self.tracer,
                 ops: 0,
                 errors: Vec::new(),
+                coverage: self.coverage,
             },
             servers,
             req_rx,

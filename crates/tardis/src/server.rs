@@ -29,6 +29,20 @@ use std::collections::{HashMap, VecDeque};
 /// Timer token for the lease-decay sweep (Tardis arms no other timers).
 const SWEEP_TOKEN: u64 = u64::MAX;
 
+/// Note a protocol-state transition into the run's coverage map, if one is
+/// attached (campaign explore mode). One predicted branch when off.
+#[inline]
+fn cover(
+    k: &dyn KernelApi<TardisMsg>,
+    object: &'static str,
+    state: &'static str,
+    event: &'static str,
+) {
+    if let Some(c) = k.coverage() {
+        c.note(munin_sim::Transition::new("tardis", object, state, event));
+    }
+}
+
 /// Authoritative per-object state at its home node.
 #[derive(Debug)]
 struct HomeObj {
@@ -104,6 +118,8 @@ pub struct TardisServer {
     barrier_parked: HashMap<BarrierId, Vec<ThreadId>>,
     sweep_armed: bool,
     sweep_activity: bool,
+    /// Home-side write applications seen so far; drives `chaos_skip_wts`.
+    chaos_writes: u64,
 }
 
 impl TardisServer {
@@ -135,6 +151,7 @@ impl TardisServer {
             barrier_parked: HashMap::new(),
             sweep_armed: false,
             sweep_activity: false,
+            chaos_writes: 0,
         }
     }
 
@@ -207,7 +224,9 @@ impl TardisServer {
         let lease = self.cfg.lease;
         let h = self.ensure_home(k, obj)?;
         h.rts = h.rts.max(reader_pts + lease).max(h.wts);
-        Some((h.wts, h.rts))
+        let granted = (h.wts, h.rts);
+        cover(k, "object", "home", "lease-grant");
+        Some(granted)
     }
 
     fn handle_read_req(
@@ -241,8 +260,10 @@ impl TardisServer {
         };
         if wts == have_wts {
             // Copy still current: extend the lease without resending bytes.
+            cover(k, "object", "lease", "renew-extend");
             self.route(k, from, TardisMsg::RenewAck { thread, obj, wts, rts });
         } else {
+            cover(k, "object", "lease", "renew-refetch");
             let data = self.home[&obj].data.clone();
             self.route(k, from, TardisMsg::ReadReply { thread, obj, data, wts, rts });
         }
@@ -258,12 +279,26 @@ impl TardisServer {
         data: &[u8],
         writer_pts: u64,
     ) -> Option<u64> {
+        let skip_bump = self.cfg.chaos_skip_wts != 0 && {
+            self.chaos_writes += 1;
+            self.chaos_writes == self.cfg.chaos_skip_wts
+        };
         let h = self.ensure_home(k, obj)?;
-        let wts = h.wts.max(h.rts).max(writer_pts) + 1;
         let s = range.start as usize;
         h.data[s..s + data.len()].copy_from_slice(data);
+        if skip_bump {
+            // Chaos mutation: the bytes land but the version does not move,
+            // so every outstanding lease keeps validating pre-write copies
+            // and renewals extend them. The checker must catch this.
+            return Some(h.wts);
+        }
+        let wts = h.wts.max(h.rts).max(writer_pts) + 1;
+        // A lease granted past the last write forces the stamp to jump over
+        // it — the mechanism that replaces invalidation fan-out.
+        let jumped = h.rts > h.wts;
         h.wts = wts;
         h.rts = wts;
+        cover(k, "object", "home", if jumped { "write-jump" } else { "write" });
         Some(wts)
     }
 
@@ -282,6 +317,7 @@ impl TardisServer {
         h.data[s..s + 8].copy_from_slice(&old.wrapping_add(delta).to_le_bytes());
         h.wts = wts;
         h.rts = wts;
+        cover(k, "object", "home", "atomic");
         Some((old, wts))
     }
 
@@ -314,6 +350,7 @@ impl TardisServer {
         wts: u64,
         rts: u64,
     ) {
+        cover(k, "object", "copy", "install");
         self.cache.insert(obj, CachedCopy { data, wts, rts });
         self.touch_cache(k);
         self.pts = self.pts.max(wts);
@@ -333,12 +370,14 @@ impl TardisServer {
             _ => {
                 // The copy was dropped (a local write raced the renewal) or
                 // superseded; fail the op back through a fresh fetch.
+                cover(k, "object", "copy", "renew-race-refetch");
                 let pts = self.pts;
                 let home = self.meta(k, obj).map(|(h, _)| h).unwrap_or(self.node);
                 self.route(k, home, TardisMsg::ReadReq { obj, thread, pts });
                 return;
             }
         }
+        cover(k, "object", "copy", "renew-ok");
         self.touch_cache(k);
         self.pts = self.pts.max(wts);
         self.finish_read(k, thread, obj);
@@ -359,9 +398,11 @@ impl TardisServer {
         let grant = {
             let st = self.locks.entry(lock).or_default();
             if st.held {
+                cover(k, "lock", "held", "queue");
                 st.queue.push_back((from, thread, pts));
                 None
             } else {
+                cover(k, "lock", "free", "grant");
                 st.held = true;
                 st.ts = st.ts.max(pts);
                 Some((from, thread, st.ts))
@@ -394,10 +435,12 @@ impl TardisServer {
             st.ts = st.ts.max(pts);
             match st.queue.pop_front() {
                 Some((node, thread, req_pts)) => {
+                    cover(k, "lock", "held", "handoff");
                     st.ts = st.ts.max(req_pts);
                     Some((node, thread, st.ts))
                 }
                 None => {
+                    cover(k, "lock", "held", "release");
                     st.held = false;
                     None
                 }
@@ -423,6 +466,7 @@ impl TardisServer {
                 return;
             }
         };
+        cover(k, "barrier", "gather", "arrive");
         let release = {
             let st = self.barriers.entry(barrier).or_default();
             st.arrived += threads;
@@ -433,6 +477,7 @@ impl TardisServer {
             st.arrived >= count
         };
         if release {
+            cover(k, "barrier", "gather", "release");
             let (mut nodes, ts) = {
                 let st = self.barriers.get_mut(&barrier).expect("exists");
                 st.arrived = 0;
@@ -526,6 +571,7 @@ impl Server for TardisServer {
                     return Self::bounds_err(obj, range, size);
                 }
                 if home == self.node {
+                    cover(k, "object", "home", "local-read");
                     self.ensure_home(k, obj).expect("decl checked");
                     let h = &self.home[&obj];
                     self.pts = self.pts.max(h.wts);
@@ -536,6 +582,7 @@ impl Server for TardisServer {
                 if let Some(copy) = self.cache.get(&obj) {
                     if self.pts <= copy.rts {
                         // Lease hit: serve locally, no traffic at all.
+                        cover(k, "object", "lease", "read-hit");
                         let wts = copy.wts;
                         let s = range.start as usize;
                         let bytes = copy.data[s..s + range.len as usize].to_vec();
@@ -544,12 +591,14 @@ impl Server for TardisServer {
                         return OpOutcome::done(OpResult::Bytes(bytes), k.cost().local_access_us);
                     }
                     // Copy present but the lease expired: renew.
+                    cover(k, "object", "lease", "expired-renew");
                     let have_wts = copy.wts;
                     let pts = self.pts;
                     self.pending.insert(thread, PendingTardisOp::Read { obj, range });
                     self.route(k, home, TardisMsg::RenewReq { obj, thread, pts, have_wts });
                     return OpOutcome::Blocked;
                 }
+                cover(k, "object", "copy", "fetch");
                 let pts = self.pts;
                 self.pending.insert(thread, PendingTardisOp::Read { obj, range });
                 self.route(k, home, TardisMsg::ReadReq { obj, thread, pts });
@@ -570,7 +619,10 @@ impl Server for TardisServer {
                 }
                 // Write-through to the home. Our own stale copy dies now so
                 // this node's later reads refetch the post-write bytes.
-                self.cache.remove(&obj);
+                if self.cache.remove(&obj).is_some() {
+                    cover(k, "object", "copy", "self-invalidate");
+                }
+                cover(k, "object", "copy", "write-through");
                 let pts = self.pts;
                 self.pending.insert(thread, PendingTardisOp::Write { obj });
                 self.route(k, home, TardisMsg::WriteReq { obj, range, data, thread, pts });
@@ -658,7 +710,14 @@ impl Server for TardisServer {
         let pts = self.pts;
         // Evict copies whose lease this node's own clock has outrun: they
         // could never satisfy another read here.
+        let before = self.cache.len();
         self.cache.retain(|_, c| c.rts >= pts);
+        cover(
+            k,
+            "object",
+            "lease",
+            if self.cache.len() < before { "decay-evict" } else { "sweep-idle" },
+        );
         // Re-arm only if the cache was touched since the sweep was armed —
         // an idle node must quiesce (the virtual-time kernel treats a
         // perpetually re-arming timer as liveness).

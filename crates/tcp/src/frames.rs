@@ -131,6 +131,10 @@ pub struct StartConfig {
     /// Application threads of the run (all coordinator-hosted). Children
     /// need the count to preallocate per-thread server-span slots.
     pub n_threads: usize,
+    /// Record protocol-state transition coverage (campaign explore mode):
+    /// the child keeps a local `CoverageMap` and ships its rows home in
+    /// the `Done` frame.
+    pub coverage: bool,
 }
 
 wire_struct!(StartConfig {
@@ -147,6 +151,7 @@ wire_struct!(StartConfig {
     test_fault,
     telemetry,
     n_threads,
+    coverage,
 });
 
 /// A registry write, sent by any node's kernel to the coordinator-hosted
@@ -224,11 +229,17 @@ pub enum CtrlFrame {
     ReportError { msg: String },
     /// Coordinator → child: clean shutdown (the run is quiescent).
     Finish,
-    /// Child → coordinator: final traffic shard, accumulated errors, and
+    /// Child → coordinator: final traffic shard, accumulated errors,
     /// (spans mode) home-leg stamps `(thread, wall_us)` recorded while
-    /// handling peers' protocol messages — merged into the coordinator's
-    /// span table at teardown.
-    Done { stats: NetStats, errors: Vec<String>, homes: Vec<(ThreadId, u64)> },
+    /// handling peers' protocol messages, and (explore mode) the child's
+    /// protocol-state coverage rows — all merged into the coordinator's
+    /// collectors at teardown.
+    Done {
+        stats: NetStats,
+        errors: Vec<String>,
+        homes: Vec<(ThreadId, u64)>,
+        cover: Vec<munin_obs::CovRow>,
+    },
     /// Coordinator → child: the run is poisoned; tear down immediately.
     Poison,
     /// Coordinator → child, after every node's `Done` arrived: all peers
@@ -263,7 +274,7 @@ wire_enum!(CtrlFrame {
     11 => DumpReply { text },
     12 => ReportError { msg },
     13 => Finish,
-    14 => Done { stats, errors, homes },
+    14 => Done { stats, errors, homes, cover },
     15 => Poison,
     16 => Bye,
     17 => OpBatch { ops, fwd_us },

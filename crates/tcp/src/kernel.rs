@@ -271,4 +271,8 @@ impl<P: PayloadInfo + Wire + Clone> KernelApi<P> for TcpKernel<P> {
     fn error(&mut self, msg: String) {
         self.shared.error(msg);
     }
+
+    fn coverage(&self) -> Option<&munin_obs::CoverageMap> {
+        self.shared.coverage.as_deref()
+    }
 }

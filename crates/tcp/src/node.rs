@@ -147,7 +147,11 @@ where
     // No application threads live here, but the observability collector
     // still needs one server-span slot per (coordinator-hosted) thread —
     // forwarded ops dispatch on this node under their issuing thread's id.
-    let shared = Arc::new(Shared::new(Vec::new(), start.n_threads, start.telemetry));
+    let mut shared0 = Shared::new(Vec::new(), start.n_threads, start.telemetry);
+    if start.coverage {
+        shared0.coverage = Some(Arc::new(munin_obs::CoverageMap::new()));
+    }
+    let shared = Arc::new(shared0);
     let finishing = Arc::new(AtomicBool::new(false));
     let cache = Arc::new(RegCache::new(&start.decls));
     let (inbox_tx, inbox_rx) = channel::<NodeEvent<S::Payload>>();
@@ -283,7 +287,8 @@ where
     let errors = shared.errors.lock().expect("error log poisoned").clone();
     let poisoned = shared.is_poisoned();
     let homes = shared.obs.take_homes();
-    let _ = send_shared(&ctrl_writer, &CtrlFrame::Done { stats, errors, homes });
+    let cover = shared.coverage.as_ref().map(|c| c.rows()).unwrap_or_default();
+    let _ = send_shared(&ctrl_writer, &CtrlFrame::Done { stats, errors, homes, cover });
     if !poisoned {
         // Phase two of the clean shutdown: hold our sockets open until the
         // coordinator confirms every node's Done arrived (`Bye`), so our

@@ -100,6 +100,7 @@ pub struct TcpWorldBuilder<P> {
     tuning: TcpTuning,
     decls: Vec<ObjectDecl>,
     next_object: u64,
+    coverage: Option<Arc<munin_obs::CoverageMap>>,
     #[allow(clippy::type_complexity)]
     spawns: Vec<(NodeId, Box<dyn FnOnce(&mut RtCtx<P>) + Send + 'static>)>,
 }
@@ -113,6 +114,7 @@ impl<P: PayloadInfo + Wire + Send + Sync + Clone + std::fmt::Debug + 'static> Tc
             tuning: TcpTuning::default(),
             decls: Vec::new(),
             next_object: 0,
+            coverage: None,
             spawns: Vec::new(),
         }
     }
@@ -123,6 +125,15 @@ impl<P: PayloadInfo + Wire + Send + Sync + Clone + std::fmt::Debug + 'static> Tc
 
     pub fn tuning(mut self, tuning: TcpTuning) -> Self {
         self.tuning = tuning;
+        self
+    }
+
+    /// Attach a protocol-state coverage recorder. Node 0's server notes
+    /// transitions into it directly; children keep a local map (switched on
+    /// by the start frame) and ship their rows home in their `Done` frame,
+    /// where the teardown drain merges them in.
+    pub fn coverage(mut self, map: Arc<munin_obs::CoverageMap>) -> Self {
+        self.coverage = Some(map);
         self
     }
 
@@ -197,7 +208,9 @@ impl<P: PayloadInfo + Wire + Send + Sync + Clone + std::fmt::Debug + 'static> Tc
         let n_nodes = self.n_nodes;
         let n_threads = self.spawns.len();
         let tuning = self.tuning.clone();
-        let shared = Arc::new(Shared::new(Vec::new(), n_threads, tuning.rt.telemetry));
+        let mut shared0 = Shared::new(Vec::new(), n_threads, tuning.rt.telemetry);
+        shared0.coverage = self.coverage.clone();
+        let shared = Arc::new(shared0);
         let finishing = Arc::new(AtomicBool::new(false));
         let dumps = Arc::new(Mutex::new(Vec::<String>::new()));
         sig::install();
@@ -275,6 +288,7 @@ impl<P: PayloadInfo + Wire + Send + Sync + Clone + std::fmt::Debug + 'static> Tc
                 peers: peers_table.clone(),
                 test_fault: tuning.test_fault,
                 telemetry: tuning.rt.telemetry,
+                coverage: shared.coverage.is_some(),
                 n_threads,
             };
             send_shared(
@@ -319,7 +333,14 @@ impl<P: PayloadInfo + Wire + Send + Sync + Clone + std::fmt::Debug + 'static> Tc
         // ---- control readers, registry service, heartbeat table ---------
         let (reg_tx, reg_rx) = channel::<RegEvent>();
         let (ready_tx, ready_rx) = channel::<NodeId>();
-        let (done_tx, done_rx) = channel::<(NodeId, NetStats, Vec<String>, Vec<(ThreadId, u64)>)>();
+        #[allow(clippy::type_complexity)]
+        let (done_tx, done_rx) = channel::<(
+            NodeId,
+            NetStats,
+            Vec<String>,
+            Vec<(ThreadId, u64)>,
+            Vec<munin_obs::CovRow>,
+        )>();
         let (dump_tx, dump_rx) = channel::<(NodeId, String)>();
         let hb = Arc::new(HbTable::new(n_nodes));
         for (i, stream) in ctrl_streams.into_iter().enumerate() {
@@ -559,10 +580,13 @@ impl<P: PayloadInfo + Wire + Send + Sync + Clone + std::fmt::Debug + 'static> Tc
         while reported.len() < n_nodes - 1 {
             let left = deadline.saturating_duration_since(Instant::now());
             match done_rx.recv_timeout(left) {
-                Ok((node, node_stats, errors, homes)) => {
+                Ok((node, node_stats, errors, homes, cover)) => {
                     reported.insert(node);
                     stats.merge(&node_stats);
                     shared.obs.ingest_homes(&homes);
+                    if let Some(map) = shared.coverage.as_ref() {
+                        map.ingest(&cover);
+                    }
                     for e in errors {
                         // A child's async `ReportError` and its Done log
                         // carry the same string; don't record it twice.
@@ -632,7 +656,13 @@ fn spawn_coord_ctrl_reader(
     resume_txs: Vec<Sender<OpResult>>,
     reg_tx: Sender<RegEvent>,
     ready_tx: Sender<NodeId>,
-    done_tx: Sender<(NodeId, NetStats, Vec<String>, Vec<(ThreadId, u64)>)>,
+    #[allow(clippy::type_complexity)] done_tx: Sender<(
+        NodeId,
+        NetStats,
+        Vec<String>,
+        Vec<(ThreadId, u64)>,
+        Vec<munin_obs::CovRow>,
+    )>,
     dump_tx: Sender<(NodeId, String)>,
     hb: Arc<HbTable>,
     shared: Arc<Shared>,
@@ -685,8 +715,8 @@ fn spawn_coord_ctrl_reader(
                             shared.poisoned.store(true, Ordering::Release);
                         }
                     }
-                    Ok(CtrlFrame::Done { stats, errors, homes }) => {
-                        let _ = done_tx.send((node, stats, errors, homes));
+                    Ok(CtrlFrame::Done { stats, errors, homes, cover }) => {
+                        let _ = done_tx.send((node, stats, errors, homes, cover));
                     }
                     Ok(other) => {
                         shared.error(format!(

@@ -449,6 +449,7 @@ fn control_frames_roundtrip() {
                 after: Duration::from_millis(250),
             }),
             telemetry: munin_types::Telemetry::Spans,
+            coverage: true,
             n_threads: 6,
         };
         roundtrip(&CtrlFrame::Start(Box::new(start)));
@@ -488,6 +489,13 @@ fn control_frames_roundtrip() {
             stats: sample_stats(),
             errors: vec!["e1".into()],
             homes: vec![(ThreadId(5), 1_754_000_000_200), (ThreadId(7), 1_754_000_000_300)],
+            cover: vec![munin_obs::CovRow {
+                proto: "tardis".into(),
+                object: "write-many".into(),
+                state: "lease".into(),
+                event: "expired-renew".into(),
+                count: 3,
+            }],
         },
         CtrlFrame::Poison,
         CtrlFrame::Bye,
@@ -526,6 +534,7 @@ fn corrupt_input_fails_closed() {
             stats: sample_stats(),
             errors: vec!["x".into()],
             homes: vec![(ThreadId(1), 7)],
+            cover: Vec::new(),
         }
         .encode(),
     );

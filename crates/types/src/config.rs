@@ -244,11 +244,19 @@ pub struct TardisConfig {
     /// whose lease has expired against the node's own clock. `0` disables
     /// the sweep; expired copies are then evicted only on access.
     pub decay_us: u64,
+    /// Fault-campaign mutation knob (the Tardis twin of
+    /// [`MuninConfig::chaos_skip_updates`]): on the Nth write applied at a
+    /// home node (1-based), store the bytes but *skip the timestamp bump* —
+    /// so outstanding leases keep validating copies of the pre-write data
+    /// and renewals extend them. 0 disables. Exists so the checker's
+    /// mutation tests can prove dropped timestamp-lease updates are
+    /// *caught*; never set in real runs.
+    pub chaos_skip_wts: u64,
 }
 
 impl Default for TardisConfig {
     fn default() -> Self {
-        TardisConfig { cost: CostModel::default(), lease: 64, decay_us: 10_000 }
+        TardisConfig { cost: CostModel::default(), lease: 64, decay_us: 10_000, chaos_skip_wts: 0 }
     }
 }
 
